@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench fuzz vet experiments examples train clean
+
+all: build test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# Full benchmark sweep (micro-benchmarks + one bench per paper table/figure).
+bench:
+	go test -bench=. -benchmem ./...
+
+fuzz:
+	go test -fuzz=FuzzDecode -fuzztime=30s ./internal/layout/
+
+# Regenerate every paper table and figure at CPU scale.
+experiments:
+	go run ./cmd/oarsmt-bench -exp all -scale small
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/multilayer
+	go run ./examples/preferred
+	go run ./examples/multinet
+
+# Retrain the embedded selector (checkpointed per stage; interruptible).
+train:
+	go run ./cmd/oarsmt-train -o internal/models/selector.gob \
+		-stages 16 -hv 8,12,16 -layers 2,4 -layouts 6 -alpha 1024 \
+		-metrics train-metrics.csv
+
+clean:
+	rm -f test_output.txt bench_output.txt train-metrics.csv

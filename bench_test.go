@@ -1,0 +1,319 @@
+package oarsmt
+
+// One benchmark per evaluation table and figure of the paper, plus the
+// ablation benches called out in DESIGN.md. Each benchmark iteration
+// processes one layout (or one training stage), so ns/op is directly the
+// per-layout (per-stage) cost; the full tables are produced by
+// cmd/oarsmt-bench, which also prints the paper-formatted rows.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/experiments"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/mctsconv"
+	"oarsmt/internal/models"
+	"oarsmt/internal/rl"
+	"oarsmt/internal/selector"
+)
+
+var (
+	benchSelOnce sync.Once
+	benchSel     *selector.Selector
+)
+
+// benchSelector returns the embedded pretrained selector (shared across
+// benchmarks; they run sequentially).
+func benchSelector(b *testing.B) *selector.Selector {
+	b.Helper()
+	benchSelOnce.Do(func() {
+		sel, err := models.Pretrained()
+		if err != nil {
+			b.Fatalf("pretrained model: %v", err)
+		}
+		benchSel = sel
+	})
+	return benchSel
+}
+
+func benchLayouts(b *testing.B, subset string, n int) []*layout.Instance {
+	b.Helper()
+	spec, ok := layout.SubsetByName(subset)
+	if !ok {
+		b.Fatalf("unknown subset %s", subset)
+	}
+	rng := rand.New(rand.NewSource(1))
+	outs := make([]*layout.Instance, n)
+	for i := range outs {
+		in, err := layout.Random(rng, spec.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs[i] = in
+	}
+	return outs
+}
+
+// BenchmarkTable1Generate measures workload generation for Table 1's T32
+// subset (one layout per iteration).
+func BenchmarkTable1Generate(b *testing.B) {
+	spec, _ := layout.SubsetByName("T32")
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.Random(rng, spec.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCostComparison runs one [14]-vs-ours head-to-head per iteration on
+// the given subset; this is the inner loop of Tables 2 and 3.
+func benchCostComparison(b *testing.B, subset string) {
+	sel := benchSelector(b)
+	ins := benchLayouts(b, subset, 4)
+	ours := core.NewRouter(sel)
+	lin18 := baseline.New(baseline.Lin18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := ins[i%len(ins)]
+		rb, err := lin18.Route(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ro, err := ours.Route(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rb.Tree.Cost
+		_ = ro.Tree.Cost
+	}
+}
+
+// BenchmarkTable2CostT32 exercises the Table 2 comparison on T32 layouts.
+func BenchmarkTable2CostT32(b *testing.B) { benchCostComparison(b, "T32") }
+
+// BenchmarkTable2CostT64 exercises the Table 2 comparison on T64 layouts.
+func BenchmarkTable2CostT64(b *testing.B) { benchCostComparison(b, "T64") }
+
+// BenchmarkTable3RuntimeOursT32 isolates our router's runtime (the "total"
+// column of Table 3) on T32 layouts.
+func BenchmarkTable3RuntimeOursT32(b *testing.B) {
+	sel := benchSelector(b)
+	ins := benchLayouts(b, "T32", 4)
+	ours := core.NewRouter(sel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ours.Route(ins[i%len(ins)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3RuntimeLin18T32 isolates [14]'s runtime (column (a) of
+// Table 3) on T32 layouts.
+func BenchmarkTable3RuntimeLin18T32(b *testing.B) {
+	ins := benchLayouts(b, "T32", 4)
+	lin18 := baseline.New(baseline.Lin18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lin18.Route(ins[i%len(ins)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10ObstacleRatio measures the obstacle-ratio bucketing pass of
+// Fig 10 over a pre-evaluated subset.
+func BenchmarkFig10ObstacleRatio(b *testing.B) {
+	sel := benchSelector(b)
+	opts := experiments.Options{Scale: experiments.ScaleSmall, Seed: 1, Selector: sel}
+	evals, err := experiments.RunComparison(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(opts, evals, 5)
+	}
+}
+
+// benchTable4 routes one Table 4 public-benchmark equivalent per iteration
+// with ours and the strongest baseline.
+func benchTable4(b *testing.B, name string) {
+	sel := benchSelector(b)
+	spec, ok := layout.BenchmarkByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	in, err := spec.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ours := core.NewRouter(sel)
+	lin18 := baseline.New(baseline.Lin18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lin18.Route(in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ours.Route(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4PublicRT1 runs the Table 4 comparison on rt1.
+func BenchmarkTable4PublicRT1(b *testing.B) { benchTable4(b, "rt1") }
+
+// BenchmarkTable4PublicInd1 runs the Table 4 comparison on ind1.
+func BenchmarkTable4PublicInd1(b *testing.B) { benchTable4(b, "ind1") }
+
+// BenchmarkFig11Training measures one stage of the Fig 11 three-way
+// training comparison (combinatorial trainer arm).
+func BenchmarkFig11Training(b *testing.B) {
+	benchTrainingStage(b, experiments.FigTrainingDefaults(11, experiments.ScaleSmall))
+}
+
+// BenchmarkFig12Training measures one stage at the Fig 12 layout size.
+func BenchmarkFig12Training(b *testing.B) {
+	benchTrainingStage(b, experiments.FigTrainingDefaults(12, experiments.ScaleSmall))
+}
+
+func benchTrainingStage(b *testing.B, cfg experiments.FigTrainingConfig) {
+	sel, err := selector.NewRandom(rand.New(rand.NewSource(1)),
+		UNetConfig{InChannels: 7, Base: 4, Depth: 2, Kernel: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := rl.NewTrainer(sel, rl.Config{
+		Sizes:            []layout.TrainingSize{cfg.Size},
+		LayoutsPerSize:   cfg.LayoutsPerStage,
+		MinPins:          cfg.InRangePins[0],
+		MaxPins:          cfg.InRangePins[1],
+		CurriculumStages: 0,
+		MCTS:             mcts.Config{Iterations: cfg.MCTSIterations, UseCritic: true},
+		BatchSize:        16,
+		EpochsPerStage:   1,
+		LR:               2e-3,
+		Seed:             1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.RunStage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampleGeneration compares the per-episode sample
+// generation cost of combinatorial vs conventional MCTS (the 3.48x claim
+// of §4.2): run with -bench 'AblationSampleGeneration' and compare the two
+// sub-benchmarks' ns/op.
+func BenchmarkAblationSampleGeneration(b *testing.B) {
+	sel := benchSelector(b)
+	in, err := layout.Random(rand.New(rand.NewSource(2)), layout.RandomSpec{
+		H: 10, V: 10, MinM: 2, MaxM: 2, MinPins: 5, MaxPins: 5, MinObstacles: 8, MaxObstacles: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("combinatorial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mcts.Search(sel, in, mcts.Config{Iterations: 16, UseCritic: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("conventional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mctsconv.Search(sel, in, mctsconv.Config{Iterations: 16, UseCritic: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationInferenceMode compares one-shot vs sequential selection
+// (the 1.67x/3.54x inference-speedup claim of §4.2).
+func BenchmarkAblationInferenceMode(b *testing.B) {
+	sel := benchSelector(b)
+	in, err := layout.Random(rand.New(rand.NewSource(3)), layout.RandomSpec{
+		H: 16, V: 16, MinM: 4, MaxM: 4, MinPins: 8, MaxPins: 8, MinObstacles: 32, MaxObstacles: 32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []core.InferenceMode{core.OneShot, core.Sequential} {
+		r := &core.Router{Selector: sel, Mode: mode, GuardedAcceptance: false, RetracePasses: 1}
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Route(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPriorityPruning quantifies the search-tree compaction of
+// the lexicographic priority (nodes expanded per episode are reported by
+// the experiment harness; here we measure wall-clock per episode).
+func BenchmarkAblationPriorityPruning(b *testing.B) {
+	sel := benchSelector(b)
+	opts := experiments.Options{Seed: 4, Selector: sel}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPriorityPruning(opts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBoundedMaze compares the Lin18 bounded construction
+// against the unbounded Liu14 construction.
+func BenchmarkAblationBoundedMaze(b *testing.B) {
+	ins := benchLayouts(b, "T32", 4)
+	bounded := baseline.New(baseline.Lin18)
+	unbounded := baseline.New(baseline.Liu14)
+	b.Run("bounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bounded.Route(ins[i%len(ins)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := unbounded.Route(ins[i%len(ins)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGuardedAcceptance measures the guard's overhead (one
+// extra OARMST + retrace per layout).
+func BenchmarkAblationGuardedAcceptance(b *testing.B) {
+	sel := benchSelector(b)
+	ins := benchLayouts(b, "T32", 4)
+	for _, guarded := range []bool{true, false} {
+		name := "guarded"
+		if !guarded {
+			name = "unguarded"
+		}
+		r := &core.Router{Selector: sel, Mode: core.OneShot, GuardedAcceptance: guarded, RetracePasses: 1}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Route(ins[i%len(ins)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// oarsmt-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	oarsmt-bench -exp table1
+//	oarsmt-bench -exp table2 -scale small -model selector.gob
+//	oarsmt-bench -exp fig11 -scale medium
+//	oarsmt-bench -exp all -scale small -model selector.gob
+//
+// Experiments: table1, table2, table3, fig10 (these three share one
+// evaluation pass), table4, fig11, fig12, speedups, ablation, all.
+// Scales: small (seconds-minutes), medium (minutes), paper (the paper's
+// own counts; impractical on one CPU, provided for completeness).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"oarsmt/internal/experiments"
+	"oarsmt/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-bench: ")
+
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1,table2,table3,table4,fig10,fig11,fig12,speedups,ablation,optgap,all")
+		scaleFlag = flag.String("scale", "small", "small, medium or paper")
+		modelPath = flag.String("model", "", "trained selector (default: the embedded pretrained model)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csvDir    = flag.String("csv", "", "directory to also dump raw series as CSV files")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := experiments.Options{Scale: scale, Seed: *seed, Out: os.Stdout}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := selector.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Selector = sel
+		log.Printf("loaded model %s (%d parameters)", *modelPath, sel.Net.NumParams())
+	} else {
+		log.Print("no -model given: using the embedded pretrained selector")
+	}
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	all := wants["all"]
+
+	if all || wants["table1"] {
+		experiments.Table1(opts)
+		fmt.Println()
+	}
+	if all || wants["table2"] || wants["table3"] || wants["fig10"] {
+		evals, err := experiments.RunComparison(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeCSV(*csvDir, "comparison.csv", func(w *os.File) error {
+			return experiments.WriteComparisonCSV(w, evals)
+		})
+		if all || wants["table2"] {
+			experiments.Table2(opts, evals)
+			fmt.Println()
+		}
+		if all || wants["table3"] {
+			experiments.Table3(opts, evals)
+			fmt.Println()
+		}
+		if all || wants["fig10"] {
+			buckets := experiments.Fig10(opts, evals, 5)
+			writeCSV(*csvDir, "fig10.csv", func(w *os.File) error {
+				return experiments.WriteFig10CSV(w, buckets)
+			})
+			fmt.Println()
+		}
+	}
+	if all || wants["table4"] {
+		if _, err := experiments.Table4(opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if all || wants["fig11"] {
+		cfg := experiments.FigTrainingDefaults(11, scale)
+		curves, err := experiments.TrainingComparison(opts, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeCSV(*csvDir, "fig11.csv", func(w *os.File) error {
+			return experiments.WriteTrainingCSV(w, curves)
+		})
+		fmt.Println()
+	}
+	if all || wants["fig12"] {
+		cfg := experiments.FigTrainingDefaults(12, scale)
+		curves, err := experiments.TrainingComparison(opts, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeCSV(*csvDir, "fig12.csv", func(w *os.File) error {
+			return experiments.WriteTrainingCSV(w, curves)
+		})
+		fmt.Println()
+	}
+	if all || wants["speedups"] {
+		cfg := experiments.FigTrainingDefaults(12, scale)
+		if _, err := experiments.MeasureSpeedups(opts, cfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if all || wants["ablation"] {
+		n := 4
+		if scale >= experiments.ScaleMedium {
+			n = 16
+		}
+		if _, err := experiments.AblationPriorityPruning(opts, n); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := experiments.AblationGuardedAcceptance(opts, n); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := experiments.AblationBoundedMaze(opts, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if all || wants["optgap"] {
+		n := 6
+		if scale >= experiments.ScaleMedium {
+			n = 30
+		}
+		if _, err := experiments.OptimalityGap(opts, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeCSV writes one CSV artefact into dir (no-op when dir is empty).
+func writeCSV(dir, name string, fill func(*os.File) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}

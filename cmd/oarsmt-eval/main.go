@@ -1,0 +1,105 @@
+// oarsmt-eval reports a trained selector's routing quality on a layout
+// distribution: the ST-to-MST ratio, how many Steiner points survive into
+// final trees, and the head-to-head result against the [14] baseline.
+//
+// Usage:
+//
+//	oarsmt-eval -model selector.gob -h 16 -v 16 -m 4 -pins 3,6 -n 20
+//	oarsmt-eval -subset T32 -n 10            # uses the embedded model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"oarsmt/internal/experiments"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-eval: ")
+
+	var (
+		modelPath = flag.String("model", "", "trained selector (default: embedded pretrained)")
+		h         = flag.Int("h", 16, "horizontal grids")
+		v         = flag.Int("v", 16, "vertical grids")
+		m         = flag.Int("m", 4, "routing layers")
+		pins      = flag.String("pins", "3,6", "pin range lo,hi")
+		obst      = flag.String("obstacles", "", "obstacle range lo,hi (default: training scale)")
+		subset    = flag.String("subset", "", "evaluate on a Table 1 subset instead")
+		n         = flag.Int("n", 10, "number of layouts")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Out: os.Stdout}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := selector.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Selector = sel
+	}
+
+	spec, err := buildSpec(*subset, *h, *v, *m, *pins, *obst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := experiments.EvaluateModel(opts, spec, *n); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildSpec(subset string, h, v, m int, pins, obst string) (layout.RandomSpec, error) {
+	if subset != "" {
+		s, ok := layout.SubsetByName(subset)
+		if !ok {
+			return layout.RandomSpec{}, fmt.Errorf("unknown subset %q", subset)
+		}
+		return s.Spec, nil
+	}
+	pl, ph, err := parseRange(pins)
+	if err != nil {
+		return layout.RandomSpec{}, fmt.Errorf("-pins: %w", err)
+	}
+	spec := layout.TrainingSpec(layout.TrainingSize{HV: h, M: m}, pl, ph)
+	spec.V = v
+	if obst != "" {
+		ol, oh, err := parseRange(obst)
+		if err != nil {
+			return layout.RandomSpec{}, fmt.Errorf("-obstacles: %w", err)
+		}
+		spec.MinObstacles, spec.MaxObstacles = ol, oh
+	}
+	return spec, nil
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	parts := strings.SplitN(s, ",", 2)
+	lo, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	hi = lo
+	if len(parts) == 2 {
+		hi, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("range %q inverted", s)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,85 @@
+// oarsmt-gen generates ML-OARSMT layout files in the repo's JSON format:
+// random layouts from an explicit spec, layouts drawn from one of the
+// paper's Table 1 test subsets, or the synthetic Table 4 public-benchmark
+// equivalents.
+//
+// Usage:
+//
+//	oarsmt-gen -h 16 -v 16 -m 4 -pins 5 -obstacles 40 > layout.json
+//	oarsmt-gen -subset T32 -seed 7 > t32.json
+//	oarsmt-gen -benchmark rt1 > rt1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"oarsmt/internal/layout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-gen: ")
+
+	var (
+		h      = flag.Int("h", 16, "horizontal grids")
+		v      = flag.Int("v", 16, "vertical grids")
+		m      = flag.Int("m", 4, "routing layers")
+		pins   = flag.Int("pins", 5, "pin count")
+		obst   = flag.Int("obstacles", 40, "obstacle run count")
+		seed   = flag.Int64("seed", 1, "random seed")
+		subset = flag.String("subset", "", "draw from a Table 1 subset (T32..T512)")
+		bench  = flag.String("benchmark", "", "generate a Table 4 benchmark (rt1..rt5, ind1..ind3)")
+		name   = flag.String("name", "", "layout name")
+		pd     = flag.Float64("pd", 0, "preferred-direction penalty (>1 alternates H/V layers)")
+	)
+	flag.Parse()
+
+	in, err := generate(*subset, *bench, *seed, layout.RandomSpec{
+		H: *h, V: *v, MinM: *m, MaxM: *m,
+		MinPins: *pins, MaxPins: *pins,
+		MinObstacles: *obst, MaxObstacles: *obst,
+		PreferredDirectionPenalty: *pd,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *name != "" {
+		in.Name = *name
+	}
+	if err := layout.EncodeInstance(os.Stdout, in); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func generate(subset, bench string, seed int64, spec layout.RandomSpec) (*layout.Instance, error) {
+	switch {
+	case bench != "":
+		b, ok := layout.BenchmarkByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return b.Generate()
+	case subset != "":
+		s, ok := layout.SubsetByName(subset)
+		if !ok {
+			return nil, fmt.Errorf("unknown subset %q", subset)
+		}
+		in, err := layout.Random(rand.New(rand.NewSource(seed)), s.Spec)
+		if err != nil {
+			return nil, err
+		}
+		in.Name = fmt.Sprintf("%s-seed%d", subset, seed)
+		return in, nil
+	default:
+		in, err := layout.Random(rand.New(rand.NewSource(seed)), spec)
+		if err != nil {
+			return nil, err
+		}
+		in.Name = fmt.Sprintf("random-%dx%dx%d-seed%d", spec.H, spec.V, spec.MinM, seed)
+		return in, nil
+	}
+}

@@ -1,0 +1,165 @@
+// oarsmt-route routes a JSON layout (geometric or grid form) with the RL
+// router or one of the algorithmic baselines and reports the tree.
+//
+// Usage:
+//
+//	oarsmt-route -model selector.gob layout.json
+//	oarsmt-route -algo lin18 layout.json
+//	oarsmt-route -benchmark rt1 -model selector.gob
+//	oarsmt-route -algo all -model selector.gob layout.json   # compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/models"
+	"oarsmt/internal/render"
+	"oarsmt/internal/route"
+	"oarsmt/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-route: ")
+
+	var (
+		modelPath = flag.String("model", "", "trained selector model (required for -algo ours/all)")
+		algo      = flag.String("algo", "ours", "router: ours, lin08, liu14, lin18, mst, or all")
+		bench     = flag.String("benchmark", "", "route a Table 4 benchmark instead of a file (rt1..rt5, ind1..ind3)")
+		seq       = flag.Bool("sequential", false, "use sequential (n-2 inference) mode for ours")
+		noGuard   = flag.Bool("no-guard", false, "disable guarded acceptance for ours")
+		edges     = flag.Bool("edges", false, "print the routed tree edges")
+		svgPath   = flag.String("svg", "", "write an SVG drawing of the (last) routed tree")
+		ascii     = flag.Bool("ascii", false, "print an ASCII drawing of each routed tree")
+		segments  = flag.Bool("segments", false, "print merged wire segments and via stacks")
+	)
+	flag.Parse()
+
+	in, err := loadInstance(*bench, flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout %q: %dx%dx%d Hanan graph, %d pins, %d blocked vertices, via cost %v\n",
+		in.Name, in.Graph.H, in.Graph.V, in.Graph.M,
+		in.NumPins(), in.Graph.NumBlocked(), in.Graph.ViaCost)
+
+	algos := []string{*algo}
+	if *algo == "all" {
+		algos = []string{"mst", "lin08", "liu14", "lin18", "ours"}
+	}
+	var lastTree *route.Tree
+	for _, a := range algos {
+		tree, extra, err := runOne(a, in, *modelPath, *seq, *noGuard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastTree = tree
+		hor, ver, via := tree.WirelengthByAxis(in.Graph)
+		fmt.Printf("%-6s cost=%-12.0f edges=%-6d (h=%.0f v=%.0f via=%.0f)%s\n",
+			a, tree.Cost, len(tree.Edges), hor, ver, via, extra)
+		if *edges {
+			for _, e := range tree.Edges {
+				fmt.Printf("  %v - %v\n", in.Graph.CoordOf(e.A), in.Graph.CoordOf(e.B))
+			}
+		}
+		if *ascii {
+			fmt.Print(render.ASCII(in, tree))
+		}
+		if *segments {
+			segs, vias := tree.Segments(in.Graph)
+			for _, s := range segs {
+				fmt.Printf("  wire  L%d (%d,%d)-(%d,%d)\n", s.A.Layer, s.A.X, s.A.Y, s.B.X, s.B.Y)
+			}
+			for _, v := range vias {
+				fmt.Printf("  via   (%d,%d) L%d-L%d\n", v.At.X, v.At.Y, v.FromLayer, v.ToLayer)
+			}
+		}
+	}
+	if *svgPath != "" && lastTree != nil {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := render.SVG(f, in, lastTree, render.DefaultSVGConfig()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}
+
+func loadInstance(bench string, args []string) (*layout.Instance, error) {
+	if bench != "" {
+		spec, ok := layout.BenchmarkByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return spec.Generate()
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: oarsmt-route [flags] layout.json (or -benchmark NAME)")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Accepts both the JSON format and the textual benchmark format.
+	return layout.DecodeAny(f)
+}
+
+func runOne(algo string, in *layout.Instance, modelPath string, seq, noGuard bool) (*route.Tree, string, error) {
+	switch algo {
+	case "mst":
+		tree, err := core.PlainOARMST(in)
+		return tree, "", err
+	case "lin08", "liu14", "lin18":
+		algs := map[string]baseline.Algorithm{
+			"lin08": baseline.Lin08, "liu14": baseline.Liu14, "lin18": baseline.Lin18,
+		}
+		res, err := baseline.New(algs[algo]).Route(in)
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Tree, fmt.Sprintf("  [%v]", res.Elapsed), nil
+	case "ours":
+		var sel *selector.Selector
+		if modelPath == "" {
+			var err error
+			if sel, err = models.New(); err != nil {
+				return nil, "", fmt.Errorf("embedded model: %w (pass -model)", err)
+			}
+		} else {
+			f, err := os.Open(modelPath)
+			if err != nil {
+				return nil, "", err
+			}
+			sel, err = selector.Load(f)
+			f.Close()
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		r := core.NewRouter(sel)
+		if seq {
+			r.Mode = core.Sequential
+		}
+		r.GuardedAcceptance = !noGuard
+		res, err := r.Route(in)
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Tree, fmt.Sprintf("  [select %v, total %v, %d Steiner pts, %d inference(s)]",
+			res.SelectTime, res.TotalTime, len(res.SteinerPoints), res.Inferences), nil
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q (want ours, lin08, liu14, lin18, mst, all)", algo)
+	}
+}

@@ -1,0 +1,177 @@
+// oarsmt-train trains a Steiner-point selector with the combinatorial-MCTS
+// pipeline (paper §3.5-3.6) and saves the model.
+//
+// Usage:
+//
+//	oarsmt-train -o selector.gob -stages 6 -hv 8,12 -layers 2 \
+//	    -layouts 3 -alpha 16 -base 6 -depth 2
+//
+// The defaults train a compact CPU-scale model in a few minutes. The
+// paper-scale schedule (-paper) uses the 12 mixed sizes of §3.6 and the
+// full curriculum; expect it to run for a very long time on a CPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"math/rand"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/rl"
+	"oarsmt/internal/selector"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-train: ")
+
+	var (
+		out      = flag.String("o", "selector.gob", "output model path")
+		resume   = flag.String("resume", "", "existing model to continue training")
+		stages   = flag.Int("stages", 6, "training stages (paper: 32)")
+		hvList   = flag.String("hv", "8,12", "comma-separated H=V sizes (paper: 16,24,32)")
+		mList    = flag.String("layers", "2", "comma-separated layer counts (paper: 4,6,8,10)")
+		layouts  = flag.Int("layouts", 3, "layouts per size per stage (paper: 1000)")
+		alpha    = flag.Int("alpha", 16, "MCTS iterations per move at 16x16x4 scale (paper: 2000)")
+		base     = flag.Int("base", 6, "U-Net base channels")
+		depth    = flag.Int("depth", 2, "U-Net depth")
+		norm     = flag.Int("norm", 0, "GroupNorm groups (0 = off; must divide base)")
+		batch    = flag.Int("batch", 32, "batch size (paper: 256)")
+		epochs   = flag.Int("epochs", 2, "epochs per stage (paper: 4)")
+		lr       = flag.Float64("lr", 2e-3, "Adam learning rate")
+		seed     = flag.Int64("seed", 1, "random seed")
+		curr     = flag.Int("curriculum", 2, "curriculum stages (paper: 4)")
+		noAug    = flag.Bool("no-augment", false, "disable 16x data augmentation")
+		paperSch = flag.Bool("paper", false, "use the paper's full 12-size schedule")
+		metrics  = flag.String("metrics", "", "append per-stage metrics to this CSV file")
+	)
+	flag.Parse()
+
+	var sizes []layout.TrainingSize
+	if *paperSch {
+		sizes = layout.TrainingSizes()
+	} else {
+		hvs, err := parseInts(*hvList)
+		if err != nil {
+			log.Fatalf("-hv: %v", err)
+		}
+		ms, err := parseInts(*mList)
+		if err != nil {
+			log.Fatalf("-layers: %v", err)
+		}
+		for _, hv := range hvs {
+			for _, m := range ms {
+				sizes = append(sizes, layout.TrainingSize{HV: hv, M: m})
+			}
+		}
+	}
+
+	var sel *selector.Selector
+	var err error
+	if *resume != "" {
+		f, ferr := os.Open(*resume)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		sel, err = selector.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("resumed model %s (%d parameters)", *resume, sel.Net.NumParams())
+	} else {
+		sel, err = selector.NewRandom(rand.New(rand.NewSource(*seed)), nn.UNetConfig{
+			InChannels: selector.NumFeatures, Base: *base, Depth: *depth, Kernel: 3, Norm: *norm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fresh selector: base=%d depth=%d (%d parameters)", *base, *depth, sel.Net.NumParams())
+	}
+
+	cfg := rl.Config{
+		Sizes:            sizes,
+		LayoutsPerSize:   *layouts,
+		MinPins:          3,
+		MaxPins:          6,
+		CurriculumStages: *curr,
+		MCTS:             mcts.Config{Iterations: *alpha, ScaleIterations: true, UseCritic: true, CPuct: 1, MaxNoChange: 3},
+		Augment:          !*noAug,
+		BatchSize:        *batch,
+		EpochsPerStage:   *epochs,
+		LR:               *lr,
+		Seed:             *seed,
+	}
+	var metricsFile *os.File
+	if *metrics != "" {
+		var err error
+		metricsFile, err = os.OpenFile(*metrics, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer metricsFile.Close()
+		if st, err := metricsFile.Stat(); err == nil && st.Size() == 0 {
+			fmt.Fprintln(metricsFile, "stage,episodes,samples,iterations,loss,mean_root_cost,mean_final_cost,elapsed_seconds")
+		}
+	}
+
+	tr := rl.NewTrainer(sel, cfg)
+	start := time.Now()
+	for i := 0; i < *stages; i++ {
+		stats, err := tr.RunStage()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stage %2d  episodes=%d samples=%d (x%d aug) iters=%d loss=%.5f avg cost %.0f -> %.0f  [%.1fs]\n",
+			stats.Stage, stats.Episodes, stats.Samples,
+			stats.TrainedSamples/max(stats.Samples, 1), stats.MCTSIterations,
+			stats.MeanLoss, stats.MeanRootCost, stats.MeanFinalCost,
+			time.Since(start).Seconds())
+		if metricsFile != nil {
+			fmt.Fprintf(metricsFile, "%d,%d,%d,%d,%g,%g,%g,%g\n",
+				stats.Stage, stats.Episodes, stats.Samples, stats.MCTSIterations,
+				stats.MeanLoss, stats.MeanRootCost, stats.MeanFinalCost,
+				time.Since(start).Seconds())
+		}
+		// Checkpoint after every stage so long runs are interruptible.
+		if err := save(sel, *out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("saved %s after %d stages (%.1fs)", *out, *stages, time.Since(start).Seconds())
+}
+
+func save(sel *selector.Selector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sel.Save(f)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package oarsmt_test
+
+import (
+	"fmt"
+	"log"
+
+	"oarsmt"
+)
+
+// ExampleNewRouter routes a deterministic layout with the plain OARMST
+// fallback (nil selector is allowed for 2-pin nets) and validates it.
+func ExampleNewRouter() {
+	in, err := oarsmt.RandomInstance(2, oarsmt.RandomSpec{
+		H: 8, V: 8, MinM: 1, MaxM: 1,
+		MinPins: 2, MaxPins: 2,
+		MinObstacles: 0, MaxObstacles: 0,
+		MinEdgeCost: 1, MaxEdgeCost: 1,
+		MinViaCost: 1, MaxViaCost: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := oarsmt.NewRouter(nil)
+	res, err := r.Route(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("edges:", len(res.Tree.Edges) > 0)
+	fmt.Println("valid:", res.Tree.Validate(in.Graph, in.Pins) == nil)
+	// Output:
+	// edges: true
+	// valid: true
+}
+
+// ExamplePlainOARMST shows the no-Steiner-point spanning tree on a tiny
+// hand-made geometric layout.
+func ExamplePlainOARMST() {
+	l := &oarsmt.Layout{
+		Name:    "tiny",
+		Layers:  1,
+		ViaCost: 1,
+		Pins: []oarsmt.Point{
+			{X: 0, Y: 0, Layer: 0},
+			{X: 4, Y: 0, Layer: 0},
+			{X: 2, Y: 3, Layer: 0},
+		},
+	}
+	in, err := l.Instance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := oarsmt.PlainOARMST(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hanan grid %dx%d, tree cost %.0f\n", in.Graph.H, in.Graph.V, tree.Cost)
+	// Output:
+	// Hanan grid 3x2, tree cost 7
+}
+
+// ExampleRouteBaseline compares the three reproduced algorithmic routers
+// on one deterministic layout.
+func ExampleRouteBaseline() {
+	in, err := oarsmt.RandomInstance(3, oarsmt.RandomSpec{
+		H: 10, V: 10, MinM: 2, MaxM: 2,
+		MinPins: 5, MaxPins: 5,
+		MinObstacles: 6, MaxObstacles: 6,
+		MinEdgeCost: 1, MaxEdgeCost: 1,
+		MinViaCost: 2, MaxViaCost: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, alg := range []oarsmt.BaselineAlgorithm{oarsmt.Lin08, oarsmt.Liu14, oarsmt.Lin18} {
+		tree, err := oarsmt.RouteBaseline(alg, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v spans pins: %v\n", alg, tree.Validate(in.Graph, in.Pins) == nil)
+	}
+	// Output:
+	// Lin08[12] spans pins: true
+	// Liu14[16] spans pins: true
+	// Lin18[14] spans pins: true
+}
+
+// ExampleASCIIArt renders a routed layout as text.
+func ExampleASCIIArt() {
+	l := &oarsmt.Layout{
+		Layers:  1,
+		ViaCost: 1,
+		Pins: []oarsmt.Point{
+			{X: 0, Y: 0, Layer: 0},
+			{X: 2, Y: 0, Layer: 0},
+			{X: 1, Y: 1, Layer: 0},
+		},
+	}
+	in, err := l.Instance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := oarsmt.PlainOARMST(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(oarsmt.ASCIIArt(in, tree))
+	// Output:
+	// layer 0:
+	// +P.
+	// P+P
+}

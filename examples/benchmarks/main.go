@@ -1,0 +1,75 @@
+// Benchmarks: route the synthetic equivalents of the paper's Table 4
+// public benchmarks (rt1..rt5, ind1..ind3) with every router in the repo
+// and print a comparison table, optionally loading a trained model.
+//
+// Run from the repository root:
+//
+//	go run ./examples/benchmarks                      # small benchmarks, quick-trained selector
+//	go run ./examples/benchmarks -model selector.gob  # with a trained model
+//	go run ./examples/benchmarks -all                 # all eight benchmarks (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"oarsmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	modelPath := flag.String("model", "", "trained selector model (optional)")
+	all := flag.Bool("all", false, "run all eight benchmarks (rt3..rt5 are large and slow)")
+	flag.Parse()
+
+	var sel *oarsmt.Selector
+	var err error
+	if *modelPath != "" {
+		sel, err = oarsmt.LoadModel(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded model %s\n", *modelPath)
+	} else {
+		fmt.Println("no -model given: using the embedded pretrained selector")
+		sel, err = oarsmt.PretrainedSelector()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	router := oarsmt.NewRouter(sel)
+
+	names := []string{"rt1", "ind1", "ind2"}
+	if *all {
+		names = []string{"rt1", "rt2", "rt3", "rt4", "rt5", "ind1", "ind2", "ind3"}
+	}
+
+	fmt.Printf("%-6s %14s %14s %14s %14s %10s\n",
+		"case", "[12] Lin08", "[16] Liu14", "[14] Lin18", "ours", "ours time")
+	for _, name := range names {
+		in, err := oarsmt.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c08 := mustRoute(in, oarsmt.Lin08)
+		c16 := mustRoute(in, oarsmt.Liu14)
+		c14 := mustRoute(in, oarsmt.Lin18)
+		start := time.Now()
+		res, err := router.Route(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %14.0f %14.0f %14.0f %14.0f %10v\n",
+			name, c08, c16, c14, res.Tree.Cost, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func mustRoute(in *oarsmt.Instance, alg oarsmt.BaselineAlgorithm) float64 {
+	tree, err := oarsmt.RouteBaseline(alg, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tree.Cost
+}

@@ -1,0 +1,103 @@
+// Multilayer: build a geometric multi-layer layout the way an EDA flow
+// would — pins and rectangular blockages in original coordinates — convert
+// it to a 3-D Hanan grid graph, and compare the algorithmic routers on it.
+//
+// This exercises the Hanan construction of paper §2.2: cuts appear only at
+// pin coordinates and obstacle boundaries, so the graph is much smaller
+// than the uniform grid, and edge costs carry the original geometric
+// distances.
+//
+// Run from the repository root:
+//
+//	go run ./examples/multilayer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oarsmt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 1000x1000 die with four routing layers: a clock-tree-like net with
+	// nine pins spread across layers 0-2, a large macro on layer 0, two
+	// routing blockages on layer 1, and a pre-routed power strap modelled
+	// as a thin blockage on layer 2.
+	l := &oarsmt.Layout{
+		Name:    "macro-demo",
+		Layers:  4,
+		ViaCost: 4,
+		Pins: []oarsmt.Point{
+			{X: 50, Y: 50, Layer: 0},
+			{X: 950, Y: 80, Layer: 0},
+			{X: 120, Y: 900, Layer: 0},
+			{X: 900, Y: 930, Layer: 1},
+			{X: 500, Y: 40, Layer: 1},
+			{X: 60, Y: 500, Layer: 2},
+			{X: 940, Y: 520, Layer: 2},
+			{X: 520, Y: 960, Layer: 0},
+			{X: 480, Y: 480, Layer: 2},
+		},
+		Obstacles: []oarsmt.Rect{
+			// Macro: a 400x360 block in the middle of layer 0.
+			{X1: 300, Y1: 320, X2: 700, Y2: 680, Layer: 0},
+			// Routing blockages on layer 1.
+			{X1: 100, Y1: 600, X2: 450, Y2: 700, Layer: 1},
+			{X1: 600, Y1: 150, X2: 800, Y2: 260, Layer: 1},
+			// Power strap on layer 2: full-width, thin.
+			{X1: 0, Y1: 740, X2: 1000, Y2: 760, Layer: 2},
+		},
+	}
+	if err := l.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	in, err := l.Instance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hanan graph: %dx%dx%d (%d vertices) from a 1000x1000 die — cuts only at pins and obstacle edges\n",
+		in.Graph.H, in.Graph.V, in.Graph.M, in.Graph.NumVertices())
+	fmt.Printf("blocked vertices: %d, pins: %d\n", in.Graph.NumBlocked(), in.NumPins())
+
+	for _, alg := range []struct {
+		name string
+		a    oarsmt.BaselineAlgorithm
+	}{
+		{"Lin08 [12] (spanning graph)", oarsmt.Lin08},
+		{"Liu14 [16] (geometric reduction)", oarsmt.Liu14},
+		{"Lin18 [14] (bounded maze + retrace)", oarsmt.Lin18},
+	} {
+		tree, err := oarsmt.RouteBaseline(alg.a, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hor, ver, via := tree.WirelengthByAxis(in.Graph)
+		fmt.Printf("%-36s cost %6.0f  (h %5.0f, v %5.0f, via %3.0f)\n",
+			alg.name, tree.Cost, hor, ver, via)
+	}
+
+	// The plain OARMST for reference.
+	mst, err := oarsmt.PlainOARMST(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-36s cost %6.0f\n", "plain OARMST", mst.Cost)
+
+	// Where do the routers place vias? Count layer usage of the best tree.
+	best, err := oarsmt.RouteBaseline(oarsmt.Lin18, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layerUse := map[int]int{}
+	for _, e := range best.Edges {
+		layerUse[in.Graph.CoordOf(e.A).M]++
+	}
+	fmt.Print("Lin18 layer usage (edges touching each layer):")
+	for m := 0; m < in.Graph.M; m++ {
+		fmt.Printf("  L%d=%d", m, layerUse[m])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small multi-layer layout, route it with the plain
+// OARMST, with an algorithmic baseline, and with the RL router, and print
+// the trees.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oarsmt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 12x12 two-layer layout with five pins and a few obstacle runs.
+	in, err := oarsmt.RandomInstance(7, oarsmt.RandomSpec{
+		H: 12, V: 12,
+		MinM: 2, MaxM: 2,
+		MinPins: 5, MaxPins: 5,
+		MinObstacles: 10, MaxObstacles: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout: %dx%dx%d Hanan grid, %d pins, %d blocked vertices\n",
+		in.Graph.H, in.Graph.V, in.Graph.M, in.NumPins(), in.Graph.NumBlocked())
+
+	// 1. The spanning tree with no Steiner points (the ST-to-MST baseline).
+	mst, err := oarsmt.PlainOARMST(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain OARMST: cost %.0f with %d edges\n", mst.Cost, len(mst.Edges))
+
+	// 2. The strongest algorithmic baseline, Lin et al. [14].
+	lin18, err := oarsmt.RouteBaseline(oarsmt.Lin18, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Lin18 [14]:   cost %.0f with %d edges\n", lin18.Cost, len(lin18.Edges))
+
+	// 3. The RL router with the selector shipped in the repository
+	// (trained by cmd/oarsmt-train with the combinatorial-MCTS pipeline;
+	// see examples/training for running the pipeline yourself, and
+	// oarsmt.LoadModel for loading your own model file).
+	sel, err := oarsmt.PretrainedSelector()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	router := oarsmt.NewRouter(sel)
+	res, err := router.Route(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RL router:    cost %.0f with %d edges (%d Steiner points, select %v, total %v)\n",
+		res.Tree.Cost, len(res.Tree.Edges), len(res.SteinerPoints), res.SelectTime, res.TotalTime)
+	for _, sp := range res.SteinerPoints {
+		fmt.Printf("  Steiner point at %v\n", in.Graph.CoordOf(sp))
+	}
+
+	// The routed tree is a checked data structure.
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		log.Fatalf("invalid tree: %v", err)
+	}
+	fmt.Println("tree validated: spans all pins, avoids all obstacles, acyclic")
+}

@@ -1,0 +1,3 @@
+module oarsmt
+
+go 1.22

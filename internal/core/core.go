@@ -1,0 +1,204 @@
+// Package core assembles the paper's RL router end to end (Fig 2): encode
+// the layout as a 3-D Hanan grid graph, run the trained Steiner-point
+// selector once to pick the top n-2 candidate Steiner points, then build
+// the final tree with the OARMST router (maze-router-based Prim's
+// construction with redundant-point removal, following [14]).
+//
+// The package also provides the sequential inference mode used by the
+// AlphaGo-like and PPO baseline routers of §4.2 — which re-runs the
+// network after every selected point — and the ST-to-MST evaluation metric
+// of Fig 11/12.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/route"
+	"oarsmt/internal/selector"
+)
+
+// InferenceMode selects how the selector proposes Steiner points.
+type InferenceMode int
+
+const (
+	// OneShot runs a single network inference and takes the top n-2
+	// probabilities — the paper's router.
+	OneShot InferenceMode = iota
+	// Sequential re-runs the network after each selected point, feeding
+	// selected points back as pins — the mode of the AlphaGo-like and PPO
+	// baselines, used for the inference-speedup comparison of §4.2.
+	Sequential
+)
+
+// String implements fmt.Stringer.
+func (m InferenceMode) String() string {
+	switch m {
+	case OneShot:
+		return "one-shot"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("InferenceMode(%d)", int(m))
+	}
+}
+
+// Router is the trained ML-OARSMT RL router.
+type Router struct {
+	Selector *selector.Selector
+	Mode     InferenceMode
+	// GuardedAcceptance, when true, also builds the plain OARMST over the
+	// pins alone and returns whichever tree is cheaper. This engineering
+	// guard (ablated in the benchmarks) bounds the router's regret against
+	// its own tree builder at the cost of one extra OARMST construction.
+	GuardedAcceptance bool
+	// RetracePasses applies path-assessed retracing to the constructed
+	// trees: the paper's OARMST step "follows the same algorithm in [14]"
+	// (§3.1), whose methodology includes retracing. One pass keeps the
+	// router fast; the [14] baseline itself retraces to convergence.
+	RetracePasses int
+}
+
+// NewRouter returns a one-shot router with guarded acceptance and a single
+// retracing pass, the configuration used in the experiment harness.
+func NewRouter(sel *selector.Selector) *Router {
+	return &Router{Selector: sel, Mode: OneShot, GuardedAcceptance: true, RetracePasses: 1}
+}
+
+// Result is the outcome of routing one layout.
+type Result struct {
+	Tree *route.Tree
+	// SteinerPoints are the irredundant Steiner points kept in the final
+	// tree (empty when the guard rejected the Steiner proposal).
+	SteinerPoints []grid.VertexID
+	// Proposed is the number of Steiner points the selector proposed.
+	Proposed int
+	// Inferences is the number of network inferences performed.
+	Inferences int
+	// SelectTime is the Steiner-point-selection time (the "Spoint select"
+	// column of Table 3); TotalTime additionally includes the OARMST
+	// construction.
+	SelectTime time.Duration
+	TotalTime  time.Duration
+	// PlainCost is the cost of the no-Steiner-point OARMST when the guard
+	// computed it (0 otherwise); UsedSteiner tells whether the final tree
+	// is the Steiner-guided one.
+	PlainCost   float64
+	UsedSteiner bool
+}
+
+// Route routes the instance.
+func (r *Router) Route(in *layout.Instance) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	sps, inferences := r.propose(in)
+	res.Proposed = len(sps)
+	res.Inferences = inferences
+	res.SelectTime = time.Since(start)
+
+	router := route.NewRouter(in.Graph)
+	// Unlike the Lin18 baseline, construction here is unbounded: the
+	// router's value proposition is tree quality, and bounded windows
+	// (route.Router.BoundedExploration) measurably cede exactly the cost
+	// advantage Table 2 reports.
+	st, err := router.SteinerTree(in.Pins, sps)
+	if err != nil {
+		return nil, fmt.Errorf("core: route %q: %w", in.Name, err)
+	}
+	tree := st.Tree
+	kept := st.Kept
+	if r.RetracePasses > 0 {
+		tree, _ = router.Retrace(tree, in.Pins, r.RetracePasses)
+		// Retracing can demote a branch point; keep the report honest.
+		deg := tree.Degrees()
+		filtered := kept[:0]
+		for _, sp := range kept {
+			if deg[sp] >= 3 {
+				filtered = append(filtered, sp)
+			}
+		}
+		kept = filtered
+	}
+	res.Tree = tree
+	res.SteinerPoints = kept
+	res.UsedSteiner = true
+
+	if r.GuardedAcceptance {
+		plain, err := router.OARMST(in.Pins)
+		if err != nil {
+			return nil, fmt.Errorf("core: route %q: %w", in.Name, err)
+		}
+		if r.RetracePasses > 0 {
+			plain, _ = router.Retrace(plain, in.Pins, r.RetracePasses)
+		}
+		res.PlainCost = plain.Cost
+		if plain.Cost < res.Tree.Cost {
+			res.Tree = plain
+			res.SteinerPoints = nil
+			res.UsedSteiner = false
+		}
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// propose returns the selector's Steiner-point proposal for the instance.
+func (r *Router) propose(in *layout.Instance) ([]grid.VertexID, int) {
+	k := in.MaxSteinerPoints()
+	if k == 0 || r.Selector == nil {
+		return nil, 0
+	}
+	switch r.Mode {
+	case Sequential:
+		return r.proposeSequential(in, k)
+	default:
+		return r.Selector.SelectSteinerPoints(in.Graph, in.Pins), 1
+	}
+}
+
+// proposeSequential picks one point at a time, re-running the network with
+// the already selected points treated as pins (n-2 inferences).
+func (r *Router) proposeSequential(in *layout.Instance, k int) ([]grid.VertexID, int) {
+	pins := append([]grid.VertexID(nil), in.Pins...)
+	var sps []grid.VertexID
+	inferences := 0
+	for i := 0; i < k; i++ {
+		fsp := r.Selector.FSP(in.Graph, pins)
+		inferences++
+		top := selector.TopK(fsp, selector.ValidMask(in.Graph, pins), 1)
+		if len(top) == 0 {
+			break
+		}
+		sps = append(sps, top[0])
+		pins = append(pins, top[0])
+	}
+	return sps, inferences
+}
+
+// PlainOARMST routes the instance without any Steiner points: the
+// baseline spanning tree of the ST-to-MST metric.
+func PlainOARMST(in *layout.Instance) (*route.Tree, error) {
+	return route.NewRouter(in.Graph).OARMST(in.Pins)
+}
+
+// STtoMSTRatio evaluates the router on the instance and returns the
+// ST-to-MST ratio of §4.2: the routed Steiner tree cost over the plain
+// OARMST cost. Lower is better; 1.0 means the Steiner points bought
+// nothing.
+func (r *Router) STtoMSTRatio(in *layout.Instance) (float64, error) {
+	mst, err := PlainOARMST(in)
+	if err != nil {
+		return 0, err
+	}
+	if mst.Cost <= 0 {
+		return 0, fmt.Errorf("core: degenerate MST cost %v on %q", mst.Cost, in.Name)
+	}
+	res, err := r.Route(in)
+	if err != nil {
+		return 0, err
+	}
+	return res.Tree.Cost / mst.Cost, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+func tinySelector(t *testing.T) *selector.Selector {
+	t.Helper()
+	s, err := selector.NewRandom(rand.New(rand.NewSource(1)),
+		nn.UNetConfig{InChannels: selector.NumFeatures, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomInstance(t *testing.T, seed int64, pins int) *layout.Instance {
+	t.Helper()
+	in, err := layout.Random(rand.New(rand.NewSource(seed)), layout.RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2,
+		MinPins: pins, MaxPins: pins,
+		MinObstacles: 6, MaxObstacles: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRouteProducesValidTree(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	in := randomInstance(t, 2, 5)
+	res, err := r.Route(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+	if res.Inferences != 1 {
+		t.Errorf("one-shot mode ran %d inferences, want 1", res.Inferences)
+	}
+	if res.Proposed != in.NumPins()-2 {
+		t.Errorf("proposed %d points, want n-2 = %d", res.Proposed, in.NumPins()-2)
+	}
+	if res.TotalTime < res.SelectTime {
+		t.Error("total time should include selection time")
+	}
+}
+
+func TestGuardedAcceptanceNeverWorseThanPlain(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	for seed := int64(10); seed < 25; seed++ {
+		in := randomInstance(t, seed, 6)
+		res, err := r.Route(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := PlainOARMST(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tree.Cost > plain.Cost {
+			t.Errorf("seed %d: guarded cost %v exceeds plain %v", seed, res.Tree.Cost, plain.Cost)
+		}
+		// PlainCost is the retraced plain tree: never worse than the raw
+		// OARMST, and the guard keeps the final tree at or below it.
+		if res.PlainCost > plain.Cost {
+			t.Errorf("seed %d: retraced plain cost %v exceeds raw %v", seed, res.PlainCost, plain.Cost)
+		}
+		if res.Tree.Cost > res.PlainCost {
+			t.Errorf("seed %d: final cost %v exceeds guard reference %v", seed, res.Tree.Cost, res.PlainCost)
+		}
+	}
+}
+
+func TestUnguardedModeSkipsPlainRoute(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	r.GuardedAcceptance = false
+	in := randomInstance(t, 3, 5)
+	res, err := r.Route(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlainCost != 0 {
+		t.Error("unguarded route should not compute the plain cost")
+	}
+	if !res.UsedSteiner {
+		t.Error("unguarded route always uses the Steiner proposal")
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialModeRunsNMinus2Inferences(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	r.Mode = Sequential
+	in := randomInstance(t, 4, 6)
+	res, err := r.Route(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inferences != in.NumPins()-2 {
+		t.Errorf("sequential mode ran %d inferences, want %d", res.Inferences, in.NumPins()-2)
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialProposalsAreDistinctAndValid(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	r.Mode = Sequential
+	r.GuardedAcceptance = false
+	in := randomInstance(t, 5, 6)
+	sps, _ := r.propose(in)
+	seen := map[grid.VertexID]bool{}
+	pinSet := in.PinSet()
+	for _, sp := range sps {
+		if seen[sp] {
+			t.Error("duplicate sequential proposal")
+		}
+		seen[sp] = true
+		if in.Graph.Blocked(sp) {
+			t.Error("proposal on obstacle")
+		}
+		if _, isPin := pinSet[sp]; isPin {
+			t.Error("proposal on pin")
+		}
+	}
+}
+
+func TestTwoPinLayoutNeedsNoSelector(t *testing.T) {
+	r := NewRouter(nil) // nil selector: only legal for <3-pin layouts
+	in := randomInstance(t, 6, 2)
+	res, err := r.Route(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposed != 0 || res.Inferences != 0 {
+		t.Error("2-pin layout should skip selection entirely")
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTtoMSTRatio(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	in := randomInstance(t, 7, 5)
+	ratio, err := r.STtoMSTRatio(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio > 1.0000001 {
+		t.Errorf("guarded ST-to-MST ratio = %v, want in (0, 1]", ratio)
+	}
+	// Without the guard the ratio may exceed 1 for an untrained selector,
+	// but must stay positive and finite.
+	r.GuardedAcceptance = false
+	ratio2, err := r.STtoMSTRatio(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio2 <= 0 {
+		t.Errorf("unguarded ratio = %v", ratio2)
+	}
+}
+
+func TestInferenceModeString(t *testing.T) {
+	if OneShot.String() != "one-shot" || Sequential.String() != "sequential" {
+		t.Error("mode strings wrong")
+	}
+	if InferenceMode(9).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}

@@ -1,0 +1,228 @@
+// Package exact computes optimal obstacle-avoiding Steiner tree costs on
+// small instances with the Dreyfus-Wagner dynamic program. The paper's
+// related work includes exact OARSMT algorithms ([10], [11], GeoSteiner
+// [25]); this package plays their role as an optimality reference: it is
+// exponential in the terminal count (3^k) but exact, so the experiment
+// harness can report the optimality gap of every heuristic router on
+// layouts with up to MaxTerminals pins.
+//
+// Only the optimal cost is produced (tree recovery would add considerable
+// bookkeeping and no experiment needs the optimal tree itself).
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"oarsmt/internal/grid"
+)
+
+// MaxTerminals bounds the Dreyfus-Wagner subset enumeration; beyond ~10
+// the 3^k subset splits dominate and runtimes explode.
+const MaxTerminals = 10
+
+// SteinerMinCost returns the cost of an optimal Steiner tree connecting
+// the terminals in the grid graph, avoiding blocked vertices and edges.
+// It errors on empty input, more than MaxTerminals terminals, blocked
+// terminals, or disconnected terminals.
+func SteinerMinCost(g *grid.Graph, terminals []grid.VertexID) (float64, error) {
+	terms := dedup(terminals)
+	k := len(terms)
+	switch {
+	case k == 0:
+		return 0, fmt.Errorf("exact: no terminals")
+	case k == 1:
+		if g.Blocked(terms[0]) {
+			return 0, fmt.Errorf("exact: terminal %v blocked", g.CoordOf(terms[0]))
+		}
+		return 0, nil
+	case k > MaxTerminals:
+		return 0, fmt.Errorf("exact: %d terminals exceeds limit %d", k, MaxTerminals)
+	}
+	for _, t := range terms {
+		if g.Blocked(t) {
+			return 0, fmt.Errorf("exact: terminal %v blocked", g.CoordOf(t))
+		}
+	}
+
+	n := g.NumVertices()
+	// dp[S][v]: minimal cost of a tree spanning terminal subset S plus
+	// vertex v, where S indexes terms[0..k-2] (the last terminal is the
+	// final merge target). Represented as a flat [numSubsets][n] table.
+	base := k - 1
+	numSubsets := 1 << base
+	dp := make([][]float64, numSubsets)
+	for s := range dp {
+		dp[s] = make([]float64, n)
+		for v := range dp[s] {
+			dp[s][v] = math.Inf(1)
+		}
+	}
+
+	// Singleton subsets: dp[{i}][v] = dist(terms[i], v).
+	for i := 0; i < base; i++ {
+		dist := dijkstraAll(g, terms[i])
+		copy(dp[1<<i], dist)
+	}
+
+	// Larger subsets in increasing popcount order.
+	for s := 1; s < numSubsets; s++ {
+		if popcount(s) < 2 {
+			continue
+		}
+		cur := dp[s]
+		// Merge step: split S at a common vertex v.
+		for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+			if sub < s-sub {
+				// Each unordered split visited once.
+				continue
+			}
+			a, b := dp[sub], dp[s-sub]
+			for v := 0; v < n; v++ {
+				if c := a[v] + b[v]; c < cur[v] {
+					cur[v] = c
+				}
+			}
+		}
+		// Propagation step: Dijkstra relaxation of the whole dp row.
+		dijkstraRelax(g, cur)
+	}
+
+	full := numSubsets - 1
+	best := math.Inf(1)
+	if base == 0 {
+		best = 0
+	} else {
+		best = dp[full][terms[base]]
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("exact: terminals are disconnected")
+	}
+	return best, nil
+}
+
+// dijkstraAll returns the shortest-path distance from src to every vertex
+// (infinity where unreachable).
+func dijkstraAll(g *grid.Graph, src grid.VertexID) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &costHeap{{0, src}}
+	var buf []grid.Neighbor
+	for len(*h) > 0 {
+		p := h.pop()
+		if p.d > dist[p.id] {
+			continue
+		}
+		buf = g.Neighbors(p.id, buf[:0])
+		for _, nb := range buf {
+			if nd := p.d + nb.Cost; nd < dist[nb.ID] {
+				dist[nb.ID] = nd
+				h.push(costEntry{nd, nb.ID})
+			}
+		}
+	}
+	return dist
+}
+
+// dijkstraRelax runs a multi-source Dijkstra where every vertex starts at
+// its current dp value, updating the slice in place to the point-wise
+// minimum of dp[u] + dist(u, v).
+func dijkstraRelax(g *grid.Graph, dp []float64) {
+	h := &costHeap{}
+	for v, d := range dp {
+		if !math.IsInf(d, 1) && !g.Blocked(grid.VertexID(v)) {
+			h.push(costEntry{d, grid.VertexID(v)})
+		}
+	}
+	var buf []grid.Neighbor
+	for len(*h) > 0 {
+		p := h.pop()
+		if p.d > dp[p.id] {
+			continue
+		}
+		buf = g.Neighbors(p.id, buf[:0])
+		for _, nb := range buf {
+			if nd := p.d + nb.Cost; nd < dp[nb.ID] {
+				dp[nb.ID] = nd
+				h.push(costEntry{nd, nb.ID})
+			}
+		}
+	}
+}
+
+type costEntry struct {
+	d  float64
+	id grid.VertexID
+}
+
+type costHeap []costEntry
+
+func (h costHeap) less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].id < h[j].id
+}
+
+func (h *costHeap) push(e costEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h).less(parent, i) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *costHeap) pop() costEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func dedup(vs []grid.VertexID) []grid.VertexID {
+	seen := map[grid.VertexID]struct{}{}
+	out := make([]grid.VertexID, 0, len(vs))
+	for _, v := range vs {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}

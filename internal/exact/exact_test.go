@@ -1,0 +1,213 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/route"
+)
+
+func uniformGrid(t *testing.T, h, v, m int) *grid.Graph {
+	t.Helper()
+	g, err := grid.NewUniform(h, v, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTwoTerminalsIsShortestPath(t *testing.T) {
+	g := uniformGrid(t, 6, 6, 2)
+	g.Block(g.Index(2, 2, 0))
+	a, b := g.Index(0, 0, 0), g.Index(5, 5, 1)
+	got, err := SteinerMinCost(g, []grid.VertexID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := route.NewRouter(g)
+	_, want, ok := r.ShortestPath(a, b)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if got != want {
+		t.Errorf("exact = %v, shortest path = %v", got, want)
+	}
+}
+
+func TestThreePinTee(t *testing.T) {
+	// The T configuration from the route tests: optimal cost is 9 on a
+	// unit grid (trunk 6 plus branch 3).
+	g, err := grid.NewUniform(7, 7, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []grid.VertexID{g.Index(0, 3, 0), g.Index(6, 3, 0), g.Index(3, 0, 0)}
+	got, err := SteinerMinCost(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("exact T cost = %v, want 9", got)
+	}
+}
+
+func TestFourCornerPlus(t *testing.T) {
+	// Plus configuration: four pins at arm tips; the optimal tree meets
+	// at the centre with cost 16.
+	g, err := grid.NewUniform(9, 9, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []grid.VertexID{
+		g.Index(4, 0, 0), g.Index(4, 8, 0), g.Index(0, 4, 0), g.Index(8, 4, 0),
+	}
+	got, err := SteinerMinCost(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Errorf("exact plus cost = %v, want 16", got)
+	}
+}
+
+func TestObstacleForcesDetour(t *testing.T) {
+	g, err := grid.NewUniform(5, 5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		g.Block(g.Index(2, v, 0))
+	}
+	terms := []grid.VertexID{g.Index(0, 0, 0), g.Index(4, 0, 0)}
+	got, err := SteinerMinCost(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 {
+		t.Errorf("exact detour cost = %v, want 12", got)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g := uniformGrid(t, 4, 4, 1)
+	if _, err := SteinerMinCost(g, nil); err == nil {
+		t.Error("no terminals should fail")
+	}
+	if c, err := SteinerMinCost(g, []grid.VertexID{5}); err != nil || c != 0 {
+		t.Errorf("single terminal = %v, %v", c, err)
+	}
+	// Duplicates collapse.
+	if c, err := SteinerMinCost(g, []grid.VertexID{5, 5, 5}); err != nil || c != 0 {
+		t.Errorf("duplicate single terminal = %v, %v", c, err)
+	}
+	g.Block(g.Index(1, 1, 0))
+	if _, err := SteinerMinCost(g, []grid.VertexID{g.Index(1, 1, 0), 0}); err == nil {
+		t.Error("blocked terminal should fail")
+	}
+	// Too many terminals.
+	many := make([]grid.VertexID, MaxTerminals+1)
+	for i := range many {
+		many[i] = grid.VertexID(i)
+	}
+	big := uniformGrid(t, 6, 6, 1)
+	if _, err := SteinerMinCost(big, many); err == nil {
+		t.Error("terminal limit should be enforced")
+	}
+}
+
+func TestDisconnectedTerminals(t *testing.T) {
+	g := uniformGrid(t, 3, 3, 1)
+	g.Block(g.Index(1, 0, 0))
+	g.Block(g.Index(0, 1, 0))
+	g.Block(g.Index(1, 1, 0))
+	_, err := SteinerMinCost(g, []grid.VertexID{g.Index(0, 0, 0), g.Index(2, 2, 0)})
+	if err == nil {
+		t.Error("disconnected terminals should fail")
+	}
+}
+
+// TestOARMSTNeverBeatsExact is the key cross-module property: every
+// heuristic tree must cost at least the Dreyfus-Wagner optimum, and the
+// heuristic should be within a reasonable factor on small layouts.
+func TestOARMSTNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		in, err := layout.Random(rng, layout.RandomSpec{
+			H: 7, V: 7, MinM: 1, MaxM: 2,
+			MinPins: 3, MaxPins: 5,
+			MinObstacles: 3, MaxObstacles: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SteinerMinCost(in.Graph, in.Pins)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := route.NewRouter(in.Graph)
+		tree, err := r.OARMST(in.Pins)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tree.Cost < opt-1e-9 {
+			t.Errorf("trial %d: heuristic %v beats optimum %v (impossible)", trial, tree.Cost, opt)
+		}
+		if tree.Cost > 2*opt+1e-9 {
+			t.Errorf("trial %d: heuristic %v worse than 2x optimum %v (MST bound violated)", trial, tree.Cost, opt)
+		}
+		// Retracing must stay within the same bounds.
+		after, _ := r.Retrace(tree, in.Pins, 3)
+		if after.Cost < opt-1e-9 {
+			t.Errorf("trial %d: retraced %v beats optimum %v", trial, after.Cost, opt)
+		}
+	}
+}
+
+func TestExactMatchesBruteForceSingleSteiner(t *testing.T) {
+	// On a small graph with 3 terminals, the optimum equals the best
+	// 1-Steiner-point OARMST found by brute force (3 terminals need at
+	// most 1 Steiner point).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5; trial++ {
+		in, err := layout.Random(rng, layout.RandomSpec{
+			H: 6, V: 6, MinM: 1, MaxM: 1,
+			MinPins: 3, MaxPins: 3,
+			MinObstacles: 2, MaxObstacles: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SteinerMinCost(in.Graph, in.Pins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := route.NewRouter(in.Graph)
+		best, err := r.OARMST(in.Pins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestCost := best.Cost
+		for id := 0; id < in.Graph.NumVertices(); id++ {
+			v := grid.VertexID(id)
+			if in.Graph.Blocked(v) {
+				continue
+			}
+			terms := append(append([]grid.VertexID(nil), in.Pins...), v)
+			tr, err := r.OARMST(terms)
+			if err != nil {
+				continue
+			}
+			if tr.Cost < bestCost {
+				bestCost = tr.Cost
+			}
+		}
+		// Brute force over single extra terminals can still miss the true
+		// optimum when maze-Prim routes suboptimally, so only one
+		// direction is guaranteed.
+		if bestCost < opt-1e-9 {
+			t.Errorf("trial %d: brute force %v below optimum %v", trial, bestCost, opt)
+		}
+	}
+}

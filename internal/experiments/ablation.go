@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/mctsconv"
+)
+
+// AblationPriorityPruning measures how much the lexicographic selection
+// priority of the combinatorial MCTS shrinks the search: it runs one
+// episode of the combinatorial search and one of the conventional search
+// with identical budgets on the same layouts and reports nodes expanded
+// and iterations.
+type PriorityPruningResult struct {
+	CombinatorialExpanded int
+	ConventionalExpanded  int
+	CombinatorialIters    int
+	ConventionalIters     int
+}
+
+// AblationPriorityPruning runs the pruning comparison over n layouts.
+func AblationPriorityPruning(opts Options, n int) (*PriorityPruningResult, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.seed()))
+	spec := layout.RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2, MinPins: 5, MaxPins: 5, MinObstacles: 4, MaxObstacles: 8,
+	}
+	res := &PriorityPruningResult{}
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		comb, err := mcts.Search(sel, in, mcts.Config{Iterations: 64, UseCritic: true})
+		if err != nil {
+			return nil, err
+		}
+		conv, err := mctsconv.Search(sel, in.Clone(), mctsconv.Config{Iterations: 64, UseCritic: true})
+		if err != nil {
+			return nil, err
+		}
+		res.CombinatorialExpanded += comb.NodesExpanded
+		res.ConventionalExpanded += conv.NodesExpanded
+		res.CombinatorialIters += comb.Iterations
+		res.ConventionalIters += conv.Iterations
+	}
+	fmt.Fprintf(opts.out(),
+		"Priority pruning over %d layouts: combinatorial expanded %d nodes in %d iters; conventional expanded %d nodes in %d iters\n",
+		n, res.CombinatorialExpanded, res.CombinatorialIters,
+		res.ConventionalExpanded, res.ConventionalIters)
+	return res, nil
+}
+
+// GuardedAcceptanceResult compares the router with and without the
+// guarded-acceptance knob.
+type GuardedAcceptanceResult struct {
+	Layouts       int
+	GuardedCost   float64
+	UnguardedCost float64
+	GuardRejected int // layouts where the guard chose the plain tree
+}
+
+// AblationGuardedAcceptance measures the effect of guarded acceptance on
+// n random layouts.
+func AblationGuardedAcceptance(opts Options, n int) (*GuardedAcceptanceResult, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.seed()))
+	spec := layout.RandomSpec{
+		H: 12, V: 12, MinM: 2, MaxM: 4, MinPins: 4, MaxPins: 8, MinObstacles: 10, MaxObstacles: 20,
+	}
+	guarded := core.NewRouter(sel)
+	unguarded := &core.Router{Selector: sel, Mode: core.OneShot, GuardedAcceptance: false,
+		RetracePasses: guarded.RetracePasses} // like-for-like except the guard
+	res := &GuardedAcceptanceResult{Layouts: n}
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := guarded.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		ru, err := unguarded.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		res.GuardedCost += rg.Tree.Cost
+		res.UnguardedCost += ru.Tree.Cost
+		if !rg.UsedSteiner {
+			res.GuardRejected++
+		}
+	}
+	fmt.Fprintf(opts.out(),
+		"Guarded acceptance over %d layouts: guarded total %.0f, unguarded total %.0f, guard rejected %d proposals\n",
+		n, res.GuardedCost, res.UnguardedCost, res.GuardRejected)
+	return res, nil
+}
+
+// BoundedMazeResult compares [14]'s bounded exploration against unbounded
+// construction.
+type BoundedMazeResult struct {
+	Layouts       int
+	BoundedCost   float64
+	UnboundedCost float64
+}
+
+// AblationBoundedMaze measures the cost effect of bounded exploration in
+// the Lin18 baseline over n layouts.
+func AblationBoundedMaze(opts Options, n int) (*BoundedMazeResult, error) {
+	rng := rand.New(rand.NewSource(opts.seed()))
+	spec := layout.RandomSpec{
+		H: 24, V: 24, MinM: 2, MaxM: 4, MinPins: 8, MaxPins: 16, MinObstacles: 40, MaxObstacles: 80,
+	}
+	bounded := baseline.New(baseline.Lin18)
+	unbounded := baseline.New(baseline.Liu14) // plain Prim + 1 retrace
+	res := &BoundedMazeResult{Layouts: n}
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := bounded.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		ru, err := unbounded.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		res.BoundedCost += rb.Tree.Cost
+		res.UnboundedCost += ru.Tree.Cost
+	}
+	fmt.Fprintf(opts.out(),
+		"Bounded maze over %d layouts: bounded+retrace total %.0f vs plain+1-retrace total %.0f\n",
+		n, res.BoundedCost, res.UnboundedCost)
+	return res, nil
+}

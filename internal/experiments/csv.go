@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters for the figure-shaped experiments, so the series behind
+// Fig 10-12 can be plotted with any external tool.
+
+// WriteComparisonCSV dumps the per-layout head-to-head data behind
+// Tables 2/3 and Fig 10.
+func WriteComparisonCSV(w io.Writer, evals []SubsetEval) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"subset", "baseline_cost", "our_cost", "baseline_seconds",
+		"select_seconds", "total_seconds", "obstacle_ratio",
+	}); err != nil {
+		return err
+	}
+	for i := range evals {
+		e := &evals[i]
+		for _, l := range e.Layouts {
+			rec := []string{
+				e.Name,
+				fmtF(l.BaselineCost), fmtF(l.OurCost),
+				fmtF(l.BaselineTime.Seconds()),
+				fmtF(l.SelectTime.Seconds()), fmtF(l.TotalTime.Seconds()),
+				fmtF(l.ObstacleRatio),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV dumps the obstacle-ratio buckets of Fig 10.
+func WriteFig10CSV(w io.Writer, buckets map[string][]Fig10Bucket) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"subset", "ratio_lo", "ratio_hi", "count", "avg_improvement"}); err != nil {
+		return err
+	}
+	for name, bs := range buckets {
+		for _, b := range bs {
+			rec := []string{name, fmtF(b.Lo), fmtF(b.Hi), strconv.Itoa(b.Count), fmtF(b.AvgImp)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTrainingCSV dumps the Fig 11/12 training curves.
+func WriteTrainingCSV(w io.Writer, curves []TrainingCurve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"trainer", "stage", "train_seconds", "st_to_mst_in_range", "st_to_mst_beyond",
+	}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			rec := []string{
+				c.Kind.String(), strconv.Itoa(p.Stage),
+				fmtF(p.TrainTime.Seconds()), fmtF(p.RatioInRange), fmtF(p.RatioBeyond),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%g", v) }

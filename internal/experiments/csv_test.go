@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteComparisonCSV(t *testing.T) {
+	evals := []SubsetEval{{
+		Name: "T32",
+		Layouts: []LayoutEval{
+			{BaselineCost: 100, OurCost: 98, BaselineTime: time.Millisecond,
+				SelectTime: 2 * time.Millisecond, TotalTime: 3 * time.Millisecond, ObstacleRatio: 0.1},
+			{BaselineCost: 200, OurCost: 205, BaselineTime: time.Millisecond,
+				SelectTime: time.Millisecond, TotalTime: 2 * time.Millisecond, ObstacleRatio: 0.2},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteComparisonCSV(&buf, evals); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want header + 2", len(recs))
+	}
+	if recs[0][0] != "subset" || recs[1][0] != "T32" {
+		t.Errorf("unexpected rows: %v", recs[:2])
+	}
+	if recs[1][1] != "100" || recs[1][2] != "98" {
+		t.Errorf("costs row = %v", recs[1])
+	}
+}
+
+func TestWriteFig10CSV(t *testing.T) {
+	buckets := map[string][]Fig10Bucket{
+		"T32": {{Lo: 0, Hi: 0.1, Count: 3, AvgImp: 0.02}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig10CSV(&buf, buckets); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T32") || !strings.Contains(out, "0.02") {
+		t.Errorf("csv = %q", out)
+	}
+}
+
+func TestWriteTrainingCSV(t *testing.T) {
+	curves := []TrainingCurve{{
+		Kind: Combinatorial,
+		Points: []TrainingPoint{
+			{Stage: 1, TrainTime: time.Second, RatioInRange: 0.99, RatioBeyond: 1.01},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrainingCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][1] != "1" || recs[1][3] != "0.99" {
+		t.Errorf("row = %v", recs[1])
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/stats"
+)
+
+// ModelEval summarises a trained selector's routing quality on one layout
+// distribution.
+type ModelEval struct {
+	Spec    layout.RandomSpec
+	Layouts int
+	// STtoMST is the unguarded ST-to-MST ratio distribution (the paper's
+	// learning-quality metric; below 1 means the Steiner points genuinely
+	// shorten trees).
+	STtoMST stats.Summary
+	// KeptSteiner counts Steiner points surviving redundancy removal.
+	KeptSteiner int
+	// ImprovedLayouts counts layouts where the Steiner tree beat the
+	// plain spanning tree.
+	ImprovedLayouts stats.Rate
+	// VsLin18 is the guarded router's improvement-ratio distribution
+	// against the [14] baseline.
+	VsLin18 stats.Summary
+	// WinVsLin18 is the fraction of layouts won against [14].
+	WinVsLin18 stats.Rate
+}
+
+// EvaluateModel routes n layouts from the spec with the selector and
+// reports the quality summary; this powers cmd/oarsmt-eval.
+func EvaluateModel(opts Options, spec layout.RandomSpec, n int) (*ModelEval, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	unguarded := &core.Router{Selector: sel, Mode: core.OneShot, GuardedAcceptance: false, RetracePasses: 0}
+	guarded := core.NewRouter(sel)
+	lin18 := baseline.New(baseline.Lin18)
+	rng := rand.New(rand.NewSource(opts.seed()))
+
+	res := &ModelEval{Spec: spec, Layouts: n}
+	var ratios, imps []float64
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		mst, err := core.PlainOARMST(in)
+		if err != nil {
+			return nil, err
+		}
+		ru, err := unguarded.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		ratios = append(ratios, ru.Tree.Cost/mst.Cost)
+		res.KeptSteiner += len(ru.SteinerPoints)
+		res.ImprovedLayouts.N++
+		if ru.Tree.Cost < mst.Cost-1e-9 {
+			res.ImprovedLayouts.Hits++
+		}
+
+		rg, err := guarded.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := lin18.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		if rb.Tree.Cost > 0 {
+			imps = append(imps, (rb.Tree.Cost-rg.Tree.Cost)/rb.Tree.Cost)
+		}
+		res.WinVsLin18.N++
+		if rg.Tree.Cost < rb.Tree.Cost-1e-9 {
+			res.WinVsLin18.Hits++
+		}
+	}
+	res.STtoMST = stats.Summarize(ratios)
+	res.VsLin18 = stats.Summarize(imps)
+
+	w := opts.out()
+	fmt.Fprintf(w, "model eval on %dx%dx[%d,%d] layouts, %d~%d pins, n=%d:\n",
+		spec.H, spec.V, spec.MinM, spec.MaxM, spec.MinPins, spec.MaxPins, n)
+	fmt.Fprintf(w, "  ST/MST (unguarded, no retrace): %s  improved %.0f%%  kept Steiner pts: %d\n",
+		res.STtoMST, 100*res.ImprovedLayouts.Value(), res.KeptSteiner)
+	fmt.Fprintf(w, "  vs [14] (guarded router): improvement %s  win rate %.0f%%\n",
+		res.VsLin18, 100*res.WinVsLin18.Value())
+	return res, nil
+}

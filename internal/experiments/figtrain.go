@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"oarsmt/internal/core"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/mctsconv"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/ppo"
+	"oarsmt/internal/rl"
+	"oarsmt/internal/selector"
+)
+
+// TrainerKind identifies one of the three policy-optimization schemes
+// compared in the paper's §4.2.
+type TrainerKind int
+
+const (
+	// Combinatorial is the paper's combinatorial MCTS (ours).
+	Combinatorial TrainerKind = iota
+	// AlphaGoLike is conventional MCTS with per-move visit-count labels.
+	AlphaGoLike
+	// PPOKind is the PPO-trained sequential selector.
+	PPOKind
+)
+
+// String implements fmt.Stringer.
+func (k TrainerKind) String() string {
+	switch k {
+	case Combinatorial:
+		return "ours (combinatorial MCTS)"
+	case AlphaGoLike:
+		return "AlphaGo-like MCTS"
+	case PPOKind:
+		return "PPO"
+	default:
+		return fmt.Sprintf("TrainerKind(%d)", int(k))
+	}
+}
+
+// TrainingPoint is one checkpoint of a training curve: the cumulative
+// training time after a stage and the average ST-to-MST ratios on the two
+// evaluation sets of Fig 11/12 — (a) pin counts inside the training range
+// and (b) pin counts beyond it.
+type TrainingPoint struct {
+	Stage        int
+	TrainTime    time.Duration
+	RatioInRange float64
+	RatioBeyond  float64
+}
+
+// TrainingCurve is one router's training trajectory.
+type TrainingCurve struct {
+	Kind   TrainerKind
+	Points []TrainingPoint
+}
+
+// FigTrainingConfig parameterises a Fig 11/12 run.
+type FigTrainingConfig struct {
+	Size   layout.TrainingSize
+	Stages int
+	// LayoutsPerStage is the number of training layouts per stage.
+	LayoutsPerStage int
+	// MCTSIterations is the per-move α of both MCTS trainers.
+	MCTSIterations int
+	// EvalLayouts is the number of evaluation layouts per pin count range.
+	EvalLayouts int
+	// InRangePins and BeyondPins are the [lo, hi] pin ranges of the two
+	// evaluation sets (paper: 3~6 and 7~12).
+	InRangePins [2]int
+	BeyondPins  [2]int
+}
+
+// FigTrainingDefaults returns the Fig 11 (fig=11) or Fig 12 (fig=12)
+// configuration for a scale. The paper trains on 24x24x4 (Fig 11) and
+// 32x32x4 (Fig 12); smaller scales shrink the layouts and budgets but
+// keep the three-way comparison identical in structure.
+func FigTrainingDefaults(fig int, s Scale) FigTrainingConfig {
+	cfg := FigTrainingConfig{
+		InRangePins: [2]int{3, 6},
+		BeyondPins:  [2]int{7, 12},
+	}
+	switch s {
+	case ScaleSmall:
+		cfg.Size = layout.TrainingSize{HV: 8, M: 2}
+		if fig == 12 {
+			cfg.Size = layout.TrainingSize{HV: 10, M: 2}
+		}
+		cfg.Stages, cfg.LayoutsPerStage, cfg.MCTSIterations, cfg.EvalLayouts = 3, 3, 64, 6
+		cfg.InRangePins = [2]int{3, 5}
+		cfg.BeyondPins = [2]int{6, 8}
+	case ScaleMedium:
+		cfg.Size = layout.TrainingSize{HV: 16, M: 4}
+		if fig == 12 {
+			cfg.Size = layout.TrainingSize{HV: 24, M: 4}
+		}
+		cfg.Stages, cfg.LayoutsPerStage, cfg.MCTSIterations, cfg.EvalLayouts = 4, 4, 24, 10
+	default:
+		cfg.Size = layout.TrainingSize{HV: 24, M: 4}
+		if fig == 12 {
+			cfg.Size = layout.TrainingSize{HV: 32, M: 4}
+		}
+		cfg.Stages, cfg.LayoutsPerStage, cfg.MCTSIterations, cfg.EvalLayouts = 32, 1000, 2000, 10000
+	}
+	return cfg
+}
+
+// TrainingComparison trains the three routers on fixed-size layouts and
+// evaluates the average ST-to-MST ratio after every stage (paper Fig 11
+// and Fig 12). All three agents start from identical network weights.
+func TrainingComparison(opts Options, cfg FigTrainingConfig) ([]TrainingCurve, error) {
+	evalIn, err := evalSet(opts.seed()+100, cfg.Size, cfg.InRangePins, cfg.EvalLayouts)
+	if err != nil {
+		return nil, err
+	}
+	evalBeyond, err := evalSet(opts.seed()+200, cfg.Size, cfg.BeyondPins, cfg.EvalLayouts)
+	if err != nil {
+		return nil, err
+	}
+
+	netCfg := nn.UNetConfig{InChannels: selector.NumFeatures, Base: 4, Depth: 2, Kernel: 3}
+	newSel := func() (*selector.Selector, error) {
+		return selector.NewRandom(rand.New(rand.NewSource(opts.seed())), netCfg)
+	}
+
+	w := opts.out()
+	fmt.Fprintf(w, "Fig 11/12-style training comparison on %dx%dx%d layouts (scale=%v)\n",
+		cfg.Size.HV, cfg.Size.HV, cfg.Size.M, opts.Scale)
+
+	var curves []TrainingCurve
+	for _, kind := range []TrainerKind{Combinatorial, AlphaGoLike, PPOKind} {
+		sel, err := newSel()
+		if err != nil {
+			return nil, err
+		}
+		runStage, err := stageRunner(kind, sel, cfg, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		mode := core.Sequential
+		if kind == Combinatorial {
+			mode = core.OneShot
+		}
+		curve := TrainingCurve{Kind: kind}
+		var elapsed time.Duration
+		for stage := 1; stage <= cfg.Stages; stage++ {
+			start := time.Now()
+			if err := runStage(); err != nil {
+				return nil, fmt.Errorf("experiments: %v stage %d: %w", kind, stage, err)
+			}
+			elapsed += time.Since(start)
+			rIn, err := avgSTtoMST(sel, mode, evalIn)
+			if err != nil {
+				return nil, err
+			}
+			rBeyond, err := avgSTtoMST(sel, mode, evalBeyond)
+			if err != nil {
+				return nil, err
+			}
+			pt := TrainingPoint{Stage: stage, TrainTime: elapsed, RatioInRange: rIn, RatioBeyond: rBeyond}
+			curve.Points = append(curve.Points, pt)
+			fmt.Fprintf(w, "%-28s stage %2d  t=%8.2fs  ST/MST %d~%d-pin: %.4f  %d~%d-pin: %.4f\n",
+				kind, stage, elapsed.Seconds(),
+				cfg.InRangePins[0], cfg.InRangePins[1], rIn,
+				cfg.BeyondPins[0], cfg.BeyondPins[1], rBeyond)
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// stageRunner adapts the three trainers to a common per-stage call.
+func stageRunner(kind TrainerKind, sel *selector.Selector, cfg FigTrainingConfig, seed int64) (func() error, error) {
+	sizes := []layout.TrainingSize{cfg.Size}
+	switch kind {
+	case Combinatorial:
+		tr := rl.NewTrainer(sel, rl.Config{
+			Sizes:            sizes,
+			LayoutsPerSize:   cfg.LayoutsPerStage,
+			MinPins:          cfg.InRangePins[0],
+			MaxPins:          cfg.InRangePins[1],
+			CurriculumStages: 0,
+			MCTS:             mcts.Config{Iterations: cfg.MCTSIterations, UseCritic: true, CPuct: 1, MaxNoChange: 3},
+			Augment:          false,
+			BatchSize:        16,
+			EpochsPerStage:   2,
+			LR:               2e-3,
+			Seed:             seed,
+		})
+		return func() error { _, err := tr.RunStage(); return err }, nil
+	case AlphaGoLike:
+		tr := mctsconv.NewTrainer(sel, mctsconv.TrainerConfig{
+			Sizes:          sizes,
+			LayoutsPerSize: cfg.LayoutsPerStage,
+			MinPins:        cfg.InRangePins[0],
+			MaxPins:        cfg.InRangePins[1],
+			MCTS:           mctsconv.Config{Iterations: cfg.MCTSIterations, UseCritic: true, CPuct: 1, MaxNoChange: 3},
+			BatchSize:      16,
+			EpochsPerStage: 2,
+			LR:             2e-3,
+			Seed:           seed,
+		})
+		return func() error { _, err := tr.RunStage(); return err }, nil
+	case PPOKind:
+		tr := ppo.NewTrainer(sel, ppo.Config{
+			Sizes:          sizes,
+			LayoutsPerSize: cfg.LayoutsPerStage,
+			MinPins:        cfg.InRangePins[0],
+			MaxPins:        cfg.InRangePins[1],
+			Epochs:         2,
+			EntropyCoef:    0.01,
+			LR:             1e-3,
+			ValueLR:        1e-3,
+			ValueHidden:    4,
+			Seed:           seed,
+		})
+		return func() error { _, err := tr.RunStage(); return err }, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown trainer kind %v", kind)
+	}
+}
+
+func evalSet(seed int64, size layout.TrainingSize, pins [2]int, n int) ([]*layout.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	spec := layout.TrainingSpec(size, pins[0], pins[1])
+	out := make([]*layout.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// avgSTtoMST evaluates the unguarded ST-to-MST ratio — the learning-quality
+// metric of Fig 11/12, where a ratio above 1 genuinely signals a selector
+// that hurts — averaged over the evaluation set.
+func avgSTtoMST(sel *selector.Selector, mode core.InferenceMode, evals []*layout.Instance) (float64, error) {
+	// No guard and no retracing: the metric isolates what the *selected
+	// Steiner points* buy over the plain spanning tree, as in the paper.
+	r := &core.Router{Selector: sel, Mode: mode, GuardedAcceptance: false, RetracePasses: 0}
+	sum := 0.0
+	for _, in := range evals {
+		ratio, err := r.STtoMSTRatio(in)
+		if err != nil {
+			return 0, err
+		}
+		sum += ratio
+	}
+	if len(evals) == 0 {
+		return 0, nil
+	}
+	return sum / float64(len(evals)), nil
+}
+
+// SpeedupMetrics reports the two §4.2 headline speedups: one-shot vs
+// sequential inference time, and combinatorial vs conventional MCTS
+// sample-generation time.
+type SpeedupMetrics struct {
+	InferenceSpeedup       float64
+	SampleGenSpeedup       float64
+	OneShotAvg             time.Duration
+	SequentialAvg          time.Duration
+	CombinatorialPerSample time.Duration
+	ConventionalPerSample  time.Duration
+}
+
+// MeasureSpeedups measures the §4.2 speedup claims at the given scale.
+func MeasureSpeedups(opts Options, cfg FigTrainingConfig) (*SpeedupMetrics, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	evals, err := evalSet(opts.seed()+300, cfg.Size, cfg.BeyondPins, cfg.EvalLayouts)
+	if err != nil {
+		return nil, err
+	}
+	m := &SpeedupMetrics{}
+
+	oneShot := &core.Router{Selector: sel, Mode: core.OneShot}
+	seq := &core.Router{Selector: sel, Mode: core.Sequential}
+	for _, in := range evals {
+		r1, err := oneShot.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := seq.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		m.OneShotAvg += r1.SelectTime
+		m.SequentialAvg += r2.SelectTime
+	}
+	if n := time.Duration(len(evals)); n > 0 {
+		m.OneShotAvg /= n
+		m.SequentialAvg /= n
+	}
+	if m.OneShotAvg > 0 {
+		m.InferenceSpeedup = float64(m.SequentialAvg) / float64(m.OneShotAvg)
+	}
+
+	// Sample-generation comparison with identical budgets.
+	combTr := rl.NewTrainer(sel, rl.Config{
+		Sizes:            []layout.TrainingSize{cfg.Size},
+		LayoutsPerSize:   cfg.LayoutsPerStage,
+		MinPins:          cfg.InRangePins[0],
+		MaxPins:          cfg.InRangePins[1],
+		CurriculumStages: 0,
+		MCTS:             mcts.Config{Iterations: cfg.MCTSIterations, UseCritic: true},
+		Seed:             opts.seed(),
+	})
+	start := time.Now()
+	combSamples, _, err := combTr.GenerateSamples()
+	if err != nil {
+		return nil, err
+	}
+	combElapsed := time.Since(start)
+	if len(combSamples) > 0 {
+		m.CombinatorialPerSample = combElapsed / time.Duration(len(combSamples))
+	}
+
+	convTr := mctsconv.NewTrainer(sel, mctsconv.TrainerConfig{
+		Sizes:          []layout.TrainingSize{cfg.Size},
+		LayoutsPerSize: cfg.LayoutsPerStage,
+		MinPins:        cfg.InRangePins[0],
+		MaxPins:        cfg.InRangePins[1],
+		MCTS:           mctsconv.Config{Iterations: cfg.MCTSIterations, UseCritic: true},
+		Seed:           opts.seed(),
+	})
+	start = time.Now()
+	_, convStats, err := convTr.GenerateSamples()
+	if err != nil {
+		return nil, err
+	}
+	convElapsed := time.Since(start)
+	// Conventional MCTS produces one sample per move but one *episode*
+	// label set per layout; normalise per episode for a fair comparison.
+	if convStats.Episodes > 0 {
+		m.ConventionalPerSample = convElapsed / time.Duration(convStats.Episodes)
+	}
+	if m.CombinatorialPerSample > 0 {
+		m.SampleGenSpeedup = float64(m.ConventionalPerSample) / float64(m.CombinatorialPerSample)
+	}
+
+	w := opts.out()
+	fmt.Fprintf(w, "Inference: one-shot %v vs sequential %v (speedup %.2fx)\n",
+		m.OneShotAvg, m.SequentialAvg, m.InferenceSpeedup)
+	fmt.Fprintf(w, "Sample generation: combinatorial %v/sample vs conventional %v/episode (speedup %.2fx)\n",
+		m.CombinatorialPerSample, m.ConventionalPerSample, m.SampleGenSpeedup)
+	return m, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/exact"
+	"oarsmt/internal/layout"
+)
+
+// OptimalityGapResult reports each router's average cost ratio to the
+// Dreyfus-Wagner optimum over small random layouts. This evaluation goes
+// beyond the paper (which compares heuristics against each other only) and
+// quantifies how much headroom the heuristics leave; the exact reference
+// plays the role of the exact algorithms [10]/[11] in the paper's related
+// work.
+type OptimalityGapResult struct {
+	Layouts  int
+	GapOurs  float64 // mean cost / optimal
+	GapLin08 float64
+	GapLiu14 float64
+	GapLin18 float64
+	GapMST   float64 // plain OARMST (no Steiner points)
+}
+
+// OptimalityGap evaluates the routers against the exact optimum on n
+// small layouts (pins capped by exact.MaxTerminals).
+func OptimalityGap(opts Options, n int) (*OptimalityGapResult, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	ours := core.NewRouter(sel)
+	rng := rand.New(rand.NewSource(opts.seed()))
+	spec := layout.RandomSpec{
+		H: 10, V: 10, MinM: 1, MaxM: 2,
+		MinPins: 3, MaxPins: 6,
+		MinObstacles: 6, MaxObstacles: 14,
+	}
+	res := &OptimalityGapResult{Layouts: n}
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := exact.SteinerMinCost(in.Graph, in.Pins)
+		if err != nil {
+			return nil, err
+		}
+		if opt <= 0 {
+			// Degenerate (coincident pins cannot happen; opt 0 only for a
+			// single pin). Skip defensively.
+			i--
+			continue
+		}
+		ro, err := ours.Route(in)
+		if err != nil {
+			return nil, err
+		}
+		res.GapOurs += ro.Tree.Cost / opt
+		for _, alg := range []struct {
+			a   baseline.Algorithm
+			sum *float64
+		}{
+			{baseline.Lin08, &res.GapLin08},
+			{baseline.Liu14, &res.GapLiu14},
+			{baseline.Lin18, &res.GapLin18},
+		} {
+			rb, err := baseline.New(alg.a).Route(in)
+			if err != nil {
+				return nil, err
+			}
+			*alg.sum += rb.Tree.Cost / opt
+		}
+		mst, err := core.PlainOARMST(in)
+		if err != nil {
+			return nil, err
+		}
+		res.GapMST += mst.Cost / opt
+	}
+	for _, p := range []*float64{&res.GapOurs, &res.GapLin08, &res.GapLiu14, &res.GapLin18, &res.GapMST} {
+		*p /= float64(n)
+	}
+	w := opts.out()
+	fmt.Fprintf(w, "Optimality gap over %d small layouts (cost / Dreyfus-Wagner optimum):\n", n)
+	fmt.Fprintf(w, "  plain OARMST %.4f  [12] %.4f  [16] %.4f  [14] %.4f  ours %.4f\n",
+		res.GapMST, res.GapLin08, res.GapLiu14, res.GapLin18, res.GapOurs)
+	return res, nil
+}

@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1-4, Figures 10-12) plus the ablation studies
+// called out in DESIGN.md. Each experiment prints rows in the paper's
+// format and returns the structured data behind them.
+//
+// Because the original experiments ran for days on a GPU server, every
+// experiment takes a Scale that controls layout counts and training
+// budgets; the structure of each experiment (workloads, comparisons,
+// metrics) never changes with scale. EXPERIMENTS.md records the measured
+// small-scale numbers next to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/models"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/rl"
+	"oarsmt/internal/selector"
+)
+
+// Scale selects the compute budget of an experiment.
+type Scale int
+
+const (
+	// ScaleSmall finishes each experiment in seconds to minutes on one
+	// CPU core; used by the test suite and benchmarks.
+	ScaleSmall Scale = iota
+	// ScaleMedium takes minutes to tens of minutes per experiment.
+	ScaleMedium
+	// ScalePaper uses the paper's own layout counts and sizes; impractical
+	// without days of compute, but available for completeness.
+	ScalePaper
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale parses "small", "medium" or "paper".
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scale %q (want small, medium or paper)", s)
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Scale Scale
+	Seed  int64
+	// Selector is the trained Steiner-point selector driving "ours". When
+	// nil, QuickSelector trains a small one on the fly (deterministic).
+	Selector *selector.Selector
+	// Out receives the printed table; nil discards it.
+	Out io.Writer
+	// Workers bounds the parallel layout evaluations of RunComparison;
+	// values below 1 mean GOMAXPROCS. Each worker gets a private copy of
+	// the selector (the network caches activations between Forward and
+	// Backward, so one instance must never run concurrently). Per-layout
+	// results are identical at any worker count; only wall-clock changes —
+	// but the *measured runtimes* of Table 3 are only meaningful at
+	// Workers = 1, so the harness forces serial evaluation when timing.
+	Workers int
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// QuickSelector trains a compact selector with a small combinatorial-MCTS
+// budget — enough for the experiment harness to exercise the full trained
+// pipeline deterministically when no externally trained model is supplied.
+func QuickSelector(seed int64, stages int) (*selector.Selector, error) {
+	sel, err := selector.NewRandom(rand.New(rand.NewSource(seed)), nn.UNetConfig{
+		InChannels: selector.NumFeatures, Base: 6, Depth: 2, Kernel: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := rl.Config{
+		Sizes:            []layout.TrainingSize{{HV: 8, M: 2}, {HV: 12, M: 2}},
+		LayoutsPerSize:   3,
+		MinPins:          3,
+		MaxPins:          6,
+		CurriculumStages: 2,
+		MCTS:             mcts.Config{Iterations: 16, UseCritic: true, CPuct: 1, MaxNoChange: 3},
+		Augment:          true,
+		BatchSize:        32,
+		EpochsPerStage:   2,
+		LR:               2e-3,
+		Seed:             seed,
+	}
+	tr := rl.NewTrainer(sel, cfg)
+	for i := 0; i < stages; i++ {
+		if _, err := tr.RunStage(); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+// selectorOrQuick returns the configured selector, falling back to the
+// repository's embedded pretrained model and finally to a quick-trained
+// one.
+func (o Options) selectorOrQuick() (*selector.Selector, error) {
+	if o.Selector != nil {
+		return o.Selector, nil
+	}
+	if sel, err := models.Pretrained(); err == nil {
+		return sel, nil
+	}
+	return QuickSelector(o.seed(), 3)
+}

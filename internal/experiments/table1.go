@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oarsmt/internal/layout"
+)
+
+// Table1Row is one row of the paper's Table 1: the settings of a randomly
+// generated test subset.
+type Table1Row struct {
+	Name                       string
+	PaperLayouts               int
+	H, V                       int
+	MinM, MaxM                 int
+	MinPins, MaxPins           int
+	MinObstacles, MaxObstacles int
+	// HarnessLayouts is the layout count the current scale actually runs.
+	HarnessLayouts int
+}
+
+// SubsetLayoutCounts maps each Table 1 subset to the number of layouts a
+// scale evaluates. Subsets absent from the map are skipped at that scale.
+func SubsetLayoutCounts(s Scale) map[string]int {
+	switch s {
+	case ScaleSmall:
+		return map[string]int{"T32": 8, "T64": 4, "T128": 2}
+	case ScaleMedium:
+		return map[string]int{"T32": 30, "T64": 12, "T128": 5, "T128_2": 3, "T256": 2}
+	default: // ScalePaper
+		out := map[string]int{}
+		for _, sub := range layout.SubsetSpecs() {
+			out[sub.Name] = sub.PaperLayouts
+		}
+		return out
+	}
+}
+
+// Table1 prints the test-subset settings (paper Table 1) and the layout
+// counts the given scale will run, returning the rows.
+func Table1(opts Options) []Table1Row {
+	counts := SubsetLayoutCounts(opts.Scale)
+	var rows []Table1Row
+	w := opts.out()
+	fmt.Fprintf(w, "Table 1: Setting of each randomly generated test subset (scale=%v)\n", opts.Scale)
+	fmt.Fprintf(w, "%-8s %10s %5s %5s %6s %12s %16s %9s\n",
+		"subset", "# layouts", "H", "V", "M", "# pins", "# obstacles", "run here")
+	for _, sub := range layout.SubsetSpecs() {
+		row := Table1Row{
+			Name:         sub.Name,
+			PaperLayouts: sub.PaperLayouts,
+			H:            sub.Spec.H, V: sub.Spec.V,
+			MinM: sub.Spec.MinM, MaxM: sub.Spec.MaxM,
+			MinPins: sub.Spec.MinPins, MaxPins: sub.Spec.MaxPins,
+			MinObstacles: sub.Spec.MinObstacles, MaxObstacles: sub.Spec.MaxObstacles,
+			HarnessLayouts: counts[sub.Name],
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-8s %10d %5d %5d %2d~%-3d %5d~%-6d %7d~%-8d %9d\n",
+			row.Name, row.PaperLayouts, row.H, row.V, row.MinM, row.MaxM,
+			row.MinPins, row.MaxPins, row.MinObstacles, row.MaxObstacles, row.HarnessLayouts)
+	}
+	return rows
+}

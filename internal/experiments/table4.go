@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/layout"
+)
+
+// Table4Row is one public-benchmark row of the paper's Table 4.
+type Table4Row struct {
+	Name       string
+	H, V, M    int
+	Pins       int
+	Obstacles  int
+	CostLin08  float64 // [12]
+	CostLiu14  float64 // [16]
+	CostLin18  float64 // [14]
+	CostOurs   float64
+	ImpVsLin08 float64
+	ImpVsLiu14 float64
+	ImpVsLin18 float64
+}
+
+// Table4Benchmarks returns the benchmark names a scale evaluates.
+func Table4Benchmarks(s Scale) []string {
+	switch s {
+	case ScaleSmall:
+		return []string{"rt1", "ind1"}
+	case ScaleMedium:
+		return []string{"rt1", "rt2", "ind1", "ind2", "ind3"}
+	default:
+		return []string{"rt1", "rt2", "rt3", "rt4", "rt5", "ind1", "ind2", "ind3"}
+	}
+}
+
+// Table4 routes the synthetic public-benchmark equivalents with all three
+// algorithmic routers and ours, printing the paper's Table 4 columns.
+func Table4(opts Options) ([]Table4Row, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	ours := core.NewRouter(sel)
+	w := opts.out()
+	fmt.Fprintf(w, "Table 4: Routing-cost comparison on public-benchmark equivalents (C_via = 3, scale=%v)\n", opts.Scale)
+	fmt.Fprintf(w, "%-6s %5s %5s %3s %6s %6s | %10s %10s %10s %10s | %9s %9s %9s\n",
+		"case", "H", "V", "M", "pins", "obs",
+		"[12] (a)", "[16] (b)", "[14] (c)", "ours (d)",
+		"(a-d)/a", "(b-d)/b", "(c-d)/c")
+
+	var rows []Table4Row
+	var sumA, sumB, sumC float64
+	for _, name := range Table4Benchmarks(opts.Scale) {
+		spec, ok := layout.BenchmarkByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		in, err := spec.Generate()
+		if err != nil {
+			return nil, err
+		}
+		r08, err := baseline.New(baseline.Lin08).Route(in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s [12]: %w", name, err)
+		}
+		r16, err := baseline.New(baseline.Liu14).Route(in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s [16]: %w", name, err)
+		}
+		r14, err := baseline.New(baseline.Lin18).Route(in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s [14]: %w", name, err)
+		}
+		rOurs, err := ours.Route(in)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s ours: %w", name, err)
+		}
+		row := Table4Row{
+			Name: name, H: spec.H, V: spec.V, M: spec.M,
+			Pins: spec.Pins, Obstacles: spec.Obstacles,
+			CostLin08: r08.Tree.Cost,
+			CostLiu14: r16.Tree.Cost,
+			CostLin18: r14.Tree.Cost,
+			CostOurs:  rOurs.Tree.Cost,
+		}
+		row.ImpVsLin08 = imp(row.CostLin08, row.CostOurs)
+		row.ImpVsLiu14 = imp(row.CostLiu14, row.CostOurs)
+		row.ImpVsLin18 = imp(row.CostLin18, row.CostOurs)
+		rows = append(rows, row)
+		sumA += row.ImpVsLin08
+		sumB += row.ImpVsLiu14
+		sumC += row.ImpVsLin18
+		fmt.Fprintf(w, "%-6s %5d %5d %3d %6d %6d | %10.0f %10.0f %10.0f %10.0f | %8.3f%% %8.3f%% %8.3f%%\n",
+			row.Name, row.H, row.V, row.M, row.Pins, row.Obstacles,
+			row.CostLin08, row.CostLiu14, row.CostLin18, row.CostOurs,
+			100*row.ImpVsLin08, 100*row.ImpVsLiu14, 100*row.ImpVsLin18)
+	}
+	if n := float64(len(rows)); n > 0 {
+		fmt.Fprintf(w, "%-6s %38s | %43s | %8.3f%% %8.3f%% %8.3f%%\n",
+			"avg.", "", "", 100*sumA/n, 100*sumB/n, 100*sumC/n)
+	}
+	return rows, nil
+}
+
+func imp(base, ours float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - ours) / base
+}

@@ -1,0 +1,184 @@
+// Package geom provides the integer rectilinear geometry primitives used
+// throughout the router: points, rectangles and Manhattan metrics on the
+// original (pre-Hanan) coordinate space of a layout.
+//
+// Coordinates are integers because IC layouts are defined on a manufacturing
+// grid; all distances are Manhattan (L1) distances, matching the rectilinear
+// routing model of the OARSMT problem.
+package geom
+
+import "fmt"
+
+// Point is a location in the original coordinate space of a layout.
+// X grows to the right, Y grows upward, Layer counts routing layers from 0.
+type Point struct {
+	X, Y  int
+	Layer int
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%d,%d,L%d)", p.X, p.Y, p.Layer)
+}
+
+// ManhattanXY returns the 2-D Manhattan distance between p and q, ignoring
+// the layer coordinate.
+func (p Point) ManhattanXY(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// Manhattan returns the 3-D Manhattan distance between p and q where each
+// layer crossing counts viaCost.
+func (p Point) Manhattan(q Point, viaCost int) int {
+	return p.ManhattanXY(q) + abs(p.Layer-q.Layer)*viaCost
+}
+
+// Rect is an axis-aligned rectangle on a single layer, given by its
+// inclusive lower-left corner (X1, Y1) and inclusive upper-right corner
+// (X2, Y2). A Rect with X1 == X2 or Y1 == Y2 is degenerate (a segment or a
+// point) and is still a valid obstacle footprint.
+type Rect struct {
+	X1, Y1 int
+	X2, Y2 int
+	Layer  int
+}
+
+// NewRect returns the rectangle spanning the two corner points on the given
+// layer, normalising the corner order.
+func NewRect(x1, y1, x2, y2, layer int) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{X1: x1, Y1: y1, X2: x2, Y2: y2, Layer: layer}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d]x[%d,%d]@L%d", r.X1, r.X2, r.Y1, r.Y2, r.Layer)
+}
+
+// Valid reports whether the rectangle corners are correctly ordered.
+func (r Rect) Valid() bool {
+	return r.X1 <= r.X2 && r.Y1 <= r.Y2
+}
+
+// Width returns the X extent of the rectangle.
+func (r Rect) Width() int { return r.X2 - r.X1 }
+
+// Height returns the Y extent of the rectangle.
+func (r Rect) Height() int { return r.Y2 - r.Y1 }
+
+// Area returns the area of the rectangle in original coordinate units.
+// Degenerate rectangles have zero area.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Contains reports whether the point lies inside or on the boundary of the
+// rectangle (layer must match).
+func (r Rect) Contains(p Point) bool {
+	return p.Layer == r.Layer &&
+		r.X1 <= p.X && p.X <= r.X2 &&
+		r.Y1 <= p.Y && p.Y <= r.Y2
+}
+
+// ContainsInterior reports whether the point lies strictly inside the
+// rectangle. Routing along an obstacle boundary is legal in the OARSMT
+// model, so blocking tests use the interior.
+func (r Rect) ContainsInterior(p Point) bool {
+	return p.Layer == r.Layer &&
+		r.X1 < p.X && p.X < r.X2 &&
+		r.Y1 < p.Y && p.Y < r.Y2
+}
+
+// Intersects reports whether the two rectangles share any point (boundary
+// contact counts), on the same layer.
+func (r Rect) Intersects(o Rect) bool {
+	return r.Layer == o.Layer &&
+		r.X1 <= o.X2 && o.X1 <= r.X2 &&
+		r.Y1 <= o.Y2 && o.Y1 <= r.Y2
+}
+
+// IntersectsInterior reports whether the interiors of the two rectangles
+// overlap (mere boundary contact does not count), on the same layer.
+func (r Rect) IntersectsInterior(o Rect) bool {
+	return r.Layer == o.Layer &&
+		r.X1 < o.X2 && o.X1 < r.X2 &&
+		r.Y1 < o.Y2 && o.Y1 < r.Y2
+}
+
+// Union returns the bounding box of the two rectangles. The result is on
+// r's layer; callers that mix layers should track layers separately.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		X1:    min(r.X1, o.X1),
+		Y1:    min(r.Y1, o.Y1),
+		X2:    max(r.X2, o.X2),
+		Y2:    max(r.Y2, o.Y2),
+		Layer: r.Layer,
+	}
+}
+
+// Inflate returns the rectangle grown by d on every side. Negative d
+// shrinks it; the result is normalised so it stays valid.
+func (r Rect) Inflate(d int) Rect {
+	return NewRect(r.X1-d, r.Y1-d, r.X2+d, r.Y2+d, r.Layer)
+}
+
+// SegmentCrossesInterior reports whether the open axis-parallel segment from
+// a to b (same layer, sharing one coordinate) passes through the strict
+// interior of the rectangle. Touching the boundary does not count: routing
+// is allowed along obstacle edges.
+func (r Rect) SegmentCrossesInterior(a, b Point) bool {
+	if a.Layer != r.Layer || b.Layer != r.Layer {
+		return false
+	}
+	switch {
+	case a.Y == b.Y: // horizontal segment
+		y := a.Y
+		lo, hi := minMax(a.X, b.X)
+		// The segment's interior intersects the rect's interior iff the
+		// y-line is strictly inside and the open x-interval overlaps the
+		// open rect x-interval.
+		return r.Y1 < y && y < r.Y2 && lo < r.X2 && r.X1 < hi
+	case a.X == b.X: // vertical segment
+		x := a.X
+		lo, hi := minMax(a.Y, b.Y)
+		return r.X1 < x && x < r.X2 && lo < r.Y2 && r.Y1 < hi
+	default:
+		// Not axis-parallel: callers never do this for rectilinear edges.
+		return false
+	}
+}
+
+// BoundingBox returns the smallest rectangle containing all points. The
+// returned layer is 0; multi-layer callers only use the XY extent. It
+// panics on an empty slice because an empty bounding box has no meaning.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingBox of empty point set")
+	}
+	r := Rect{X1: pts[0].X, Y1: pts[0].Y, X2: pts[0].X, Y2: pts[0].Y}
+	for _, p := range pts[1:] {
+		r.X1 = min(r.X1, p.X)
+		r.Y1 = min(r.Y1, p.Y)
+		r.X2 = max(r.X2, p.X)
+		r.Y2 = max(r.Y2, p.Y)
+	}
+	return r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minMax(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattanXY(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want int
+	}{
+		{Point{0, 0, 0}, Point{0, 0, 0}, 0},
+		{Point{0, 0, 0}, Point{3, 4, 0}, 7},
+		{Point{-2, 5, 0}, Point{1, -1, 3}, 9}, // layer ignored
+		{Point{10, 10, 1}, Point{10, 3, 1}, 7},
+	}
+	for _, c := range cases {
+		if got := c.p.ManhattanXY(c.q); got != c.want {
+			t.Errorf("ManhattanXY(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		if got := c.q.ManhattanXY(c.p); got != c.want {
+			t.Errorf("ManhattanXY not symmetric for %v,%v", c.p, c.q)
+		}
+	}
+}
+
+func TestManhattan3D(t *testing.T) {
+	p := Point{0, 0, 0}
+	q := Point{2, 3, 2}
+	if got := p.Manhattan(q, 4); got != 2+3+2*4 {
+		t.Errorf("Manhattan = %d, want %d", got, 13)
+	}
+	if got := p.Manhattan(q, 0); got != 5 {
+		t.Errorf("Manhattan with zero via cost = %d, want 5", got)
+	}
+}
+
+func TestManhattanProperties(t *testing.T) {
+	// Symmetry and triangle inequality.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Point{int(ax), int(ay), 0}
+		b := Point{int(bx), int(by), 0}
+		c := Point{int(cx), int(cy), 0}
+		if a.ManhattanXY(b) != b.ManhattanXY(a) {
+			return false
+		}
+		return a.ManhattanXY(c) <= a.ManhattanXY(b)+b.ManhattanXY(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRectNormalises(t *testing.T) {
+	r := NewRect(5, 7, 1, 2, 3)
+	want := Rect{X1: 1, Y1: 2, X2: 5, Y2: 7, Layer: 3}
+	if r != want {
+		t.Errorf("NewRect = %+v, want %+v", r, want)
+	}
+	if !r.Valid() {
+		t.Error("normalised rect should be valid")
+	}
+}
+
+func TestRectAccessors(t *testing.T) {
+	r := NewRect(1, 2, 4, 7, 0)
+	if r.Width() != 3 || r.Height() != 5 || r.Area() != 15 {
+		t.Errorf("accessors wrong: w=%d h=%d a=%d", r.Width(), r.Height(), r.Area())
+	}
+	deg := NewRect(2, 2, 2, 5, 0)
+	if deg.Area() != 0 {
+		t.Errorf("degenerate rect area = %d, want 0", deg.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 4, 4, 1)
+	cases := []struct {
+		p              Point
+		cont, interior bool
+	}{
+		{Point{2, 2, 1}, true, true},
+		{Point{0, 0, 1}, true, false},  // corner: boundary only
+		{Point{4, 2, 1}, true, false},  // edge: boundary only
+		{Point{2, 2, 0}, false, false}, // wrong layer
+		{Point{5, 2, 1}, false, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.cont {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.cont)
+		}
+		if got := r.ContainsInterior(c.p); got != c.interior {
+			t.Errorf("ContainsInterior(%v) = %v, want %v", c.p, got, c.interior)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 4, 4, 0)
+	b := NewRect(4, 4, 8, 8, 0) // touches at corner
+	c := NewRect(5, 5, 8, 8, 0) // disjoint
+	d := NewRect(2, 2, 6, 6, 0) // overlaps
+	e := NewRect(2, 2, 6, 6, 1) // overlaps but other layer
+	if !a.Intersects(b) {
+		t.Error("corner touch should intersect (closed)")
+	}
+	if a.IntersectsInterior(b) {
+		t.Error("corner touch should not intersect interiors")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects should not intersect")
+	}
+	if !a.Intersects(d) || !a.IntersectsInterior(d) {
+		t.Error("overlapping rects should intersect both ways")
+	}
+	if a.Intersects(e) {
+		t.Error("different layers should never intersect")
+	}
+}
+
+func TestRectUnionInflate(t *testing.T) {
+	a := NewRect(0, 0, 2, 2, 0)
+	b := NewRect(5, -1, 6, 1, 0)
+	u := a.Union(b)
+	if u != (Rect{X1: 0, Y1: -1, X2: 6, Y2: 2, Layer: 0}) {
+		t.Errorf("Union = %+v", u)
+	}
+	in := a.Inflate(2)
+	if in != (Rect{X1: -2, Y1: -2, X2: 4, Y2: 4, Layer: 0}) {
+		t.Errorf("Inflate = %+v", in)
+	}
+	// Over-shrinking must still produce a valid rect.
+	if !a.Inflate(-5).Valid() {
+		t.Error("Inflate(-5) should normalise to a valid rect")
+	}
+}
+
+func TestSegmentCrossesInterior(t *testing.T) {
+	r := NewRect(2, 2, 6, 6, 0)
+	cases := []struct {
+		a, b Point
+		want bool
+		name string
+	}{
+		{Point{0, 4, 0}, Point{8, 4, 0}, true, "horizontal through middle"},
+		{Point{0, 2, 0}, Point{8, 2, 0}, false, "horizontal along bottom edge"},
+		{Point{0, 6, 0}, Point{8, 6, 0}, false, "horizontal along top edge"},
+		{Point{4, 0, 0}, Point{4, 8, 0}, true, "vertical through middle"},
+		{Point{2, 0, 0}, Point{2, 8, 0}, false, "vertical along left edge"},
+		{Point{0, 4, 0}, Point{2, 4, 0}, false, "horizontal stops at boundary"},
+		{Point{0, 4, 0}, Point{3, 4, 0}, true, "horizontal enters interior"},
+		{Point{0, 4, 1}, Point{8, 4, 1}, false, "other layer"},
+		{Point{8, 4, 0}, Point{0, 4, 0}, true, "reversed endpoints"},
+		{Point{0, 0, 0}, Point{1, 1, 0}, false, "diagonal ignored"},
+	}
+	for _, c := range cases {
+		if got := r.SegmentCrossesInterior(c.a, c.b); got != c.want {
+			t.Errorf("%s: SegmentCrossesInterior(%v,%v) = %v, want %v",
+				c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{{3, 4, 0}, {-1, 2, 1}, {5, -2, 2}}
+	bb := BoundingBox(pts)
+	if bb != (Rect{X1: -1, Y1: -2, X2: 5, Y2: 4, Layer: 0}) {
+		t.Errorf("BoundingBox = %+v", bb)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingBox of empty slice should panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestBoundingBoxProperty(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Point{int(xs[i]), int(ys[i]), 0}
+		}
+		bb := BoundingBox(pts)
+		for _, p := range pts {
+			if !bb.Contains(Point{p.X, p.Y, 0}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,402 @@
+// Package grid implements the 2-D and 3-D Hanan grid graphs on which the
+// ML-OARSMT router operates (paper §2.2).
+//
+// A Graph has H columns (the x axis), V rows (the y axis) and M routing
+// layers. Vertices are addressed either by their (h, v, m) grid coordinate
+// or by a linear VertexID. The linear index is chosen so that VertexID order
+// equals the lexicographic order of (h, v, m), which is exactly the
+// selection-priority order the combinatorial MCTS relies on (paper §3.4).
+//
+// Edge costs follow the Hanan-graph model: the cost of moving between
+// adjacent columns h and h+1 is DX[h] for every row and layer (it is the
+// geometric distance between the two grid lines), the cost between adjacent
+// rows is DY[v], and every layer crossing costs ViaCost. Costs may be
+// arbitrary positive values, which is what lets the router handle "any
+// routing costs between grids".
+//
+// Obstacles block vertices (a vertex strictly inside an obstacle) and may
+// additionally block individual edges whose interior crosses an obstacle,
+// which happens when a Hanan cell spans an obstacle wider than one grid
+// step.
+package grid
+
+import "fmt"
+
+// VertexID is the linear index of a grid vertex. IDs are assigned so that
+// increasing ID order equals lexicographic (h, v, m) order.
+type VertexID int32
+
+// Coord is a grid coordinate triple.
+type Coord struct {
+	H, V, M int
+}
+
+// Less reports whether c has a higher selection priority than o, i.e. a
+// smaller lexicographic (h, v, m) order (paper §3.4).
+func (c Coord) Less(o Coord) bool {
+	if c.H != o.H {
+		return c.H < o.H
+	}
+	if c.V != o.V {
+		return c.V < o.V
+	}
+	return c.M < o.M
+}
+
+// String implements fmt.Stringer.
+func (c Coord) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", c.H, c.V, c.M)
+}
+
+// Graph is a 3-D Hanan grid graph.
+type Graph struct {
+	H, V, M int
+
+	// DX[h] is the routing cost between columns h and h+1 (len H-1).
+	// DY[v] is the routing cost between rows v and v+1 (len V-1).
+	DX, DY []float64
+
+	// ViaCost is the cost of one layer crossing, identical for every
+	// vertex within a layout (paper §3.3) but varying across layouts.
+	ViaCost float64
+
+	// XCoord and YCoord are the original-space coordinates of the grid
+	// lines when the graph was derived from a geometric layout; nil for
+	// directly generated grids.
+	XCoord, YCoord []int
+
+	// HScale and VScale are optional per-layer multipliers on horizontal
+	// (DX) and vertical (DY) edge costs, modelling preferred-direction
+	// routing layers: a layer whose VScale exceeds its HScale is a
+	// horizontal-preferred layer and vice versa. Nil means 1.0 everywhere.
+	// Set them with SetLayerScales so lengths are validated.
+	HScale, VScale []float64
+
+	blocked []bool // vertex blocked, indexed by VertexID
+
+	// blockedEX marks X-oriented edges between (h,v,m) and (h+1,v,m),
+	// indexed by edgeXIndex. Nil when no edge is individually blocked.
+	blockedEX []bool
+	// blockedEY marks Y-oriented edges between (h,v,m) and (h,v+1,m).
+	blockedEY []bool
+}
+
+// New returns a grid graph with the given dimensions and per-interval
+// costs. DX must have length H-1 and DY length V-1; costs must be positive.
+func New(h, v, m int, dx, dy []float64, viaCost float64) (*Graph, error) {
+	if h < 1 || v < 1 || m < 1 {
+		return nil, fmt.Errorf("grid: dimensions must be >= 1, got %dx%dx%d", h, v, m)
+	}
+	if len(dx) != h-1 {
+		return nil, fmt.Errorf("grid: len(dx) = %d, want H-1 = %d", len(dx), h-1)
+	}
+	if len(dy) != v-1 {
+		return nil, fmt.Errorf("grid: len(dy) = %d, want V-1 = %d", len(dy), v-1)
+	}
+	for i, c := range dx {
+		if c <= 0 {
+			return nil, fmt.Errorf("grid: dx[%d] = %v, want > 0", i, c)
+		}
+	}
+	for i, c := range dy {
+		if c <= 0 {
+			return nil, fmt.Errorf("grid: dy[%d] = %v, want > 0", i, c)
+		}
+	}
+	if viaCost <= 0 {
+		return nil, fmt.Errorf("grid: via cost = %v, want > 0", viaCost)
+	}
+	return &Graph{
+		H: h, V: v, M: m,
+		DX: dx, DY: dy,
+		ViaCost: viaCost,
+		blocked: make([]bool, h*v*m),
+	}, nil
+}
+
+// NewUniform returns a grid graph whose every horizontal and vertical step
+// costs 1.
+func NewUniform(h, v, m int, viaCost float64) (*Graph, error) {
+	dx := make([]float64, max(h-1, 0))
+	dy := make([]float64, max(v-1, 0))
+	for i := range dx {
+		dx[i] = 1
+	}
+	for i := range dy {
+		dy[i] = 1
+	}
+	return New(h, v, m, dx, dy, viaCost)
+}
+
+// MustNew is New but panics on error; intended for tests and literals with
+// known-good parameters.
+func MustNew(h, v, m int, dx, dy []float64, viaCost float64) *Graph {
+	g, err := New(h, v, m, dx, dy, viaCost)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices returns H*V*M.
+func (g *Graph) NumVertices() int { return g.H * g.V * g.M }
+
+// Index returns the linear VertexID of (h, v, m). The encoding preserves
+// lexicographic order: Index(a) < Index(b) iff a is lexicographically
+// smaller than b.
+func (g *Graph) Index(h, v, m int) VertexID {
+	return VertexID((h*g.V+v)*g.M + m)
+}
+
+// IndexOf returns the linear VertexID of a Coord.
+func (g *Graph) IndexOf(c Coord) VertexID { return g.Index(c.H, c.V, c.M) }
+
+// CoordOf returns the grid coordinate of a VertexID.
+func (g *Graph) CoordOf(id VertexID) Coord {
+	i := int(id)
+	m := i % g.M
+	i /= g.M
+	v := i % g.V
+	h := i / g.V
+	return Coord{H: h, V: v, M: m}
+}
+
+// InBounds reports whether the coordinate lies inside the grid.
+func (g *Graph) InBounds(c Coord) bool {
+	return 0 <= c.H && c.H < g.H && 0 <= c.V && c.V < g.V && 0 <= c.M && c.M < g.M
+}
+
+// Blocked reports whether the vertex is an obstacle.
+func (g *Graph) Blocked(id VertexID) bool { return g.blocked[id] }
+
+// BlockedCoord reports whether the vertex at c is an obstacle.
+func (g *Graph) BlockedCoord(c Coord) bool { return g.blocked[g.IndexOf(c)] }
+
+// Block marks the vertex as an obstacle.
+func (g *Graph) Block(id VertexID) { g.blocked[id] = true }
+
+// Unblock clears the obstacle mark of the vertex.
+func (g *Graph) Unblock(id VertexID) { g.blocked[id] = false }
+
+// NumBlocked returns the number of obstacle vertices.
+func (g *Graph) NumBlocked() int {
+	n := 0
+	for _, b := range g.blocked {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Graph) edgeXIndex(h, v, m int) int { return (h*g.V+v)*g.M + m } // h in [0,H-2]
+func (g *Graph) edgeYIndex(h, v, m int) int { return (h*(g.V-1)+v)*g.M + m }
+
+// BlockEdgeX marks the edge between (h,v,m) and (h+1,v,m) as blocked.
+func (g *Graph) BlockEdgeX(h, v, m int) {
+	if g.blockedEX == nil {
+		g.blockedEX = make([]bool, max(g.H-1, 0)*g.V*g.M)
+	}
+	g.blockedEX[g.edgeXIndex(h, v, m)] = true
+}
+
+// BlockEdgeY marks the edge between (h,v,m) and (h,v+1,m) as blocked.
+func (g *Graph) BlockEdgeY(h, v, m int) {
+	if g.blockedEY == nil {
+		g.blockedEY = make([]bool, g.H*max(g.V-1, 0)*g.M)
+	}
+	g.blockedEY[g.edgeYIndex(h, v, m)] = true
+}
+
+// EdgeXBlocked reports whether the edge between (h,v,m) and (h+1,v,m) is
+// blocked, either explicitly or because one endpoint is an obstacle vertex.
+func (g *Graph) EdgeXBlocked(h, v, m int) bool {
+	if g.blocked[g.Index(h, v, m)] || g.blocked[g.Index(h+1, v, m)] {
+		return true
+	}
+	return g.blockedEX != nil && g.blockedEX[g.edgeXIndex(h, v, m)]
+}
+
+// EdgeYBlocked reports whether the edge between (h,v,m) and (h,v+1,m) is
+// blocked, either explicitly or because one endpoint is an obstacle vertex.
+func (g *Graph) EdgeYBlocked(h, v, m int) bool {
+	if g.blocked[g.Index(h, v, m)] || g.blocked[g.Index(h, v+1, m)] {
+		return true
+	}
+	return g.blockedEY != nil && g.blockedEY[g.edgeYIndex(h, v, m)]
+}
+
+// EdgeZBlocked reports whether the via between (h,v,m) and (h,v,m+1) is
+// blocked; vias are blocked only through obstacle vertices.
+func (g *Graph) EdgeZBlocked(h, v, m int) bool {
+	return g.blocked[g.Index(h, v, m)] || g.blocked[g.Index(h, v, m+1)]
+}
+
+// SetLayerScales installs per-layer preferred-direction multipliers; both
+// slices must have length M with positive entries, or be nil to clear.
+func (g *Graph) SetLayerScales(hScale, vScale []float64) error {
+	check := func(name string, s []float64) error {
+		if s == nil {
+			return nil
+		}
+		if len(s) != g.M {
+			return fmt.Errorf("grid: %s has %d entries for %d layers", name, len(s), g.M)
+		}
+		for i, v := range s {
+			if v <= 0 {
+				return fmt.Errorf("grid: %s[%d] = %v, want > 0", name, i, v)
+			}
+		}
+		return nil
+	}
+	if err := check("HScale", hScale); err != nil {
+		return err
+	}
+	if err := check("VScale", vScale); err != nil {
+		return err
+	}
+	g.HScale, g.VScale = hScale, vScale
+	return nil
+}
+
+// CostX returns the cost of moving between columns h and h+1 on layer m,
+// including the layer's preferred-direction multiplier.
+func (g *Graph) CostX(h, m int) float64 {
+	c := g.DX[h]
+	if g.HScale != nil {
+		c *= g.HScale[m]
+	}
+	return c
+}
+
+// CostY returns the cost of moving between rows v and v+1 on layer m,
+// including the layer's preferred-direction multiplier.
+func (g *Graph) CostY(v, m int) float64 {
+	c := g.DY[v]
+	if g.VScale != nil {
+		c *= g.VScale[m]
+	}
+	return c
+}
+
+// MaxEdgeCost returns the maximum over all (scaled) edge costs and the via
+// cost; the feature encoder normalises cost channels by this value (paper
+// §3.3).
+func (g *Graph) MaxEdgeCost() float64 {
+	maxScale := func(s []float64) float64 {
+		out := 1.0
+		for _, v := range s {
+			if v > out {
+				out = v
+			}
+		}
+		return out
+	}
+	m := g.ViaCost
+	hs, vs := maxScale(g.HScale), maxScale(g.VScale)
+	for _, c := range g.DX {
+		if c*hs > m {
+			m = c * hs
+		}
+	}
+	for _, c := range g.DY {
+		if c*vs > m {
+			m = c * vs
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		H: g.H, V: g.V, M: g.M,
+		DX:      append([]float64(nil), g.DX...),
+		DY:      append([]float64(nil), g.DY...),
+		ViaCost: g.ViaCost,
+		blocked: append([]bool(nil), g.blocked...),
+	}
+	if g.XCoord != nil {
+		c.XCoord = append([]int(nil), g.XCoord...)
+	}
+	if g.YCoord != nil {
+		c.YCoord = append([]int(nil), g.YCoord...)
+	}
+	if g.blockedEX != nil {
+		c.blockedEX = append([]bool(nil), g.blockedEX...)
+	}
+	if g.blockedEY != nil {
+		c.blockedEY = append([]bool(nil), g.blockedEY...)
+	}
+	if g.HScale != nil {
+		c.HScale = append([]float64(nil), g.HScale...)
+	}
+	if g.VScale != nil {
+		c.VScale = append([]float64(nil), g.VScale...)
+	}
+	return c
+}
+
+// Neighbors appends to buf the usable (vertexID, edge cost) pairs adjacent
+// to id and returns the extended slice. Blocked vertices and blocked edges
+// are skipped. The six possible neighbours follow the -h, +h, -v, +v, -m,
+// +m order.
+func (g *Graph) Neighbors(id VertexID, buf []Neighbor) []Neighbor {
+	c := g.CoordOf(id)
+	h, v, m := c.H, c.V, c.M
+	hs, vs := 1.0, 1.0
+	if g.HScale != nil {
+		hs = g.HScale[m]
+	}
+	if g.VScale != nil {
+		vs = g.VScale[m]
+	}
+	if h > 0 && !g.EdgeXBlocked(h-1, v, m) {
+		buf = append(buf, Neighbor{ID: g.Index(h-1, v, m), Cost: g.DX[h-1] * hs})
+	}
+	if h < g.H-1 && !g.EdgeXBlocked(h, v, m) {
+		buf = append(buf, Neighbor{ID: g.Index(h+1, v, m), Cost: g.DX[h] * hs})
+	}
+	if v > 0 && !g.EdgeYBlocked(h, v-1, m) {
+		buf = append(buf, Neighbor{ID: g.Index(h, v-1, m), Cost: g.DY[v-1] * vs})
+	}
+	if v < g.V-1 && !g.EdgeYBlocked(h, v, m) {
+		buf = append(buf, Neighbor{ID: g.Index(h, v+1, m), Cost: g.DY[v] * vs})
+	}
+	if m > 0 && !g.EdgeZBlocked(h, v, m-1) {
+		buf = append(buf, Neighbor{ID: g.Index(h, v, m-1), Cost: g.ViaCost})
+	}
+	if m < g.M-1 && !g.EdgeZBlocked(h, v, m) {
+		buf = append(buf, Neighbor{ID: g.Index(h, v, m+1), Cost: g.ViaCost})
+	}
+	return buf
+}
+
+// Neighbor is one usable adjacency returned by Graph.Neighbors.
+type Neighbor struct {
+	ID   VertexID
+	Cost float64
+}
+
+// EdgeCost returns the cost of the edge between two adjacent vertices; it
+// panics if the vertices are not grid-adjacent. It does not check blocking.
+func (g *Graph) EdgeCost(a, b VertexID) float64 {
+	ca, cb := g.CoordOf(a), g.CoordOf(b)
+	dh, dv, dm := cb.H-ca.H, cb.V-ca.V, cb.M-ca.M
+	switch {
+	case dv == 0 && dm == 0 && (dh == 1 || dh == -1):
+		return g.CostX(min(ca.H, cb.H), ca.M)
+	case dh == 0 && dm == 0 && (dv == 1 || dv == -1):
+		return g.CostY(min(ca.V, cb.V), ca.M)
+	case dh == 0 && dv == 0 && (dm == 1 || dm == -1):
+		return g.ViaCost
+	}
+	panic(fmt.Sprintf("grid: EdgeCost of non-adjacent vertices %v and %v", ca, cb))
+}
+
+// ObstacleAreaRatio returns the fraction of vertices that are blocked. For
+// directly generated grids this is the "obstacle ratio" used by Fig 10 of
+// the paper (area of obstacles over the overall layout area).
+func (g *Graph) ObstacleAreaRatio() float64 {
+	return float64(g.NumBlocked()) / float64(g.NumVertices())
+}

@@ -1,0 +1,194 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 1, nil, []float64{1, 1}, 1); err == nil {
+		t.Error("zero H should fail")
+	}
+	if _, err := New(3, 3, 1, []float64{1}, []float64{1, 1}, 1); err == nil {
+		t.Error("short dx should fail")
+	}
+	if _, err := New(3, 3, 1, []float64{1, -1}, []float64{1, 1}, 1); err == nil {
+		t.Error("negative cost should fail")
+	}
+	if _, err := New(3, 3, 1, []float64{1, 1}, []float64{1, 1}, 0); err == nil {
+		t.Error("zero via cost should fail")
+	}
+	if _, err := New(2, 2, 2, []float64{5}, []float64{7}, 3); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestIndexRoundTripAndOrder(t *testing.T) {
+	g, err := NewUniform(4, 5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := VertexID(-1)
+	for h := 0; h < g.H; h++ {
+		for v := 0; v < g.V; v++ {
+			for m := 0; m < g.M; m++ {
+				id := g.Index(h, v, m)
+				if id != prev+1 {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d (lexicographic order broken)",
+						h, v, m, id, prev+1)
+				}
+				prev = id
+				c := g.CoordOf(id)
+				if c.H != h || c.V != v || c.M != m {
+					t.Fatalf("CoordOf(Index(%d,%d,%d)) = %v", h, v, m, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCoordLessMatchesIndexOrder(t *testing.T) {
+	g, _ := NewUniform(3, 4, 2, 1)
+	f := func(a, b uint8) bool {
+		ia := VertexID(int(a) % g.NumVertices())
+		ib := VertexID(int(b) % g.NumVertices())
+		return g.CoordOf(ia).Less(g.CoordOf(ib)) == (ia < ib)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g, _ := New(3, 3, 2, []float64{10, 20}, []float64{30, 40}, 5)
+	// Center of layer 0.
+	nb := g.Neighbors(g.Index(1, 1, 0), nil)
+	if len(nb) != 5 {
+		t.Fatalf("center vertex neighbours = %d, want 5", len(nb))
+	}
+	costs := map[VertexID]float64{}
+	for _, n := range nb {
+		costs[n.ID] = n.Cost
+	}
+	checks := []struct {
+		c    Coord
+		cost float64
+	}{
+		{Coord{0, 1, 0}, 10},
+		{Coord{2, 1, 0}, 20},
+		{Coord{1, 0, 0}, 30},
+		{Coord{1, 2, 0}, 40},
+		{Coord{1, 1, 1}, 5},
+	}
+	for _, ch := range checks {
+		if got, ok := costs[g.IndexOf(ch.c)]; !ok || got != ch.cost {
+			t.Errorf("neighbour %v: cost %v (present=%v), want %v", ch.c, got, ok, ch.cost)
+		}
+	}
+	// Corner vertex has 3 neighbours in a 3x3x2 grid.
+	if nb := g.Neighbors(g.Index(0, 0, 0), nil); len(nb) != 3 {
+		t.Errorf("corner neighbours = %d, want 3", len(nb))
+	}
+}
+
+func TestNeighborsSkipBlocked(t *testing.T) {
+	g, _ := NewUniform(3, 3, 1, 1)
+	g.Block(g.Index(1, 0, 0))
+	nb := g.Neighbors(g.Index(0, 0, 0), nil)
+	if len(nb) != 1 {
+		t.Fatalf("neighbours = %d, want 1 (one blocked)", len(nb))
+	}
+	if nb[0].ID != g.Index(0, 1, 0) {
+		t.Errorf("unexpected neighbour %v", g.CoordOf(nb[0].ID))
+	}
+}
+
+func TestEdgeBlocking(t *testing.T) {
+	g, _ := NewUniform(3, 3, 2, 1)
+	if g.EdgeXBlocked(0, 0, 0) {
+		t.Error("fresh edge should be open")
+	}
+	g.BlockEdgeX(0, 0, 0)
+	if !g.EdgeXBlocked(0, 0, 0) {
+		t.Error("explicitly blocked X edge not reported")
+	}
+	if g.EdgeXBlocked(1, 0, 0) {
+		t.Error("adjacent edge wrongly blocked")
+	}
+	g.BlockEdgeY(2, 1, 1)
+	if !g.EdgeYBlocked(2, 1, 1) {
+		t.Error("explicitly blocked Y edge not reported")
+	}
+	// Blocking a vertex blocks its incident edges implicitly.
+	g.Block(g.Index(1, 1, 0))
+	if !g.EdgeXBlocked(0, 1, 0) || !g.EdgeXBlocked(1, 1, 0) ||
+		!g.EdgeYBlocked(1, 0, 0) || !g.EdgeYBlocked(1, 1, 0) ||
+		!g.EdgeZBlocked(1, 1, 0) {
+		t.Error("edges incident to a blocked vertex must be blocked")
+	}
+}
+
+func TestEdgeCost(t *testing.T) {
+	g, _ := New(3, 3, 2, []float64{10, 20}, []float64{30, 40}, 5)
+	a := g.Index(1, 1, 0)
+	if c := g.EdgeCost(a, g.Index(2, 1, 0)); c != 20 {
+		t.Errorf("x edge cost = %v, want 20", c)
+	}
+	if c := g.EdgeCost(a, g.Index(0, 1, 0)); c != 10 {
+		t.Errorf("reverse x edge cost = %v, want 10", c)
+	}
+	if c := g.EdgeCost(a, g.Index(1, 0, 0)); c != 30 {
+		t.Errorf("y edge cost = %v, want 30", c)
+	}
+	if c := g.EdgeCost(a, g.Index(1, 1, 1)); c != 5 {
+		t.Errorf("via cost = %v, want 5", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-adjacent EdgeCost should panic")
+		}
+	}()
+	g.EdgeCost(a, g.Index(2, 2, 1))
+}
+
+func TestMaxEdgeCost(t *testing.T) {
+	g, _ := New(3, 2, 1, []float64{10, 999}, []float64{30}, 5)
+	if got := g.MaxEdgeCost(); got != 999 {
+		t.Errorf("MaxEdgeCost = %v, want 999", got)
+	}
+	g2, _ := New(2, 2, 1, []float64{1}, []float64{1}, 77)
+	if got := g2.MaxEdgeCost(); got != 77 {
+		t.Errorf("MaxEdgeCost dominated by via = %v, want 77", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, _ := NewUniform(3, 3, 2, 1)
+	g.Block(g.Index(1, 1, 0))
+	g.BlockEdgeX(0, 0, 0)
+	c := g.Clone()
+	c.Block(c.Index(2, 2, 1))
+	c.BlockEdgeY(0, 0, 0)
+	c.DX[0] = 99
+	if g.Blocked(g.Index(2, 2, 1)) {
+		t.Error("clone vertex blocking leaked into original")
+	}
+	if g.EdgeYBlocked(0, 0, 0) {
+		t.Error("clone edge blocking leaked into original")
+	}
+	if g.DX[0] == 99 {
+		t.Error("clone cost mutation leaked into original")
+	}
+	if !c.Blocked(c.Index(1, 1, 0)) || !c.EdgeXBlocked(0, 0, 0) {
+		t.Error("clone lost original blocking state")
+	}
+}
+
+func TestObstacleAreaRatio(t *testing.T) {
+	g, _ := NewUniform(2, 2, 2, 1)
+	g.Block(0)
+	g.Block(1)
+	if got := g.ObstacleAreaRatio(); got != 0.25 {
+		t.Errorf("ObstacleAreaRatio = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,149 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"oarsmt/internal/geom"
+)
+
+// FromObjects builds the 3-D Hanan grid graph of a geometric layout
+// (paper §2.2): all pins and obstacle boundaries are consolidated onto a
+// single layer, horizontal and vertical cuts are created at every pin
+// coordinate and obstacle boundary, and each object is then relocated onto
+// the resulting grid on its original layer.
+//
+// The returned pin slice holds, for each input pin in order, the VertexID
+// of the Hanan vertex it landed on.
+//
+// Obstacle semantics: a vertex strictly inside an obstacle is blocked, and
+// an edge whose interior crosses an obstacle interior is blocked. Routing
+// along an obstacle boundary remains legal, matching the rectilinear
+// blockage model of the OARSMT literature.
+//
+// Errors are returned for layouts with no pins, pins outside the layer
+// range, duplicated pin positions, or pins strictly inside an obstacle.
+func FromObjects(pins []geom.Point, obstacles []geom.Rect, layers int, viaCost float64) (*Graph, []VertexID, error) {
+	if len(pins) == 0 {
+		return nil, nil, fmt.Errorf("grid: layout has no pins")
+	}
+	if layers < 1 {
+		return nil, nil, fmt.Errorf("grid: layer count %d < 1", layers)
+	}
+
+	xs := make([]int, 0, len(pins)+2*len(obstacles))
+	ys := make([]int, 0, len(pins)+2*len(obstacles))
+	for i, p := range pins {
+		if p.Layer < 0 || p.Layer >= layers {
+			return nil, nil, fmt.Errorf("grid: pin %d layer %d outside [0,%d)", i, p.Layer, layers)
+		}
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	for i, r := range obstacles {
+		if !r.Valid() {
+			return nil, nil, fmt.Errorf("grid: obstacle %d invalid: %v", i, r)
+		}
+		if r.Layer < 0 || r.Layer >= layers {
+			return nil, nil, fmt.Errorf("grid: obstacle %d layer %d outside [0,%d)", i, r.Layer, layers)
+		}
+		xs = append(xs, r.X1, r.X2)
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	xs = sortedUnique(xs)
+	ys = sortedUnique(ys)
+
+	h, v := len(xs), len(ys)
+	dx := make([]float64, h-1)
+	for i := range dx {
+		dx[i] = float64(xs[i+1] - xs[i])
+	}
+	dy := make([]float64, v-1)
+	for i := range dy {
+		dy[i] = float64(ys[i+1] - ys[i])
+	}
+	g, err := New(h, v, layers, dx, dy, viaCost)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.XCoord = xs
+	g.YCoord = ys
+
+	for _, r := range obstacles {
+		g.applyObstacle(r)
+	}
+
+	ids := make([]VertexID, len(pins))
+	seen := make(map[VertexID]int, len(pins))
+	for i, p := range pins {
+		hi := sort.SearchInts(xs, p.X)
+		vi := sort.SearchInts(ys, p.Y)
+		id := g.Index(hi, vi, p.Layer)
+		if g.Blocked(id) {
+			return nil, nil, fmt.Errorf("grid: pin %d at %v lies inside an obstacle", i, p)
+		}
+		if j, dup := seen[id]; dup {
+			return nil, nil, fmt.Errorf("grid: pins %d and %d share position %v", j, i, p)
+		}
+		seen[id] = i
+		ids[i] = id
+	}
+	return g, ids, nil
+}
+
+// applyObstacle blocks the vertices strictly inside r and the edges whose
+// interior crosses r's interior.
+func (g *Graph) applyObstacle(r geom.Rect) {
+	m := r.Layer
+	// Index ranges of strictly interior grid lines.
+	hLo := sort.SearchInts(g.XCoord, r.X1+1)
+	hHi := sort.SearchInts(g.XCoord, r.X2) // first index with x >= X2
+	vLo := sort.SearchInts(g.YCoord, r.Y1+1)
+	vHi := sort.SearchInts(g.YCoord, r.Y2)
+
+	for h := hLo; h < hHi; h++ {
+		for v := vLo; v < vHi; v++ {
+			g.Block(g.Index(h, v, m))
+		}
+	}
+
+	// X-oriented edges at strictly interior rows crossing the obstacle:
+	// the open interval (XCoord[h], XCoord[h+1]) must overlap (X1, X2).
+	for v := vLo; v < vHi; v++ {
+		for h := 0; h < g.H-1; h++ {
+			if g.XCoord[h] < r.X2 && g.XCoord[h+1] > r.X1 {
+				g.BlockEdgeX(h, v, m)
+			}
+		}
+	}
+	// Y-oriented edges at strictly interior columns.
+	for h := hLo; h < hHi; h++ {
+		for v := 0; v < g.V-1; v++ {
+			if g.YCoord[v] < r.Y2 && g.YCoord[v+1] > r.Y1 {
+				g.BlockEdgeY(h, v, m)
+			}
+		}
+	}
+}
+
+// PointOf returns the original-space location of a vertex for graphs built
+// by FromObjects. For directly generated grids it returns the grid
+// coordinate itself.
+func (g *Graph) PointOf(id VertexID) geom.Point {
+	c := g.CoordOf(id)
+	if g.XCoord == nil || g.YCoord == nil {
+		return geom.Point{X: c.H, Y: c.V, Layer: c.M}
+	}
+	return geom.Point{X: g.XCoord[c.H], Y: g.YCoord[c.V], Layer: c.M}
+}
+
+func sortedUnique(a []int) []int {
+	sort.Ints(a)
+	out := a[:0]
+	for i, x := range a {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return append([]int(nil), out...)
+}

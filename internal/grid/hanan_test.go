@@ -1,0 +1,258 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/geom"
+)
+
+// TestFromObjectsFig1 mirrors the paper's Fig 1: a uniform 9x9 layout whose
+// pins and obstacles induce a smaller Hanan grid. We check that cut lines
+// appear exactly at pin coordinates and obstacle boundaries.
+func TestFromObjectsFig1(t *testing.T) {
+	pins := []geom.Point{
+		{X: 1, Y: 7, Layer: 0},
+		{X: 4, Y: 2, Layer: 0},
+		{X: 8, Y: 5, Layer: 0},
+	}
+	obstacles := []geom.Rect{
+		geom.NewRect(2, 4, 5, 6, 0),
+	}
+	g, ids, err := FromObjects(pins, obstacles, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := []int{1, 2, 4, 5, 8}
+	wantY := []int{2, 4, 5, 6, 7}
+	if !equalInts(g.XCoord, wantX) {
+		t.Errorf("XCoord = %v, want %v", g.XCoord, wantX)
+	}
+	if !equalInts(g.YCoord, wantY) {
+		t.Errorf("YCoord = %v, want %v", g.YCoord, wantY)
+	}
+	if g.H != 5 || g.V != 5 || g.M != 1 {
+		t.Errorf("dims = %dx%dx%d", g.H, g.V, g.M)
+	}
+	// Edge costs are the geometric distances between cut lines.
+	wantDX := []float64{1, 2, 1, 3}
+	for i, d := range wantDX {
+		if g.DX[i] != d {
+			t.Errorf("DX[%d] = %v, want %v", i, g.DX[i], d)
+		}
+	}
+	// Pin 0 is at x=1 (column 0), y=7 (row 4).
+	if c := g.CoordOf(ids[0]); c != (Coord{0, 4, 0}) {
+		t.Errorf("pin 0 coord = %v", c)
+	}
+	if c := g.CoordOf(ids[1]); c != (Coord{2, 0, 0}) {
+		t.Errorf("pin 1 coord = %v", c)
+	}
+	// The vertex at x=4, y=5 is strictly inside the obstacle: blocked.
+	if !g.BlockedCoord(Coord{2, 2, 0}) {
+		t.Error("vertex strictly inside obstacle should be blocked")
+	}
+	// Obstacle corner (x=2, y=4) is on the boundary: open.
+	if g.BlockedCoord(Coord{1, 1, 0}) {
+		t.Error("vertex on obstacle boundary should be open")
+	}
+}
+
+func TestFromObjectsEdgeBlocking(t *testing.T) {
+	// Obstacle [0,10]x[0,10]; a pin row at y=5 crosses its interior. The
+	// edge between the obstacle's left and right boundary columns at y=5
+	// spans the interior and must be blocked even though both endpoint
+	// vertices (on the boundary) are open.
+	pins := []geom.Point{
+		{X: -5, Y: 5, Layer: 0},
+		{X: 15, Y: 5, Layer: 0},
+	}
+	obstacles := []geom.Rect{geom.NewRect(0, 0, 10, 10, 0)}
+	g, ids, err := FromObjects(pins, obstacles, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X lines: -5, 0, 10, 15. Y lines: 0, 5, 10.
+	if g.H != 4 || g.V != 3 {
+		t.Fatalf("dims = %dx%d", g.H, g.V)
+	}
+	// Boundary vertices open.
+	if g.BlockedCoord(Coord{1, 1, 0}) || g.BlockedCoord(Coord{2, 1, 0}) {
+		t.Error("boundary vertices should be open")
+	}
+	// Edge between columns 1 and 2 at row 1 (y=5) crosses the interior.
+	if !g.EdgeXBlocked(1, 1, 0) {
+		t.Error("edge crossing obstacle interior must be blocked")
+	}
+	// Edges along the boundary rows are open.
+	if g.EdgeXBlocked(1, 0, 0) || g.EdgeXBlocked(1, 2, 0) {
+		t.Error("edges along obstacle boundary should be open")
+	}
+	_ = ids
+}
+
+func TestFromObjectsMultiLayer(t *testing.T) {
+	pins := []geom.Point{
+		{X: 0, Y: 0, Layer: 0},
+		{X: 4, Y: 4, Layer: 2},
+	}
+	obstacles := []geom.Rect{geom.NewRect(1, 1, 3, 3, 1)}
+	g, ids, err := FromObjects(pins, obstacles, 3, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M != 3 {
+		t.Fatalf("M = %d", g.M)
+	}
+	if g.CoordOf(ids[1]).M != 2 {
+		t.Error("pin layer lost")
+	}
+	// Obstacle only blocks layer 1. X lines: 0,1,3,4. Vertex x=? strictly
+	// inside needs 1<x<3: none of the cut lines are, so no blocked vertex,
+	// but the edge between columns 1 and 2 at an interior row... Y lines:
+	// 0,1,3,4; no strictly interior row either. Interior-crossing edges:
+	// none at vertex level, but cell (1..3)x(1..3) edges: X edge between
+	// col1(x=1) and col2(x=3) at row v with y strictly inside (none).
+	if g.NumBlocked() != 0 {
+		t.Errorf("blocked = %d, want 0", g.NumBlocked())
+	}
+	// Via through the obstacle layer at a free vertex stays open.
+	if g.EdgeZBlocked(0, 0, 0) {
+		t.Error("via at free location should be open")
+	}
+}
+
+func TestFromObjectsErrors(t *testing.T) {
+	if _, _, err := FromObjects(nil, nil, 1, 1); err == nil {
+		t.Error("no pins should fail")
+	}
+	p := []geom.Point{{X: 0, Y: 0, Layer: 0}}
+	if _, _, err := FromObjects(p, nil, 0, 1); err == nil {
+		t.Error("zero layers should fail")
+	}
+	bad := []geom.Point{{X: 0, Y: 0, Layer: 5}}
+	if _, _, err := FromObjects(bad, nil, 2, 1); err == nil {
+		t.Error("pin layer out of range should fail")
+	}
+	dup := []geom.Point{{X: 0, Y: 0, Layer: 0}, {X: 0, Y: 0, Layer: 0}, {X: 1, Y: 1, Layer: 0}}
+	if _, _, err := FromObjects(dup, nil, 1, 1); err == nil {
+		t.Error("duplicate pins should fail")
+	}
+	// Pin strictly inside an obstacle.
+	inside := []geom.Point{{X: 5, Y: 5, Layer: 0}, {X: 20, Y: 20, Layer: 0}}
+	obs := []geom.Rect{geom.NewRect(0, 0, 10, 10, 0)}
+	if _, _, err := FromObjects(inside, obs, 1, 1); err == nil {
+		t.Error("pin inside obstacle should fail")
+	}
+	// Obstacle layer out of range.
+	obs2 := []geom.Rect{geom.NewRect(0, 0, 1, 1, 7)}
+	pts := []geom.Point{{X: 0, Y: 0, Layer: 0}, {X: 3, Y: 3, Layer: 0}}
+	if _, _, err := FromObjects(pts, obs2, 2, 1); err == nil {
+		t.Error("obstacle layer out of range should fail")
+	}
+}
+
+func TestPointOf(t *testing.T) {
+	pins := []geom.Point{{X: 3, Y: 9, Layer: 1}, {X: 7, Y: 2, Layer: 0}}
+	g, ids, err := FromObjects(pins, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PointOf(ids[0]); got != pins[0] {
+		t.Errorf("PointOf = %v, want %v", got, pins[0])
+	}
+	// Direct grids report grid coordinates.
+	d, _ := NewUniform(3, 3, 2, 1)
+	if got := d.PointOf(d.Index(2, 1, 1)); got != (geom.Point{X: 2, Y: 1, Layer: 1}) {
+		t.Errorf("direct PointOf = %v", got)
+	}
+}
+
+// TestFromObjectsRandomProperties checks the Hanan construction on random
+// geometric layouts: every pin lands on a vertex with its exact original
+// coordinates, cut lines exist for every pin and obstacle boundary, and
+// edge costs equal the geometric gaps between adjacent cut lines.
+func TestFromObjectsRandomProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		layers := 1 + rng.Intn(3)
+		nPins := 2 + rng.Intn(5)
+		var pins []geom.Point
+		used := map[[3]int]bool{}
+		for len(pins) < nPins {
+			p := geom.Point{X: rng.Intn(50), Y: rng.Intn(50), Layer: rng.Intn(layers)}
+			k := [3]int{p.X, p.Y, p.Layer}
+			if used[k] {
+				continue
+			}
+			used[k] = true
+			pins = append(pins, p)
+		}
+		var obs []geom.Rect
+		for i := 0; i < rng.Intn(4); i++ {
+			x, y := rng.Intn(40), rng.Intn(40)
+			obs = append(obs, geom.NewRect(x, y, x+1+rng.Intn(8), y+1+rng.Intn(8), rng.Intn(layers)))
+		}
+		g, ids, err := FromObjects(pins, obs, layers, 1+rng.Float64()*4)
+		if err != nil {
+			// Pins inside obstacles are a legitimate rejection.
+			continue
+		}
+		for i, p := range pins {
+			if got := g.PointOf(ids[i]); got != p {
+				t.Fatalf("trial %d: pin %d mapped to %v, want %v", trial, i, got, p)
+			}
+		}
+		for i := 0; i < g.H-1; i++ {
+			if g.DX[i] != float64(g.XCoord[i+1]-g.XCoord[i]) {
+				t.Fatalf("trial %d: DX[%d] != coordinate gap", trial, i)
+			}
+		}
+		for i := 0; i < g.V-1; i++ {
+			if g.DY[i] != float64(g.YCoord[i+1]-g.YCoord[i]) {
+				t.Fatalf("trial %d: DY[%d] != coordinate gap", trial, i)
+			}
+		}
+		// Every obstacle boundary must be a cut line.
+		for _, r := range obs {
+			for _, x := range []int{r.X1, r.X2} {
+				if !containsInt(g.XCoord, x) {
+					t.Fatalf("trial %d: missing x cut at %d", trial, x)
+				}
+			}
+			for _, y := range []int{r.Y1, r.Y2} {
+				if !containsInt(g.YCoord, y) {
+					t.Fatalf("trial %d: missing y cut at %d", trial, y)
+				}
+			}
+		}
+	}
+}
+
+func containsInt(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSortedUnique(t *testing.T) {
+	got := sortedUnique([]int{5, 1, 5, 3, 1, 1})
+	if !equalInts(got, []int{1, 3, 5}) {
+		t.Errorf("sortedUnique = %v", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package grid
+
+import "testing"
+
+func scaledGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewUniform(4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 0 horizontal-preferred (vertical 3x), layer 1 the reverse.
+	if err := g.SetLayerScales([]float64{1, 3}, []float64{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSetLayerScalesValidation(t *testing.T) {
+	g, _ := NewUniform(3, 3, 2, 1)
+	if err := g.SetLayerScales([]float64{1}, nil); err == nil {
+		t.Error("wrong-length HScale should fail")
+	}
+	if err := g.SetLayerScales(nil, []float64{1, 0}); err == nil {
+		t.Error("non-positive VScale should fail")
+	}
+	if err := g.SetLayerScales(nil, nil); err != nil {
+		t.Errorf("clearing scales failed: %v", err)
+	}
+	if err := g.SetLayerScales([]float64{2, 2}, []float64{1, 1}); err != nil {
+		t.Errorf("valid scales rejected: %v", err)
+	}
+}
+
+func TestScaledCosts(t *testing.T) {
+	g := scaledGraph(t)
+	if got := g.CostX(0, 0); got != 1 {
+		t.Errorf("CostX layer 0 = %v, want 1", got)
+	}
+	if got := g.CostX(0, 1); got != 3 {
+		t.Errorf("CostX layer 1 = %v, want 3", got)
+	}
+	if got := g.CostY(0, 0); got != 3 {
+		t.Errorf("CostY layer 0 = %v, want 3", got)
+	}
+	if got := g.CostY(0, 1); got != 1 {
+		t.Errorf("CostY layer 1 = %v, want 1", got)
+	}
+	// EdgeCost agrees.
+	if got := g.EdgeCost(g.Index(1, 1, 1), g.Index(2, 1, 1)); got != 3 {
+		t.Errorf("EdgeCost scaled = %v, want 3", got)
+	}
+	// MaxEdgeCost sees the scaled maximum (1 * 3 = 3 > via 2).
+	if got := g.MaxEdgeCost(); got != 3 {
+		t.Errorf("MaxEdgeCost = %v, want 3", got)
+	}
+}
+
+func TestScaledNeighbors(t *testing.T) {
+	g := scaledGraph(t)
+	nb := g.Neighbors(g.Index(1, 1, 0), nil)
+	costs := map[VertexID]float64{}
+	for _, n := range nb {
+		costs[n.ID] = n.Cost
+	}
+	if costs[g.Index(2, 1, 0)] != 1 {
+		t.Errorf("horizontal neighbour cost = %v, want 1", costs[g.Index(2, 1, 0)])
+	}
+	if costs[g.Index(1, 2, 0)] != 3 {
+		t.Errorf("vertical neighbour cost = %v, want 3 (penalised)", costs[g.Index(1, 2, 0)])
+	}
+	if costs[g.Index(1, 1, 1)] != 2 {
+		t.Errorf("via cost = %v, want 2", costs[g.Index(1, 1, 1)])
+	}
+}
+
+func TestScalesSurviveCloneAndTransforms(t *testing.T) {
+	g := scaledGraph(t)
+	c := g.Clone()
+	c.HScale[0] = 99
+	if g.HScale[0] == 99 {
+		t.Error("clone shares scale storage")
+	}
+	// Rotation swaps directions.
+	r := Rotate90(g)
+	if r.HScale[0] != g.VScale[0] || r.VScale[1] != g.HScale[1] {
+		t.Errorf("rotate scales: H=%v V=%v", r.HScale, r.VScale)
+	}
+	// MirrorH keeps directions.
+	mh := MirrorH(g)
+	if mh.HScale[0] != g.HScale[0] || mh.VScale[1] != g.VScale[1] {
+		t.Error("mirrorH should keep scales")
+	}
+	// MirrorZ reverses the layer order.
+	mz := MirrorZ(g)
+	if mz.HScale[0] != g.HScale[1] || mz.VScale[0] != g.VScale[1] {
+		t.Errorf("mirrorZ scales: H=%v V=%v", mz.HScale, mz.VScale)
+	}
+	// Four rotations restore the scales.
+	r4 := Rotate90(Rotate90(Rotate90(Rotate90(g))))
+	for m := 0; m < g.M; m++ {
+		if r4.HScale[m] != g.HScale[m] || r4.VScale[m] != g.VScale[m] {
+			t.Error("four rotations should restore scales")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package grid
+
+// Geometric transforms used for training-data augmentation (paper §3.6):
+// rotations of the H-V plane by 0/90/180/270 degrees and reflections across
+// the y and z axes, yielding 16 variants of every sample. The same
+// transforms must be applied to the per-vertex label arrays produced by the
+// combinatorial MCTS, so each transform exists both for graphs and for raw
+// []float64 vertex arrays.
+//
+// Transformed graphs drop their original-coordinate arrays (XCoord/YCoord):
+// augmentation is only meaningful for directly generated training grids.
+
+// Aug describes one augmentation: Rot quarter-turn counter-clockwise
+// rotations (0-3) followed by an optional reflection across the y axis
+// (flipping the H/x direction) and an optional reflection across the z axis
+// (flipping the layer order).
+type Aug struct {
+	Rot  int
+	MirH bool
+	MirZ bool
+}
+
+// Identity reports whether the augmentation leaves samples unchanged.
+func (a Aug) Identity() bool { return a.Rot%4 == 0 && !a.MirH && !a.MirZ }
+
+// AllAugmentations returns the 16 augmentations of the paper's schedule
+// (4 rotations x 2 y-reflections x 2 z-reflections). The first entry is the
+// identity.
+func AllAugmentations() []Aug {
+	augs := make([]Aug, 0, 16)
+	for _, mz := range []bool{false, true} {
+		for _, mh := range []bool{false, true} {
+			for rot := 0; rot < 4; rot++ {
+				augs = append(augs, Aug{Rot: rot, MirH: mh, MirZ: mz})
+			}
+		}
+	}
+	return augs
+}
+
+// Apply returns the transformed graph.
+func (a Aug) Apply(g *Graph) *Graph {
+	out := g
+	for i := 0; i < a.Rot%4; i++ {
+		out = Rotate90(out)
+	}
+	if a.MirH {
+		out = MirrorH(out)
+	}
+	if a.MirZ {
+		out = MirrorZ(out)
+	}
+	if out == g { // identity: still hand back a private copy
+		out = g.Clone()
+	}
+	return out
+}
+
+// ApplyArray returns the per-vertex array transformed consistently with
+// Apply. h, v, m are the dimensions of the graph the array belongs to
+// (before transformation).
+func (a Aug) ApplyArray(h, v, m int, arr []float64) []float64 {
+	out := arr
+	ch, cv := h, v
+	for i := 0; i < a.Rot%4; i++ {
+		out = rotate90Array(ch, cv, m, out)
+		ch, cv = cv, ch
+	}
+	if a.MirH {
+		out = mirrorHArray(ch, cv, m, out)
+	}
+	if a.MirZ {
+		out = mirrorZArray(ch, cv, m, out)
+	}
+	if len(out) > 0 && &out[0] == &arr[0] { // identity: copy for safety
+		out = append([]float64(nil), arr...)
+	}
+	return out
+}
+
+// ApplyCoord maps a grid coordinate through the augmentation. h, v, m are
+// the pre-transform dimensions.
+func (a Aug) ApplyCoord(h, v, m int, c Coord) Coord {
+	ch, cv := h, v
+	for i := 0; i < a.Rot%4; i++ {
+		// CCW rotation: (h, v) -> (cv-1-v, h), dims swap.
+		c = Coord{H: cv - 1 - c.V, V: c.H, M: c.M}
+		ch, cv = cv, ch
+	}
+	if a.MirH {
+		c = Coord{H: ch - 1 - c.H, V: c.V, M: c.M}
+	}
+	if a.MirZ {
+		c = Coord{H: c.H, V: c.V, M: m - 1 - c.M}
+	}
+	return c
+}
+
+// Rotate90 returns the graph rotated 90 degrees counter-clockwise in the
+// H-V plane: old vertex (h, v, m) moves to (V-1-v, h, m) and the grid
+// dimensions swap.
+func Rotate90(g *Graph) *Graph {
+	h2, v2 := g.V, g.H
+	dx2 := make([]float64, h2-1)
+	for i := range dx2 {
+		dx2[i] = g.DY[g.V-2-i]
+	}
+	dy2 := make([]float64, v2-1)
+	for i := range dy2 {
+		dy2[i] = g.DX[i]
+	}
+	out := MustNew(h2, v2, g.M, dx2, dy2, g.ViaCost)
+	// Rotating the plane swaps the roles of the two in-layer directions.
+	out.HScale = copyScale(g.VScale)
+	out.VScale = copyScale(g.HScale)
+	for h := 0; h < g.H; h++ {
+		for v := 0; v < g.V; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blocked[g.Index(h, v, m)] {
+					out.Block(out.Index(g.V-1-v, h, m))
+				}
+			}
+		}
+	}
+	if g.blockedEX != nil || g.blockedEY != nil {
+		// Old X edge (h,v)-(h+1,v) becomes new Y edge (V-1-v, h)-(V-1-v, h+1).
+		for h := 0; h < g.H-1; h++ {
+			for v := 0; v < g.V; v++ {
+				for m := 0; m < g.M; m++ {
+					if g.blockedEX != nil && g.blockedEX[g.edgeXIndex(h, v, m)] {
+						out.BlockEdgeY(g.V-1-v, h, m)
+					}
+				}
+			}
+		}
+		// Old Y edge (h,v)-(h,v+1) becomes new X edge (V-2-v, h)-(V-1-v, h).
+		for h := 0; h < g.H; h++ {
+			for v := 0; v < g.V-1; v++ {
+				for m := 0; m < g.M; m++ {
+					if g.blockedEY != nil && g.blockedEY[g.edgeYIndex(h, v, m)] {
+						out.BlockEdgeX(g.V-2-v, h, m)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MirrorH returns the graph reflected across the y axis: old vertex
+// (h, v, m) moves to (H-1-h, v, m).
+func MirrorH(g *Graph) *Graph {
+	dx2 := make([]float64, len(g.DX))
+	for i := range dx2 {
+		dx2[i] = g.DX[len(g.DX)-1-i]
+	}
+	out := MustNew(g.H, g.V, g.M, dx2, append([]float64(nil), g.DY...), g.ViaCost)
+	out.HScale = copyScale(g.HScale)
+	out.VScale = copyScale(g.VScale)
+	for h := 0; h < g.H; h++ {
+		for v := 0; v < g.V; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blocked[g.Index(h, v, m)] {
+					out.Block(out.Index(g.H-1-h, v, m))
+				}
+			}
+		}
+	}
+	for h := 0; h < g.H-1 && g.blockedEX != nil; h++ {
+		for v := 0; v < g.V; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blockedEX[g.edgeXIndex(h, v, m)] {
+					out.BlockEdgeX(g.H-2-h, v, m)
+				}
+			}
+		}
+	}
+	for h := 0; h < g.H && g.blockedEY != nil; h++ {
+		for v := 0; v < g.V-1; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blockedEY[g.edgeYIndex(h, v, m)] {
+					out.BlockEdgeY(g.H-1-h, v, m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MirrorZ returns the graph with the layer order reversed: old vertex
+// (h, v, m) moves to (h, v, M-1-m).
+func MirrorZ(g *Graph) *Graph {
+	out := MustNew(g.H, g.V, g.M,
+		append([]float64(nil), g.DX...),
+		append([]float64(nil), g.DY...), g.ViaCost)
+	out.HScale = reverseScale(g.HScale)
+	out.VScale = reverseScale(g.VScale)
+	for h := 0; h < g.H; h++ {
+		for v := 0; v < g.V; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blocked[g.Index(h, v, m)] {
+					out.Block(out.Index(h, v, g.M-1-m))
+				}
+			}
+		}
+	}
+	for h := 0; h < g.H-1 && g.blockedEX != nil; h++ {
+		for v := 0; v < g.V; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blockedEX[g.edgeXIndex(h, v, m)] {
+					out.BlockEdgeX(h, v, g.M-1-m)
+				}
+			}
+		}
+	}
+	for h := 0; h < g.H && g.blockedEY != nil; h++ {
+		for v := 0; v < g.V-1; v++ {
+			for m := 0; m < g.M; m++ {
+				if g.blockedEY[g.edgeYIndex(h, v, m)] {
+					out.BlockEdgeY(h, v, g.M-1-m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func copyScale(s []float64) []float64 {
+	if s == nil {
+		return nil
+	}
+	return append([]float64(nil), s...)
+}
+
+func reverseScale(s []float64) []float64 {
+	if s == nil {
+		return nil
+	}
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+func rotate90Array(h, v, m int, a []float64) []float64 {
+	h2, v2 := v, h
+	out := make([]float64, len(a))
+	for hh := 0; hh < h; hh++ {
+		for vv := 0; vv < v; vv++ {
+			for mm := 0; mm < m; mm++ {
+				nh, nv := v-1-vv, hh
+				out[(nh*v2+nv)*m+mm] = a[(hh*v+vv)*m+mm]
+			}
+		}
+	}
+	_ = h2
+	return out
+}
+
+func mirrorHArray(h, v, m int, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for hh := 0; hh < h; hh++ {
+		for vv := 0; vv < v; vv++ {
+			for mm := 0; mm < m; mm++ {
+				out[((h-1-hh)*v+vv)*m+mm] = a[(hh*v+vv)*m+mm]
+			}
+		}
+	}
+	return out
+}
+
+func mirrorZArray(h, v, m int, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for hh := 0; hh < h; hh++ {
+		for vv := 0; vv < v; vv++ {
+			for mm := 0; mm < m; mm++ {
+				out[(hh*v+vv)*m+(m-1-mm)] = a[(hh*v+vv)*m+mm]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(r *rand.Rand, h, v, m int) *Graph {
+	dx := make([]float64, h-1)
+	for i := range dx {
+		dx[i] = 1 + r.Float64()*9
+	}
+	dy := make([]float64, v-1)
+	for i := range dy {
+		dy[i] = 1 + r.Float64()*9
+	}
+	g := MustNew(h, v, m, dx, dy, 1+r.Float64()*4)
+	for i := 0; i < g.NumVertices()/5; i++ {
+		g.Block(VertexID(r.Intn(g.NumVertices())))
+	}
+	// A few explicit edge blocks.
+	for i := 0; i < 3; i++ {
+		if h > 1 {
+			g.BlockEdgeX(r.Intn(h-1), r.Intn(v), r.Intn(m))
+		}
+		if v > 1 {
+			g.BlockEdgeY(r.Intn(h), r.Intn(v-1), r.Intn(m))
+		}
+	}
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.H != b.H || a.V != b.V || a.M != b.M || a.ViaCost != b.ViaCost {
+		return false
+	}
+	for i := range a.DX {
+		if a.DX[i] != b.DX[i] {
+			return false
+		}
+	}
+	for i := range a.DY {
+		if a.DY[i] != b.DY[i] {
+			return false
+		}
+	}
+	for id := 0; id < a.NumVertices(); id++ {
+		if a.Blocked(VertexID(id)) != b.Blocked(VertexID(id)) {
+			return false
+		}
+	}
+	for h := 0; h < a.H-1; h++ {
+		for v := 0; v < a.V; v++ {
+			for m := 0; m < a.M; m++ {
+				if a.EdgeXBlocked(h, v, m) != b.EdgeXBlocked(h, v, m) {
+					return false
+				}
+			}
+		}
+	}
+	for h := 0; h < a.H; h++ {
+		for v := 0; v < a.V-1; v++ {
+			for m := 0; m < a.M; m++ {
+				if a.EdgeYBlocked(h, v, m) != b.EdgeYBlocked(h, v, m) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestRotate90FourTimesIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := randomGraph(r, 5, 4, 3)
+	out := g
+	for i := 0; i < 4; i++ {
+		out = Rotate90(out)
+	}
+	if !graphsEqual(g, out) {
+		t.Error("four 90-degree rotations should be the identity")
+	}
+}
+
+func TestRotate90SwapsDims(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := randomGraph(r, 6, 3, 2)
+	out := Rotate90(g)
+	if out.H != 3 || out.V != 6 {
+		t.Fatalf("rotated dims = %dx%d, want 3x6", out.H, out.V)
+	}
+	// Vertex (h, v) moves to (V-1-v, h).
+	g2, _ := NewUniform(6, 3, 2, 1)
+	g2.Block(g2.Index(4, 1, 1))
+	r2 := Rotate90(g2)
+	if !r2.Blocked(r2.Index(3-1-1, 4, 1)) {
+		t.Error("rotation moved blocked vertex to the wrong place")
+	}
+	if r2.NumBlocked() != 1 {
+		t.Errorf("rotation changed blocked count: %d", r2.NumBlocked())
+	}
+}
+
+func TestMirrorTwiceIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 4, 5, 3)
+	if !graphsEqual(g, MirrorH(MirrorH(g))) {
+		t.Error("MirrorH twice should be identity")
+	}
+	if !graphsEqual(g, MirrorZ(MirrorZ(g))) {
+		t.Error("MirrorZ twice should be identity")
+	}
+}
+
+func TestMirrorHMovesBlockAndCosts(t *testing.T) {
+	g := MustNew(3, 2, 1, []float64{10, 20}, []float64{5}, 1)
+	g.Block(g.Index(0, 1, 0))
+	out := MirrorH(g)
+	if !out.Blocked(out.Index(2, 1, 0)) {
+		t.Error("MirrorH should move block from h=0 to h=2")
+	}
+	if out.DX[0] != 20 || out.DX[1] != 10 {
+		t.Errorf("MirrorH DX = %v, want reversed", out.DX)
+	}
+}
+
+func TestMirrorZMovesBlock(t *testing.T) {
+	g, _ := NewUniform(2, 2, 3, 1)
+	g.Block(g.Index(1, 1, 0))
+	out := MirrorZ(g)
+	if !out.Blocked(out.Index(1, 1, 2)) {
+		t.Error("MirrorZ should move block from m=0 to m=2")
+	}
+}
+
+func TestAllAugmentations(t *testing.T) {
+	augs := AllAugmentations()
+	if len(augs) != 16 {
+		t.Fatalf("augmentations = %d, want 16", len(augs))
+	}
+	if !augs[0].Identity() {
+		t.Error("first augmentation should be the identity")
+	}
+	seen := map[Aug]bool{}
+	for _, a := range augs {
+		if seen[a] {
+			t.Errorf("duplicate augmentation %+v", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAugApplyConsistentWithApplyCoord(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := randomGraph(r, 5, 4, 3)
+	for _, a := range AllAugmentations() {
+		out := a.Apply(g)
+		for h := 0; h < g.H; h++ {
+			for v := 0; v < g.V; v++ {
+				for m := 0; m < g.M; m++ {
+					src := Coord{h, v, m}
+					dst := a.ApplyCoord(g.H, g.V, g.M, src)
+					if !out.InBounds(dst) {
+						t.Fatalf("aug %+v maps %v out of bounds to %v", a, src, dst)
+					}
+					if g.BlockedCoord(src) != out.BlockedCoord(dst) {
+						t.Fatalf("aug %+v: blocked mismatch at %v -> %v", a, src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAugApplyArrayMatchesApplyCoord(t *testing.T) {
+	h, v, m := 4, 3, 2
+	arr := make([]float64, h*v*m)
+	for i := range arr {
+		arr[i] = float64(i)
+	}
+	for _, a := range AllAugmentations() {
+		out := a.ApplyArray(h, v, m, arr)
+		h2, v2 := h, v
+		if a.Rot%2 == 1 {
+			h2, v2 = v, h
+		}
+		for hh := 0; hh < h; hh++ {
+			for vv := 0; vv < v; vv++ {
+				for mm := 0; mm < m; mm++ {
+					dst := a.ApplyCoord(h, v, m, Coord{hh, vv, mm})
+					src := (hh*v+vv)*m + mm
+					di := (dst.H*v2+dst.V)*m + dst.M
+					if out[di] != arr[src] {
+						t.Fatalf("aug %+v: array[%d]=%v, want %v (coord %v->%v)",
+							a, di, out[di], arr[src], Coord{hh, vv, mm}, dst)
+					}
+				}
+			}
+		}
+		_ = h2
+	}
+}
+
+func TestAugApplyIdentityCopies(t *testing.T) {
+	g, _ := NewUniform(3, 3, 1, 1)
+	out := Aug{}.Apply(g)
+	if out == g {
+		t.Error("identity Apply should return a copy")
+	}
+	arr := []float64{1, 2, 3}
+	a2 := Aug{}.ApplyArray(3, 1, 1, arr)
+	a2[0] = 99
+	if arr[0] == 99 {
+		t.Error("identity ApplyArray should return a copy")
+	}
+}
+
+func TestAugmentationPreservesEdgeBlocking(t *testing.T) {
+	// A single explicitly blocked X edge must remain blocked (as some
+	// oriented edge between the mapped endpoints) under every augmentation.
+	g, _ := NewUniform(4, 3, 2, 1)
+	g.BlockEdgeX(1, 2, 0) // between (1,2,0) and (2,2,0)
+	for _, a := range AllAugmentations() {
+		out := a.Apply(g)
+		p := a.ApplyCoord(4, 3, 2, Coord{1, 2, 0})
+		q := a.ApplyCoord(4, 3, 2, Coord{2, 2, 0})
+		blocked := false
+		switch {
+		case p.V == q.V && p.M == q.M && abs(p.H-q.H) == 1:
+			blocked = out.EdgeXBlocked(min(p.H, q.H), p.V, p.M)
+		case p.H == q.H && p.M == q.M && abs(p.V-q.V) == 1:
+			blocked = out.EdgeYBlocked(p.H, min(p.V, q.V), p.M)
+		default:
+			t.Fatalf("aug %+v: endpoints no longer adjacent: %v %v", a, p, q)
+		}
+		if !blocked {
+			t.Errorf("aug %+v: blocked edge lost between %v and %v", a, p, q)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,117 @@
+package layout
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// BenchmarkSpec describes one public benchmark layout of the paper's
+// Table 4 by its published statistics. The original benchmark files (from
+// the OARSMT literature) are not distributed with the paper, so this repo
+// regenerates deterministic synthetic equivalents with the same
+// Hanan-graph dimensions, pin count, obstacle count and via cost; see
+// DESIGN.md for the substitution rationale.
+type BenchmarkSpec struct {
+	Name      string
+	H, V, M   int
+	Pins      int
+	Obstacles int
+	ViaCost   float64
+}
+
+// BenchmarkSpecs returns the eight public benchmarks of Table 4 with the
+// paper's published statistics (via cost 3 throughout).
+func BenchmarkSpecs() []BenchmarkSpec {
+	mk := func(name string, h, v, m, pins, obs int) BenchmarkSpec {
+		return BenchmarkSpec{Name: name, H: h, V: v, M: m, Pins: pins, Obstacles: obs, ViaCost: 3}
+	}
+	return []BenchmarkSpec{
+		mk("rt1", 45, 44, 10, 25, 10),
+		mk("rt2", 136, 131, 10, 100, 20),
+		mk("rt3", 294, 285, 10, 250, 50),
+		mk("rt4", 458, 449, 10, 500, 50),
+		mk("rt5", 702, 707, 4, 1000, 1000),
+		mk("ind1", 33, 28, 4, 50, 6),
+		mk("ind2", 83, 191, 5, 200, 85),
+		mk("ind3", 221, 223, 9, 250, 13),
+	}
+}
+
+// BenchmarkByName returns the Table 4 benchmark spec with the given name.
+func BenchmarkByName(name string) (BenchmarkSpec, bool) {
+	for _, b := range BenchmarkSpecs() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BenchmarkSpec{}, false
+}
+
+// Generate builds the deterministic synthetic equivalent of the benchmark:
+// a grid instance with the published dimensions, non-uniform Hanan edge
+// costs, the published number of rectangular obstacle clusters, and the
+// published pin count. The same name always yields the same layout.
+func (b BenchmarkSpec) Generate() (*Instance, error) {
+	if b.H < 2 || b.V < 2 || b.M < 1 || b.Pins < 2 {
+		return nil, fmt.Errorf("layout: benchmark %q has invalid spec", b.Name)
+	}
+	r := rand.New(rand.NewSource(int64(nameSeed(b.Name))))
+
+	// Non-uniform spacing emulates a Hanan grid derived from scattered
+	// original coordinates.
+	spec := RandomSpec{
+		H: b.H, V: b.V,
+		MinM: b.M, MaxM: b.M,
+		MinPins: b.Pins, MaxPins: b.Pins,
+		MinObstacles: 0, MaxObstacles: 0,
+		MinEdgeCost: 1, MaxEdgeCost: 10,
+		MinViaCost:   int(b.ViaCost),
+		MaxViaCost:   int(b.ViaCost),
+		ObstacleLens: []int{1}, // unused: clusters are placed below
+	}
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		in, err := randomOnce(r, spec.withDefaults())
+		if err != nil {
+			return nil, err
+		}
+		placeObstacleClusters(r, in, b)
+		if in.Routable() {
+			in.Name = b.Name
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("layout: benchmark %q unroutable after %d attempts", b.Name, maxAttempts)
+}
+
+// placeObstacleClusters blocks b.Obstacles rectangular clusters of
+// vertices, each on one layer, with side lengths scaled to the benchmark
+// size. Clusters avoid pins; overlaps between clusters are allowed, as in
+// the original benchmarks.
+func placeObstacleClusters(r *rand.Rand, in *Instance, b BenchmarkSpec) {
+	g := in.Graph
+	pinSet := in.PinSet()
+	maxSide := max(1, min(g.H, g.V)/24)
+	for i := 0; i < b.Obstacles; i++ {
+		w := 1 + r.Intn(maxSide)
+		d := 1 + r.Intn(maxSide)
+		h0 := r.Intn(max(1, g.H-w))
+		v0 := r.Intn(max(1, g.V-d))
+		m := r.Intn(g.M)
+		for h := h0; h < h0+w && h < g.H; h++ {
+			for v := v0; v < v0+d && v < g.V; v++ {
+				id := g.Index(h, v, m)
+				if _, isPin := pinSet[id]; !isPin {
+					g.Block(id)
+				}
+			}
+		}
+	}
+}
+
+func nameSeed(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}

@@ -1,0 +1,54 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the JSON layout reader: arbitrary input must either
+// decode into a structurally valid instance or return an error — never
+// panic, and never produce an instance that violates its own invariants.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"layers":2,"viaCost":3,"pins":[{"x":0,"y":0,"layer":0},{"x":5,"y":5,"layer":1}]}`)
+	f.Add(`{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,1]}}`)
+	f.Add(`{"grid":{"h":3,"v":2,"m":2,"viaCost":2,"dx":[1,2],"dy":[3],"hscale":[1,2],"vscale":[2,1],"blocked":[5],"pins":[0,11]}}`)
+	f.Add(`{"name":"x","obstacles":[{"x1":0,"y1":0,"x2":4,"y2":4,"layer":0}],"layers":1,"viaCost":1,"pins":[{"x":-1,"y":-1,"layer":0},{"x":9,"y":9,"layer":0}]}`)
+	f.Add(`{`)
+	f.Add(`{"grid":{"h":-1}}`)
+	f.Add(`{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,99]}}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		g := in.Graph
+		if g == nil || g.H < 1 || g.V < 1 || g.M < 1 {
+			t.Fatalf("decoded invalid graph dims from %q", data)
+		}
+		if len(in.Pins) < 2 {
+			t.Fatalf("decoded instance with %d pins", len(in.Pins))
+		}
+		for _, p := range in.Pins {
+			if int(p) < 0 || int(p) >= g.NumVertices() {
+				t.Fatalf("pin %d out of range", p)
+			}
+			if g.Blocked(p) {
+				t.Fatal("decoded pin on blocked vertex")
+			}
+		}
+		// Round trip must succeed and preserve the pin count.
+		var buf bytes.Buffer
+		if err := EncodeInstance(&buf, in); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if back.NumPins() != in.NumPins() {
+			t.Fatal("round trip changed pin count")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oarsmt/internal/geom"
+	"oarsmt/internal/grid"
+)
+
+// The JSON schema supports both layout forms. A geometric layout:
+//
+//	{
+//	  "name": "demo", "layers": 4, "viaCost": 3,
+//	  "pins": [{"x": 10, "y": 20, "layer": 0}, ...],
+//	  "obstacles": [{"x1": 0, "y1": 0, "x2": 5, "y2": 5, "layer": 1}, ...]
+//	}
+//
+// A grid-form instance:
+//
+//	{
+//	  "name": "demo", "grid": {
+//	    "h": 16, "v": 16, "m": 4, "viaCost": 3,
+//	    "dx": [...H-1 costs...], "dy": [...V-1 costs...],
+//	    "blocked": [vertexID, ...], "pins": [vertexID, ...]
+//	  }
+//	}
+
+type jsonPin struct {
+	X     int `json:"x"`
+	Y     int `json:"y"`
+	Layer int `json:"layer"`
+}
+
+type jsonRect struct {
+	X1    int `json:"x1"`
+	Y1    int `json:"y1"`
+	X2    int `json:"x2"`
+	Y2    int `json:"y2"`
+	Layer int `json:"layer"`
+}
+
+type jsonGrid struct {
+	H       int       `json:"h"`
+	V       int       `json:"v"`
+	M       int       `json:"m"`
+	ViaCost float64   `json:"viaCost"`
+	DX      []float64 `json:"dx"`
+	DY      []float64 `json:"dy"`
+	// HScale and VScale are optional per-layer preferred-direction cost
+	// multipliers (length M).
+	HScale  []float64 `json:"hscale,omitempty"`
+	VScale  []float64 `json:"vscale,omitempty"`
+	Blocked []int32   `json:"blocked,omitempty"`
+	Pins    []int32   `json:"pins"`
+}
+
+type jsonLayout struct {
+	Name      string     `json:"name,omitempty"`
+	Layers    int        `json:"layers,omitempty"`
+	ViaCost   float64    `json:"viaCost,omitempty"`
+	Pins      []jsonPin  `json:"pins,omitempty"`
+	Obstacles []jsonRect `json:"obstacles,omitempty"`
+	Grid      *jsonGrid  `json:"grid,omitempty"`
+}
+
+// EncodeLayout writes the geometric layout as JSON.
+func EncodeLayout(w io.Writer, l *Layout) error {
+	jl := jsonLayout{Name: l.Name, Layers: l.Layers, ViaCost: l.ViaCost}
+	for _, p := range l.Pins {
+		jl.Pins = append(jl.Pins, jsonPin{X: p.X, Y: p.Y, Layer: p.Layer})
+	}
+	for _, r := range l.Obstacles {
+		jl.Obstacles = append(jl.Obstacles, jsonRect{X1: r.X1, Y1: r.Y1, X2: r.X2, Y2: r.Y2, Layer: r.Layer})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jl)
+}
+
+// EncodeInstance writes the grid-form instance as JSON.
+func EncodeInstance(w io.Writer, in *Instance) error {
+	g := in.Graph
+	jg := &jsonGrid{
+		H: g.H, V: g.V, M: g.M, ViaCost: g.ViaCost,
+		DX: g.DX, DY: g.DY,
+		HScale: g.HScale, VScale: g.VScale,
+	}
+	for id := 0; id < g.NumVertices(); id++ {
+		if g.Blocked(grid.VertexID(id)) {
+			jg.Blocked = append(jg.Blocked, int32(id))
+		}
+	}
+	for _, p := range in.Pins {
+		jg.Pins = append(jg.Pins, int32(p))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonLayout{Name: in.Name, Grid: jg})
+}
+
+// Decode reads a JSON layout in either form and returns the grid-form
+// instance, converting geometric layouts through the Hanan construction.
+func Decode(rd io.Reader) (*Instance, error) {
+	var jl jsonLayout
+	if err := json.NewDecoder(rd).Decode(&jl); err != nil {
+		return nil, fmt.Errorf("layout: decode: %w", err)
+	}
+	if jl.Grid != nil {
+		return decodeGrid(&jl)
+	}
+	return decodeGeometric(&jl)
+}
+
+func decodeGeometric(jl *jsonLayout) (*Instance, error) {
+	l := &Layout{Name: jl.Name, Layers: jl.Layers, ViaCost: jl.ViaCost}
+	for _, p := range jl.Pins {
+		l.Pins = append(l.Pins, geom.Point{X: p.X, Y: p.Y, Layer: p.Layer})
+	}
+	for _, r := range jl.Obstacles {
+		rect := geom.NewRect(r.X1, r.Y1, r.X2, r.Y2, r.Layer)
+		l.Obstacles = append(l.Obstacles, rect)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l.Instance()
+}
+
+func decodeGrid(jl *jsonLayout) (*Instance, error) {
+	jg := jl.Grid
+	g, err := grid.New(jg.H, jg.V, jg.M, jg.DX, jg.DY, jg.ViaCost)
+	if err != nil {
+		return nil, fmt.Errorf("layout %q: %w", jl.Name, err)
+	}
+	if jg.HScale != nil || jg.VScale != nil {
+		if err := g.SetLayerScales(jg.HScale, jg.VScale); err != nil {
+			return nil, fmt.Errorf("layout %q: %w", jl.Name, err)
+		}
+	}
+	n := g.NumVertices()
+	for _, id := range jg.Blocked {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("layout %q: blocked vertex %d out of range", jl.Name, id)
+		}
+		g.Block(grid.VertexID(id))
+	}
+	if len(jg.Pins) < 2 {
+		return nil, fmt.Errorf("layout %q: %d pins, need at least 2", jl.Name, len(jg.Pins))
+	}
+	pins := make([]grid.VertexID, len(jg.Pins))
+	for i, id := range jg.Pins {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("layout %q: pin %d out of range", jl.Name, id)
+		}
+		if g.Blocked(grid.VertexID(id)) {
+			return nil, fmt.Errorf("layout %q: pin %d is blocked", jl.Name, id)
+		}
+		pins[i] = grid.VertexID(id)
+	}
+	return &Instance{Name: jl.Name, Graph: g, Pins: pins}, nil
+}

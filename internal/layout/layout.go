@@ -1,0 +1,138 @@
+// Package layout models ML-OARSMT routing problems and generates every
+// workload the paper evaluates on: the random training layouts of §3.6,
+// the random test subsets of Table 1, and synthetic equivalents of the
+// public benchmarks of Table 4 (rt1–rt5, ind1–ind3).
+//
+// Two layout forms exist. A Layout is geometric — pins and rectangular
+// obstacles in original coordinates — and is converted to a Hanan grid
+// graph on demand. A Instance is the grid form every routing and learning
+// component consumes: a grid.Graph plus the pin vertices. Random training
+// layouts are generated directly in grid form, matching the paper's
+// training schedule, which draws Hanan-graph edge costs directly.
+package layout
+
+import (
+	"fmt"
+
+	"oarsmt/internal/geom"
+	"oarsmt/internal/grid"
+)
+
+// Layout is a geometric ML-OARSMT problem: pins to connect, obstacles to
+// avoid, a number of routing layers and a via cost.
+type Layout struct {
+	Name      string
+	Layers    int
+	ViaCost   float64
+	Pins      []geom.Point
+	Obstacles []geom.Rect
+}
+
+// Instance is the grid-form routing problem: the Hanan grid graph and the
+// pin vertices on it.
+type Instance struct {
+	Name  string
+	Graph *grid.Graph
+	Pins  []grid.VertexID
+}
+
+// Instance converts the geometric layout to grid form by building its 3-D
+// Hanan grid graph (paper §2.2).
+func (l *Layout) Instance() (*Instance, error) {
+	g, pins, err := grid.FromObjects(l.Pins, l.Obstacles, l.Layers, l.ViaCost)
+	if err != nil {
+		return nil, fmt.Errorf("layout %q: %w", l.Name, err)
+	}
+	return &Instance{Name: l.Name, Graph: g, Pins: pins}, nil
+}
+
+// Validate checks structural sanity of the geometric layout.
+func (l *Layout) Validate() error {
+	if l.Layers < 1 {
+		return fmt.Errorf("layout %q: layers = %d", l.Name, l.Layers)
+	}
+	if l.ViaCost <= 0 {
+		return fmt.Errorf("layout %q: via cost = %v", l.Name, l.ViaCost)
+	}
+	if len(l.Pins) < 2 {
+		return fmt.Errorf("layout %q: %d pins, need at least 2", l.Name, len(l.Pins))
+	}
+	for i, p := range l.Pins {
+		if p.Layer < 0 || p.Layer >= l.Layers {
+			return fmt.Errorf("layout %q: pin %d on layer %d of %d", l.Name, i, p.Layer, l.Layers)
+		}
+	}
+	for i, r := range l.Obstacles {
+		if !r.Valid() {
+			return fmt.Errorf("layout %q: obstacle %d invalid", l.Name, i)
+		}
+		if r.Layer < 0 || r.Layer >= l.Layers {
+			return fmt.Errorf("layout %q: obstacle %d on layer %d of %d", l.Name, i, r.Layer, l.Layers)
+		}
+	}
+	return nil
+}
+
+// NumPins returns the pin count of the instance.
+func (in *Instance) NumPins() int { return len(in.Pins) }
+
+// MaxSteinerPoints returns n-2, the maximum number of irredundant Steiner
+// points an n-pin layout can need (paper §2.1).
+func (in *Instance) MaxSteinerPoints() int {
+	n := len(in.Pins) - 2
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// PinSet returns the pins as a set.
+func (in *Instance) PinSet() map[grid.VertexID]struct{} {
+	s := make(map[grid.VertexID]struct{}, len(in.Pins))
+	for _, p := range in.Pins {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Routable reports whether every pin lies in one connected component of
+// the free subgraph. It runs a BFS over free vertices, O(V+E).
+func (in *Instance) Routable() bool {
+	if len(in.Pins) == 0 {
+		return false
+	}
+	g := in.Graph
+	if g.Blocked(in.Pins[0]) {
+		return false
+	}
+	visited := make([]bool, g.NumVertices())
+	queue := []grid.VertexID{in.Pins[0]}
+	visited[in.Pins[0]] = true
+	var buf []grid.Neighbor
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.Neighbors(v, buf[:0])
+		for _, nb := range buf {
+			if !visited[nb.ID] {
+				visited[nb.ID] = true
+				queue = append(queue, nb.ID)
+			}
+		}
+	}
+	for _, p := range in.Pins {
+		if !visited[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{
+		Name:  in.Name,
+		Graph: in.Graph.Clone(),
+		Pins:  append([]grid.VertexID(nil), in.Pins...),
+	}
+}

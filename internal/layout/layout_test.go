@@ -1,0 +1,388 @@
+package layout
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oarsmt/internal/geom"
+	"oarsmt/internal/grid"
+)
+
+func TestLayoutValidate(t *testing.T) {
+	ok := &Layout{
+		Name: "ok", Layers: 2, ViaCost: 3,
+		Pins: []geom.Point{{X: 0, Y: 0, Layer: 0}, {X: 5, Y: 5, Layer: 1}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+	cases := []*Layout{
+		{Name: "noLayers", Layers: 0, ViaCost: 1, Pins: ok.Pins},
+		{Name: "badVia", Layers: 2, ViaCost: 0, Pins: ok.Pins},
+		{Name: "onePin", Layers: 2, ViaCost: 1, Pins: ok.Pins[:1]},
+		{Name: "pinLayer", Layers: 1, ViaCost: 1, Pins: []geom.Point{{X: 0, Y: 0, Layer: 0}, {X: 1, Y: 1, Layer: 3}}},
+		{Name: "obsLayer", Layers: 2, ViaCost: 1, Pins: ok.Pins,
+			Obstacles: []geom.Rect{geom.NewRect(0, 0, 1, 1, 9)}},
+	}
+	for _, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %q should fail validation", l.Name)
+		}
+	}
+}
+
+func TestLayoutInstance(t *testing.T) {
+	l := &Layout{
+		Name: "t", Layers: 2, ViaCost: 3,
+		Pins:      []geom.Point{{X: 0, Y: 0, Layer: 0}, {X: 10, Y: 10, Layer: 1}},
+		Obstacles: []geom.Rect{geom.NewRect(2, 2, 8, 8, 0)},
+	}
+	in, err := l.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumPins() != 2 || in.MaxSteinerPoints() != 0 {
+		t.Errorf("pins=%d maxSP=%d", in.NumPins(), in.MaxSteinerPoints())
+	}
+	if !in.Routable() {
+		t.Error("instance should be routable")
+	}
+}
+
+func TestMaxSteinerPoints(t *testing.T) {
+	in := &Instance{Pins: make([]grid.VertexID, 5)}
+	if in.MaxSteinerPoints() != 3 {
+		t.Errorf("n-2 = %d, want 3", in.MaxSteinerPoints())
+	}
+	one := &Instance{Pins: make([]grid.VertexID, 1)}
+	if one.MaxSteinerPoints() != 0 {
+		t.Error("single pin should need 0 Steiner points")
+	}
+}
+
+func TestRoutableDetectsWalledPin(t *testing.T) {
+	g, _ := grid.NewUniform(3, 3, 1, 1)
+	g.Block(g.Index(1, 0, 0))
+	g.Block(g.Index(0, 1, 0))
+	g.Block(g.Index(1, 1, 0))
+	in := &Instance{Graph: g, Pins: []grid.VertexID{g.Index(0, 0, 0), g.Index(2, 2, 0)}}
+	if in.Routable() {
+		t.Error("walled-off pin should be unroutable")
+	}
+}
+
+func TestRandomRespectsSpec(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	spec := RandomSpec{
+		H: 16, V: 16, MinM: 4, MaxM: 4,
+		MinPins: 3, MaxPins: 6,
+		MinObstacles: 32, MaxObstacles: 64,
+	}
+	for i := 0; i < 10; i++ {
+		in, err := Random(r, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := in.Graph
+		if g.H != 16 || g.V != 16 || g.M != 4 {
+			t.Fatalf("dims %dx%dx%d", g.H, g.V, g.M)
+		}
+		if n := in.NumPins(); n < 3 || n > 6 {
+			t.Errorf("pins = %d outside [3,6]", n)
+		}
+		if g.ViaCost < 3 || g.ViaCost > 5 {
+			t.Errorf("via cost = %v outside [3,5]", g.ViaCost)
+		}
+		for _, c := range g.DX {
+			if c < 1 || c > 1000 {
+				t.Fatalf("edge cost %v outside [1,1000]", c)
+			}
+		}
+		if !in.Routable() {
+			t.Error("generated layout must be routable")
+		}
+		for _, p := range in.Pins {
+			if g.Blocked(p) {
+				t.Error("pin on blocked vertex")
+			}
+		}
+		// Obstacles present: 32 runs of >=1 vertices each.
+		if g.NumBlocked() < 20 {
+			t.Errorf("blocked = %d, expected obstacles present", g.NumBlocked())
+		}
+	}
+}
+
+func TestRandomDeterministicWithSeed(t *testing.T) {
+	spec := RandomSpec{H: 12, V: 12, MinM: 2, MaxM: 4, MinPins: 3, MaxPins: 5, MinObstacles: 10, MaxObstacles: 20}
+	a, err := Random(rand.New(rand.NewSource(99)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(rand.New(rand.NewSource(99)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.M != b.Graph.M || a.NumPins() != b.NumPins() {
+		t.Error("same seed should give identical layouts")
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			t.Fatal("pin placement differs under identical seeds")
+		}
+	}
+}
+
+func TestRandomSpecValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	bad := []RandomSpec{
+		{H: 1, V: 5, MinM: 1, MinPins: 2},
+		{H: 5, V: 5, MinM: 0, MinPins: 2},
+		{H: 5, V: 5, MinM: 1, MinPins: 1},
+		{H: 5, V: 5, MinM: 1, MinPins: 5, MaxPins: 3},
+	}
+	for i, s := range bad {
+		if _, err := Random(r, s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestTrainingSizesAndSpec(t *testing.T) {
+	sizes := TrainingSizes()
+	if len(sizes) != 12 {
+		t.Fatalf("training sizes = %d, want 12", len(sizes))
+	}
+	base := TrainingSpec(TrainingSize{HV: 16, M: 4}, 3, 6)
+	if base.MinObstacles != 32 || base.MaxObstacles != 64 {
+		t.Errorf("16x16x4 obstacles = [%d,%d], want [32,64]", base.MinObstacles, base.MaxObstacles)
+	}
+	big := TrainingSpec(TrainingSize{HV: 32, M: 10}, 3, 6)
+	// Volume scale = (32*32*10)/(16*16*4) = 10.
+	if big.MinObstacles != 320 || big.MaxObstacles != 640 {
+		t.Errorf("32x32x10 obstacles = [%d,%d], want [320,640]", big.MinObstacles, big.MaxObstacles)
+	}
+}
+
+func TestSubsetSpecsMatchTable1(t *testing.T) {
+	specs := SubsetSpecs()
+	if len(specs) != 7 {
+		t.Fatalf("subsets = %d, want 7", len(specs))
+	}
+	t512, ok := SubsetByName("T512")
+	if !ok {
+		t.Fatal("T512 missing")
+	}
+	if t512.Spec.H != 512 || t512.Spec.V != 512 ||
+		t512.Spec.MinPins != 768 || t512.Spec.MaxPins != 2560 ||
+		t512.Spec.MinObstacles != 32768 || t512.Spec.MaxObstacles != 163840 ||
+		t512.PaperLayouts != 360 {
+		t.Errorf("T512 spec = %+v", t512)
+	}
+	t128x2, ok := SubsetByName("T128_2")
+	if !ok || t128x2.Spec.H != 128 || t128x2.Spec.V != 256 {
+		t.Errorf("T128_2 = %+v ok=%v", t128x2, ok)
+	}
+	if _, ok := SubsetByName("bogus"); ok {
+		t.Error("unknown subset should not resolve")
+	}
+}
+
+func TestBenchmarkSpecsMatchTable4(t *testing.T) {
+	specs := BenchmarkSpecs()
+	if len(specs) != 8 {
+		t.Fatalf("benchmarks = %d, want 8", len(specs))
+	}
+	rt5, ok := BenchmarkByName("rt5")
+	if !ok || rt5.H != 702 || rt5.V != 707 || rt5.M != 4 || rt5.Pins != 1000 || rt5.Obstacles != 1000 {
+		t.Errorf("rt5 = %+v", rt5)
+	}
+	ind2, ok := BenchmarkByName("ind2")
+	if !ok || ind2.H != 83 || ind2.V != 191 || ind2.M != 5 || ind2.Pins != 200 || ind2.Obstacles != 85 {
+		t.Errorf("ind2 = %+v", ind2)
+	}
+	for _, b := range specs {
+		if b.ViaCost != 3 {
+			t.Errorf("%s via cost = %v, want 3", b.Name, b.ViaCost)
+		}
+	}
+}
+
+func TestBenchmarkGenerateDeterministicAndRoutable(t *testing.T) {
+	spec, _ := BenchmarkByName("rt1")
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.H != 45 || a.Graph.V != 44 || a.Graph.M != 10 {
+		t.Errorf("rt1 dims = %dx%dx%d", a.Graph.H, a.Graph.V, a.Graph.M)
+	}
+	if a.NumPins() != 25 {
+		t.Errorf("rt1 pins = %d, want 25", a.NumPins())
+	}
+	if !a.Routable() {
+		t.Error("rt1 must be routable")
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			t.Fatal("benchmark generation is not deterministic")
+		}
+	}
+	if a.Graph.NumBlocked() != b.Graph.NumBlocked() {
+		t.Fatal("benchmark obstacles are not deterministic")
+	}
+	if a.Graph.NumBlocked() == 0 {
+		t.Error("rt1 should contain obstacles")
+	}
+}
+
+func TestJSONRoundTripGeometric(t *testing.T) {
+	l := &Layout{
+		Name: "geo", Layers: 2, ViaCost: 3,
+		Pins:      []geom.Point{{X: 0, Y: 0, Layer: 0}, {X: 9, Y: 9, Layer: 1}, {X: 4, Y: 7, Layer: 0}},
+		Obstacles: []geom.Rect{geom.NewRect(2, 2, 6, 6, 0)},
+	}
+	var buf bytes.Buffer
+	if err := EncodeLayout(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	in, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "geo" || in.NumPins() != 3 {
+		t.Errorf("decoded name=%q pins=%d", in.Name, in.NumPins())
+	}
+	want, _ := l.Instance()
+	if in.Graph.H != want.Graph.H || in.Graph.V != want.Graph.V || in.Graph.M != want.Graph.M {
+		t.Error("decoded Hanan dims differ from direct conversion")
+	}
+}
+
+func TestJSONRoundTripGrid(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	orig, err := Random(r, RandomSpec{H: 8, V: 8, MinM: 2, MaxM: 2, MinPins: 4, MaxPins: 4, MinObstacles: 5, MaxObstacles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Name = "gridform"
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	in, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "gridform" {
+		t.Errorf("name = %q", in.Name)
+	}
+	if in.Graph.NumBlocked() != orig.Graph.NumBlocked() {
+		t.Error("blocked set changed in round trip")
+	}
+	for i := range orig.Pins {
+		if in.Pins[i] != orig.Pins[i] {
+			t.Fatal("pins changed in round trip")
+		}
+	}
+	for i := range orig.Graph.DX {
+		if in.Graph.DX[i] != orig.Graph.DX[i] {
+			t.Fatal("DX changed in round trip")
+		}
+	}
+}
+
+func TestPreferredDirectionGeneration(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	in, err := Random(r, RandomSpec{
+		H: 8, V: 8, MinM: 4, MaxM: 4, MinPins: 3, MaxPins: 3,
+		MinObstacles: 2, MaxObstacles: 2,
+		PreferredDirectionPenalty: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := in.Graph
+	if g.HScale == nil || g.VScale == nil {
+		t.Fatal("preferred directions not installed")
+	}
+	for m := 0; m < g.M; m++ {
+		if m%2 == 0 {
+			if g.HScale[m] != 1 || g.VScale[m] != 3 {
+				t.Errorf("layer %d scales H=%v V=%v, want 1/3", m, g.HScale[m], g.VScale[m])
+			}
+		} else if g.HScale[m] != 3 || g.VScale[m] != 1 {
+			t.Errorf("layer %d scales H=%v V=%v, want 3/1", m, g.HScale[m], g.VScale[m])
+		}
+	}
+}
+
+func TestJSONRoundTripLayerScales(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	in, err := Random(r, RandomSpec{
+		H: 6, V: 6, MinM: 2, MaxM: 2, MinPins: 3, MaxPins: 3,
+		MinObstacles: 1, MaxObstacles: 1,
+		PreferredDirectionPenalty: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < in.Graph.M; m++ {
+		if back.Graph.HScale[m] != in.Graph.HScale[m] ||
+			back.Graph.VScale[m] != in.Graph.VScale[m] {
+			t.Fatal("layer scales lost in JSON round trip")
+		}
+	}
+	// Invalid scales rejected.
+	bad := `{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"hscale":[1,2],"pins":[0,1]}}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("wrong-length hscale should fail to decode")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0]}}`,                  // one pin
+		`{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,99]}}`,               // pin out of range
+		`{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"blocked":[0],"pins":[0,1]}}`,  // pin blocked
+		`{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"blocked":[77],"pins":[0,1]}}`, // blocked out of range
+		`{"layers":1,"viaCost":1,"pins":[{"x":0,"y":0,"layer":0}]}`,                              // geometric, one pin
+	}
+	for i, s := range cases {
+		if _, err := Decode(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestInstanceClone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in, err := Random(r, RandomSpec{H: 6, V: 6, MinM: 2, MaxM: 2, MinPins: 3, MaxPins: 3, MinObstacles: 2, MaxObstacles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Clone()
+	c.Pins[0] = 0
+	c.Graph.Block(1)
+	if in.Pins[0] == 0 && in.Pins[0] != c.Pins[0] {
+		t.Log("pin overlap coincidence")
+	}
+	if in.Graph.Blocked(1) != c.Graph.Blocked(1) && in.Graph.Blocked(1) {
+		t.Error("clone mutation leaked")
+	}
+}

@@ -1,0 +1,229 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/grid"
+)
+
+// RandomSpec parameterises the direct-grid random layout generator used
+// both by the training schedule (paper §3.6) and the Table 1 test subsets.
+// Ranges are inclusive.
+type RandomSpec struct {
+	H, V int
+	// MinM..MaxM: routing layer count range.
+	MinM, MaxM int
+	// MinPins..MaxPins: pin count range.
+	MinPins, MaxPins int
+	// MinObstacles..MaxObstacles: obstacle count range. Each obstacle is a
+	// run of ObstacleLens consecutive blocked vertices placed horizontally
+	// or vertically on a random layer; obstacles may overlap, forming more
+	// complicated shapes (paper §3.6).
+	MinObstacles, MaxObstacles int
+	// ObstacleLens are the permitted run lengths; defaults to {3, 4}.
+	ObstacleLens []int
+	// MinEdgeCost..MaxEdgeCost: integer Hanan edge cost range; defaults to
+	// 1..1000 (paper §3.6).
+	MinEdgeCost, MaxEdgeCost int
+	// MinViaCost..MaxViaCost: integer via cost range; defaults to 3..5.
+	MinViaCost, MaxViaCost int
+	// PreferredDirectionPenalty, when > 1, makes layers direction-
+	// preferred in alternation (even layers horizontal, odd vertical):
+	// the non-preferred direction's edge costs are multiplied by the
+	// penalty. This extension exercises the router's "any routing costs
+	// between grids" generality on a realistic metal-stack cost model.
+	PreferredDirectionPenalty float64
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if len(s.ObstacleLens) == 0 {
+		s.ObstacleLens = []int{3, 4}
+	}
+	if s.MinEdgeCost == 0 && s.MaxEdgeCost == 0 {
+		s.MinEdgeCost, s.MaxEdgeCost = 1, 1000
+	}
+	if s.MinViaCost == 0 && s.MaxViaCost == 0 {
+		s.MinViaCost, s.MaxViaCost = 3, 5
+	}
+	if s.MaxM == 0 {
+		s.MaxM = s.MinM
+	}
+	if s.MaxPins == 0 {
+		s.MaxPins = s.MinPins
+	}
+	if s.MaxObstacles == 0 {
+		s.MaxObstacles = s.MinObstacles
+	}
+	return s
+}
+
+func (s RandomSpec) validate() error {
+	switch {
+	case s.H < 2 || s.V < 2:
+		return fmt.Errorf("layout: spec dims %dx%d too small", s.H, s.V)
+	case s.MinM < 1 || s.MaxM < s.MinM:
+		return fmt.Errorf("layout: spec layer range [%d,%d]", s.MinM, s.MaxM)
+	case s.MinPins < 2 || s.MaxPins < s.MinPins:
+		return fmt.Errorf("layout: spec pin range [%d,%d]", s.MinPins, s.MaxPins)
+	case s.MinObstacles < 0 || s.MaxObstacles < s.MinObstacles:
+		return fmt.Errorf("layout: spec obstacle range [%d,%d]", s.MinObstacles, s.MaxObstacles)
+	case s.MinEdgeCost < 1 || s.MaxEdgeCost < s.MinEdgeCost:
+		return fmt.Errorf("layout: spec edge cost range [%d,%d]", s.MinEdgeCost, s.MaxEdgeCost)
+	case s.MinViaCost < 1 || s.MaxViaCost < s.MinViaCost:
+		return fmt.Errorf("layout: spec via cost range [%d,%d]", s.MinViaCost, s.MaxViaCost)
+	}
+	return nil
+}
+
+func randRange(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Random generates one random grid-form layout from the spec. The layout
+// is guaranteed routable: generation retries (up to 100 attempts) until
+// every pin lies in a single free component, then fails with an error for
+// pathological specs.
+func Random(r *rand.Rand, spec RandomSpec) (*Instance, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	const maxAttempts = 100
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		in, err := randomOnce(r, spec)
+		if err != nil {
+			return nil, err
+		}
+		if in.Routable() {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("layout: no routable layout after %d attempts for spec %+v", maxAttempts, spec)
+}
+
+func randomOnce(r *rand.Rand, spec RandomSpec) (*Instance, error) {
+	m := randRange(r, spec.MinM, spec.MaxM)
+	dx := make([]float64, spec.H-1)
+	for i := range dx {
+		dx[i] = float64(randRange(r, spec.MinEdgeCost, spec.MaxEdgeCost))
+	}
+	dy := make([]float64, spec.V-1)
+	for i := range dy {
+		dy[i] = float64(randRange(r, spec.MinEdgeCost, spec.MaxEdgeCost))
+	}
+	via := float64(randRange(r, spec.MinViaCost, spec.MaxViaCost))
+	g, err := grid.New(spec.H, spec.V, m, dx, dy, via)
+	if err != nil {
+		return nil, err
+	}
+	if p := spec.PreferredDirectionPenalty; p > 1 {
+		hs := make([]float64, m)
+		vs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			if i%2 == 0 { // horizontal-preferred layer
+				hs[i], vs[i] = 1, p
+			} else { // vertical-preferred layer
+				hs[i], vs[i] = p, 1
+			}
+		}
+		if err := g.SetLayerScales(hs, vs); err != nil {
+			return nil, err
+		}
+	}
+
+	nObs := randRange(r, spec.MinObstacles, spec.MaxObstacles)
+	for i := 0; i < nObs; i++ {
+		placeObstacleRun(r, g, spec.ObstacleLens)
+	}
+
+	nPins := randRange(r, spec.MinPins, spec.MaxPins)
+	pins, err := placePins(r, g, nPins)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Graph: g, Pins: pins}, nil
+}
+
+// placeObstacleRun blocks a horizontal or vertical run of consecutive
+// vertices on one layer. Runs are clipped at the grid border rather than
+// rejected so the requested obstacle count is always placed.
+func placeObstacleRun(r *rand.Rand, g *grid.Graph, lens []int) {
+	length := lens[r.Intn(len(lens))]
+	m := r.Intn(g.M)
+	if r.Intn(2) == 0 { // horizontal run along H
+		h0 := r.Intn(g.H)
+		v := r.Intn(g.V)
+		for i := 0; i < length && h0+i < g.H; i++ {
+			g.Block(g.Index(h0+i, v, m))
+		}
+	} else { // vertical run along V
+		h := r.Intn(g.H)
+		v0 := r.Intn(g.V)
+		for i := 0; i < length && v0+i < g.V; i++ {
+			g.Block(g.Index(h, v0+i, m))
+		}
+	}
+}
+
+func placePins(r *rand.Rand, g *grid.Graph, n int) ([]grid.VertexID, error) {
+	free := 0
+	for id := 0; id < g.NumVertices(); id++ {
+		if !g.Blocked(grid.VertexID(id)) {
+			free++
+		}
+	}
+	if free < n {
+		return nil, fmt.Errorf("layout: %d free vertices for %d pins", free, n)
+	}
+	pins := make([]grid.VertexID, 0, n)
+	used := make(map[grid.VertexID]bool, n)
+	for len(pins) < n {
+		id := grid.VertexID(r.Intn(g.NumVertices()))
+		if g.Blocked(id) || used[id] {
+			continue
+		}
+		used[id] = true
+		pins = append(pins, id)
+	}
+	return pins, nil
+}
+
+// TrainingSize is one of the 12 layout sizes of the paper's mixed-size
+// training schedule (§3.6).
+type TrainingSize struct {
+	HV int // H == V
+	M  int
+}
+
+// TrainingSizes returns the 12 (H=V, M) combinations of §3.6:
+// {16, 24, 32} x {4, 6, 8, 10}.
+func TrainingSizes() []TrainingSize {
+	var out []TrainingSize
+	for _, hv := range []int{16, 24, 32} {
+		for _, m := range []int{4, 6, 8, 10} {
+			out = append(out, TrainingSize{HV: hv, M: m})
+		}
+	}
+	return out
+}
+
+// TrainingSpec returns the random-layout spec of the training schedule for
+// one size: pins in [minPins, maxPins], obstacle count scaled from the
+// 32..64 range the paper specifies for 16x16x4 proportionally to the
+// layout volume, 1x3/1x4 obstacle runs, edge costs 1..1000, via costs 3..5.
+func TrainingSpec(size TrainingSize, minPins, maxPins int) RandomSpec {
+	baseVol := 16 * 16 * 4
+	vol := size.HV * size.HV * size.M
+	scale := float64(vol) / float64(baseVol)
+	return RandomSpec{
+		H: size.HV, V: size.HV,
+		MinM: size.M, MaxM: size.M,
+		MinPins: minPins, MaxPins: maxPins,
+		MinObstacles: int(32 * scale),
+		MaxObstacles: int(64 * scale),
+	}
+}

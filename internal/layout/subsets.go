@@ -1,0 +1,48 @@
+package layout
+
+// SubsetSpec describes one of the randomly generated test subsets of the
+// paper's Table 1 together with the layout count the paper used.
+type SubsetSpec struct {
+	Name string
+	Spec RandomSpec
+	// PaperLayouts is the number of layouts the paper generated for the
+	// subset; the benchmark harness scales this down for CPU budgets.
+	PaperLayouts int
+}
+
+// SubsetSpecs returns the seven test subsets of Table 1 with exactly the
+// paper's parameters. Pin and obstacle counts grow with the layout
+// dimensions; layer counts always range over 4..10.
+func SubsetSpecs() []SubsetSpec {
+	mk := func(name string, h, v, minPins, maxPins, minObs, maxObs, layouts int) SubsetSpec {
+		return SubsetSpec{
+			Name: name,
+			Spec: RandomSpec{
+				H: h, V: v,
+				MinM: 4, MaxM: 10,
+				MinPins: minPins, MaxPins: maxPins,
+				MinObstacles: minObs, MaxObstacles: maxObs,
+			},
+			PaperLayouts: layouts,
+		}
+	}
+	return []SubsetSpec{
+		mk("T32", 32, 32, 3, 10, 128, 640, 50000),
+		mk("T64", 64, 64, 12, 40, 512, 2560, 50000),
+		mk("T128", 128, 128, 48, 160, 2048, 10240, 50000),
+		mk("T128_2", 128, 256, 96, 320, 4096, 20480, 50000),
+		mk("T256", 256, 256, 192, 640, 8192, 40960, 16000),
+		mk("T256_2", 256, 512, 384, 1280, 16384, 81920, 1000),
+		mk("T512", 512, 512, 768, 2560, 32768, 163840, 360),
+	}
+}
+
+// SubsetByName returns the Table 1 subset with the given name, or false.
+func SubsetByName(name string) (SubsetSpec, bool) {
+	for _, s := range SubsetSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SubsetSpec{}, false
+}

@@ -1,0 +1,176 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"oarsmt/internal/geom"
+)
+
+func pinAt(x, y, layer int) geom.Point { return geom.Point{X: x, Y: y, Layer: layer} }
+
+func rectAt(x1, y1, x2, y2, layer int) geom.Rect { return geom.NewRect(x1, y1, x2, y2, layer) }
+
+// Textual benchmark format, a superset of the plain-text files circulating
+// with the OARSMT benchmark suites (rt1-rt5, ind1-ind3) so that users who
+// have the original files can run them directly:
+//
+//	# comments and blank lines are ignored
+//	layers 4            (optional, default 1)
+//	viacost 3           (optional, default 3)
+//	pins 3
+//	10 20               (x y, layer defaults to 0)
+//	30 40 1             (x y layer)
+//	55 5 0
+//	obstacles 1
+//	0 0 8 8             (x1 y1 x2 y2, layer defaults to 0)
+//	12 12 20 18 2       (x1 y1 x2 y2 layer)
+//
+// The section headers `pins N` / `obstacles N` may also be bare counts on
+// their own line (the historical format), in which case the first count is
+// the pin count and the second the obstacle count.
+//
+// DecodeText parses the format into a geometric Layout.
+func DecodeText(r io.Reader) (*Layout, error) {
+	sc := bufio.NewScanner(r)
+	l := &Layout{Layers: 1, ViaCost: 3}
+	var (
+		pinsLeft, obsLeft int
+		sawPins, sawObs   bool
+		lineNo            int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(strings.ToLower(line))
+		switch {
+		case fields[0] == "layers" && len(fields) == 2:
+			if _, err := fmt.Sscanf(fields[1], "%d", &l.Layers); err != nil {
+				return nil, textErr(lineNo, "bad layer count %q", fields[1])
+			}
+		case fields[0] == "viacost" && len(fields) == 2:
+			if _, err := fmt.Sscanf(fields[1], "%g", &l.ViaCost); err != nil {
+				return nil, textErr(lineNo, "bad via cost %q", fields[1])
+			}
+		case fields[0] == "pins" && len(fields) == 2:
+			if _, err := fmt.Sscanf(fields[1], "%d", &pinsLeft); err != nil {
+				return nil, textErr(lineNo, "bad pin count %q", fields[1])
+			}
+			sawPins = true
+		case fields[0] == "obstacles" && len(fields) == 2:
+			if _, err := fmt.Sscanf(fields[1], "%d", &obsLeft); err != nil {
+				return nil, textErr(lineNo, "bad obstacle count %q", fields[1])
+			}
+			sawObs = true
+		case len(fields) == 1 && !sawPins:
+			// Historical bare count: first is pins.
+			if _, err := fmt.Sscanf(fields[0], "%d", &pinsLeft); err != nil {
+				return nil, textErr(lineNo, "bad count %q", fields[0])
+			}
+			sawPins = true
+		case len(fields) == 1 && !sawObs:
+			if _, err := fmt.Sscanf(fields[0], "%d", &obsLeft); err != nil {
+				return nil, textErr(lineNo, "bad count %q", fields[0])
+			}
+			sawObs = true
+		case pinsLeft > 0:
+			var x, y, layer int
+			switch len(fields) {
+			case 2:
+				if _, err := fmt.Sscanf(line, "%d %d", &x, &y); err != nil {
+					return nil, textErr(lineNo, "bad pin %q", line)
+				}
+			case 3:
+				if _, err := fmt.Sscanf(line, "%d %d %d", &x, &y, &layer); err != nil {
+					return nil, textErr(lineNo, "bad pin %q", line)
+				}
+			default:
+				return nil, textErr(lineNo, "pin needs 2 or 3 fields, got %d", len(fields))
+			}
+			l.Pins = append(l.Pins, pinAt(x, y, layer))
+			pinsLeft--
+		case obsLeft > 0:
+			var x1, y1, x2, y2, layer int
+			switch len(fields) {
+			case 4:
+				if _, err := fmt.Sscanf(line, "%d %d %d %d", &x1, &y1, &x2, &y2); err != nil {
+					return nil, textErr(lineNo, "bad obstacle %q", line)
+				}
+			case 5:
+				if _, err := fmt.Sscanf(line, "%d %d %d %d %d", &x1, &y1, &x2, &y2, &layer); err != nil {
+					return nil, textErr(lineNo, "bad obstacle %q", line)
+				}
+			default:
+				return nil, textErr(lineNo, "obstacle needs 4 or 5 fields, got %d", len(fields))
+			}
+			l.Obstacles = append(l.Obstacles, rectAt(x1, y1, x2, y2, layer))
+			obsLeft--
+		default:
+			return nil, textErr(lineNo, "unexpected line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pinsLeft > 0 || obsLeft > 0 {
+		return nil, fmt.Errorf("layout: text format: %d pins and %d obstacles missing", pinsLeft, obsLeft)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// EncodeText writes the layout in the textual benchmark format.
+func EncodeText(w io.Writer, l *Layout) error {
+	bw := bufio.NewWriter(w)
+	if l.Name != "" {
+		fmt.Fprintf(bw, "# %s\n", l.Name)
+	}
+	fmt.Fprintf(bw, "layers %d\nviacost %g\n", l.Layers, l.ViaCost)
+	fmt.Fprintf(bw, "pins %d\n", len(l.Pins))
+	for _, p := range l.Pins {
+		fmt.Fprintf(bw, "%d %d %d\n", p.X, p.Y, p.Layer)
+	}
+	fmt.Fprintf(bw, "obstacles %d\n", len(l.Obstacles))
+	for _, r := range l.Obstacles {
+		fmt.Fprintf(bw, "%d %d %d %d %d\n", r.X1, r.Y1, r.X2, r.Y2, r.Layer)
+	}
+	return bw.Flush()
+}
+
+// DecodeAny sniffs the input: a leading '{' selects the JSON reader,
+// anything else the text reader (converted to grid form).
+func DecodeAny(r io.Reader) (*Instance, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("layout: empty input")
+		}
+		switch b[0] {
+		case ' ', '\t', '\n', '\r':
+			if _, err := br.ReadByte(); err != nil {
+				return nil, err
+			}
+			continue
+		case '{':
+			return Decode(br)
+		default:
+			l, err := DecodeText(br)
+			if err != nil {
+				return nil, err
+			}
+			return l.Instance()
+		}
+	}
+}
+
+func textErr(line int, format string, args ...any) error {
+	return fmt.Errorf("layout: text format line %d: %s", line, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,128 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleText = `# demo layout
+layers 4
+viacost 3
+pins 3
+10 20
+30 40 1
+55 5 0
+obstacles 2
+0 0 8 8
+12 12 20 18 2
+`
+
+func TestDecodeTextFull(t *testing.T) {
+	l, err := DecodeText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Layers != 4 || l.ViaCost != 3 {
+		t.Errorf("layers=%d via=%v", l.Layers, l.ViaCost)
+	}
+	if len(l.Pins) != 3 || len(l.Obstacles) != 2 {
+		t.Fatalf("pins=%d obstacles=%d", len(l.Pins), len(l.Obstacles))
+	}
+	if l.Pins[1].Layer != 1 || l.Pins[0].Layer != 0 {
+		t.Errorf("pin layers = %v", l.Pins)
+	}
+	if l.Obstacles[1].Layer != 2 {
+		t.Errorf("obstacle layer = %d", l.Obstacles[1].Layer)
+	}
+	// The decoded layout converts to a working instance.
+	in, err := l.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Routable() {
+		t.Error("decoded layout should be routable")
+	}
+}
+
+func TestDecodeTextHistoricalBareCounts(t *testing.T) {
+	// The historical format: bare pin count, pins, bare obstacle count,
+	// obstacles, single layer implied.
+	text := `2
+0 0
+9 9
+1
+2 2 5 5
+`
+	l, err := DecodeText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Layers != 1 || len(l.Pins) != 2 || len(l.Obstacles) != 1 {
+		t.Errorf("decoded %+v", l)
+	}
+}
+
+func TestDecodeTextErrors(t *testing.T) {
+	cases := []string{
+		"pins 2\n0 0\n",                   // missing pin
+		"pins 1\n0 0 0 0 0\n",             // too many fields
+		"pins x\n",                        // bad count
+		"layers x\n",                      // bad layers
+		"pins 2\n0 0\n1 1\njunk here z\n", // trailing garbage
+		"pins 1\n5 5\n",                   // single pin fails validation
+	}
+	for i, c := range cases {
+		if _, err := DecodeText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	l, err := DecodeText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Name = "demo"
+	var buf bytes.Buffer
+	if err := EncodeText(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pins) != len(l.Pins) || len(back.Obstacles) != len(l.Obstacles) {
+		t.Error("round trip changed object counts")
+	}
+	for i := range l.Pins {
+		if back.Pins[i] != l.Pins[i] {
+			t.Errorf("pin %d changed: %v vs %v", i, back.Pins[i], l.Pins[i])
+		}
+	}
+}
+
+func TestDecodeAnySniffsFormat(t *testing.T) {
+	// JSON input.
+	js := `{"grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,3]}}`
+	in, err := DecodeAny(strings.NewReader("  \n" + js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Graph.H != 2 {
+		t.Error("JSON path failed")
+	}
+	// Text input.
+	in2, err := DecodeAny(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.NumPins() != 3 {
+		t.Error("text path failed")
+	}
+	// Empty input.
+	if _, err := DecodeAny(strings.NewReader("   ")); err == nil {
+		t.Error("empty input should fail")
+	}
+}

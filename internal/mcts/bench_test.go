@@ -1,0 +1,80 @@
+package mcts
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/layout"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+func benchSetup(b *testing.B) (*selector.Selector, *layout.Instance) {
+	b.Helper()
+	sel, err := selector.NewRandom(rand.New(rand.NewSource(1)),
+		nn.UNetConfig{InChannels: selector.NumFeatures, Base: 4, Depth: 2, Kernel: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := layout.Random(rand.New(rand.NewSource(2)), layout.RandomSpec{
+		H: 10, V: 10, MinM: 2, MaxM: 2,
+		MinPins: 5, MaxPins: 5, MinObstacles: 8, MaxObstacles: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sel, in
+}
+
+// BenchmarkEpisode measures one full combinatorial-MCTS episode (one
+// training sample), the unit cost of the paper's sample generation.
+func BenchmarkEpisode(b *testing.B) {
+	sel, in := benchSetup(b)
+	cfg := Config{Iterations: 32, UseCritic: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(sel, in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpisodeNoCritic measures the curriculum mode (direct state
+// costs instead of critic inference).
+func BenchmarkEpisodeNoCritic(b *testing.B) {
+	sel, in := benchSetup(b)
+	cfg := Config{Iterations: 32, UseCritic: false}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(sel, in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActorPolicy measures the eq. (1) policy construction.
+func BenchmarkActorPolicy(b *testing.B) {
+	sel, in := benchSetup(b)
+	s, err := NewSearcher(sel, in, Config{Iterations: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ActorPolicy(nil, -1)
+	}
+}
+
+// BenchmarkCriticCost measures one critic evaluation (inference + OARMST).
+func BenchmarkCriticCost(b *testing.B) {
+	sel, in := benchSetup(b)
+	s, err := NewSearcher(sel, in, Config{Iterations: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CriticCost(nil, in.NumPins()-2)
+	}
+}

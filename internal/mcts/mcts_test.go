@@ -1,0 +1,521 @@
+package mcts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+func tinySelector(t *testing.T, seed int64) *selector.Selector {
+	t.Helper()
+	s, err := selector.NewRandom(rand.New(rand.NewSource(seed)),
+		nn.UNetConfig{InChannels: selector.NumFeatures, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallInstance(t *testing.T, seed int64, pins int) *layout.Instance {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	in, err := layout.Random(r, layout.RandomSpec{
+		H: 6, V: 6, MinM: 2, MaxM: 2,
+		MinPins: pins, MaxPins: pins,
+		MinObstacles: 3, MaxObstacles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func testConfig() Config {
+	return Config{Iterations: 16, ScaleIterations: false, UseCritic: true, CPuct: 1, MaxNoChange: 3}
+}
+
+func TestNewSearcherRejectsTooFewPins(t *testing.T) {
+	sel := tinySelector(t, 1)
+	in := smallInstance(t, 2, 2)
+	if _, err := NewSearcher(sel, in, testConfig()); err == nil {
+		t.Error("2-pin layout should be rejected")
+	}
+}
+
+func TestActorPolicyMatchesEquation1(t *testing.T) {
+	sel := tinySelector(t, 3)
+	in := smallInstance(t, 4, 4)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := in.Graph
+	last := grid.VertexID(5)
+	policy := s.ActorPolicy(nil, last)
+
+	// Recompute eq. (1) independently.
+	fsp := sel.FSP(g, in.Pins)
+	valid := selector.ValidMask(g, in.Pins)
+	want := make([]float64, g.NumVertices())
+	prod, total := 1.0, 0.0
+	for id := int(last) + 1; id < g.NumVertices(); id++ {
+		if !valid[id] {
+			continue
+		}
+		want[id] = fsp[id] * prod
+		total += want[id]
+		prod *= 1 - fsp[id]
+	}
+	sum := 0.0
+	for id := range policy {
+		if id <= int(last) && policy[id] != 0 {
+			t.Fatalf("policy assigns mass to priority-violating vertex %d", id)
+		}
+		if !valid[id] && policy[id] != 0 {
+			t.Fatalf("policy assigns mass to invalid vertex %d", id)
+		}
+		if total > 0 && math.Abs(policy[id]-want[id]/total) > 1e-12 {
+			t.Fatalf("policy[%d] = %v, want %v", id, policy[id], want[id]/total)
+		}
+		sum += policy[id]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("policy sums to %v", sum)
+	}
+}
+
+func TestActorPolicyOrderingWeights(t *testing.T) {
+	// The weighting must multiply by (1 - fsp) of every *valid* vertex
+	// between w and u — a vertex with large fsp early on suppresses all
+	// later weights.
+	sel := tinySelector(t, 5)
+	in := smallInstance(t, 6, 4)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := s.ActorPolicy(nil, -1)
+	fsp := sel.FSP(in.Graph, in.Pins)
+	valid := selector.ValidMask(in.Graph, in.Pins)
+	// First valid vertex: weight is exactly fsp (prod = 1) before
+	// normalisation; ratio of policy to fsp must then be constant 1/total.
+	var firstID = -1
+	for id := 0; id < len(fsp); id++ {
+		if valid[id] {
+			firstID = id
+			break
+		}
+	}
+	if firstID < 0 {
+		t.Skip("no valid vertices")
+	}
+	scale := policy[firstID] / fsp[firstID]
+	// Second valid vertex must carry the (1 - fsp(first)) factor.
+	for id := firstID + 1; id < len(fsp); id++ {
+		if !valid[id] {
+			continue
+		}
+		want := fsp[id] * (1 - fsp[firstID]) * scale
+		if math.Abs(policy[id]-want) > 1e-9 {
+			t.Errorf("policy[%d] = %v, want %v", id, policy[id], want)
+		}
+		break
+	}
+}
+
+func TestSearchDepthLimit3Pins(t *testing.T) {
+	// n = 3 pins allows at most n-2 = 1 Steiner point.
+	sel := tinySelector(t, 6)
+	in := smallInstance(t, 7, 3)
+	res, err := Search(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Executed) > 1 {
+		t.Errorf("executed %d Steiner points for a 3-pin layout", len(res.Executed))
+	}
+}
+
+func TestSearchExecutedAscendingAndValid(t *testing.T) {
+	sel := tinySelector(t, 8)
+	in := smallInstance(t, 9, 6)
+	res, err := Search(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Executed) > in.NumPins()-2 {
+		t.Errorf("executed %d > n-2 = %d", len(res.Executed), in.NumPins()-2)
+	}
+	pinSet := in.PinSet()
+	var prev grid.VertexID = -1
+	for _, a := range res.Executed {
+		if a <= prev {
+			t.Errorf("executed actions not strictly ascending: %v", res.Executed)
+		}
+		prev = a
+		if in.Graph.Blocked(a) {
+			t.Error("executed action on obstacle")
+		}
+		if _, isPin := pinSet[a]; isPin {
+			t.Error("executed action on pin")
+		}
+	}
+}
+
+func TestSearchLabelInvariants(t *testing.T) {
+	sel := tinySelector(t, 10)
+	in := smallInstance(t, 11, 5)
+	res, err := Search(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := res.Sample.Label
+	if len(label) != in.Graph.NumVertices() {
+		t.Fatalf("label length %d", len(label))
+	}
+	pinSet := in.PinSet()
+	anyPositive := false
+	for id, l := range label {
+		if l < 0 || l > 1 {
+			t.Fatalf("label[%d] = %v outside [0,1]", id, l)
+		}
+		if l > 0 {
+			anyPositive = true
+		}
+		v := grid.VertexID(id)
+		if in.Graph.Blocked(v) && l != 0 {
+			t.Errorf("blocked vertex %d has label %v", id, l)
+		}
+		if _, isPin := pinSet[v]; isPin && l != 0 {
+			t.Errorf("pin vertex %d has label %v", id, l)
+		}
+	}
+	if res.Iterations > 0 && !anyPositive {
+		t.Error("no positive label despite search iterations")
+	}
+	// Executed actions should carry strong labels: they were selected at
+	// least once wherever they were candidates.
+	for _, a := range res.Executed {
+		if label[a] == 0 {
+			t.Errorf("executed action %d has zero label", a)
+		}
+	}
+}
+
+// TestFig7StyleCounting reconstructs the bookkeeping of the paper's Fig 7
+// on a controlled single selection step: at a node whose candidates are
+// known, choosing one action must grant one opportunity to every candidate
+// and one selection to the chosen vertex only.
+func TestFig7StyleCounting(t *testing.T) {
+	sel := tinySelector(t, 50)
+	in := smallInstance(t, 51, 4)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expand the root, then run exactly one iteration past it. That
+	// iteration performs exactly one selection step at the root (the
+	// child it reaches is fresh, so the traversal stops there).
+	s.expand(s.root)
+	candidates := make(map[grid.VertexID]bool, len(s.root.children))
+	for i := range s.root.children {
+		candidates[s.root.children[i].action] = true
+	}
+	if len(candidates) == 0 {
+		t.Skip("no candidates at root")
+	}
+	s.iterate(in.NumPins() - 2)
+
+	totalSel, totalOpp := 0, 0
+	for id := range s.nSel {
+		totalSel += s.nSel[id]
+		totalOpp += s.nOpp[id]
+		if s.nOpp[id] > 0 && !candidates[grid.VertexID(id)] {
+			t.Errorf("vertex %d got an opportunity without being a candidate", id)
+		}
+	}
+	if totalSel != 1 {
+		t.Errorf("one selection step should record 1 selection, got %d", totalSel)
+	}
+	if totalOpp != len(candidates) {
+		t.Errorf("opportunities = %d, want one per candidate (%d)", totalOpp, len(candidates))
+	}
+}
+
+func TestLabelCountingInvariants(t *testing.T) {
+	// Equation (3) bookkeeping (paper Fig 7): n_sel(v) <= n_opp(v) for
+	// every vertex, the total selections equal the number of selection
+	// steps performed, and opportunities are only granted to vertices that
+	// were candidates at some visited node.
+	sel := tinySelector(t, 30)
+	in := smallInstance(t, 31, 5)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	totalSel, totalOpp := 0, 0
+	for id := range s.nSel {
+		if s.nSel[id] > s.nOpp[id] {
+			t.Fatalf("vertex %d selected %d times with only %d opportunities",
+				id, s.nSel[id], s.nOpp[id])
+		}
+		totalSel += s.nSel[id]
+		totalOpp += s.nOpp[id]
+	}
+	if totalSel == 0 {
+		t.Error("no selections recorded despite a full episode")
+	}
+	if totalOpp < totalSel {
+		t.Error("fewer opportunities than selections overall")
+	}
+}
+
+func TestRootActionStats(t *testing.T) {
+	sel := tinySelector(t, 40)
+	in := smallInstance(t, 41, 5)
+	res, err := Search(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Executed) == 0 {
+		t.Skip("episode ended before any execution")
+	}
+	if len(res.RootActions) == 0 {
+		t.Fatal("no root action stats recorded")
+	}
+	if len(res.RootActions) > 16 {
+		t.Errorf("stats capped at 16, got %d", len(res.RootActions))
+	}
+	for i := 1; i < len(res.RootActions); i++ {
+		if res.RootActions[i].Visits > res.RootActions[i-1].Visits {
+			t.Fatal("root actions not sorted by visits")
+		}
+	}
+	// The first executed action is the most-visited root action.
+	if res.RootActions[0].Action != res.Executed[0] {
+		t.Errorf("top action %d != first executed %d",
+			res.RootActions[0].Action, res.Executed[0])
+	}
+	for _, a := range res.RootActions {
+		if a.Prior < 0 || a.Prior > 1 {
+			t.Errorf("prior %v out of range", a.Prior)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	selA := tinySelector(t, 12)
+	selB := tinySelector(t, 12)
+	inA := smallInstance(t, 13, 5)
+	inB := smallInstance(t, 13, 5)
+	resA, err := Search(selA, inA, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Search(selB, inB, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Executed) != len(resB.Executed) {
+		t.Fatal("nondeterministic executed length")
+	}
+	for i := range resA.Executed {
+		if resA.Executed[i] != resB.Executed[i] {
+			t.Fatal("nondeterministic executed sequence")
+		}
+	}
+	for i := range resA.Sample.Label {
+		if resA.Sample.Label[i] != resB.Sample.Label[i] {
+			t.Fatal("nondeterministic label")
+		}
+	}
+}
+
+func TestSearchCurriculumModeNoCritic(t *testing.T) {
+	sel := tinySelector(t, 14)
+	in := smallInstance(t, 15, 4)
+	cfg := testConfig()
+	cfg.UseCritic = false
+	res, err := Search(sel, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RootCost <= 0 {
+		t.Error("root cost should be positive")
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations performed")
+	}
+}
+
+func TestCriticCompletesRemainingPoints(t *testing.T) {
+	sel := tinySelector(t, 16)
+	in := smallInstance(t, 17, 6)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero remaining, the critic reduces to the direct state cost.
+	direct := s.stateCost(nil)
+	if got := s.CriticCost(nil, 0); got != direct {
+		t.Errorf("critic with 0 remaining = %v, want direct cost %v", got, direct)
+	}
+	// With remaining points the critic routes pins + completed set; the
+	// cost is that of a valid OARMST, hence >= the all-pins MST lower
+	// bound is not guaranteed — just require positivity and determinism.
+	c1 := s.CriticCost(nil, in.NumPins()-2)
+	c2 := s.CriticCost(nil, in.NumPins()-2)
+	if c1 <= 0 || c1 != c2 {
+		t.Errorf("critic cost %v / %v", c1, c2)
+	}
+}
+
+func TestTerminalOnCostIncrease(t *testing.T) {
+	sel := tinySelector(t, 18)
+	in := smallInstance(t, 19, 5)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a child whose cost is forced higher by checking evaluation
+	// logic directly: pick any valid vertex far from all pins.
+	parent := s.root
+	s.ensureEvaluated(parent)
+	child := s.makeChild(parent, 0)
+	// Find a valid action.
+	pinSet := in.PinSet()
+	for id := 0; id < in.Graph.NumVertices(); id++ {
+		v := grid.VertexID(id)
+		if in.Graph.Blocked(v) {
+			continue
+		}
+		if _, isPin := pinSet[v]; isPin {
+			continue
+		}
+		child = s.makeChild(parent, v)
+		s.ensureEvaluatedWithPins(child, []grid.VertexID{v})
+		break
+	}
+	if child.cost > parent.cost && !child.terminal {
+		t.Error("cost-increasing child must be terminal (criterion 2)")
+	}
+	if math.Abs(child.cost-parent.cost) < 1e-9 && child.noChange != 1 {
+		t.Error("cost-preserving child must increment noChange")
+	}
+}
+
+func TestNoChangeTerminalChain(t *testing.T) {
+	sel := tinySelector(t, 20)
+	in := smallInstance(t, 21, 6)
+	cfg := testConfig()
+	cfg.MaxNoChange = 2
+	s, err := NewSearcher(sel, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a chain of evaluated nodes with identical costs.
+	a := s.root
+	s.ensureEvaluated(a)
+	b := s.makeChild(a, 1)
+	b.evaluated, b.cost, b.noChange = true, a.cost, 1
+	c := s.makeChild(b, 2)
+	c.evaluated = false
+	// Manually evaluate c against b via the internal logic by stubbing:
+	c.evaluated = true
+	c.cost = b.cost
+	c.noChange = b.noChange + 1
+	if c.noChange >= cfg.MaxNoChange {
+		c.terminal = true
+	}
+	if !c.terminal {
+		t.Error("chain of cost-preserving actions should hit criterion 3")
+	}
+}
+
+func TestAlphaScaling(t *testing.T) {
+	sel := tinySelector(t, 22)
+	in := smallInstance(t, 23, 4) // 6x6x2 = 72 vertices < BaseVolume
+	cfg := testConfig()
+	cfg.Iterations = 100
+	cfg.ScaleIterations = true
+	s, err := NewSearcher(sel, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller-than-base layouts keep the base budget (never reduced).
+	if got := s.alpha(); got != 100 {
+		t.Errorf("alpha = %d, want 100", got)
+	}
+	cfg.ScaleIterations = false
+	s2, _ := NewSearcher(sel, in, cfg)
+	if got := s2.alpha(); got != 100 {
+		t.Errorf("unscaled alpha = %d", got)
+	}
+	// A layout 2x the base volume doubles the budget.
+	r := rand.New(rand.NewSource(24))
+	big, err := layout.Random(r, layout.RandomSpec{
+		H: 16, V: 16, MinM: 8, MaxM: 8, MinPins: 3, MaxPins: 3, MinObstacles: 0, MaxObstacles: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ScaleIterations = true
+	s3, err := NewSearcher(sel, big, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.alpha(); got != 200 {
+		t.Errorf("scaled alpha = %d, want 200", got)
+	}
+}
+
+func TestSearchTreeChildrenRespectPriority(t *testing.T) {
+	sel := tinySelector(t, 25)
+	in := smallInstance(t, 26, 5)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the remaining tree from the final root upwards is not possible;
+	// instead re-run a few iterations on a fresh searcher and inspect.
+	s2, _ := NewSearcher(sel, in.Clone(), testConfig())
+	for i := 0; i < 20; i++ {
+		s2.iterate(in.NumPins() - 2)
+	}
+	var walk func(nd *node)
+	unique := map[string]bool{}
+	var walkState []grid.VertexID
+	walk = func(nd *node) {
+		key := ""
+		for _, v := range walkState {
+			key += string(rune(v)) + ","
+		}
+		if unique[key] {
+			t.Errorf("duplicate combination in search tree: %v", walkState)
+		}
+		unique[key] = true
+		for i := range nd.children {
+			e := &nd.children[i]
+			if e.action <= nd.last {
+				t.Errorf("child action %d violates priority after %d", e.action, nd.last)
+			}
+			if e.child != nil {
+				walkState = append(walkState, e.action)
+				walk(e.child)
+				walkState = walkState[:len(walkState)-1]
+			}
+		}
+	}
+	walk(s2.root)
+}

@@ -1,0 +1,335 @@
+// Package mctsconv implements the conventional, AlphaGo-like MCTS trainer
+// used as a baseline in the paper's §4.2. It trains the same U-Net agent
+// as a *sequential* Steiner-point selector:
+//
+//   - actions are unordered — any valid vertex may follow any other, so the
+//     search tree re-explores permutations of the same point combination
+//     (exactly the redundancy the combinatorial MCTS eliminates);
+//   - the prior policy is a masked softmax of the selector logits over all
+//     valid vertices;
+//   - one training sample is generated per *executed move* whose label is
+//     the visit-count distribution over the root's children, fitted with
+//     softmax cross-entropy — the conventional MCTS labelling scheme.
+package mctsconv
+
+import (
+	"fmt"
+	"math"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/route"
+	"oarsmt/internal/selector"
+)
+
+// Config parameterises one conventional MCTS episode. Semantics follow
+// the combinatorial search's config so the two are comparable like for
+// like.
+type Config struct {
+	Iterations      int
+	ScaleIterations bool
+	UseCritic       bool
+	CPuct           float64
+	MaxNoChange     int
+}
+
+// BaseVolume matches the combinatorial search's iteration-scaling anchor.
+const BaseVolume = 16 * 16 * 4
+
+func (c Config) withDefaults() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 128
+	}
+	if c.CPuct == 0 {
+		c.CPuct = 1.0
+	}
+	if c.MaxNoChange <= 0 {
+		c.MaxNoChange = 3
+	}
+	return c
+}
+
+// Sample is one per-move training sample: the state (layout plus the
+// Steiner points already selected, which the agent sees as pins) and the
+// target policy (visit distribution over the next point).
+type Sample struct {
+	Instance  *layout.Instance
+	ExtraPins []grid.VertexID
+	Policy    []float64
+}
+
+// Result reports one episode.
+type Result struct {
+	Samples       []Sample
+	Executed      []grid.VertexID
+	RootCost      float64
+	FinalCost     float64
+	Iterations    int
+	NodesExpanded int
+}
+
+type edge struct {
+	action grid.VertexID
+	p      float64
+	n      int
+	w      float64
+	q      float64
+	child  *node
+}
+
+type node struct {
+	parent    *node
+	depth     int
+	evaluated bool
+	cost      float64
+	noChange  int
+	terminal  bool
+	expanded  bool
+	children  []edge
+}
+
+// Searcher runs conventional MCTS episodes on one layout.
+type Searcher struct {
+	cfg    Config
+	sel    *selector.Selector
+	in     *layout.Instance
+	router *route.Router
+
+	root     *node
+	state    []grid.VertexID // executed points, in execution order
+	rootCost float64
+
+	iterations    int
+	nodesExpanded int
+}
+
+// NewSearcher prepares an episode; the instance needs at least 3 pins.
+func NewSearcher(sel *selector.Selector, in *layout.Instance, cfg Config) (*Searcher, error) {
+	if in.NumPins() < 3 {
+		return nil, fmt.Errorf("mctsconv: layout %q has %d pins; need >= 3", in.Name, in.NumPins())
+	}
+	cfg = cfg.withDefaults()
+	s := &Searcher{cfg: cfg, sel: sel, in: in, router: route.NewRouter(in.Graph)}
+	tree, err := s.router.OARMST(in.Pins)
+	if err != nil {
+		return nil, fmt.Errorf("mctsconv: root state unroutable: %w", err)
+	}
+	s.rootCost = tree.Cost
+	s.root = &node{evaluated: true, cost: tree.Cost}
+	return s, nil
+}
+
+func (s *Searcher) alpha() int {
+	a := s.cfg.Iterations
+	if s.cfg.ScaleIterations {
+		scaled := int(math.Round(float64(a) * float64(s.in.Graph.NumVertices()) / float64(BaseVolume)))
+		if scaled > a {
+			a = scaled
+		}
+	}
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// Run plays one episode and collects the per-move samples.
+func (s *Searcher) Run() (*Result, error) {
+	res := &Result{RootCost: s.rootCost}
+	alpha := s.alpha()
+	maxDepth := s.in.NumPins() - 2
+
+	for {
+		s.ensureEvaluated(s.root, s.state)
+		if s.root.terminal {
+			break
+		}
+		if !s.root.expanded {
+			s.expand(s.root, s.state)
+		}
+		if len(s.root.children) == 0 {
+			break
+		}
+		for i := 0; i < alpha; i++ {
+			s.iterate(maxDepth)
+		}
+		// Emit the per-move sample: visit distribution at the root.
+		policy := make([]float64, s.in.Graph.NumVertices())
+		total := 0
+		for i := range s.root.children {
+			total += s.root.children[i].n
+		}
+		if total == 0 {
+			break
+		}
+		for i := range s.root.children {
+			e := &s.root.children[i]
+			policy[e.action] = float64(e.n) / float64(total)
+		}
+		res.Samples = append(res.Samples, Sample{
+			Instance:  s.in,
+			ExtraPins: append([]grid.VertexID(nil), s.state...),
+			Policy:    policy,
+		})
+
+		best := s.bestRootAction()
+		e := &s.root.children[best]
+		if e.child == nil {
+			e.child = &node{parent: s.root, depth: s.root.depth + 1}
+		}
+		s.root = e.child
+		s.state = append(s.state, e.action)
+		res.Executed = append(res.Executed, e.action)
+	}
+	s.ensureEvaluated(s.root, s.state)
+	res.FinalCost = s.root.cost
+	res.Iterations = s.iterations
+	res.NodesExpanded = s.nodesExpanded
+	return res, nil
+}
+
+func (s *Searcher) iterate(maxDepth int) {
+	s.iterations++
+	cur := s.root
+	pathPins := append([]grid.VertexID(nil), s.state...)
+	var path []*edge
+
+	for {
+		s.ensureEvaluated(cur, pathPins)
+		if cur.terminal {
+			break
+		}
+		if !cur.expanded {
+			s.expand(cur, pathPins)
+			if len(cur.children) == 0 {
+				cur.terminal = true
+			}
+			break
+		}
+		if len(cur.children) == 0 {
+			cur.terminal = true
+			break
+		}
+		ei := s.selectChild(cur)
+		e := &cur.children[ei]
+		if e.child == nil {
+			e.child = &node{parent: cur, depth: cur.depth + 1}
+		}
+		path = append(path, e)
+		pathPins = append(pathPins, e.action)
+		cur = e.child
+	}
+
+	s.ensureEvaluated(cur, pathPins)
+	v := s.leafValue(cur, pathPins, maxDepth)
+	for _, e := range path {
+		e.n++
+		e.w += v
+		e.q = e.w / float64(e.n)
+	}
+}
+
+func (s *Searcher) selectChild(nd *node) int {
+	sumN := 0
+	for i := range nd.children {
+		sumN += nd.children[i].n
+	}
+	sqrtSum := math.Sqrt(float64(sumN))
+	best, bestScore := -1, math.Inf(-1)
+	for i := range nd.children {
+		e := &nd.children[i]
+		score := e.q + s.cfg.CPuct*e.p*sqrtSum/float64(1+e.n)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+func (s *Searcher) ensureEvaluated(nd *node, sps []grid.VertexID) {
+	if nd.evaluated {
+		return
+	}
+	nd.evaluated = true
+	nd.cost = s.stateCost(sps)
+	if nd.depth >= s.in.NumPins()-2 {
+		nd.terminal = true
+	}
+	if nd.parent != nil && nd.parent.evaluated {
+		const eps = 1e-9
+		switch {
+		case nd.cost > nd.parent.cost+eps:
+			nd.terminal = true
+		case math.Abs(nd.cost-nd.parent.cost) <= eps:
+			nd.noChange = nd.parent.noChange + 1
+			if nd.noChange >= s.cfg.MaxNoChange {
+				nd.terminal = true
+			}
+		}
+	}
+}
+
+func (s *Searcher) stateCost(sps []grid.VertexID) float64 {
+	terms := make([]grid.VertexID, 0, len(s.in.Pins)+len(sps))
+	terms = append(terms, s.in.Pins...)
+	terms = append(terms, sps...)
+	tree, err := s.router.OARMST(terms)
+	if err != nil {
+		panic(fmt.Sprintf("mctsconv: state cost: %v", err))
+	}
+	return tree.Cost
+}
+
+// expand creates one child per valid vertex (no priority constraint) with
+// priors from the sequential softmax policy.
+func (s *Searcher) expand(nd *node, sps []grid.VertexID) {
+	if nd.expanded {
+		return
+	}
+	nd.expanded = true
+	s.nodesExpanded++
+	statePins := append(append([]grid.VertexID(nil), s.in.Pins...), sps...)
+	policy := s.sel.PolicySoftmax(s.in.Graph, statePins)
+	for id, p := range policy {
+		if p > 0 {
+			nd.children = append(nd.children, edge{action: grid.VertexID(id), p: p})
+		}
+	}
+}
+
+func (s *Searcher) leafValue(nd *node, sps []grid.VertexID, maxDepth int) float64 {
+	c := nd.cost
+	if s.cfg.UseCritic && !nd.terminal {
+		remaining := maxDepth - nd.depth
+		if remaining > 0 {
+			statePins := append(append([]grid.VertexID(nil), s.in.Pins...), sps...)
+			fsp := s.sel.FSP(s.in.Graph, statePins)
+			top := selector.TopK(fsp, selector.ValidMask(s.in.Graph, statePins), remaining)
+			all := append(append([]grid.VertexID(nil), sps...), top...)
+			c = s.stateCost(all)
+		}
+	}
+	if s.rootCost <= 0 {
+		return 0
+	}
+	return (s.rootCost - c) / s.rootCost
+}
+
+func (s *Searcher) bestRootAction() int {
+	best, bestN := -1, -1
+	for i := range s.root.children {
+		if s.root.children[i].n > bestN {
+			best, bestN = i, s.root.children[i].n
+		}
+	}
+	return best
+}
+
+// Search runs one conventional MCTS episode.
+func Search(sel *selector.Selector, in *layout.Instance, cfg Config) (*Result, error) {
+	s, err := NewSearcher(sel, in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,212 @@
+package mctsconv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+func tinySelector(t *testing.T, seed int64) *selector.Selector {
+	t.Helper()
+	s, err := selector.NewRandom(rand.New(rand.NewSource(seed)),
+		nn.UNetConfig{InChannels: selector.NumFeatures, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallInstance(t *testing.T, seed int64, pins int) *layout.Instance {
+	t.Helper()
+	in, err := layout.Random(rand.New(rand.NewSource(seed)), layout.RandomSpec{
+		H: 6, V: 6, MinM: 2, MaxM: 2,
+		MinPins: pins, MaxPins: pins,
+		MinObstacles: 3, MaxObstacles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func testConfig() Config {
+	return Config{Iterations: 16, UseCritic: true, CPuct: 1, MaxNoChange: 3}
+}
+
+func TestRejectsTooFewPins(t *testing.T) {
+	if _, err := Search(tinySelector(t, 1), smallInstance(t, 2, 2), testConfig()); err == nil {
+		t.Error("2-pin layout should be rejected")
+	}
+}
+
+func TestSearchEmitsPerMoveSamples(t *testing.T) {
+	sel := tinySelector(t, 3)
+	in := smallInstance(t, 4, 5)
+	res, err := Search(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sample per executed move — the conventional labelling scheme.
+	if len(res.Samples) != len(res.Executed) {
+		t.Errorf("samples = %d, executed = %d; conventional MCTS labels per move",
+			len(res.Samples), len(res.Executed))
+	}
+	for i, s := range res.Samples {
+		if len(s.ExtraPins) != i {
+			t.Errorf("sample %d has %d extra pins, want %d", i, len(s.ExtraPins), i)
+		}
+		sum := 0.0
+		for _, p := range s.Policy {
+			if p < 0 {
+				t.Fatalf("sample %d has negative policy mass", i)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("sample %d policy sums to %v", i, sum)
+		}
+		// The executed action must carry positive mass (it had max visits).
+		if s.Policy[res.Executed[i]] <= 0 {
+			t.Errorf("sample %d: executed action has zero policy", i)
+		}
+	}
+}
+
+func TestSearchNoPriorityConstraint(t *testing.T) {
+	// Unlike the combinatorial search, executed actions need not ascend.
+	// We can't force a descending pick, but we can check the mechanism:
+	// expansion at a deeper node must include vertices below the previous
+	// action.
+	sel := tinySelector(t, 5)
+	in := smallInstance(t, 6, 5)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.expand(s.root, nil)
+	if len(s.root.children) == 0 {
+		t.Fatal("root has no children")
+	}
+	// Pick a high-ID action and expand the child: its children must still
+	// include low-ID vertices.
+	var hi *edge
+	for i := range s.root.children {
+		e := &s.root.children[i]
+		if hi == nil || e.action > hi.action {
+			hi = e
+		}
+	}
+	child := &node{parent: s.root, depth: 1}
+	s.expand(child, []grid.VertexID{hi.action})
+	foundLower := false
+	for i := range child.children {
+		if child.children[i].action < hi.action {
+			foundLower = true
+			break
+		}
+	}
+	if !foundLower {
+		t.Error("conventional expansion should allow lower-priority vertices")
+	}
+}
+
+func TestSearchExpandsMoreNodesThanCombinatorialWouldAllow(t *testing.T) {
+	// Sanity: the root expansion covers every valid vertex, which is at
+	// least as many actions as the combinatorial search's priority-pruned
+	// expansion at any non-root state.
+	sel := tinySelector(t, 7)
+	in := smallInstance(t, 8, 4)
+	s, err := NewSearcher(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.expand(s.root, nil)
+	valid := 0
+	mask := selector.ValidMask(in.Graph, in.Pins)
+	for _, m := range mask {
+		if m {
+			valid++
+		}
+	}
+	if len(s.root.children) != valid {
+		t.Errorf("root children = %d, want all %d valid vertices", len(s.root.children), valid)
+	}
+}
+
+func TestTrainerRunStage(t *testing.T) {
+	sel := tinySelector(t, 9)
+	cfg := TrainerConfig{
+		Sizes:          []layout.TrainingSize{{HV: 6, M: 2}},
+		LayoutsPerSize: 2,
+		MinPins:        4, MaxPins: 4,
+		MCTS:           testConfig(),
+		BatchSize:      8,
+		EpochsPerStage: 1,
+		LR:             1e-3,
+		Seed:           1,
+	}
+	tr := NewTrainer(sel, cfg)
+	before := sel.Net.Params()[0].W.Clone()
+	stats, err := tr.RunStage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Episodes != 2 {
+		t.Errorf("episodes = %d", stats.Episodes)
+	}
+	if stats.Samples == 0 {
+		t.Skip("episodes terminated immediately; nothing to fit")
+	}
+	after := sel.Net.Params()[0].W
+	changed := false
+	for i := range after.Data {
+		if after.Data[i] != before.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("training did not update weights")
+	}
+	if tr.Stage() != 1 {
+		t.Errorf("stage = %d", tr.Stage())
+	}
+}
+
+func TestFitDecreasesCELoss(t *testing.T) {
+	sel := tinySelector(t, 10)
+	in := smallInstance(t, 11, 5)
+	res, err := Search(sel, in, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Skip("no samples from episode")
+	}
+	tr := NewTrainer(sel, TrainerConfig{EpochsPerStage: 1, BatchSize: 8, LR: 5e-3, MinPins: 4})
+	first, err := tr.Fit(res.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 15; i++ {
+		if last, err = tr.Fit(res.Samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("CE loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestFitRejectsEmpty(t *testing.T) {
+	tr := NewTrainer(tinySelector(t, 12), TrainerConfig{})
+	if _, err := tr.Fit(nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+}

@@ -1,0 +1,175 @@
+package mctsconv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+	"oarsmt/internal/tensor"
+)
+
+// TrainerConfig parameterises the AlphaGo-like training loop; it mirrors
+// the combinatorial trainer's schedule so Fig 11/12's like-for-like
+// comparison holds.
+type TrainerConfig struct {
+	Sizes            []layout.TrainingSize
+	LayoutsPerSize   int
+	MinPins, MaxPins int
+	MCTS             Config
+	BatchSize        int
+	EpochsPerStage   int
+	LR               float64
+	Seed             int64
+}
+
+func (c TrainerConfig) withDefaults() TrainerConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []layout.TrainingSize{{HV: 8, M: 2}}
+	}
+	if c.LayoutsPerSize <= 0 {
+		c.LayoutsPerSize = 4
+	}
+	if c.MinPins < 3 {
+		c.MinPins = 3
+	}
+	if c.MaxPins < c.MinPins {
+		c.MaxPins = c.MinPins
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.EpochsPerStage <= 0 {
+		c.EpochsPerStage = 4
+	}
+	if c.LR <= 0 {
+		c.LR = 3e-3
+	}
+	return c
+}
+
+// StageStats summarises one stage of conventional-MCTS training.
+type StageStats struct {
+	Stage          int
+	Episodes       int
+	Samples        int
+	MCTSIterations int
+	MeanLoss       float64
+}
+
+// Trainer drives the conventional-MCTS training loop: per stage it plays
+// episodes with the current selector, collects the per-move visit-count
+// samples and fits the selector with softmax cross-entropy.
+type Trainer struct {
+	Cfg      TrainerConfig
+	Selector *selector.Selector
+
+	rng   *rand.Rand
+	opt   *nn.Adam
+	stage int
+}
+
+// NewTrainer creates a trainer over the selector.
+func NewTrainer(sel *selector.Selector, cfg TrainerConfig) *Trainer {
+	cfg = cfg.withDefaults()
+	return &Trainer{
+		Cfg:      cfg,
+		Selector: sel,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		opt:      nn.NewAdam(sel.Net.Params(), cfg.LR),
+	}
+}
+
+// Stage returns the number of completed stages.
+func (t *Trainer) Stage() int { return t.stage }
+
+// GenerateSamples plays the stage's episodes without updating the
+// selector; exported for the sample-generation comparison benchmarks.
+func (t *Trainer) GenerateSamples() ([]Sample, StageStats, error) {
+	stats := StageStats{Stage: t.stage + 1}
+	var samples []Sample
+	for _, size := range t.Cfg.Sizes {
+		spec := layout.TrainingSpec(size, t.Cfg.MinPins, t.Cfg.MaxPins)
+		for i := 0; i < t.Cfg.LayoutsPerSize; i++ {
+			in, err := layout.Random(t.rng, spec)
+			if err != nil {
+				return nil, stats, fmt.Errorf("mctsconv: stage %d: %w", t.stage+1, err)
+			}
+			res, err := Search(t.Selector, in, t.Cfg.MCTS)
+			if err != nil {
+				return nil, stats, fmt.Errorf("mctsconv: stage %d: %w", t.stage+1, err)
+			}
+			samples = append(samples, res.Samples...)
+			stats.Episodes++
+			stats.MCTSIterations += res.Iterations
+		}
+	}
+	stats.Samples = len(samples)
+	return samples, stats, nil
+}
+
+// RunStage plays one stage and fits the selector on its samples.
+func (t *Trainer) RunStage() (StageStats, error) {
+	samples, stats, err := t.GenerateSamples()
+	if err != nil {
+		return stats, err
+	}
+	if len(samples) == 0 {
+		t.stage++
+		stats.Stage = t.stage
+		return stats, nil
+	}
+	loss, err := t.Fit(samples)
+	if err != nil {
+		return stats, err
+	}
+	stats.MeanLoss = loss
+	t.stage++
+	stats.Stage = t.stage
+	return stats, nil
+}
+
+// Fit trains the selector on per-move samples with cross-entropy loss and
+// returns the final epoch's mean loss.
+func (t *Trainer) Fit(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("mctsconv: no samples to fit")
+	}
+	var last float64
+	idxs := make([]int, len(samples))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	for epoch := 0; epoch < t.Cfg.EpochsPerStage; epoch++ {
+		t.rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		total, nBatches := 0.0, 0
+		for start := 0; start < len(idxs); start += t.Cfg.BatchSize {
+			end := start + t.Cfg.BatchSize
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			batchLoss := 0.0
+			for _, si := range idxs[start:end] {
+				s := samples[si]
+				g := s.Instance.Graph
+				statePins := append(append([]grid.VertexID(nil), s.Instance.Pins...), s.ExtraPins...)
+				logits := t.Selector.Net.Forward(selector.Encode(g, statePins))
+				mask := selector.ValidMask(g, statePins)
+				loss, gradFlat := nn.CrossEntropyGrad(logits.Data, mask, s.Policy)
+				grad := tensor.FromSlice(gradFlat, g.H, g.V, g.M)
+				grad.Scale(1 / float64(end-start))
+				t.Selector.Net.Backward(grad)
+				batchLoss += loss
+			}
+			t.opt.Step()
+			total += batchLoss / float64(end-start)
+			nBatches++
+		}
+		if nBatches > 0 {
+			last = total / float64(nBatches)
+		}
+	}
+	return last, nil
+}

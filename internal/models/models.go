@@ -1,0 +1,38 @@
+// Package models embeds the pretrained Steiner-point selector shipped with
+// the repository. The model was trained with cmd/oarsmt-train (the
+// combinatorial-MCTS pipeline at CPU scale: mixed 8/12/16-sized layouts,
+// 2 and 4 routing layers, 4-stage curriculum); retrain and overwrite
+// selector.gob to ship a stronger one.
+package models
+
+import (
+	"bytes"
+	_ "embed"
+	"sync"
+
+	"oarsmt/internal/selector"
+)
+
+//go:embed selector.gob
+var selectorGob []byte
+
+var (
+	once       sync.Once
+	pretrained *selector.Selector
+	loadErr    error
+)
+
+// Pretrained returns the embedded trained selector. The model is decoded
+// once and shared; selectors are not safe for concurrent inference, so
+// callers that need parallelism should Load a private copy with New.
+func Pretrained() (*selector.Selector, error) {
+	once.Do(func() {
+		pretrained, loadErr = selector.Load(bytes.NewReader(selectorGob))
+	})
+	return pretrained, loadErr
+}
+
+// New decodes a fresh private copy of the embedded model.
+func New() (*selector.Selector, error) {
+	return selector.Load(bytes.NewReader(selectorGob))
+}

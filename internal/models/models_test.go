@@ -1,0 +1,64 @@
+package models
+
+import (
+	"testing"
+
+	"oarsmt/internal/grid"
+)
+
+func TestPretrainedLoads(t *testing.T) {
+	sel, err := Pretrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Net.NumParams() == 0 {
+		t.Fatal("pretrained model has no parameters")
+	}
+	// Same instance on repeated calls.
+	again, err := Pretrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sel {
+		t.Error("Pretrained should cache the decoded model")
+	}
+}
+
+func TestPretrainedInference(t *testing.T) {
+	sel, err := Pretrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.NewUniform(9, 7, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := []grid.VertexID{g.Index(0, 0, 0), g.Index(8, 6, 2), g.Index(4, 3, 1)}
+	fsp := sel.FSP(g, pins)
+	if len(fsp) != g.NumVertices() {
+		t.Fatalf("fsp length %d", len(fsp))
+	}
+	for _, p := range fsp {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("fsp %v outside (0,1)", p)
+		}
+	}
+}
+
+func TestNewReturnsPrivateCopy(t *testing.T) {
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("New should decode independent copies")
+	}
+	a.Net.Params()[0].W.Data[0] = 12345
+	if b.Net.Params()[0].W.Data[0] == 12345 {
+		t.Error("copies share weight storage")
+	}
+}

@@ -1,0 +1,184 @@
+// Package multinet routes several nets on one layout, the setting the
+// paper's introduction motivates: in a real IC design, macros, blockages
+// and *pre-routed wires* are obstacles for every later net. The paper's
+// router handles a single net; this package sequences it across nets —
+// each routed tree is committed as an obstacle for the nets after it —
+// and adds the classic negotiation loop of the rip-up-and-reroute
+// literature ([3], [6] in the paper's references): when a net becomes
+// unroutable, previously routed nets are ripped up and re-routed after it.
+package multinet
+
+import (
+	"fmt"
+	"sort"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/route"
+)
+
+// Net is one net to route: a name and its pin vertices on the shared
+// graph.
+type Net struct {
+	Name string
+	Pins []grid.VertexID
+}
+
+// TreeRouter routes one net on a graph; both the RL router and the
+// algorithmic baselines satisfy it via small adapters (see RouterFunc).
+type TreeRouter interface {
+	RouteNet(in *layout.Instance) (*route.Tree, error)
+}
+
+// RouterFunc adapts a function to TreeRouter.
+type RouterFunc func(in *layout.Instance) (*route.Tree, error)
+
+// RouteNet implements TreeRouter.
+func (f RouterFunc) RouteNet(in *layout.Instance) (*route.Tree, error) { return f(in) }
+
+// Config parameterises the multi-net run.
+type Config struct {
+	// MaxRipupRounds bounds the negotiation loop; 0 disables rip-up.
+	MaxRipupRounds int
+}
+
+// Result is the outcome of routing all nets.
+type Result struct {
+	// Trees maps net index to its routed tree, in the input net order.
+	Trees []*route.Tree
+	// TotalCost is the summed tree cost.
+	TotalCost float64
+	// Order is the net order finally used (after rip-up reordering).
+	Order []int
+	// RipupRounds counts negotiation rounds performed.
+	RipupRounds int
+}
+
+// Route routes every net on the base graph with the given single-net
+// router. Nets are first ordered by ascending bounding-box half-perimeter
+// (small nets lock in less routing area), then routed sequentially with
+// each committed tree blocking its vertices; on failure, the negotiation
+// loop moves the stuck net earlier and retries.
+func Route(base *grid.Graph, nets []Net, router TreeRouter, cfg Config) (*Result, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("multinet: no nets")
+	}
+	for i, n := range nets {
+		if len(n.Pins) < 2 {
+			return nil, fmt.Errorf("multinet: net %d (%s) has %d pins", i, n.Name, len(n.Pins))
+		}
+		for _, p := range n.Pins {
+			if base.Blocked(p) {
+				return nil, fmt.Errorf("multinet: net %s pin at %v is blocked", n.Name, base.CoordOf(p))
+			}
+		}
+	}
+	order := initialOrder(base, nets)
+
+	rounds := 0
+	for {
+		res, stuck := tryOrder(base, nets, order, router)
+		if stuck < 0 {
+			res.RipupRounds = rounds
+			return res, nil
+		}
+		if rounds >= cfg.MaxRipupRounds {
+			return nil, fmt.Errorf("multinet: net %s unroutable after %d rip-up rounds",
+				nets[order[stuck]].Name, rounds)
+		}
+		rounds++
+		// Negotiation: promote the stuck net to the front of the order so
+		// it routes before the nets that boxed it in.
+		promoted := order[stuck]
+		copy(order[1:], order[:stuck])
+		order[0] = promoted
+	}
+}
+
+// tryOrder routes the nets in the given order; it returns the result and
+// -1 on success, or the order position of the first unroutable net.
+func tryOrder(base *grid.Graph, nets []Net, order []int, router TreeRouter) (*Result, int) {
+	g := base.Clone()
+	res := &Result{
+		Trees: make([]*route.Tree, len(nets)),
+		Order: append([]int(nil), order...),
+	}
+	// Pins of unrouted nets must stay unblocked; remember them so a
+	// committed tree passing adjacent doesn't hide a later pin. (Committed
+	// trees block their vertices, and a tree never uses another net's pin
+	// because pins of unrouted nets are pre-blocked — except the net being
+	// routed, whose pins we temporarily free.)
+	for _, idx := range order {
+		for _, p := range nets[idx].Pins {
+			g.Block(p)
+		}
+	}
+	for pos, idx := range order {
+		net := nets[idx]
+		for _, p := range net.Pins {
+			g.Unblock(p)
+		}
+		in := &layout.Instance{Name: net.Name, Graph: g, Pins: net.Pins}
+		if !in.Routable() {
+			return res, pos
+		}
+		tree, err := router.RouteNet(in)
+		if err != nil {
+			return res, pos
+		}
+		res.Trees[idx] = tree
+		res.TotalCost += tree.Cost
+		// Commit: the routed wire blocks its vertices for later nets.
+		for _, v := range tree.Vertices() {
+			g.Block(v)
+		}
+	}
+	return res, -1
+}
+
+// initialOrder sorts nets by ascending bounding-box half-perimeter, the
+// classic net-ordering heuristic.
+func initialOrder(g *grid.Graph, nets []Net) []int {
+	type keyed struct {
+		idx int
+		hp  int
+	}
+	ks := make([]keyed, len(nets))
+	for i, n := range nets {
+		b := route.BoundsOf(g, n.Pins)
+		ks[i] = keyed{idx: i, hp: (b.HHi - b.HLo) + (b.VHi - b.VLo)}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].hp != ks[j].hp {
+			return ks[i].hp < ks[j].hp
+		}
+		return ks[i].idx < ks[j].idx
+	})
+	order := make([]int, len(nets))
+	for i, k := range ks {
+		order[i] = k.idx
+	}
+	return order
+}
+
+// Validate checks a multi-net result: every net's tree spans its pins,
+// avoids the base obstacles, and no two trees share a vertex.
+func Validate(base *grid.Graph, nets []Net, res *Result) error {
+	used := map[grid.VertexID]int{}
+	for i, tree := range res.Trees {
+		if tree == nil {
+			return fmt.Errorf("multinet: net %d has no tree", i)
+		}
+		if err := tree.Validate(base, nets[i].Pins); err != nil {
+			return fmt.Errorf("multinet: net %s: %w", nets[i].Name, err)
+		}
+		for _, v := range tree.Vertices() {
+			if other, clash := used[v]; clash {
+				return fmt.Errorf("multinet: nets %s and %s share vertex %v",
+					nets[other].Name, nets[i].Name, base.CoordOf(v))
+			}
+			used[v] = i
+		}
+	}
+	return nil
+}

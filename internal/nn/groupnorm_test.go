@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGroupNormForwardStatistics(t *testing.T) {
+	// With identity affine parameters each group is standardised.
+	gn := NewGroupNorm("gn", 4, 2)
+	r := rand.New(rand.NewSource(1))
+	x := randTensor(r, 4, 3, 3, 2)
+	out := gn.Forward(x)
+	spatial := 3 * 3 * 2
+	for grp := 0; grp < 2; grp++ {
+		lo := grp * 2 * spatial
+		hi := lo + 2*spatial
+		mu, va := 0.0, 0.0
+		for i := lo; i < hi; i++ {
+			mu += out.Data[i]
+		}
+		mu /= float64(hi - lo)
+		for i := lo; i < hi; i++ {
+			d := out.Data[i] - mu
+			va += d * d
+		}
+		va /= float64(hi - lo)
+		if math.Abs(mu) > 1e-9 {
+			t.Errorf("group %d mean = %v, want 0", grp, mu)
+		}
+		if math.Abs(va-1) > 1e-3 {
+			t.Errorf("group %d variance = %v, want ~1", grp, va)
+		}
+	}
+}
+
+func TestGroupNormAffine(t *testing.T) {
+	// Groups == channels: instance norm, so each channel standardises on
+	// its own and beta shifts its mean exactly.
+	gn := NewGroupNorm("gn", 2, 2)
+	gn.gamma.W.Data[0] = 2
+	gn.beta.W.Data[1] = 5
+	r := rand.New(rand.NewSource(2))
+	x := randTensor(r, 2, 2, 2, 1)
+	out := gn.Forward(x)
+	spatial := 4
+	mu := 0.0
+	for i := spatial; i < 2*spatial; i++ {
+		mu += out.Data[i]
+	}
+	mu /= float64(spatial)
+	if math.Abs(mu-5) > 1e-9 {
+		t.Errorf("shifted channel mean = %v, want 5", mu)
+	}
+}
+
+func TestGroupNormGradCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	gn := NewGroupNorm("gn", 4, 2)
+	x := randTensor(r, 4, 2, 3, 2)
+	mask := randTensor(r, 4, 2, 3, 2)
+	loss := func() float64 {
+		out := gn.Forward(x)
+		s := 0.0
+		for i := range out.Data {
+			s += out.Data[i] * mask.Data[i]
+		}
+		return s
+	}
+	loss()
+	for _, p := range gn.Params() {
+		p.G.Zero()
+	}
+	gx := gn.Backward(mask)
+	if d := maxDiff(gx, numGrad(loss, x)); d > 1e-5 {
+		t.Errorf("groupnorm gradX diff %v", d)
+	}
+	for _, p := range gn.Params() {
+		if d := maxDiff(p.G, numGrad(loss, p.W)); d > 1e-5 {
+			t.Errorf("groupnorm %s grad diff %v", p.Name, d)
+		}
+	}
+}
+
+func TestGroupNormValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-dividing groups should panic")
+		}
+	}()
+	NewGroupNorm("bad", 4, 3)
+}
+
+func TestUNetWithNormGradCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	u, err := NewUNet3D(r, UNetConfig{InChannels: 2, Base: 2, Depth: 2, Kernel: 3, Norm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randTensor(r, 2, 5, 4, 3)
+	mask := randTensor(r, 5, 4, 3)
+	loss := func() float64 {
+		out := u.Forward(x)
+		s := 0.0
+		for i := range out.Data {
+			s += out.Data[i] * mask.Data[i]
+		}
+		return s
+	}
+	loss()
+	for _, p := range u.Params() {
+		p.G.Zero()
+	}
+	gx := u.Backward(mask)
+	if d := maxDiff(gx, numGrad(loss, x)); d > 1e-5 {
+		t.Errorf("normed unet gradX diff %v", d)
+	}
+	// Spot-check a norm parameter and a conv parameter.
+	params := u.Params()
+	for _, idx := range []int{0, 1, len(params) - 1} {
+		p := params[idx]
+		if d := maxDiff(p.G, numGrad(loss, p.W)); d > 1e-5 {
+			t.Errorf("normed unet %s grad diff %v", p.Name, d)
+		}
+	}
+}
+
+func TestUNetNormConfigValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	if _, err := NewUNet3D(r, UNetConfig{InChannels: 2, Base: 4, Depth: 1, Kernel: 3, Norm: 3}); err == nil {
+		t.Error("Norm not dividing Base should fail")
+	}
+	if _, err := NewUNet3D(r, UNetConfig{InChannels: 2, Base: 4, Depth: 1, Kernel: 3, Norm: -1}); err == nil {
+		t.Error("negative Norm should fail")
+	}
+}
+
+func TestUNetNormSaveLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	u, err := NewUNet3D(r, UNetConfig{InChannels: 2, Base: 2, Depth: 1, Kernel: 3, Norm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randTensor(r, 2, 4, 4, 2)
+	want := u.Forward(x)
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := LoadUNet3D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := u2.Forward(x)
+	if d := maxDiff(got, want); d > 1e-12 {
+		t.Errorf("normed model round trip differs by %v", d)
+	}
+}

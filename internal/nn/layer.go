@@ -1,0 +1,208 @@
+// Package nn implements the neural-network framework of the Steiner-point
+// selector: 3-D convolution layers, residual blocks, the arbitrary-size
+// 3-D residual U-Net of the paper's Fig 4, losses and optimizers — all on
+// the tensor package, CPU-only, with manual layer-by-layer backpropagation.
+//
+// Layers process one sample at a time in [C, H, V, M] form; the training
+// pipeline accumulates gradients across a mini-batch before each optimizer
+// step, which both matches the paper's same-size batching (Fig 9) and
+// keeps layers free of any fixed spatial size — the property that lets one
+// trained network handle layouts of any dimensions.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"oarsmt/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape...)}
+}
+
+// Layer is one differentiable stage. Forward must record whatever Backward
+// needs; Backward receives the gradient wrt the layer output, accumulates
+// parameter gradients (+=) and returns the gradient wrt the layer input.
+// A Layer processes one sample at a time and is not safe for concurrent
+// use.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Conv3D is a "same" 3-D convolution layer with odd cubic kernels.
+type Conv3D struct {
+	InC, OutC, K int
+	weight       *Param
+	bias         *Param
+	lastX        *tensor.Tensor
+}
+
+// NewConv3D creates a conv layer with He-initialised weights.
+func NewConv3D(r *rand.Rand, name string, inC, outC, k int) *Conv3D {
+	if k%2 == 0 || k < 1 {
+		panic(fmt.Sprintf("nn: kernel size %d must be odd", k))
+	}
+	w := tensor.New(outC, inC, k, k, k)
+	std := math.Sqrt(2.0 / float64(inC*k*k*k))
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat64() * std
+	}
+	return &Conv3D{
+		InC: inC, OutC: outC, K: k,
+		weight: newParam(name+".weight", w),
+		bias:   newParam(name+".bias", tensor.New(outC)),
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.lastX = x
+	return tensor.Conv3D(x, c.weight.W, c.bias.W)
+}
+
+// Backward implements Layer.
+func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx, gw, gb := tensor.Conv3DBackward(c.lastX, c.weight.W, grad)
+	c.weight.G.AddScaled(gw, 1)
+	c.bias.G.AddScaled(gb, 1)
+	return gx
+}
+
+// Params implements Layer.
+func (c *Conv3D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	lastX *tensor.Tensor
+}
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastX = x
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx := tensor.New(grad.Shape...)
+	for i, v := range l.lastX.Data {
+		if v > 0 {
+			gx.Data[i] = grad.Data[i]
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// ResBlock is a 3-D convolutional residual block (He et al. [8]):
+// out = ReLU(x + Conv(ReLU(Conv(x)))). Channel count is preserved.
+type ResBlock struct {
+	conv1, conv2 *Conv3D
+	relu1        ReLU
+	lastSum      *tensor.Tensor
+}
+
+// NewResBlock creates a residual block over c channels with kernel k.
+func NewResBlock(r *rand.Rand, name string, c, k int) *ResBlock {
+	return &ResBlock{
+		conv1: NewConv3D(r, name+".conv1", c, c, k),
+		conv2: NewConv3D(r, name+".conv2", c, c, k),
+	}
+}
+
+// Forward implements Layer.
+func (b *ResBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	y := b.conv2.Forward(b.relu1.Forward(b.conv1.Forward(x)))
+	sum := x.Clone()
+	sum.AddScaled(y, 1)
+	b.lastSum = sum
+	out := tensor.New(sum.Shape...)
+	for i, v := range sum.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (b *ResBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// Through the final ReLU.
+	gSum := tensor.New(grad.Shape...)
+	for i, v := range b.lastSum.Data {
+		if v > 0 {
+			gSum.Data[i] = grad.Data[i]
+		}
+	}
+	// Branch path.
+	gx := b.conv1.Backward(b.relu1.Backward(b.conv2.Backward(gSum)))
+	// Skip path.
+	gx.AddScaled(gSum, 1)
+	return gx
+}
+
+// Params implements Layer.
+func (b *ResBlock) Params() []*Param {
+	return append(b.conv1.Params(), b.conv2.Params()...)
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-x)) elementwise; used at inference time to map
+// selector logits to per-vertex probabilities (paper §3.3).
+func Sigmoid(x float64) float64 {
+	// Numerically stable in both tails.
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

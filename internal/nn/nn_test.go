@@ -1,0 +1,484 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/tensor"
+)
+
+func randTensor(r *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func numGrad(f func() float64, x *tensor.Tensor) *tensor.Tensor {
+	const eps = 1e-5
+	g := tensor.New(x.Shape...)
+	for i := range x.Data {
+		old := x.Data[i]
+		x.Data[i] = old + eps
+		hi := f()
+		x.Data[i] = old - eps
+		lo := f()
+		x.Data[i] = old
+		g.Data[i] = (hi - lo) / (2 * eps)
+	}
+	return g
+}
+
+func maxDiff(a, b *tensor.Tensor) float64 {
+	m := 0.0
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+	if s := Sigmoid(100); s <= 0.999 || s > 1 {
+		t.Errorf("Sigmoid(100) = %v", s)
+	}
+	if s := Sigmoid(-100); s >= 0.001 || s < 0 {
+		t.Errorf("Sigmoid(-100) = %v", s)
+	}
+	// Stability in extreme tails.
+	if math.IsNaN(Sigmoid(-1e9)) || math.IsNaN(Sigmoid(1e9)) {
+		t.Error("Sigmoid NaN in tails")
+	}
+}
+
+func TestConv3DLayerGradCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	layer := NewConv3D(r, "c", 2, 3, 3)
+	x := randTensor(r, 2, 3, 3, 2)
+	mask := randTensor(r, 3, 3, 3, 2)
+	loss := func() float64 {
+		out := layer.Forward(x)
+		s := 0.0
+		for i := range out.Data {
+			s += out.Data[i] * mask.Data[i]
+		}
+		return s
+	}
+	loss() // populate lastX
+	gx := layer.Backward(mask)
+	if d := maxDiff(gx, numGrad(loss, x)); d > 1e-6 {
+		t.Errorf("conv layer gradX diff %v", d)
+	}
+	// Parameter gradients.
+	for _, p := range layer.Params() {
+		got := p.G.Clone()
+		if d := maxDiff(got, numGrad(loss, p.W)); d > 1e-6 {
+			t.Errorf("param %s grad diff %v", p.Name, d)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	l := &ReLU{}
+	x := tensor.FromSlice([]float64{-1, 0, 2}, 3)
+	out := l.Forward(x)
+	if out.Data[0] != 0 || out.Data[1] != 0 || out.Data[2] != 2 {
+		t.Errorf("ReLU forward = %v", out.Data)
+	}
+	g := l.Backward(tensor.FromSlice([]float64{5, 5, 5}, 3))
+	if g.Data[0] != 0 || g.Data[2] != 5 {
+		t.Errorf("ReLU backward = %v", g.Data)
+	}
+}
+
+func TestResBlockGradCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	b := NewResBlock(r, "rb", 2, 3)
+	x := randTensor(r, 2, 3, 2, 2)
+	mask := randTensor(r, 2, 3, 2, 2)
+	loss := func() float64 {
+		out := b.Forward(x)
+		s := 0.0
+		for i := range out.Data {
+			s += out.Data[i] * mask.Data[i]
+		}
+		return s
+	}
+	loss()
+	for _, p := range b.Params() {
+		p.G.Zero()
+	}
+	gx := b.Backward(mask)
+	if d := maxDiff(gx, numGrad(loss, x)); d > 1e-5 {
+		t.Errorf("resblock gradX diff %v", d)
+	}
+	for _, p := range b.Params() {
+		if d := maxDiff(p.G, numGrad(loss, p.W)); d > 1e-5 {
+			t.Errorf("resblock %s grad diff %v", p.Name, d)
+		}
+	}
+}
+
+func TestUNetShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	u, err := NewUNet3D(r, UNetConfig{InChannels: 7, Base: 4, Depth: 2, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arbitrary and odd sizes all work (image-in-image-out).
+	for _, dims := range [][3]int{{16, 16, 4}, {7, 9, 3}, {5, 5, 1}, {24, 10, 6}, {3, 3, 2}} {
+		x := randTensor(r, 7, dims[0], dims[1], dims[2])
+		out := u.Forward(x)
+		if out.Rank() != 3 || out.Dim(0) != dims[0] || out.Dim(1) != dims[1] || out.Dim(2) != dims[2] {
+			t.Errorf("dims %v -> out shape %v", dims, out.Shape)
+		}
+	}
+}
+
+func TestUNetGradCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	u, err := NewUNet3D(r, UNetConfig{InChannels: 2, Base: 2, Depth: 2, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randTensor(r, 2, 5, 4, 3)
+	mask := randTensor(r, 5, 4, 3)
+	loss := func() float64 {
+		out := u.Forward(x)
+		s := 0.0
+		for i := range out.Data {
+			s += out.Data[i] * mask.Data[i]
+		}
+		return s
+	}
+	loss()
+	for _, p := range u.Params() {
+		p.G.Zero()
+	}
+	gx := u.Backward(mask)
+	if d := maxDiff(gx, numGrad(loss, x)); d > 1e-5 {
+		t.Errorf("unet gradX diff %v", d)
+	}
+	// Spot-check a few parameters (full check is expensive).
+	params := u.Params()
+	for _, idx := range []int{0, len(params) / 2, len(params) - 1} {
+		p := params[idx]
+		if d := maxDiff(p.G, numGrad(loss, p.W)); d > 1e-5 {
+			t.Errorf("unet %s grad diff %v", p.Name, d)
+		}
+	}
+}
+
+func TestUNetParamNamesUnique(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	u, _ := NewUNet3D(r, DefaultUNetConfig())
+	seen := map[string]bool{}
+	for _, p := range u.Params() {
+		if seen[p.Name] {
+			t.Errorf("duplicate param name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if u.NumParams() == 0 {
+		t.Error("no parameters")
+	}
+}
+
+func TestUNetConfigValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	bad := []UNetConfig{
+		{InChannels: 0, Base: 4, Depth: 2, Kernel: 3},
+		{InChannels: 7, Base: 0, Depth: 2, Kernel: 3},
+		{InChannels: 7, Base: 4, Depth: 0, Kernel: 3},
+		{InChannels: 7, Base: 4, Depth: 2, Kernel: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewUNet3D(r, cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	logits := tensor.FromSlice([]float64{0, 0}, 2)
+	targets := tensor.FromSlice([]float64{0, 1}, 2)
+	loss, grad := BCEWithLogits(logits, targets)
+	want := math.Log(2) // both entries: -log(0.5)
+	if math.Abs(loss-want) > 1e-12 {
+		t.Errorf("loss = %v, want %v", loss, want)
+	}
+	if math.Abs(grad.Data[0]-0.25) > 1e-12 || math.Abs(grad.Data[1]+0.25) > 1e-12 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+	// Numerical gradient agreement.
+	r := rand.New(rand.NewSource(7))
+	z := randTensor(r, 3, 2)
+	y := tensor.New(3, 2)
+	for i := range y.Data {
+		y.Data[i] = r.Float64()
+	}
+	_, g := BCEWithLogits(z, y)
+	ng := numGrad(func() float64 { l, _ := BCEWithLogits(z, y); return l }, z)
+	if d := maxDiff(g, ng); d > 1e-6 {
+		t.Errorf("BCE grad diff %v", d)
+	}
+	// Stability at extreme logits.
+	ext := tensor.FromSlice([]float64{1e4, -1e4}, 2)
+	l2, _ := BCEWithLogits(ext, tensor.FromSlice([]float64{1, 0}, 2))
+	if math.IsNaN(l2) || math.IsInf(l2, 0) {
+		t.Error("BCE unstable at extreme logits")
+	}
+}
+
+func TestMaskedSoftmax(t *testing.T) {
+	logits := []float64{1, 2, 3, 1000}
+	mask := []bool{true, true, true, false}
+	p := MaskedSoftmax(logits, mask)
+	if p[3] != 0 {
+		t.Error("masked entry should be 0")
+	}
+	sum := p[0] + p[1] + p[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Error("softmax ordering wrong")
+	}
+	// All masked out: zero vector.
+	z := MaskedSoftmax([]float64{1, 2}, []bool{false, false})
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("fully masked softmax should be zero")
+	}
+}
+
+func TestCrossEntropyGrad(t *testing.T) {
+	logits := []float64{0.3, -0.2, 1.4}
+	mask := []bool{true, true, true}
+	target := []float64{0.2, 0.3, 0.5}
+	_, grad := CrossEntropyGrad(logits, mask, target)
+	// Numerical check.
+	for i := range logits {
+		const eps = 1e-6
+		l2 := append([]float64(nil), logits...)
+		l2[i] += eps
+		hi, _ := CrossEntropyGrad(l2, mask, target)
+		l2[i] -= 2 * eps
+		lo, _ := CrossEntropyGrad(l2, mask, target)
+		ng := (hi - lo) / (2 * eps)
+		if math.Abs(grad[i]-ng) > 1e-5 {
+			t.Errorf("CE grad[%d] = %v, numeric %v", i, grad[i], ng)
+		}
+	}
+	// Gradient sums to zero over a full-support softmax with prob target.
+	s := grad[0] + grad[1] + grad[2]
+	if math.Abs(s) > 1e-9 {
+		t.Errorf("CE grad sum = %v", s)
+	}
+}
+
+func TestAdamDecreasesQuadratic(t *testing.T) {
+	// Minimise ||w - 3||^2 elementwise.
+	p := newParam("w", tensor.FromSlice([]float64{0, 10, -5}, 3))
+	opt := NewAdam([]*Param{p}, 0.1)
+	lossAt := func() float64 {
+		s := 0.0
+		for _, w := range p.W.Data {
+			s += (w - 3) * (w - 3)
+		}
+		return s
+	}
+	start := lossAt()
+	for it := 0; it < 500; it++ {
+		for j, w := range p.W.Data {
+			p.G.Data[j] = 2 * (w - 3)
+		}
+		opt.Step()
+	}
+	if end := lossAt(); end > start/100 {
+		t.Errorf("Adam failed to optimise: %v -> %v", start, end)
+	}
+	for _, g := range p.G.Data {
+		if g != 0 {
+			t.Error("Step should zero gradients")
+		}
+	}
+}
+
+func TestAdamFirstStepHandComputed(t *testing.T) {
+	// One Adam step from zero state with gradient g has bias-corrected
+	// m̂ = g and v̂ = g², so the update is -lr * g / (|g| + eps) ≈ -lr*sign(g).
+	p := newParam("w", tensor.FromSlice([]float64{1, -2}, 2))
+	opt := NewAdam([]*Param{p}, 0.5)
+	p.G.Data[0], p.G.Data[1] = 0.3, -4.0
+	opt.Step()
+	want0 := 1.0 - 0.5*0.3/(0.3+1e-8)
+	want1 := -2.0 + 0.5*4.0/(4.0+1e-8)
+	if math.Abs(p.W.Data[0]-want0) > 1e-9 || math.Abs(p.W.Data[1]-want1) > 1e-9 {
+		t.Errorf("after first step w = %v, want [%v %v]", p.W.Data, want0, want1)
+	}
+}
+
+func TestAdamWeightDecay(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{10}, 1))
+	opt := NewAdam([]*Param{p}, 0.1)
+	opt.WeightDecay = 0.01
+	// Zero gradient: only the decoupled decay moves the weight.
+	opt.Step()
+	want := 10 * (1 - 0.1*0.01)
+	if math.Abs(p.W.Data[0]-want) > 1e-9 {
+		t.Errorf("decayed w = %v, want %v", p.W.Data[0], want)
+	}
+}
+
+func TestGradAccumulationAcrossSamples(t *testing.T) {
+	// Two Backward calls before Step must accumulate (the batch-training
+	// contract of the pipeline).
+	r := rand.New(rand.NewSource(20))
+	layer := NewConv3D(r, "c", 1, 1, 3)
+	x := randTensor(r, 1, 2, 2, 2)
+	g := randTensor(r, 1, 2, 2, 2)
+	layer.Forward(x)
+	layer.Backward(g)
+	once := layer.Params()[0].G.Clone()
+	layer.Forward(x)
+	layer.Backward(g)
+	twice := layer.Params()[0].G
+	for i := range twice.Data {
+		if math.Abs(twice.Data[i]-2*once.Data[i]) > 1e-9 {
+			t.Fatal("gradients must accumulate across Backward calls")
+		}
+	}
+}
+
+func TestSGDMomentumDecreasesQuadratic(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{8}, 1))
+	opt := NewSGD([]*Param{p}, 0.05, 0.9)
+	for it := 0; it < 200; it++ {
+		p.G.Data[0] = 2 * (p.W.Data[0] - 1)
+		opt.Step()
+	}
+	if math.Abs(p.W.Data[0]-1) > 0.1 {
+		t.Errorf("SGD final w = %v, want ~1", p.W.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", tensor.New(2))
+	p.G.Data[0], p.G.Data[1] = 3, 4 // norm 5
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if norm != 5 {
+		t.Errorf("pre-clip norm = %v", norm)
+	}
+	if math.Abs(p.G.Data[0]-0.6) > 1e-12 || math.Abs(p.G.Data[1]-0.8) > 1e-12 {
+		t.Errorf("clipped grads = %v", p.G.Data)
+	}
+	// Below threshold: untouched.
+	p.G.Data[0], p.G.Data[1] = 0.3, 0.4
+	ClipGradNorm([]*Param{p}, 1)
+	if p.G.Data[0] != 0.3 {
+		t.Error("under-norm grads should be untouched")
+	}
+}
+
+func TestUNetOverfitsTinySample(t *testing.T) {
+	// End-to-end sanity: the network + BCE + Adam can memorise one sample.
+	r := rand.New(rand.NewSource(8))
+	u, err := NewUNet3D(r, UNetConfig{InChannels: 3, Base: 4, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randTensor(r, 3, 6, 6, 2)
+	y := tensor.New(6, 6, 2)
+	y.Set(1, 2, 3, 0)
+	y.Set(1, 4, 1, 1)
+	opt := NewAdam(u.Params(), 0.01)
+	var first, last float64
+	for it := 0; it < 60; it++ {
+		out := u.Forward(x)
+		loss, grad := BCEWithLogits(out, y)
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+		u.Backward(grad)
+		opt.Step()
+	}
+	if last > first/4 {
+		t.Errorf("overfit failed: loss %v -> %v", first, last)
+	}
+}
+
+func TestValueNetForwardBackward(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	vn := NewValueNet(r, 2, 3)
+	x := randTensor(r, 2, 4, 4, 2)
+	_ = vn.Forward(x)
+	gx := vn.Backward(1)
+	if !gx.SameShape(x) {
+		t.Fatalf("value gradX shape %v", gx.Shape)
+	}
+	// Gradient check wrt input.
+	for _, p := range vn.Params() {
+		p.G.Zero()
+	}
+	loss := func() float64 { return vn.Forward(x) }
+	loss()
+	gx = vn.Backward(1)
+	if d := maxDiff(gx, numGrad(loss, x)); d > 1e-5 {
+		t.Errorf("value gradX diff %v", d)
+	}
+}
+
+func TestValueNetTrainsToTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	vn := NewValueNet(r, 1, 2)
+	x := randTensor(r, 1, 4, 4, 1)
+	opt := NewAdam(vn.Params(), 0.02)
+	const target = 0.7
+	var out float64
+	for it := 0; it < 120; it++ {
+		out = vn.Forward(x)
+		vn.Backward(2 * (out - target))
+		opt.Step()
+	}
+	if math.Abs(out-target) > 0.05 {
+		t.Errorf("value net output %v, want ~%v", out, target)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	u, _ := NewUNet3D(r, UNetConfig{InChannels: 3, Base: 2, Depth: 2, Kernel: 3})
+	x := randTensor(r, 3, 6, 5, 3)
+	want := u.Forward(x)
+
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := LoadUNet3D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := u2.Forward(x)
+	if d := maxDiff(got, want); d > 1e-12 {
+		t.Errorf("loaded model output differs by %v", d)
+	}
+	if u2.Config != u.Config {
+		t.Error("config lost in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadUNet3D(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage model should fail to load")
+	}
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Model files are gob-encoded snapshots: the architecture config plus
+// every named parameter tensor. Loading rebuilds the architecture and
+// overwrites the freshly initialised weights, so files stay valid across
+// unrelated code changes as long as the architecture config semantics are
+// stable. snapshotVersion guards incompatible format changes.
+const snapshotVersion = 1
+
+type unetSnapshot struct {
+	Version int
+	Config  UNetConfig
+	Params  map[string][]float64
+}
+
+// Save writes the network weights and architecture to w.
+func (u *UNet3D) Save(w io.Writer) error {
+	snap := unetSnapshot{
+		Version: snapshotVersion,
+		Config:  u.Config,
+		Params:  map[string][]float64{},
+	}
+	for _, p := range u.Params() {
+		if _, dup := snap.Params[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		snap.Params[p.Name] = p.W.Data
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadUNet3D reads a network saved by Save.
+func LoadUNet3D(r io.Reader) (*UNet3D, error) {
+	var snap unetSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("nn: model version %d, want %d", snap.Version, snapshotVersion)
+	}
+	u, err := NewUNet3D(rand.New(rand.NewSource(0)), snap.Config)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range u.Params() {
+		data, ok := snap.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("nn: model missing parameter %q", p.Name)
+		}
+		if len(data) != p.W.Len() {
+			return nil, fmt.Errorf("nn: parameter %q has %d values, want %d", p.Name, len(data), p.W.Len())
+		}
+		copy(p.W.Data, data)
+	}
+	return u, nil
+}

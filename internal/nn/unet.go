@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/tensor"
+)
+
+// UNetConfig parameterises the 3-D residual U-Net of the paper's Fig 4.
+type UNetConfig struct {
+	// InChannels is the number of input feature planes (7 in the paper's
+	// encoding, Fig 3).
+	InChannels int
+	// Base is the channel count of the first level; level i uses
+	// Base * 2^i channels.
+	Base int
+	// Depth is the number of pooling levels below the top (Depth 2 gives
+	// the classic three-level U).
+	Depth int
+	// Kernel is the cubic kernel size; the paper uses 3 throughout.
+	Kernel int
+	// Norm, when positive, inserts GroupNorm with that many groups after
+	// the stem and each encoder/decoder fusion convolution. It must divide
+	// Base. 0 disables normalisation (the default; the paper does not
+	// specify its normalisation).
+	Norm int
+}
+
+// DefaultUNetConfig returns the configuration used by this repo's trained
+// selectors: the paper's 7-channel input and 3x3x3 kernels with a compact
+// channel budget suited to CPU training.
+func DefaultUNetConfig() UNetConfig {
+	return UNetConfig{InChannels: 7, Base: 8, Depth: 2, Kernel: 3}
+}
+
+func (c UNetConfig) validate() error {
+	switch {
+	case c.InChannels < 1:
+		return fmt.Errorf("nn: InChannels = %d", c.InChannels)
+	case c.Base < 1:
+		return fmt.Errorf("nn: Base = %d", c.Base)
+	case c.Depth < 1:
+		return fmt.Errorf("nn: Depth = %d", c.Depth)
+	case c.Kernel < 1 || c.Kernel%2 == 0:
+		return fmt.Errorf("nn: Kernel = %d must be odd", c.Kernel)
+	case c.Norm < 0 || (c.Norm > 0 && c.Base%c.Norm != 0):
+		return fmt.Errorf("nn: Norm = %d must be 0 or divide Base = %d", c.Norm, c.Base)
+	}
+	return nil
+}
+
+// UNet3D is the image-in-image-out network of the selector: it maps a
+// [InChannels, H, V, M] feature volume to per-vertex logits [H, V, M] for
+// any H, V, M. Apply Sigmoid to the logits to obtain the final selected
+// probabilities of paper §3.3.
+type UNet3D struct {
+	Config UNetConfig
+
+	stem *Conv3D
+	// Per encoder level: a ReLU'd channel-expanding conv (levels > 0) and
+	// a residual block.
+	encConv []*Conv3D   // len Depth (level 1..Depth)
+	encRes  []*ResBlock // len Depth+1 (level 0..Depth)
+	// Per decoder level (top-down order index 0 = level Depth-1): a conv
+	// fusing the concatenated skip, and a residual block.
+	decConv []*Conv3D
+	decRes  []*ResBlock
+	head    *Conv3D
+
+	// Optional GroupNorm after the stem and each enc/dec conv; nil slices
+	// when Config.Norm == 0. Indexed in the same order as the ReLUs.
+	norms []*GroupNorm
+
+	relus []*ReLU // scratch ReLUs paired with encConv/decConv and stem
+
+	// Forward state for Backward.
+	encInShapes [][]int // input shape at each level before pooling
+	skipChans   []int
+}
+
+// NewUNet3D builds a randomly initialised U-Net.
+func NewUNet3D(r *rand.Rand, cfg UNetConfig) (*UNet3D, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	u := &UNet3D{Config: cfg}
+	ch := func(level int) int { return cfg.Base << level }
+
+	u.stem = NewConv3D(r, "stem", cfg.InChannels, ch(0), cfg.Kernel)
+	u.encRes = append(u.encRes, NewResBlock(r, "enc0.res", ch(0), cfg.Kernel))
+	for l := 1; l <= cfg.Depth; l++ {
+		u.encConv = append(u.encConv, NewConv3D(r, fmt.Sprintf("enc%d.conv", l), ch(l-1), ch(l), cfg.Kernel))
+		u.encRes = append(u.encRes, NewResBlock(r, fmt.Sprintf("enc%d.res", l), ch(l), cfg.Kernel))
+	}
+	for l := cfg.Depth - 1; l >= 0; l-- {
+		u.decConv = append(u.decConv, NewConv3D(r, fmt.Sprintf("dec%d.conv", l), ch(l+1)+ch(l), ch(l), cfg.Kernel))
+		u.decRes = append(u.decRes, NewResBlock(r, fmt.Sprintf("dec%d.res", l), ch(l), cfg.Kernel))
+	}
+	u.head = NewConv3D(r, "head", ch(0), 1, cfg.Kernel)
+	nRelu := 1 + len(u.encConv) + len(u.decConv)
+	for i := 0; i < nRelu; i++ {
+		u.relus = append(u.relus, &ReLU{})
+	}
+	if cfg.Norm > 0 {
+		// One norm per ReLU position: stem (level 0 channels), encoder
+		// levels 1..Depth, decoder levels Depth-1..0.
+		u.norms = append(u.norms, NewGroupNorm("stem.norm", ch(0), cfg.Norm))
+		for l := 1; l <= cfg.Depth; l++ {
+			u.norms = append(u.norms, NewGroupNorm(fmt.Sprintf("enc%d.norm", l), ch(l), cfg.Norm))
+		}
+		for l := cfg.Depth - 1; l >= 0; l-- {
+			u.norms = append(u.norms, NewGroupNorm(fmt.Sprintf("dec%d.norm", l), ch(l), cfg.Norm))
+		}
+	}
+	return u, nil
+}
+
+// applyNorm runs the i-th GroupNorm when normalisation is enabled.
+func (u *UNet3D) applyNorm(i int, x *tensor.Tensor) *tensor.Tensor {
+	if u.norms == nil {
+		return x
+	}
+	return u.norms[i].Forward(x)
+}
+
+// backNorm runs the i-th GroupNorm backward when enabled.
+func (u *UNet3D) backNorm(i int, g *tensor.Tensor) *tensor.Tensor {
+	if u.norms == nil {
+		return g
+	}
+	return u.norms[i].Backward(g)
+}
+
+// Forward maps a [InChannels, H, V, M] input to [H, V, M] logits.
+func (u *UNet3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(0) != u.Config.InChannels {
+		panic(fmt.Sprintf("nn: UNet input shape %v, want [%d,H,V,M]", x.Shape, u.Config.InChannels))
+	}
+	relu := 0
+	depth := u.Config.Depth
+	u.encInShapes = u.encInShapes[:0]
+	u.skipChans = u.skipChans[:0]
+
+	// Encoder.
+	skips := make([]*tensor.Tensor, 0, depth)
+	cur := u.encRes[0].Forward(u.relus[relu].Forward(u.applyNorm(relu, u.stem.Forward(x))))
+	relu++
+	for l := 1; l <= depth; l++ {
+		skips = append(skips, cur)
+		u.encInShapes = append(u.encInShapes, append([]int(nil), cur.Shape...))
+		pooled := tensor.AvgPool2(cur)
+		cur = u.encRes[l].Forward(u.relus[relu].Forward(u.applyNorm(relu, u.encConv[l-1].Forward(pooled))))
+		relu++
+	}
+
+	// Decoder.
+	for i := 0; i < depth; i++ {
+		skip := skips[depth-1-i]
+		up := tensor.UpsampleNearest(cur, skip.Dim(1), skip.Dim(2), skip.Dim(3))
+		u.skipChans = append(u.skipChans, up.Dim(0))
+		cat := tensor.ConcatC(up, skip)
+		cur = u.decRes[i].Forward(u.relus[relu].Forward(u.applyNorm(relu, u.decConv[i].Forward(cat))))
+		relu++
+	}
+
+	out := u.head.Forward(cur)
+	return out.Reshape(out.Dim(1), out.Dim(2), out.Dim(3))
+}
+
+// Backward propagates the gradient wrt the [H, V, M] logits, accumulating
+// parameter gradients, and returns the gradient wrt the input volume.
+func (u *UNet3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	depth := u.Config.Depth
+	relu := len(u.relus) - 1
+	g := u.head.Backward(grad.Reshape(1, grad.Dim(0), grad.Dim(1), grad.Dim(2)))
+
+	// Skip-path gradients discovered while unwinding the decoder, indexed
+	// by encoder level.
+	skipGrads := make([]*tensor.Tensor, depth)
+	for i := depth - 1; i >= 0; i-- {
+		g = u.decConv[i].Backward(u.backNorm(relu, u.relus[relu].Backward(u.decRes[i].Backward(g))))
+		relu--
+		gUp, gSkip := tensor.SplitC(g, u.skipChans[i])
+		skipGrads[depth-1-i] = gSkip
+		// Up-sampled from the level below (or bottleneck).
+		srcShape := u.belowShape(depth - 1 - i)
+		g = tensor.UpsampleNearestBackward(srcShape, gUp)
+	}
+
+	// Encoder, bottom-up.
+	for l := depth; l >= 1; l-- {
+		g = u.encConv[l-1].Backward(u.backNorm(relu, u.relus[relu].Backward(u.encRes[l].Backward(g))))
+		relu--
+		g = tensor.AvgPool2Backward(u.encInShapes[l-1], g)
+		g.AddScaled(skipGrads[l-1], 1)
+	}
+	return u.stem.Backward(u.backNorm(relu, u.relus[relu].Backward(u.encRes[0].Backward(g))))
+}
+
+// belowShape returns the spatial shape of the tensor that was upsampled at
+// encoder level l (the pooled shape below it).
+func (u *UNet3D) belowShape(level int) []int {
+	s := u.encInShapes[level]
+	h, v, m := (s[1]+1)/2, (s[2]+1)/2, (s[3]+1)/2
+	c := u.Config.Base << (level + 1)
+	return []int{c, h, v, m}
+}
+
+// Params implements Layer.
+func (u *UNet3D) Params() []*Param {
+	var out []*Param
+	for _, n := range u.norms {
+		out = append(out, n.Params()...)
+	}
+	out = append(out, u.stem.Params()...)
+	for _, b := range u.encRes {
+		out = append(out, b.Params()...)
+	}
+	for _, c := range u.encConv {
+		out = append(out, c.Params()...)
+	}
+	for _, c := range u.decConv {
+		out = append(out, c.Params()...)
+	}
+	for _, b := range u.decRes {
+		out = append(out, b.Params()...)
+	}
+	out = append(out, u.head.Params()...)
+	return out
+}
+
+// NumParams returns the total number of learnable scalars.
+func (u *UNet3D) NumParams() int {
+	n := 0
+	for _, p := range u.Params() {
+		n += p.W.Len()
+	}
+	return n
+}

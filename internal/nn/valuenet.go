@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/tensor"
+)
+
+// ValueNet maps a feature volume [C, H, V, M] to a single scalar via a
+// small convolutional trunk and global average pooling. The PPO baseline
+// (paper §4.2) uses it as the critic head of its actor-critic training;
+// the combinatorial-MCTS router itself does not need one — its critic is
+// derived from the selector (paper Fig 5).
+type ValueNet struct {
+	InChannels int
+	trunk      *Sequential
+	lastShape  []int
+}
+
+// NewValueNet builds a randomly initialised value network.
+func NewValueNet(r *rand.Rand, inChannels, hidden int) *ValueNet {
+	return &ValueNet{
+		InChannels: inChannels,
+		trunk: &Sequential{Layers: []Layer{
+			NewConv3D(r, "value.conv1", inChannels, hidden, 3),
+			&ReLU{},
+			NewResBlock(r, "value.res", hidden, 3),
+			NewConv3D(r, "value.head", hidden, 1, 3),
+		}},
+	}
+}
+
+// Forward returns the scalar value estimate for the volume.
+func (v *ValueNet) Forward(x *tensor.Tensor) float64 {
+	if x.Rank() != 4 || x.Dim(0) != v.InChannels {
+		panic(fmt.Sprintf("nn: ValueNet input shape %v, want [%d,H,V,M]", x.Shape, v.InChannels))
+	}
+	out := v.trunk.Forward(x)
+	v.lastShape = append(v.lastShape[:0], out.Shape...)
+	return out.Sum() / float64(out.Len())
+}
+
+// Backward propagates a scalar gradient, accumulating parameter gradients,
+// and returns the gradient wrt the input volume.
+func (v *ValueNet) Backward(grad float64) *tensor.Tensor {
+	g := tensor.New(v.lastShape...)
+	g.Fill(grad / float64(g.Len()))
+	return v.trunk.Backward(g)
+}
+
+// Params returns the learnable parameters.
+func (v *ValueNet) Params() []*Param { return v.trunk.Params() }

@@ -1,0 +1,148 @@
+package render
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/route"
+)
+
+func routedInstance(t *testing.T) (*layout.Instance, *route.Tree) {
+	t.Helper()
+	in, err := layout.Random(rand.New(rand.NewSource(1)), layout.RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2,
+		MinPins: 4, MaxPins: 4, MinObstacles: 5, MaxObstacles: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := route.NewRouter(in.Graph).OARMST(in.Pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, tree
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	in, tree := routedInstance(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, tree, DefaultSVGConfig()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Error("SVG not well delimited")
+	}
+	for _, want := range []string{"layer 0", "layer 1", "<circle", "<line"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One panel label per layer.
+	if strings.Count(s, "layer ") != in.Graph.M {
+		t.Errorf("expected %d layer labels", in.Graph.M)
+	}
+}
+
+func TestSVGWithoutTree(t *testing.T) {
+	in, _ := routedInstance(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, in, nil, SVGConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Error("pins should render without a tree")
+	}
+}
+
+func TestSVGMultiColorsNets(t *testing.T) {
+	g, err := grid.NewUniform(8, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &layout.Instance{Graph: g, Pins: []grid.VertexID{g.Index(0, 0, 0), g.Index(7, 0, 0)}}
+	r := route.NewRouter(g)
+	t1, err := r.OARMST([]grid.VertexID{g.Index(0, 0, 0), g.Index(7, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := r.OARMST([]grid.VertexID{g.Index(0, 7, 0), g.Index(7, 7, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVGMulti(&buf, in, []*route.Tree{t1, nil, t2}, DefaultSVGConfig()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, wireColors[0]) || !strings.Contains(s, wireColors[2]) {
+		t.Error("multi-tree drawing should use distinct colours per net index")
+	}
+	if strings.Contains(s, wireColors[1]) {
+		t.Error("nil tree should draw nothing in its colour")
+	}
+}
+
+func TestASCIISymbols(t *testing.T) {
+	// Hand-made layout: 3x3x1, pins at corners, an obstacle, and a
+	// routed path between the pins.
+	g, err := grid.NewUniform(3, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Block(g.Index(1, 1, 0))
+	in := &layout.Instance{
+		Graph: g,
+		Pins:  []grid.VertexID{g.Index(0, 0, 0), g.Index(2, 2, 0)},
+	}
+	tree, err := route.NewRouter(g).OARMST(in.Pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ASCII(in, tree)
+	if strings.Count(out, "P") != 2 {
+		t.Errorf("expected 2 pins:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("expected obstacle:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Errorf("expected tree vertices:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 3 rows.
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIMarksSteinerAndVias(t *testing.T) {
+	// Plus layout: centre is a degree-4 Steiner point.
+	g, err := grid.NewUniform(5, 5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := []grid.VertexID{
+		g.Index(2, 0, 0), g.Index(2, 4, 0), g.Index(0, 2, 0), g.Index(4, 2, 1),
+	}
+	in := &layout.Instance{Graph: g, Pins: pins}
+	r := route.NewRouter(g)
+	res, err := r.SteinerTree(pins, []grid.VertexID{g.Index(2, 2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ASCII(in, res.Tree)
+	if !strings.Contains(out, "S") {
+		t.Errorf("expected Steiner point marker:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("expected via marker (pin on layer 1):\n%s", out)
+	}
+	if !strings.Contains(out, "layer 1") {
+		t.Error("expected a second layer block")
+	}
+}

@@ -1,0 +1,38 @@
+// Package rl implements the paper's training pipeline for the
+// combinatorial-MCTS Steiner-point selector (§3.5–3.6): per-stage sample
+// generation on random layouts, 16-fold rotation/reflection data
+// augmentation, mixed-size training with same-size batches (Fig 9), the
+// 3-to-6-pin curriculum of the first stages, and the stage loop that
+// upgrades the actor and critic after every selector update (Fig 8).
+package rl
+
+import (
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+)
+
+// AugmentSample returns the sample's 16 augmented variants (including the
+// identity), transforming the layout graph, the pin positions and the
+// label array consistently (paper §3.6: rotations by 0/90/180/270 degrees
+// and reflections across the y and z axes).
+func AugmentSample(s mcts.Sample) []mcts.Sample {
+	g := s.Instance.Graph
+	out := make([]mcts.Sample, 0, 16)
+	for _, aug := range grid.AllAugmentations() {
+		ng := aug.Apply(g)
+		pins := make([]grid.VertexID, len(s.Instance.Pins))
+		for i, p := range s.Instance.Pins {
+			pins[i] = ng.IndexOf(aug.ApplyCoord(g.H, g.V, g.M, g.CoordOf(p)))
+		}
+		out = append(out, mcts.Sample{
+			Instance: &layout.Instance{
+				Name:  s.Instance.Name,
+				Graph: ng,
+				Pins:  pins,
+			},
+			Label: aug.ApplyArray(g.H, g.V, g.M, s.Label),
+		})
+	}
+	return out
+}

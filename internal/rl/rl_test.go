@@ -1,0 +1,232 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+func tinySelector(t *testing.T, seed int64) *selector.Selector {
+	t.Helper()
+	s, err := selector.NewRandom(rand.New(rand.NewSource(seed)),
+		nn.UNetConfig{InChannels: selector.NumFeatures, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tinyConfig() Config {
+	return Config{
+		Sizes:            []layout.TrainingSize{{HV: 6, M: 2}},
+		LayoutsPerSize:   2,
+		MinPins:          3,
+		MaxPins:          5,
+		CurriculumStages: 2,
+		MCTS:             mcts.Config{Iterations: 8, UseCritic: true, CPuct: 1, MaxNoChange: 3},
+		Augment:          false,
+		BatchSize:        4,
+		EpochsPerStage:   2,
+		LR:               1e-3,
+		Seed:             7,
+	}
+}
+
+func sampleFor(t *testing.T, seed int64) mcts.Sample {
+	t.Helper()
+	sel := tinySelector(t, seed)
+	in, err := layout.Random(rand.New(rand.NewSource(seed)), layout.RandomSpec{
+		H: 6, V: 6, MinM: 2, MaxM: 2, MinPins: 4, MaxPins: 4, MinObstacles: 3, MaxObstacles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mcts.Search(sel, in, mcts.Config{Iterations: 8, UseCritic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Sample
+}
+
+func TestAugmentSampleProduces16Variants(t *testing.T) {
+	s := sampleFor(t, 1)
+	augs := AugmentSample(s)
+	if len(augs) != 16 {
+		t.Fatalf("augmented variants = %d, want 16", len(augs))
+	}
+	g := s.Instance.Graph
+	for i, a := range augs {
+		ng := a.Instance.Graph
+		if ng.NumVertices() != g.NumVertices() {
+			t.Fatalf("variant %d changed vertex count", i)
+		}
+		if len(a.Label) != len(s.Label) {
+			t.Fatalf("variant %d label length %d", i, len(a.Label))
+		}
+		if len(a.Instance.Pins) != len(s.Instance.Pins) {
+			t.Fatalf("variant %d pin count changed", i)
+		}
+		// Label mass is preserved by any permutation.
+		var sumA, sumS float64
+		for j := range a.Label {
+			sumA += a.Label[j]
+		}
+		for j := range s.Label {
+			sumS += s.Label[j]
+		}
+		if diff := sumA - sumS; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("variant %d label mass %v != %v", i, sumA, sumS)
+		}
+		// Blocked count preserved; pins stay unblocked.
+		if ng.NumBlocked() != g.NumBlocked() {
+			t.Fatalf("variant %d blocked count changed", i)
+		}
+		for _, p := range a.Instance.Pins {
+			if ng.Blocked(p) {
+				t.Fatalf("variant %d pin landed on obstacle", i)
+			}
+		}
+	}
+	// First variant is the identity.
+	for j := range s.Label {
+		if augs[0].Label[j] != s.Label[j] {
+			t.Fatal("identity variant label changed")
+		}
+	}
+}
+
+func TestCurriculumPinSchedule(t *testing.T) {
+	sel := tinySelector(t, 2)
+	cfg := tinyConfig()
+	cfg.CurriculumStages = 4
+	cfg.MinPins, cfg.MaxPins = 3, 6
+	tr := NewTrainer(sel, cfg)
+	wantPins := []int{3, 4, 5, 6}
+	for i, want := range wantPins {
+		lo, hi, critic := tr.stagePins()
+		if lo != want || hi != want {
+			t.Errorf("curriculum stage %d pins = [%d,%d], want fixed %d", i+1, lo, hi, want)
+		}
+		if critic {
+			t.Errorf("curriculum stage %d should disable the critic", i+1)
+		}
+		tr.stage++
+	}
+	lo, hi, critic := tr.stagePins()
+	if lo != 3 || hi != 6 || !critic {
+		t.Errorf("post-curriculum = [%d,%d] critic=%v, want [3,6] true", lo, hi, critic)
+	}
+}
+
+func TestRunStageUpdatesSelector(t *testing.T) {
+	sel := tinySelector(t, 3)
+	before := sel.Net.Params()[0].W.Clone()
+	tr := NewTrainer(sel, tinyConfig())
+	stats, err := tr.RunStage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stage != 1 || tr.Stage() != 1 {
+		t.Errorf("stage counter = %d / %d", stats.Stage, tr.Stage())
+	}
+	if stats.Samples != 2 {
+		t.Errorf("samples = %d, want 2", stats.Samples)
+	}
+	if stats.TrainedSamples != stats.Samples {
+		t.Errorf("without augmentation trained = %d, want %d", stats.TrainedSamples, stats.Samples)
+	}
+	if stats.Episodes != 2 || stats.MCTSIterations == 0 {
+		t.Errorf("episodes = %d iterations = %d", stats.Episodes, stats.MCTSIterations)
+	}
+	changed := false
+	after := sel.Net.Params()[0].W
+	for i := range after.Data {
+		if after.Data[i] != before.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("RunStage did not update the selector weights")
+	}
+}
+
+func TestRunStageWithAugmentation(t *testing.T) {
+	sel := tinySelector(t, 4)
+	cfg := tinyConfig()
+	cfg.Augment = true
+	cfg.LayoutsPerSize = 1
+	tr := NewTrainer(sel, cfg)
+	stats, err := tr.RunStage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TrainedSamples != 16*stats.Samples {
+		t.Errorf("trained = %d, want 16x%d", stats.TrainedSamples, stats.Samples)
+	}
+}
+
+func TestFitDecreasesLoss(t *testing.T) {
+	sel := tinySelector(t, 5)
+	cfg := tinyConfig()
+	cfg.EpochsPerStage = 1
+	cfg.LR = 5e-3
+	tr := NewTrainer(sel, cfg)
+	samples := []mcts.Sample{sampleFor(t, 6), sampleFor(t, 7)}
+	first, err := tr.Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 15; i++ {
+		last, err = tr.Fit(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestFitRejectsEmpty(t *testing.T) {
+	tr := NewTrainer(tinySelector(t, 8), tinyConfig())
+	if _, err := tr.Fit(nil); err == nil {
+		t.Error("empty sample set should fail")
+	}
+}
+
+func TestMixedSizeGrouping(t *testing.T) {
+	// Samples of two different sizes must both train without shape errors.
+	sel := tinySelector(t, 9)
+	cfg := tinyConfig()
+	cfg.Sizes = []layout.TrainingSize{{HV: 6, M: 2}, {HV: 8, M: 2}}
+	cfg.LayoutsPerSize = 1
+	tr := NewTrainer(sel, cfg)
+	stats, err := tr.RunStage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples != 2 {
+		t.Errorf("samples = %d, want one per size", stats.Samples)
+	}
+}
+
+func TestTrainingReproducible(t *testing.T) {
+	run := func() float64 {
+		sel := tinySelector(t, 10)
+		tr := NewTrainer(sel, tinyConfig())
+		stats, err := tr.RunStage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MeanLoss
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("training not reproducible: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,278 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+	"oarsmt/internal/tensor"
+)
+
+// Config parameterises the training pipeline. The paper's values are in
+// the comments; the defaults are CPU-scale.
+type Config struct {
+	// Sizes are the layout sizes of the mixed-size schedule (paper: the 12
+	// combinations of layout.TrainingSizes).
+	Sizes []layout.TrainingSize
+	// LayoutsPerSize is the number of random layouts per size per stage
+	// (paper: 1000).
+	LayoutsPerSize int
+	// MinPins and MaxPins bound the random pin counts after the curriculum
+	// phase (paper: 3 and 6).
+	MinPins, MaxPins int
+	// CurriculumStages is the number of leading stages that fix the pin
+	// count progressively from MinPins to MaxPins and disable the critic
+	// (paper: 4).
+	CurriculumStages int
+	// MCTS is the per-episode search configuration; UseCritic is forced
+	// off during curriculum stages.
+	MCTS mcts.Config
+	// Augment enables the 16-fold data augmentation (paper: on).
+	Augment bool
+	// BatchSize is the number of same-size samples per gradient step
+	// (paper: 256).
+	BatchSize int
+	// EpochsPerStage repeats the generated samples (paper: 4).
+	EpochsPerStage int
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a CPU-scale configuration preserving the paper's
+// schedule structure.
+func DefaultConfig() Config {
+	return Config{
+		Sizes:            []layout.TrainingSize{{HV: 8, M: 2}, {HV: 10, M: 2}},
+		LayoutsPerSize:   4,
+		MinPins:          3,
+		MaxPins:          6,
+		CurriculumStages: 4,
+		MCTS:             mcts.Config{Iterations: 24, UseCritic: true, CPuct: 1, MaxNoChange: 3},
+		Augment:          true,
+		BatchSize:        32,
+		EpochsPerStage:   4,
+		LR:               3e-3,
+		Seed:             1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if len(c.Sizes) == 0 {
+		c.Sizes = d.Sizes
+	}
+	if c.LayoutsPerSize <= 0 {
+		c.LayoutsPerSize = d.LayoutsPerSize
+	}
+	if c.MinPins < 3 {
+		c.MinPins = d.MinPins
+	}
+	if c.MaxPins < c.MinPins {
+		c.MaxPins = c.MinPins
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.EpochsPerStage <= 0 {
+		c.EpochsPerStage = d.EpochsPerStage
+	}
+	if c.LR <= 0 {
+		c.LR = d.LR
+	}
+	return c
+}
+
+// StageStats summarises one training stage.
+type StageStats struct {
+	Stage          int
+	Samples        int // before augmentation
+	TrainedSamples int // after augmentation
+	Episodes       int
+	MCTSIterations int
+	MeanLoss       float64
+	MeanRootCost   float64
+	MeanFinalCost  float64
+}
+
+// Trainer drives the selector-evolution loop of Fig 8. Each RunStage call
+// generates samples with combinatorial MCTS under the *current* selector
+// (so the actor and critic are upgraded between stages automatically) and
+// fits the selector to the new samples with BCE loss.
+type Trainer struct {
+	Cfg      Config
+	Selector *selector.Selector
+
+	rng   *rand.Rand
+	opt   *nn.Adam
+	stage int
+}
+
+// NewTrainer creates a trainer over the selector.
+func NewTrainer(sel *selector.Selector, cfg Config) *Trainer {
+	cfg = cfg.withDefaults()
+	return &Trainer{
+		Cfg:      cfg,
+		Selector: sel,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		opt:      nn.NewAdam(sel.Net.Params(), cfg.LR),
+	}
+}
+
+// Stage returns the number of completed stages.
+func (t *Trainer) Stage() int { return t.stage }
+
+// stagePins returns the pin range of the next stage, implementing the
+// curriculum of §3.6: stages 1..CurriculumStages use a fixed pin count
+// stepping from MinPins to MaxPins, later stages draw uniformly.
+func (t *Trainer) stagePins() (lo, hi int, useCritic bool) {
+	s := t.stage + 1 // 1-based stage about to run
+	if t.Cfg.CurriculumStages > 0 && s <= t.Cfg.CurriculumStages {
+		span := t.Cfg.MaxPins - t.Cfg.MinPins
+		step := 0
+		if t.Cfg.CurriculumStages > 1 {
+			step = (s - 1) * span / (t.Cfg.CurriculumStages - 1)
+		}
+		p := t.Cfg.MinPins + step
+		return p, p, false
+	}
+	return t.Cfg.MinPins, t.Cfg.MaxPins, true
+}
+
+// GenerateSamples produces the training samples of one stage without
+// updating the selector; exported for the sample-generation benchmarks.
+func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
+	lo, hi, useCritic := t.stagePins()
+	cfg := t.Cfg.MCTS
+	cfg.UseCritic = cfg.UseCritic && useCritic
+
+	stats := StageStats{Stage: t.stage + 1}
+	var samples []mcts.Sample
+	for _, size := range t.Cfg.Sizes {
+		spec := layout.TrainingSpec(size, lo, hi)
+		for i := 0; i < t.Cfg.LayoutsPerSize; i++ {
+			in, err := layout.Random(t.rng, spec)
+			if err != nil {
+				return nil, stats, fmt.Errorf("rl: stage %d: %w", t.stage+1, err)
+			}
+			res, err := mcts.Search(t.Selector, in, cfg)
+			if err != nil {
+				return nil, stats, fmt.Errorf("rl: stage %d: %w", t.stage+1, err)
+			}
+			samples = append(samples, res.Sample)
+			stats.Episodes++
+			stats.MCTSIterations += res.Iterations
+			stats.MeanRootCost += res.RootCost
+			stats.MeanFinalCost += res.FinalCost
+		}
+	}
+	if stats.Episodes > 0 {
+		stats.MeanRootCost /= float64(stats.Episodes)
+		stats.MeanFinalCost /= float64(stats.Episodes)
+	}
+	stats.Samples = len(samples)
+	return samples, stats, nil
+}
+
+// RunStage performs one full stage: sample generation, augmentation, and
+// EpochsPerStage epochs of same-size mini-batch training.
+func (t *Trainer) RunStage() (StageStats, error) {
+	samples, stats, err := t.GenerateSamples()
+	if err != nil {
+		return stats, err
+	}
+
+	if t.Cfg.Augment {
+		var augmented []mcts.Sample
+		for _, s := range samples {
+			augmented = append(augmented, AugmentSample(s)...)
+		}
+		samples = augmented
+	}
+	stats.TrainedSamples = len(samples)
+
+	loss, err := t.Fit(samples)
+	if err != nil {
+		return stats, err
+	}
+	stats.MeanLoss = loss
+	t.stage++
+	stats.Stage = t.stage
+	return stats, nil
+}
+
+// Fit trains the selector on the samples for EpochsPerStage epochs with
+// same-size batches (Fig 9) and returns the mean BCE loss of the final
+// epoch.
+func (t *Trainer) Fit(samples []mcts.Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("rl: no samples to fit")
+	}
+	// Group by layout dimensions so every batch has a single size.
+	groups := map[[3]int][]int{}
+	for i, s := range samples {
+		g := s.Instance.Graph
+		key := [3]int{g.H, g.V, g.M}
+		groups[key] = append(groups[key], i)
+	}
+	keys := make([][3]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+
+	var lastEpochLoss float64
+	for epoch := 0; epoch < t.Cfg.EpochsPerStage; epoch++ {
+		totalLoss, nBatches := 0.0, 0
+		for _, key := range keys {
+			idxs := append([]int(nil), groups[key]...)
+			t.rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+			for start := 0; start < len(idxs); start += t.Cfg.BatchSize {
+				end := start + t.Cfg.BatchSize
+				if end > len(idxs) {
+					end = len(idxs)
+				}
+				batchLoss := 0.0
+				for _, si := range idxs[start:end] {
+					s := samples[si]
+					g := s.Instance.Graph
+					logits := t.Selector.Net.Forward(selector.Encode(g, s.Instance.Pins))
+					target := tensor.FromSlice(s.Label, g.H, g.V, g.M)
+					loss, grad := nn.BCEWithLogits(logits, target)
+					// Scale so the batch gradient is the mean over samples.
+					grad.Scale(1 / float64(end-start))
+					t.Selector.Net.Backward(grad)
+					batchLoss += loss
+				}
+				t.opt.Step()
+				totalLoss += batchLoss / float64(end-start)
+				nBatches++
+			}
+		}
+		if nBatches > 0 {
+			lastEpochLoss = totalLoss / float64(nBatches)
+		}
+	}
+	return lastEpochLoss, nil
+}
+
+func sortKeys(keys [][3]int) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessKey(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func lessKey(a, b [3]int) bool {
+	for i := 0; i < 3; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

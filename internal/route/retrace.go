@@ -1,0 +1,157 @@
+package route
+
+import (
+	"sort"
+
+	"oarsmt/internal/grid"
+)
+
+// Retrace performs path-assessed retracing in the spirit of [14]: for each
+// terminal that dangles on a degree-1 path, the path from the terminal to
+// its first branch point (or to another terminal) is ripped up and the
+// terminal is re-routed against the remaining tree; the reroute is kept
+// only when it is strictly cheaper. Passes repeat until a pass finds no
+// improvement or maxPasses is reached.
+//
+// The input tree is not modified; the (possibly improved) result is
+// returned together with the number of passes that found an improvement.
+func (r *Router) Retrace(t *Tree, terminals []grid.VertexID, maxPasses int) (*Tree, int) {
+	if maxPasses < 1 || len(t.Edges) == 0 {
+		return t, 0
+	}
+	adj := make(map[grid.VertexID][]grid.VertexID, t.NumVertices())
+	for _, e := range t.Edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	termSet := make(map[grid.VertexID]struct{}, len(terminals))
+	for _, term := range terminals {
+		termSet[term] = struct{}{}
+	}
+	terms := dedupSorted(terminals)
+
+	improvedPasses := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for _, term := range terms {
+			if len(adj[term]) != 1 {
+				continue // internal terminal: nothing dangles
+			}
+			path, pathCost := danglingPath(r.g, adj, termSet, term)
+			if len(path) < 2 {
+				continue
+			}
+			removePath(adj, path)
+			sources := make([]grid.VertexID, 0, len(adj))
+			for v, ns := range adj {
+				if v == term {
+					// The detached terminal must not seed the search, or
+					// the "reroute" would trivially reach itself at zero
+					// cost and leave it disconnected.
+					continue
+				}
+				if len(ns) > 0 || isTerm(termSet, v) {
+					sources = append(sources, v)
+				}
+			}
+			// Deterministic source order (map iteration is random).
+			sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+			newPath, newCost, ok := r.ShortestToTarget(sources, func(v grid.VertexID) bool { return v == term })
+			if ok && newCost < pathCost-1e-9 {
+				addPathAdj(adj, newPath)
+				improved = true
+			} else {
+				addPathAdj(adj, path)
+			}
+		}
+		if !improved {
+			break
+		}
+		improvedPasses++
+	}
+	if improvedPasses == 0 {
+		return t, 0
+	}
+
+	out := newTree(terms[0])
+	for v, ns := range adj {
+		for _, w := range ns {
+			if v < w {
+				out.addEdge(r.g, v, w)
+			}
+		}
+	}
+	return out, improvedPasses
+}
+
+// danglingPath walks from a degree-1 terminal through degree-2
+// non-terminal vertices and returns the vertex sequence (terminal first,
+// anchor last) and the cost of its edges. The anchor — a branch point,
+// another terminal, or a higher-degree vertex — stays in the tree.
+func danglingPath(g *grid.Graph, adj map[grid.VertexID][]grid.VertexID, termSet map[grid.VertexID]struct{}, term grid.VertexID) ([]grid.VertexID, float64) {
+	path := []grid.VertexID{term}
+	cost := 0.0
+	prev := grid.VertexID(-1)
+	cur := term
+	for {
+		var next grid.VertexID = -1
+		for _, n := range adj[cur] {
+			if n != prev {
+				next = n
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cost += g.EdgeCost(cur, next)
+		path = append(path, next)
+		if len(adj[next]) != 2 || isTerm(termSet, next) {
+			break // anchor reached
+		}
+		prev, cur = cur, next
+	}
+	return path, cost
+}
+
+func isTerm(termSet map[grid.VertexID]struct{}, v grid.VertexID) bool {
+	_, ok := termSet[v]
+	return ok
+}
+
+func removePath(adj map[grid.VertexID][]grid.VertexID, path []grid.VertexID) {
+	for i := 0; i+1 < len(path); i++ {
+		removeAdj(adj, path[i], path[i+1])
+		removeAdj(adj, path[i+1], path[i])
+	}
+}
+
+func removeAdj(adj map[grid.VertexID][]grid.VertexID, a, b grid.VertexID) {
+	ns := adj[a]
+	for i, n := range ns {
+		if n == b {
+			ns[i] = ns[len(ns)-1]
+			adj[a] = ns[:len(ns)-1]
+			return
+		}
+	}
+}
+
+func addPathAdj(adj map[grid.VertexID][]grid.VertexID, path []grid.VertexID) {
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if !hasAdj(adj, a, b) {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+}
+
+func hasAdj(adj map[grid.VertexID][]grid.VertexID, a, b grid.VertexID) bool {
+	for _, n := range adj[a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}

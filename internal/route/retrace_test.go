@@ -1,0 +1,133 @@
+package route
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oarsmt/internal/grid"
+)
+
+func TestRetraceRepairsDetour(t *testing.T) {
+	g, err := grid.NewUniform(5, 5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g)
+	a, b := g.Index(0, 0, 0), g.Index(3, 0, 0)
+	tree := NewTreeAt(a)
+	tree.AddPath(g, []grid.VertexID{
+		a, g.Index(0, 1, 0), g.Index(1, 1, 0), g.Index(2, 1, 0), g.Index(3, 1, 0), b,
+	})
+	if tree.Cost != 5 {
+		t.Fatalf("detour tree cost = %v", tree.Cost)
+	}
+	fixed, improved := r.Retrace(tree, []grid.VertexID{a, b}, 2)
+	if improved == 0 || fixed.Cost != 3 {
+		t.Errorf("retrace: improved=%d cost=%v, want cost 3", improved, fixed.Cost)
+	}
+	if err := fixed.Validate(g, []grid.VertexID{a, b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetraceKeepsOptimalTree(t *testing.T) {
+	g, _ := grid.NewUniform(6, 6, 1, 1)
+	r := NewRouter(g)
+	pins := []grid.VertexID{g.Index(0, 0, 0), g.Index(5, 0, 0)}
+	tree, err := r.OARMST(pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, improved := r.Retrace(tree, pins, 3)
+	if improved != 0 {
+		t.Error("optimal straight route should not be improvable")
+	}
+	if same.Cost != tree.Cost {
+		t.Error("no-improvement retrace changed the cost")
+	}
+}
+
+func TestRetraceInternalTerminalsUntouched(t *testing.T) {
+	// A terminal in the middle of a path has degree 2: nothing dangles
+	// from it and retracing must leave the tree valid.
+	g, _ := grid.NewUniform(5, 1, 1, 1)
+	r := NewRouter(g)
+	pins := []grid.VertexID{g.Index(0, 0, 0), g.Index(2, 0, 0), g.Index(4, 0, 0)}
+	tree, err := r.OARMST(pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, _ := r.Retrace(tree, pins, 3)
+	if err := fixed.Validate(g, pins); err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Cost != 4 {
+		t.Errorf("cost = %v, want 4", fixed.Cost)
+	}
+}
+
+func TestRetraceRandomizedNeverWorsensOrDisconnects(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g, _ := grid.NewUniform(7+rng.Intn(4), 7+rng.Intn(4), 1+rng.Intn(2), 2)
+		for i := 0; i < g.NumVertices()/8; i++ {
+			g.Block(grid.VertexID(rng.Intn(g.NumVertices())))
+		}
+		var pins []grid.VertexID
+		seen := map[grid.VertexID]bool{}
+		for len(pins) < 4+rng.Intn(3) {
+			id := grid.VertexID(rng.Intn(g.NumVertices()))
+			if !g.Blocked(id) && !seen[id] {
+				seen[id] = true
+				pins = append(pins, id)
+			}
+		}
+		r := NewRouter(g)
+		tree, err := r.OARMST(pins)
+		if err != nil {
+			if _, ok := err.(*ErrUnreachable); ok {
+				continue
+			}
+			t.Fatal(err)
+		}
+		fixed, _ := r.Retrace(tree, pins, 3)
+		if fixed.Cost > tree.Cost+1e-9 {
+			t.Fatalf("trial %d: retrace worsened %v -> %v", trial, tree.Cost, fixed.Cost)
+		}
+		if err := fixed.Validate(g, pins); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestTreeAccessors(t *testing.T) {
+	g, _ := grid.NewUniform(3, 3, 1, 1)
+	tree := NewTreeAt(g.Index(0, 0, 0))
+	if tree.NumVertices() != 1 {
+		t.Errorf("fresh tree vertices = %d", tree.NumVertices())
+	}
+	tree.AddPath(g, []grid.VertexID{g.Index(0, 0, 0), g.Index(1, 0, 0), g.Index(2, 0, 0)})
+	vs := tree.Vertices()
+	if len(vs) != 3 || vs[0] > vs[1] || vs[1] > vs[2] {
+		t.Errorf("Vertices = %v", vs)
+	}
+	if tree.NumVertices() != 3 {
+		t.Errorf("vertices = %d", tree.NumVertices())
+	}
+}
+
+func TestErrUnreachableMessage(t *testing.T) {
+	g, _ := grid.NewUniform(2, 2, 1, 1)
+	e := &ErrUnreachable{Terminal: 3, Coord: g.CoordOf(3)}
+	if msg := e.Error(); !strings.Contains(msg, "unreachable") {
+		t.Errorf("message = %q", msg)
+	}
+}
+
+func TestRouterGraphAccessor(t *testing.T) {
+	g, _ := grid.NewUniform(2, 2, 1, 1)
+	if NewRouter(g).Graph() != g {
+		t.Error("Graph accessor broken")
+	}
+}

@@ -1,0 +1,236 @@
+// Package route implements the routing substrate of the ML-OARSMT router:
+// a multi-source Dijkstra maze router on the 3-D Hanan grid and the
+// maze-router-based Prim's algorithm that builds an obstacle-avoiding
+// rectilinear minimum spanning tree (OARMST) over a set of terminals,
+// following the methodology of Lin et al. [14] that the paper adopts for
+// its final tree-construction step (paper §3.1).
+//
+// A Router owns per-search scratch buffers sized to its graph, so repeated
+// searches on large graphs allocate nothing. A Router is not safe for
+// concurrent use; create one per goroutine.
+package route
+
+import (
+	"fmt"
+
+	"oarsmt/internal/grid"
+)
+
+// Router runs maze-routing searches over a fixed grid graph.
+type Router struct {
+	g *grid.Graph
+
+	dist  []float64
+	prev  []grid.VertexID
+	seen  []uint32 // epoch tags: seen[v] == epoch means dist[v] is valid
+	epoch uint32
+
+	heap   pairHeap
+	nbrBuf []grid.Neighbor
+
+	// Bounds, when non-nil, restricts every search to the given grid-space
+	// box. Used by the bounded-exploration baseline ([14]); searches that
+	// fail inside the bounds are the caller's responsibility to retry.
+	Bounds *Bounds
+
+	// BoundedExploration enables [14]-style bounded exploration inside
+	// OARMST (and therefore SteinerTree): each Prim step searches only a
+	// window spanning the current tree and the nearest remaining terminal,
+	// inflated by BoundMargin, falling back to an unbounded search when
+	// the window turns out too tight. This trades a little tree quality
+	// for a large speedup on big layouts.
+	BoundedExploration bool
+	// BoundMargin is the window inflation of bounded exploration.
+	BoundMargin int
+}
+
+// Bounds is an inclusive grid-space search window.
+type Bounds struct {
+	HLo, HHi int
+	VLo, VHi int
+	MLo, MHi int
+}
+
+// Contains reports whether the coordinate is inside the window.
+func (b *Bounds) Contains(c grid.Coord) bool {
+	return b.HLo <= c.H && c.H <= b.HHi &&
+		b.VLo <= c.V && c.V <= b.VHi &&
+		b.MLo <= c.M && c.M <= b.MHi
+}
+
+// Inflate grows the window by d in the H and V directions, clamped to the
+// graph; the layer range always spans every layer (vias are cheap and
+// bounding them harms quality disproportionately).
+func (b Bounds) Inflate(d int, g *grid.Graph) Bounds {
+	return Bounds{
+		HLo: max(0, b.HLo-d), HHi: min(g.H-1, b.HHi+d),
+		VLo: max(0, b.VLo-d), VHi: min(g.V-1, b.VHi+d),
+		MLo: 0, MHi: g.M - 1,
+	}
+}
+
+// BoundsOf returns the smallest window containing all the vertices.
+func BoundsOf(g *grid.Graph, vs []grid.VertexID) Bounds {
+	if len(vs) == 0 {
+		return Bounds{}
+	}
+	c0 := g.CoordOf(vs[0])
+	b := Bounds{HLo: c0.H, HHi: c0.H, VLo: c0.V, VHi: c0.V, MLo: c0.M, MHi: c0.M}
+	for _, v := range vs[1:] {
+		c := g.CoordOf(v)
+		b.HLo = min(b.HLo, c.H)
+		b.HHi = max(b.HHi, c.H)
+		b.VLo = min(b.VLo, c.V)
+		b.VHi = max(b.VHi, c.V)
+		b.MLo = min(b.MLo, c.M)
+		b.MHi = max(b.MHi, c.M)
+	}
+	return b
+}
+
+// NewRouter returns a Router for the graph.
+func NewRouter(g *grid.Graph) *Router {
+	n := g.NumVertices()
+	return &Router{
+		g:    g,
+		dist: make([]float64, n),
+		prev: make([]grid.VertexID, n),
+		seen: make([]uint32, n),
+	}
+}
+
+// Graph returns the graph the router operates on.
+func (r *Router) Graph() *grid.Graph { return r.g }
+
+func (r *Router) nextEpoch() {
+	r.epoch++
+	if r.epoch == 0 { // wrapped: clear tags and restart
+		for i := range r.seen {
+			r.seen[i] = 0
+		}
+		r.epoch = 1
+	}
+}
+
+// ShortestToTarget runs a multi-source Dijkstra from sources and returns
+// the first (cheapest) vertex for which isTarget returns true, together
+// with the path from that vertex back to its source (inclusive on both
+// ends, target first) and the path cost. ok is false when no target is
+// reachable (within the bounds, if set).
+func (r *Router) ShortestToTarget(sources []grid.VertexID, isTarget func(grid.VertexID) bool) (path []grid.VertexID, cost float64, ok bool) {
+	r.nextEpoch()
+	r.heap = r.heap[:0]
+	for _, s := range sources {
+		if r.g.Blocked(s) {
+			continue
+		}
+		if r.Bounds != nil && !r.Bounds.Contains(r.g.CoordOf(s)) {
+			continue
+		}
+		if r.seen[s] == r.epoch {
+			continue
+		}
+		r.seen[s] = r.epoch
+		r.dist[s] = 0
+		r.prev[s] = -1
+		r.heap.push(pair{0, s})
+	}
+	for len(r.heap) > 0 {
+		p := r.heap.pop()
+		if p.d > r.dist[p.id] { // stale entry
+			continue
+		}
+		if isTarget(p.id) {
+			// Trace back to the source.
+			path = path[:0]
+			for v := p.id; v != -1; v = r.prev[v] {
+				path = append(path, v)
+			}
+			return path, p.d, true
+		}
+		r.nbrBuf = r.g.Neighbors(p.id, r.nbrBuf[:0])
+		for _, nb := range r.nbrBuf {
+			if r.Bounds != nil && !r.Bounds.Contains(r.g.CoordOf(nb.ID)) {
+				continue
+			}
+			nd := p.d + nb.Cost
+			if r.seen[nb.ID] != r.epoch || nd < r.dist[nb.ID] {
+				r.seen[nb.ID] = r.epoch
+				r.dist[nb.ID] = nd
+				r.prev[nb.ID] = p.id
+				r.heap.push(pair{nd, nb.ID})
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// ShortestPath returns the cheapest path between two vertices (from src,
+// ending at dst) and its cost.
+func (r *Router) ShortestPath(src, dst grid.VertexID) ([]grid.VertexID, float64, bool) {
+	return r.ShortestToTarget([]grid.VertexID{src}, func(v grid.VertexID) bool { return v == dst })
+}
+
+// pair is a heap entry; ties on distance break on smaller vertex ID so
+// routing is fully deterministic.
+type pair struct {
+	d  float64
+	id grid.VertexID
+}
+
+type pairHeap []pair
+
+func (h pairHeap) less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].id < h[j].id
+}
+
+func (h *pairHeap) push(p pair) {
+	*h = append(*h, p)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h).less(parent, i) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() pair {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// ErrUnreachable is returned when a terminal cannot be connected.
+type ErrUnreachable struct {
+	Terminal grid.VertexID
+	Coord    grid.Coord
+}
+
+func (e *ErrUnreachable) Error() string {
+	return fmt.Sprintf("route: terminal %d at %v is unreachable", e.Terminal, e.Coord)
+}

@@ -1,0 +1,135 @@
+package route
+
+import (
+	"sort"
+
+	"oarsmt/internal/geom"
+	"oarsmt/internal/grid"
+)
+
+// Segment is a maximal straight run of tree edges on one layer, in
+// original coordinates when the graph carries them (grid coordinates
+// otherwise). A and B are the run's endpoints with A lexicographically
+// first.
+type Segment struct {
+	A, B geom.Point
+}
+
+// Via is a layer crossing of the tree at one grid location, spanning
+// [FromLayer, ToLayer] (FromLayer < ToLayer).
+type Via struct {
+	At        geom.Point // X/Y position; Layer holds FromLayer
+	FromLayer int
+	ToLayer   int
+}
+
+// Segments decomposes the tree into maximal straight wire segments per
+// layer plus merged via stacks — the form a downstream flow (DEF writer,
+// extraction, visualisation) consumes. Unit edges are merged while they
+// continue in the same direction on the same layer through degree-2
+// vertices of matching orientation; vias crossing several layers at the
+// same position merge into one stack.
+func (t *Tree) Segments(g *grid.Graph) ([]Segment, []Via) {
+	type dirEdge struct {
+		a, b grid.VertexID
+	}
+	// Partition edges by orientation.
+	var xe, ye, ze []dirEdge
+	for _, e := range t.Edges {
+		ca, cb := g.CoordOf(e.A), g.CoordOf(e.B)
+		switch {
+		case ca.V == cb.V && ca.M == cb.M:
+			xe = append(xe, dirEdge{e.A, e.B})
+		case ca.H == cb.H && ca.M == cb.M:
+			ye = append(ye, dirEdge{e.A, e.B})
+		default:
+			ze = append(ze, dirEdge{e.A, e.B})
+		}
+	}
+
+	var segs []Segment
+	// Merge runs along one axis: group by the invariant coordinates and
+	// merge consecutive steps.
+	mergeRuns := func(edges []dirEdge, key func(c grid.Coord) [2]int, along func(c grid.Coord) int) {
+		groups := map[[2]int][]grid.VertexID{}
+		for _, e := range edges {
+			k := key(g.CoordOf(e.a))
+			groups[k] = append(groups[k], e.a, e.b)
+		}
+		keys := make([][2]int, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			vs := groups[k]
+			sort.Slice(vs, func(i, j int) bool { return along(g.CoordOf(vs[i])) < along(g.CoordOf(vs[j])) })
+			// vs holds both endpoints of each unit edge, sorted along the
+			// axis; a run breaks where consecutive edges don't share a
+			// vertex.
+			start := vs[0]
+			prev := vs[1]
+			for i := 2; i+1 < len(vs); i += 2 {
+				if vs[i] != prev {
+					segs = append(segs, Segment{A: g.PointOf(start), B: g.PointOf(prev)})
+					start = vs[i]
+				}
+				prev = vs[i+1]
+			}
+			segs = append(segs, Segment{A: g.PointOf(start), B: g.PointOf(prev)})
+		}
+	}
+	mergeRuns(xe,
+		func(c grid.Coord) [2]int { return [2]int{c.V, c.M} },
+		func(c grid.Coord) int { return c.H })
+	mergeRuns(ye,
+		func(c grid.Coord) [2]int { return [2]int{c.H, c.M} },
+		func(c grid.Coord) int { return c.V })
+
+	// Vias: group by position, merge consecutive layer crossings.
+	viaGroups := map[[2]int][]int{} // (h,v) -> list of lower layers
+	for _, e := range ze {
+		ca, cb := g.CoordOf(e.a), g.CoordOf(e.b)
+		lo := ca.M
+		if cb.M < lo {
+			lo = cb.M
+		}
+		k := [2]int{ca.H, ca.V}
+		viaGroups[k] = append(viaGroups[k], lo)
+	}
+	viaKeys := make([][2]int, 0, len(viaGroups))
+	for k := range viaGroups {
+		viaKeys = append(viaKeys, k)
+	}
+	sort.Slice(viaKeys, func(i, j int) bool {
+		if viaKeys[i][0] != viaKeys[j][0] {
+			return viaKeys[i][0] < viaKeys[j][0]
+		}
+		return viaKeys[i][1] < viaKeys[j][1]
+	})
+	var vias []Via
+	for _, k := range viaKeys {
+		lows := viaGroups[k]
+		sort.Ints(lows)
+		runStart := lows[0]
+		prev := lows[0]
+		flush := func(from, to int) {
+			p := g.PointOf(g.Index(k[0], k[1], from))
+			vias = append(vias, Via{At: p, FromLayer: from, ToLayer: to + 1})
+		}
+		for _, m := range lows[1:] {
+			if m != prev+1 {
+				flush(runStart, prev)
+				runStart = m
+			}
+			prev = m
+		}
+		flush(runStart, prev)
+	}
+	return segs, vias
+}

@@ -1,0 +1,195 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"oarsmt/internal/grid"
+)
+
+// Edge is one unit step of a routing tree between two grid-adjacent
+// vertices, stored with A < B so edges have a canonical form.
+type Edge struct {
+	A, B grid.VertexID
+}
+
+// NewEdge returns the canonical edge between two vertices.
+func NewEdge(a, b grid.VertexID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Tree is a routed rectilinear Steiner tree: a set of unit grid edges with
+// a total cost. The vertex set of the tree is implied by its edges (plus
+// the root for single-terminal trees).
+type Tree struct {
+	Root grid.VertexID
+	// Edges in insertion order. Canonical form (A < B), no duplicates.
+	Edges []Edge
+	Cost  float64
+
+	vertexSet map[grid.VertexID]struct{}
+	edgeSet   map[Edge]struct{}
+}
+
+// NewTreeAt returns an empty tree rooted at root; callers grow it with
+// AddPath. Custom tree constructions (the baseline routers) use this; the
+// standard ones go through Router.OARMST.
+func NewTreeAt(root grid.VertexID) *Tree { return newTree(root) }
+
+// AddPath inserts every edge along the path (a vertex sequence) and
+// returns the vertices that were new to the tree; see addPath.
+func (t *Tree) AddPath(g *grid.Graph, path []grid.VertexID) []grid.VertexID {
+	return t.addPath(g, path)
+}
+
+func newTree(root grid.VertexID) *Tree {
+	return &Tree{
+		Root:      root,
+		vertexSet: map[grid.VertexID]struct{}{root: {}},
+		edgeSet:   map[Edge]struct{}{},
+	}
+}
+
+// Contains reports whether the vertex is part of the tree.
+func (t *Tree) Contains(v grid.VertexID) bool {
+	_, ok := t.vertexSet[v]
+	return ok
+}
+
+// NumVertices returns the number of distinct vertices spanned by the tree.
+func (t *Tree) NumVertices() int { return len(t.vertexSet) }
+
+// Vertices returns the distinct vertices of the tree in increasing order.
+func (t *Tree) Vertices() []grid.VertexID {
+	out := make([]grid.VertexID, 0, len(t.vertexSet))
+	for v := range t.vertexSet {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// addEdge inserts the edge and accumulates its cost; it is a no-op for an
+// edge already present.
+func (t *Tree) addEdge(g *grid.Graph, a, b grid.VertexID) {
+	e := NewEdge(a, b)
+	if _, dup := t.edgeSet[e]; dup {
+		return
+	}
+	t.edgeSet[e] = struct{}{}
+	t.Edges = append(t.Edges, e)
+	t.Cost += g.EdgeCost(a, b)
+	t.vertexSet[a] = struct{}{}
+	t.vertexSet[b] = struct{}{}
+}
+
+// addPath inserts every edge along the path (a vertex sequence); edges
+// already present are skipped, so a path may legally end on any tree
+// vertex. It returns the vertices that were new to the tree.
+func (t *Tree) addPath(g *grid.Graph, path []grid.VertexID) []grid.VertexID {
+	var added []grid.VertexID
+	for _, v := range path {
+		if _, ok := t.vertexSet[v]; !ok {
+			added = append(added, v)
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		t.addEdge(g, path[i], path[i+1])
+	}
+	return added
+}
+
+// Degrees returns the degree of every tree vertex.
+func (t *Tree) Degrees() map[grid.VertexID]int {
+	deg := make(map[grid.VertexID]int, len(t.vertexSet))
+	for _, e := range t.Edges {
+		deg[e.A]++
+		deg[e.B]++
+	}
+	if _, ok := deg[t.Root]; !ok {
+		deg[t.Root] = 0
+	}
+	return deg
+}
+
+// Validate checks the structural invariants a routed tree must satisfy:
+// every terminal is spanned, the edge set is connected and acyclic, no edge
+// uses a blocked vertex or blocked edge, and Cost equals the sum of edge
+// costs. It returns the first violation found.
+func (t *Tree) Validate(g *grid.Graph, terminals []grid.VertexID) error {
+	for _, term := range terminals {
+		if !t.Contains(term) {
+			return fmt.Errorf("route: terminal %v not spanned", g.CoordOf(term))
+		}
+	}
+	// Acyclic + connected: |E| == |V| - 1 and a BFS from Root reaches all.
+	if len(t.Edges) != len(t.vertexSet)-1 {
+		return fmt.Errorf("route: tree has %d edges for %d vertices (cycle or forest)",
+			len(t.Edges), len(t.vertexSet))
+	}
+	adj := make(map[grid.VertexID][]grid.VertexID, len(t.vertexSet))
+	var cost float64
+	for _, e := range t.Edges {
+		ca, cb := g.CoordOf(e.A), g.CoordOf(e.B)
+		switch {
+		case ca.V == cb.V && ca.M == cb.M && cb.H-ca.H == 1:
+			if g.EdgeXBlocked(ca.H, ca.V, ca.M) {
+				return fmt.Errorf("route: edge %v-%v is blocked", ca, cb)
+			}
+		case ca.H == cb.H && ca.M == cb.M && cb.V-ca.V == 1:
+			if g.EdgeYBlocked(ca.H, ca.V, ca.M) {
+				return fmt.Errorf("route: edge %v-%v is blocked", ca, cb)
+			}
+		case ca.H == cb.H && ca.V == cb.V && cb.M-ca.M == 1:
+			if g.EdgeZBlocked(ca.H, ca.V, ca.M) {
+				return fmt.Errorf("route: via %v-%v is blocked", ca, cb)
+			}
+		default:
+			return fmt.Errorf("route: edge %v-%v joins non-adjacent vertices", ca, cb)
+		}
+		cost += g.EdgeCost(e.A, e.B)
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	if diff := cost - t.Cost; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("route: recorded cost %v != edge sum %v", t.Cost, cost)
+	}
+	reached := map[grid.VertexID]bool{t.Root: true}
+	queue := []grid.VertexID{t.Root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !reached[w] {
+				reached[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(reached) != len(t.vertexSet) {
+		return fmt.Errorf("route: tree is disconnected (%d of %d reachable)",
+			len(reached), len(t.vertexSet))
+	}
+	return nil
+}
+
+// WirelengthByAxis decomposes the tree cost into horizontal, vertical and
+// via components; useful for reporting and tests.
+func (t *Tree) WirelengthByAxis(g *grid.Graph) (hor, ver, via float64) {
+	for _, e := range t.Edges {
+		ca, cb := g.CoordOf(e.A), g.CoordOf(e.B)
+		c := g.EdgeCost(e.A, e.B)
+		switch {
+		case ca.V == cb.V && ca.M == cb.M:
+			hor += c
+		case ca.H == cb.H && ca.M == cb.M:
+			ver += c
+		default:
+			via += c
+		}
+	}
+	return hor, ver, via
+}

@@ -1,0 +1,227 @@
+// Package selector implements the Steiner-point selector of the paper: the
+// 7-channel Hanan-graph feature encoding (Fig 3) and the arbitrary-size
+// 3-D residual U-Net agent (Fig 4) whose single inference yields the final
+// selected probability (fsp) of every vertex. It also exposes the
+// sequential softmax-policy view of the same network that the AlphaGo-like
+// and PPO baseline routers use (paper §4.2).
+package selector
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/tensor"
+)
+
+// NumFeatures is the number of input feature planes of the encoding:
+// pin, obstacle, right/left/up/down edge cost, via cost (paper Fig 3).
+const NumFeatures = 7
+
+// Selector wraps the U-Net agent.
+type Selector struct {
+	Net *nn.UNet3D
+}
+
+// New wraps an existing network.
+func New(net *nn.UNet3D) *Selector { return &Selector{Net: net} }
+
+// NewRandom creates a selector with freshly initialised weights.
+func NewRandom(r *rand.Rand, cfg nn.UNetConfig) (*Selector, error) {
+	if cfg.InChannels != NumFeatures {
+		return nil, fmt.Errorf("selector: config wants %d input channels, encoding has %d",
+			cfg.InChannels, NumFeatures)
+	}
+	net, err := nn.NewUNet3D(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{Net: net}, nil
+}
+
+// Encode builds the [7, H, V, M] feature volume of a state: the layout's
+// grid graph with the given pins, where previously selected Steiner points
+// are passed as additional pins (paper §3.4 treats them as normal pins).
+// The five cost features are normalised by the maximum cost in the layout
+// so each lies in (0, 1]; absent neighbours (grid border) encode cost 0.
+func Encode(g *grid.Graph, pins []grid.VertexID) *tensor.Tensor {
+	x := tensor.New(NumFeatures, g.H, g.V, g.M)
+	plane := g.H * g.V * g.M
+	norm := g.MaxEdgeCost()
+	if norm <= 0 {
+		norm = 1
+	}
+
+	for _, p := range pins {
+		x.Data[0*plane+int(p)] = 1
+	}
+	viaFeat := g.ViaCost / norm
+	scaleAt := func(s []float64, m int) float64 {
+		if s == nil {
+			return 1
+		}
+		return s[m]
+	}
+	idx := 0
+	for h := 0; h < g.H; h++ {
+		var right, left float64
+		if h < g.H-1 {
+			right = g.DX[h] / norm
+		}
+		if h > 0 {
+			left = g.DX[h-1] / norm
+		}
+		for v := 0; v < g.V; v++ {
+			var up, down float64
+			if v < g.V-1 {
+				up = g.DY[v] / norm
+			}
+			if v > 0 {
+				down = g.DY[v-1] / norm
+			}
+			for m := 0; m < g.M; m++ {
+				hs, vs := scaleAt(g.HScale, m), scaleAt(g.VScale, m)
+				if g.Blocked(grid.VertexID(idx)) {
+					x.Data[1*plane+idx] = 1
+				}
+				x.Data[2*plane+idx] = right * hs
+				x.Data[3*plane+idx] = left * hs
+				x.Data[4*plane+idx] = up * vs
+				x.Data[5*plane+idx] = down * vs
+				x.Data[6*plane+idx] = viaFeat
+				idx++
+			}
+		}
+	}
+	return x
+}
+
+// Logits runs one network inference and returns the raw per-vertex logits
+// as a flat slice indexed by VertexID.
+func (s *Selector) Logits(g *grid.Graph, pins []grid.VertexID) []float64 {
+	out := s.Net.Forward(Encode(g, pins))
+	return out.Data
+}
+
+// FSP runs one network inference and returns the final selected
+// probability of every vertex (sigmoid of the logits), indexed by
+// VertexID. This is the fsp(v) of paper Fig 5.
+func (s *Selector) FSP(g *grid.Graph, pins []grid.VertexID) []float64 {
+	logits := s.Logits(g, pins)
+	out := make([]float64, len(logits))
+	for i, z := range logits {
+		out[i] = nn.Sigmoid(z)
+	}
+	return out
+}
+
+// ValidMask returns, for each vertex, whether it may host a Steiner point:
+// not blocked, not an existing pin (paper §3.4's validity rule without the
+// priority constraint, which is state-dependent), and reachable from the
+// pins. The reachability condition matters on obstacle-heavy layouts:
+// obstacles can seal off pockets of free vertices, and a Steiner point
+// inside a pocket could never join the routing tree.
+func ValidMask(g *grid.Graph, pins []grid.VertexID) []bool {
+	mask := make([]bool, g.NumVertices())
+	if len(pins) == 0 {
+		for i := range mask {
+			mask[i] = !g.Blocked(grid.VertexID(i))
+		}
+		return mask
+	}
+	// BFS over free vertices from the first pin; pins are assumed to be
+	// mutually routable (the routers verify this before selection).
+	if g.Blocked(pins[0]) {
+		return mask
+	}
+	queue := []grid.VertexID{pins[0]}
+	mask[pins[0]] = true
+	var buf []grid.Neighbor
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.Neighbors(v, buf[:0])
+		for _, nb := range buf {
+			if !mask[nb.ID] {
+				mask[nb.ID] = true
+				queue = append(queue, nb.ID)
+			}
+		}
+	}
+	for _, p := range pins {
+		mask[p] = false
+	}
+	return mask
+}
+
+// TopK returns the k valid vertices with the highest scores, in descending
+// score order with ties broken on smaller VertexID. Fewer than k vertices
+// are returned when fewer are valid.
+func TopK(scores []float64, mask []bool, k int) []grid.VertexID {
+	type cand struct {
+		id    grid.VertexID
+		score float64
+	}
+	cands := make([]cand, 0, len(scores))
+	for i, sc := range scores {
+		if mask[i] {
+			cands = append(cands, cand{grid.VertexID(i), sc})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]grid.VertexID, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+// SelectSteinerPoints performs the paper's one-inference selection (§3.1):
+// run the network once and return the valid vertices with the top n-2
+// highest probabilities, where n is the pin count.
+func (s *Selector) SelectSteinerPoints(g *grid.Graph, pins []grid.VertexID) []grid.VertexID {
+	k := len(pins) - 2
+	if k <= 0 {
+		return nil
+	}
+	fsp := s.FSP(g, pins)
+	return TopK(fsp, ValidMask(g, pins), k)
+}
+
+// PolicySoftmax returns the sequential next-Steiner-point policy used by
+// the AlphaGo-like and PPO baselines: a masked softmax of the logits over
+// the valid vertices.
+func (s *Selector) PolicySoftmax(g *grid.Graph, pins []grid.VertexID) []float64 {
+	logits := s.Logits(g, pins)
+	return nn.MaskedSoftmax(logits, ValidMask(g, pins))
+}
+
+// Save writes the selector's network to w.
+func (s *Selector) Save(w io.Writer) error { return s.Net.Save(w) }
+
+// Load reads a selector saved with Save.
+func Load(r io.Reader) (*Selector, error) {
+	net, err := nn.LoadUNet3D(r)
+	if err != nil {
+		return nil, err
+	}
+	if net.Config.InChannels != NumFeatures {
+		return nil, fmt.Errorf("selector: model has %d input channels, want %d",
+			net.Config.InChannels, NumFeatures)
+	}
+	return &Selector{Net: net}, nil
+}

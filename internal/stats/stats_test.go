@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample std of 1..5 = sqrt(10/4).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	// Even-length median.
+	if m := Summarize([]float64{1, 2, 3, 4}).Median; m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	z := Summarize(nil)
+	if z.N != 0 || z.Mean != 0 || z.CI95() != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Std != 0 || one.CI95() != 0 || one.Median != 7 {
+		t.Errorf("single summary = %+v", one)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Summarize([]float64{0, 1, 0, 1})
+	var many []float64
+	for i := 0; i < 400; i++ {
+		many = append(many, float64(i%2))
+	}
+	big := Summarize(many)
+	if big.CI95() >= small.CI95() {
+		t.Errorf("CI should shrink with n: %v vs %v", big.CI95(), small.CI95())
+	}
+}
+
+func TestRate(t *testing.T) {
+	r := Rate{Hits: 3, N: 4}
+	if r.Value() != 0.75 {
+		t.Errorf("rate = %v", r.Value())
+	}
+	if (Rate{}).Value() != 0 || (Rate{}).CI95() != 0 {
+		t.Error("empty rate should be zero")
+	}
+	if ci := r.CI95(); ci <= 0 || ci > 1 {
+		t.Errorf("rate CI = %v", ci)
+	}
+	// Degenerate rate has zero width.
+	if (Rate{Hits: 5, N: 5}).CI95() != 0 {
+		t.Error("p=1 CI should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Errorf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	if GeoMean([]float64{2, 0}) != 0 {
+		t.Error("non-positive input should yield 0")
+	}
+	// Geometric mean <= arithmetic mean.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	if GeoMean(xs) > Summarize(xs).Mean {
+		t.Error("AM-GM violated")
+	}
+}
+
+func TestSpeedupFormat(t *testing.T) {
+	if s := Speedup(10, 2); s != "5.0x" {
+		t.Errorf("speedup = %q", s)
+	}
+	if s := Speedup(10, 0); s != "n/a" {
+		t.Errorf("zero denominator = %q", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty string")
+	}
+}

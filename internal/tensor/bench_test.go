@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchConvInput(c, h, v, m int) (*Tensor, *Tensor, *Tensor) {
+	r := rand.New(rand.NewSource(1))
+	x := New(c, h, v, m)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	w := New(c, c, 3, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat64()
+	}
+	b := New(c)
+	return x, w, b
+}
+
+func BenchmarkConv3DForward16(b *testing.B) {
+	x, w, bias := benchConvInput(8, 16, 16, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv3D(x, w, bias)
+	}
+}
+
+func BenchmarkConv3DForward32(b *testing.B) {
+	x, w, bias := benchConvInput(8, 32, 32, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv3D(x, w, bias)
+	}
+}
+
+func BenchmarkConv3DBackward16(b *testing.B) {
+	x, w, bias := benchConvInput(8, 16, 16, 4)
+	out := Conv3D(x, w, bias)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv3DBackward(x, w, out)
+	}
+}
+
+func BenchmarkAvgPool2(b *testing.B) {
+	x, _, _ := benchConvInput(8, 32, 32, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AvgPool2(x)
+	}
+}
+
+func BenchmarkUpsampleNearest(b *testing.B) {
+	x, _, _ := benchConvInput(8, 16, 16, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UpsampleNearest(x, 32, 32, 4)
+	}
+}

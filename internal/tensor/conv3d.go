@@ -1,0 +1,390 @@
+package tensor
+
+import "fmt"
+
+// Conv3D computes a "same" 3-D convolution. x has shape [InC, H, V, M],
+// w has shape [OutC, InC, K, K, K] with K odd, b has shape [OutC] (or is
+// nil for no bias). The result has shape [OutC, H, V, M]; the input is
+// implicitly zero-padded by K/2 on every side.
+//
+// The implementation is a direct convolution with the contiguous M axis in
+// the inner loop, which is the sweet spot for the small channel counts the
+// selector uses.
+func Conv3D(x, w, b *Tensor) *Tensor {
+	inC, h, v, m := convDims(x)
+	outC, k := convKernelDims(w, inC)
+	if b != nil && (b.Rank() != 1 || b.Dim(0) != outC) {
+		panic(fmt.Sprintf("tensor: bias shape %v for %d output channels", b.Shape, outC))
+	}
+	p := k / 2
+	out := New(outC, h, v, m)
+
+	planeIn := h * v * m
+	planeOut := h * v * m
+	rowLen := m
+	for oc := 0; oc < outC; oc++ {
+		outBase := oc * planeOut
+		if b != nil {
+			bias := b.Data[oc]
+			for i := outBase; i < outBase+planeOut; i++ {
+				out.Data[i] = bias
+			}
+		}
+		for ic := 0; ic < inC; ic++ {
+			inBase := ic * planeIn
+			for kh := 0; kh < k; kh++ {
+				dh := kh - p
+				h0, h1 := clipRange(dh, h)
+				if k == 3 {
+					// Fast path for the ubiquitous 3x3x3 kernel: each
+					// (kv, km) tap is one long axpy over the contiguous
+					// V*M plane of a layer-column slab, followed by a
+					// cheap fix-up of the M-boundary elements that the
+					// flat shift contaminated across row ends.
+					wbase := (((oc*inC+ic)*k + kh) * k) * k
+					for hh := h0; hh < h1; hh++ {
+						src := x.Data[inBase+(hh+dh)*v*rowLen : inBase+(hh+dh+1)*v*rowLen]
+						dst := out.Data[outBase+hh*v*rowLen : outBase+(hh+1)*v*rowLen]
+						convPlane3(dst, src, w.Data[wbase:wbase+9], v, rowLen)
+					}
+					continue
+				}
+				for kv := 0; kv < k; kv++ {
+					dv := kv - p
+					v0, v1 := clipRange(dv, v)
+					for km := 0; km < k; km++ {
+						dm := km - p
+						m0, m1 := clipRange(dm, m)
+						wv := w.Data[(((oc*inC+ic)*k+kh)*k+kv)*k+km]
+						if wv == 0 || m0 >= m1 {
+							continue
+						}
+						for hh := h0; hh < h1; hh++ {
+							srcRowBase := inBase + ((hh+dh)*v)*rowLen
+							dstRowBase := outBase + (hh*v)*rowLen
+							for vv := v0; vv < v1; vv++ {
+								src := srcRowBase + (vv+dv)*rowLen + dm
+								dst := dstRowBase + vv*rowLen
+								xs := x.Data[src+m0 : src+m1]
+								os := out.Data[dst+m0 : dst+m1]
+								for i, xv := range xs {
+									os[i] += wv * xv
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// convPlane3 accumulates the 3x3 (kv, km) taps of one kernel slice into a
+// contiguous [V x M] destination plane. ws holds the 9 tap weights in
+// (kv, km) row-major order. Each tap is a single flat axpy over the plane
+// with offset dv*M+dm; the flat shift wrongly carries values across M-row
+// ends when dm != 0, so those boundary elements are corrected afterwards
+// (zero padding means the correct contribution there is none).
+func convPlane3(dst, src []float64, ws []float64, v, m int) {
+	vm := v * m
+	for kv := 0; kv < 3; kv++ {
+		dv := kv - 1
+		rowOff := dv * m
+		w0, w1, w2 := ws[kv*3], ws[kv*3+1], ws[kv*3+2]
+
+		// Output span where the source row (pos+rowOff) exists.
+		lo, hi := 0, vm
+		if rowOff > 0 {
+			hi = vm - rowOff
+		} else if rowOff < 0 {
+			lo = -rowOff
+		}
+		if lo >= hi {
+			continue
+		}
+		// Interior positions additionally need pos+rowOff-1 and
+		// pos+rowOff+1 in bounds; the at most two clipped end positions
+		// get the middle tap only (their side taps are fixed up below
+		// together with the M-boundary corrections, or are padding).
+		iLo, iHi := lo, hi
+		if iLo+rowOff-1 < 0 {
+			dst[iLo] += w1 * src[iLo+rowOff]
+			if iLo+rowOff+1 < vm {
+				dst[iLo] += w2 * src[iLo+rowOff+1]
+			}
+			iLo++
+		}
+		if iHi-1+rowOff+1 > vm-1 && iHi > iLo {
+			p := iHi - 1
+			dst[p] += w1 * src[p+rowOff]
+			if p+rowOff-1 >= 0 {
+				dst[p] += w0 * src[p+rowOff-1]
+			}
+			iHi--
+		}
+		if iLo < iHi {
+			ds := dst[iLo:iHi]
+			s0 := src[iLo+rowOff-1 : iHi+rowOff-1]
+			s1 := src[iLo+rowOff : iHi+rowOff]
+			s2 := src[iLo+rowOff+1 : iHi+rowOff+1]
+			for i := range ds {
+				ds[i] += w0*s0[i] + w1*s1[i] + w2*s2[i]
+			}
+		}
+		// Fix up the M-row boundary contamination of the side taps: an
+		// output at m == 0 must not receive the w0 tap (its true source
+		// is padding), and an output at m == M-1 must not receive w2.
+		if w0 != 0 {
+			for pos := ((lo + m - 1) / m) * m; pos < hi; pos += m {
+				if pos+rowOff-1 >= 0 {
+					dst[pos] -= w0 * src[pos+rowOff-1]
+				}
+			}
+		}
+		if w2 != 0 {
+			start := (lo/m)*m + m - 1
+			if start < lo {
+				start += m
+			}
+			for pos := start; pos < hi; pos += m {
+				if pos+rowOff+1 < vm {
+					dst[pos] -= w2 * src[pos+rowOff+1]
+				}
+			}
+		}
+	}
+}
+
+// Conv3DBackward computes the gradients of a Conv3D call: gradX wrt the
+// input, gradW wrt the kernel and gradB wrt the bias, given gradOut, the
+// gradient wrt the output.
+func Conv3DBackward(x, w, gradOut *Tensor) (gradX, gradW, gradB *Tensor) {
+	inC, h, v, m := convDims(x)
+	outC, k := convKernelDims(w, inC)
+	if gradOut.Rank() != 4 || gradOut.Dim(0) != outC || gradOut.Dim(1) != h ||
+		gradOut.Dim(2) != v || gradOut.Dim(3) != m {
+		panic(fmt.Sprintf("tensor: gradOut shape %v for input %v", gradOut.Shape, x.Shape))
+	}
+	p := k / 2
+	gradX = New(inC, h, v, m)
+	gradW = New(outC, inC, k, k, k)
+	gradB = New(outC)
+
+	plane := h * v * m
+	rowLen := m
+	for oc := 0; oc < outC; oc++ {
+		goBase := oc * plane
+		sum := 0.0
+		for i := goBase; i < goBase+plane; i++ {
+			sum += gradOut.Data[i]
+		}
+		gradB.Data[oc] = sum
+
+		for ic := 0; ic < inC; ic++ {
+			inBase := ic * plane
+			for kh := 0; kh < k; kh++ {
+				dh := kh - p
+				h0, h1 := clipRange(dh, h)
+				for kv := 0; kv < k; kv++ {
+					dv := kv - p
+					v0, v1 := clipRange(dv, v)
+					for km := 0; km < k; km++ {
+						dm := km - p
+						m0, m1 := clipRange(dm, m)
+						if m0 >= m1 {
+							continue
+						}
+						widx := (((oc*inC+ic)*k+kh)*k+kv)*k + km
+						wv := w.Data[widx]
+						wacc := 0.0
+						for hh := h0; hh < h1; hh++ {
+							srcRowBase := inBase + ((hh+dh)*v)*rowLen
+							dstRowBase := goBase + (hh*v)*rowLen
+							for vv := v0; vv < v1; vv++ {
+								src := srcRowBase + (vv+dv)*rowLen + dm
+								dst := dstRowBase + vv*rowLen
+								xs := x.Data[src+m0 : src+m1]
+								gs := gradOut.Data[dst+m0 : dst+m1]
+								gxs := gradX.Data[src+m0 : src+m1]
+								for i, gv := range gs {
+									wacc += xs[i] * gv
+									gxs[i] += wv * gv
+								}
+							}
+						}
+						gradW.Data[widx] = wacc
+					}
+				}
+			}
+		}
+	}
+	return gradX, gradW, gradB
+}
+
+func convDims(x *Tensor) (c, h, v, m int) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: conv input rank %d, want 4 [C,H,V,M]", x.Rank()))
+	}
+	return x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+}
+
+func convKernelDims(w *Tensor, inC int) (outC, k int) {
+	if w.Rank() != 5 {
+		panic(fmt.Sprintf("tensor: kernel rank %d, want 5 [OutC,InC,K,K,K]", w.Rank()))
+	}
+	if w.Dim(1) != inC {
+		panic(fmt.Sprintf("tensor: kernel expects %d input channels, input has %d", w.Dim(1), inC))
+	}
+	k = w.Dim(2)
+	if w.Dim(3) != k || w.Dim(4) != k || k%2 == 0 {
+		panic(fmt.Sprintf("tensor: kernel dims %v, want odd cubic", w.Shape))
+	}
+	return w.Dim(0), k
+}
+
+// clipRange returns the output index range [lo, hi) for which out+d is a
+// valid input index in [0, n).
+func clipRange(d, n int) (lo, hi int) {
+	lo, hi = 0, n
+	if d < 0 {
+		lo = -d
+	}
+	if d > 0 {
+		hi = n - d
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// AvgPool2 downsamples [C, H, V, M] by a factor of 2 in each spatial
+// dimension with ceil semantics: output dims are ceil(d/2) and border
+// cells average only the inputs they cover.
+func AvgPool2(x *Tensor) *Tensor {
+	c, h, v, m := convDims(x)
+	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
+	out := New(c, oh, ov, om)
+	for cc := 0; cc < c; cc++ {
+		for hh := 0; hh < oh; hh++ {
+			for vv := 0; vv < ov; vv++ {
+				for mm := 0; mm < om; mm++ {
+					sum, cnt := 0.0, 0
+					for dh := 0; dh < 2 && 2*hh+dh < h; dh++ {
+						for dv := 0; dv < 2 && 2*vv+dv < v; dv++ {
+							for dm := 0; dm < 2 && 2*mm+dm < m; dm++ {
+								sum += x.At(cc, 2*hh+dh, 2*vv+dv, 2*mm+dm)
+								cnt++
+							}
+						}
+					}
+					out.Set(sum/float64(cnt), cc, hh, vv, mm)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2Backward distributes gradOut of an AvgPool2 call back onto the
+// input shape.
+func AvgPool2Backward(inShape []int, gradOut *Tensor) *Tensor {
+	c, h, v, m := inShape[0], inShape[1], inShape[2], inShape[3]
+	gx := New(c, h, v, m)
+	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
+	for cc := 0; cc < c; cc++ {
+		for hh := 0; hh < oh; hh++ {
+			for vv := 0; vv < ov; vv++ {
+				for mm := 0; mm < om; mm++ {
+					cnt := 0
+					for dh := 0; dh < 2 && 2*hh+dh < h; dh++ {
+						for dv := 0; dv < 2 && 2*vv+dv < v; dv++ {
+							for dm := 0; dm < 2 && 2*mm+dm < m; dm++ {
+								cnt++
+							}
+						}
+					}
+					g := gradOut.At(cc, hh, vv, mm) / float64(cnt)
+					for dh := 0; dh < 2 && 2*hh+dh < h; dh++ {
+						for dv := 0; dv < 2 && 2*vv+dv < v; dv++ {
+							for dm := 0; dm < 2 && 2*mm+dm < m; dm++ {
+								gx.Data[((cc*h+2*hh+dh)*v+2*vv+dv)*m+2*mm+dm] += g
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// UpsampleNearest resizes [C, h, v, m] to [C, H, V, M] by nearest-neighbour
+// sampling (source index = floor(out * src / dst)). It is the exact inverse
+// pairing of AvgPool2's ceil-mode dims, so U-Net skip connections always
+// line up regardless of odd input sizes.
+func UpsampleNearest(x *Tensor, h, v, m int) *Tensor {
+	c, sh, sv, sm := convDims(x)
+	out := New(c, h, v, m)
+	for cc := 0; cc < c; cc++ {
+		for hh := 0; hh < h; hh++ {
+			shh := hh * sh / h
+			for vv := 0; vv < v; vv++ {
+				svv := vv * sv / v
+				for mm := 0; mm < m; mm++ {
+					smm := mm * sm / m
+					out.Data[((cc*h+hh)*v+vv)*m+mm] = x.Data[((cc*sh+shh)*sv+svv)*sm+smm]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UpsampleNearestBackward accumulates gradOut of an UpsampleNearest call
+// back onto the source shape.
+func UpsampleNearestBackward(inShape []int, gradOut *Tensor) *Tensor {
+	c, sh, sv, sm := inShape[0], inShape[1], inShape[2], inShape[3]
+	_, h, v, m := convDims(gradOut)
+	gx := New(c, sh, sv, sm)
+	for cc := 0; cc < c; cc++ {
+		for hh := 0; hh < h; hh++ {
+			shh := hh * sh / h
+			for vv := 0; vv < v; vv++ {
+				svv := vv * sv / v
+				for mm := 0; mm < m; mm++ {
+					smm := mm * sm / m
+					gx.Data[((cc*sh+shh)*sv+svv)*sm+smm] += gradOut.Data[((cc*h+hh)*v+vv)*m+mm]
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// ConcatC concatenates two [C,H,V,M] tensors along the channel dimension;
+// spatial dims must match.
+func ConcatC(a, b *Tensor) *Tensor {
+	ca, h, v, m := convDims(a)
+	cb, h2, v2, m2 := convDims(b)
+	if h != h2 || v != v2 || m != m2 {
+		panic(fmt.Sprintf("tensor: ConcatC spatial mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(ca+cb, h, v, m)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// SplitC splits the channel-dimension gradient of a ConcatC call back into
+// the two operands' gradients, the first having ca channels.
+func SplitC(gradOut *Tensor, ca int) (ga, gb *Tensor) {
+	c, h, v, m := convDims(gradOut)
+	if ca <= 0 || ca >= c {
+		panic(fmt.Sprintf("tensor: SplitC at %d of %d channels", ca, c))
+	}
+	ga = FromSlice(append([]float64(nil), gradOut.Data[:ca*h*v*m]...), ca, h, v, m)
+	gb = FromSlice(append([]float64(nil), gradOut.Data[ca*h*v*m:]...), c-ca, h, v, m)
+	return ga, gb
+}

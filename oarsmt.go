@@ -1,0 +1,253 @@
+// Package oarsmt is the public API of this repository: a multi-layer
+// obstacle-avoiding rectilinear Steiner minimum tree (ML-OARSMT) router
+// whose Steiner-point selector is a 3-D residual U-Net trained with
+// combinatorial Monte-Carlo tree search, reproducing Chen et al.,
+// "Arbitrary-size Multi-layer OARSMT RL Router Trained with Combinatorial
+// Monte-Carlo Tree Search" (DAC 2024).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - problem modelling: Layout / Instance / Graph (Hanan grid graphs),
+//   - routing: Router (the RL router), the algorithmic baselines, and the
+//     plain OARMST builder,
+//   - learning: training a selector with the combinatorial-MCTS pipeline
+//     and saving/loading trained models,
+//   - workloads: the paper's random-layout and public-benchmark
+//     generators.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the system inventory.
+package oarsmt
+
+import (
+	"io"
+	"math/rand"
+	"os"
+
+	"oarsmt/internal/baseline"
+	"oarsmt/internal/core"
+	"oarsmt/internal/geom"
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+	"oarsmt/internal/models"
+	"oarsmt/internal/multinet"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/render"
+	"oarsmt/internal/rl"
+	"oarsmt/internal/route"
+	"oarsmt/internal/selector"
+)
+
+// Core problem types.
+type (
+	// Point is a pin location in original layout coordinates.
+	Point = geom.Point
+	// Rect is a rectangular obstacle in original layout coordinates.
+	Rect = geom.Rect
+	// Layout is a geometric ML-OARSMT problem.
+	Layout = layout.Layout
+	// Instance is a grid-form problem: a Hanan grid graph plus pins.
+	Instance = layout.Instance
+	// Graph is a 3-D Hanan grid graph.
+	Graph = grid.Graph
+	// VertexID indexes a grid vertex.
+	VertexID = grid.VertexID
+	// Tree is a routed rectilinear Steiner tree.
+	Tree = route.Tree
+	// RouteResult is the outcome of routing one instance.
+	RouteResult = core.Result
+	// Router is the RL router (selector + OARMST construction).
+	Router = core.Router
+	// Selector is the trained Steiner-point selector.
+	Selector = selector.Selector
+	// RandomSpec parameterises random layout generation.
+	RandomSpec = layout.RandomSpec
+	// TrainConfig parameterises combinatorial-MCTS training.
+	TrainConfig = rl.Config
+	// MCTSConfig parameterises one combinatorial-MCTS episode.
+	MCTSConfig = mcts.Config
+	// UNetConfig parameterises the selector's network architecture.
+	UNetConfig = nn.UNetConfig
+)
+
+// InferenceMode selects one-shot (the paper's router) or sequential
+// (baseline-style) Steiner-point proposal.
+type InferenceMode = core.InferenceMode
+
+// Inference modes.
+const (
+	// OneShot selects all Steiner points with a single network inference.
+	OneShot = core.OneShot
+	// Sequential re-runs the network after every selected point.
+	Sequential = core.Sequential
+)
+
+// NewRouter returns the paper's router around a trained selector: one-shot
+// inference with guarded acceptance.
+func NewRouter(sel *Selector) *Router { return core.NewRouter(sel) }
+
+// NewSelector creates an untrained selector with the given architecture
+// and initialisation seed.
+func NewSelector(seed int64, cfg UNetConfig) (*Selector, error) {
+	return selector.NewRandom(rand.New(rand.NewSource(seed)), cfg)
+}
+
+// DefaultUNetConfig returns the compact CPU-friendly selector architecture
+// used by this repository's tooling.
+func DefaultUNetConfig() UNetConfig {
+	cfg := nn.DefaultUNetConfig()
+	cfg.InChannels = selector.NumFeatures
+	return cfg
+}
+
+// Train runs `stages` stages of the combinatorial-MCTS training pipeline
+// (sample generation, 16x augmentation, mixed-size same-size-batch
+// fitting) on the selector in place.
+func Train(sel *Selector, cfg TrainConfig, stages int) error {
+	tr := rl.NewTrainer(sel, cfg)
+	for i := 0; i < stages; i++ {
+		if _, err := tr.RunStage(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveModel writes a trained selector to a file.
+func SaveModel(sel *Selector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sel.Save(f)
+}
+
+// LoadModel reads a selector saved with SaveModel.
+func LoadModel(path string) (*Selector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return selector.Load(f)
+}
+
+// ReadModel reads a selector from a stream.
+func ReadModel(r io.Reader) (*Selector, error) { return selector.Load(r) }
+
+// PretrainedSelector returns a private copy of the selector shipped with
+// the repository (trained at CPU scale with the combinatorial-MCTS
+// pipeline; see internal/models).
+func PretrainedSelector() (*Selector, error) { return models.New() }
+
+// RandomInstance generates a random routable grid-form layout.
+func RandomInstance(seed int64, spec RandomSpec) (*Instance, error) {
+	return layout.Random(rand.New(rand.NewSource(seed)), spec)
+}
+
+// Benchmark generates the synthetic equivalent of one of the paper's
+// Table 4 public benchmarks (rt1..rt5, ind1..ind3).
+func Benchmark(name string) (*Instance, error) {
+	spec, ok := layout.BenchmarkByName(name)
+	if !ok {
+		return nil, &UnknownBenchmarkError{Name: name}
+	}
+	return spec.Generate()
+}
+
+// UnknownBenchmarkError reports a benchmark name outside Table 4.
+type UnknownBenchmarkError struct{ Name string }
+
+func (e *UnknownBenchmarkError) Error() string {
+	return "oarsmt: unknown benchmark " + e.Name
+}
+
+// DecodeInstance reads a layout (geometric or grid form) from JSON.
+func DecodeInstance(r io.Reader) (*Instance, error) { return layout.Decode(r) }
+
+// EncodeInstance writes a grid-form instance as JSON.
+func EncodeInstance(w io.Writer, in *Instance) error { return layout.EncodeInstance(w, in) }
+
+// PlainOARMST routes an instance with no Steiner points: the spanning-tree
+// baseline of the ST-to-MST metric.
+func PlainOARMST(in *Instance) (*Tree, error) { return core.PlainOARMST(in) }
+
+// BaselineAlgorithm identifies one of the reproduced algorithmic routers.
+type BaselineAlgorithm = baseline.Algorithm
+
+// Algorithmic baselines of the paper's comparison (see
+// internal/baseline).
+const (
+	Lin08 = baseline.Lin08 // spanning-graph router of [12]
+	Liu14 = baseline.Liu14 // geometric-reduction router of [16]
+	Lin18 = baseline.Lin18 // bounded maze routing + retracing of [14]
+)
+
+// RouteBaseline routes an instance with one of the algorithmic baselines
+// and returns its tree.
+func RouteBaseline(alg BaselineAlgorithm, in *Instance) (*Tree, error) {
+	res, err := baseline.New(alg).Route(in)
+	if err != nil {
+		return nil, err
+	}
+	return res.Tree, nil
+}
+
+// SearchEpisode runs one combinatorial-MCTS episode on the instance and
+// returns the training sample label and episode statistics; this is the
+// building block of the training pipeline, exposed for experimentation.
+func SearchEpisode(sel *Selector, in *Instance, cfg MCTSConfig) (*mcts.Result, error) {
+	return mcts.Search(sel, in, cfg)
+}
+
+// Multi-net routing (an extension beyond the paper; see
+// internal/multinet): route several nets on one layout with committed
+// wires acting as obstacles and rip-up-and-reroute negotiation.
+type (
+	// Net is one net of a multi-net problem.
+	Net = multinet.Net
+	// MultiNetConfig parameterises the negotiation loop.
+	MultiNetConfig = multinet.Config
+	// MultiNetResult is the outcome of a multi-net run.
+	MultiNetResult = multinet.Result
+)
+
+// RouteNets routes all nets on the graph with the RL router (or the plain
+// OARMST when sel is nil) as the single-net engine.
+func RouteNets(g *Graph, nets []Net, sel *Selector, cfg MultiNetConfig) (*MultiNetResult, error) {
+	engine := multinet.RouterFunc(func(in *Instance) (*route.Tree, error) {
+		if sel == nil || in.NumPins() < 3 {
+			return route.NewRouter(in.Graph).OARMST(in.Pins)
+		}
+		res, err := core.NewRouter(sel).Route(in)
+		if err != nil {
+			return nil, err
+		}
+		return res.Tree, nil
+	})
+	return multinet.Route(g, nets, engine, cfg)
+}
+
+// ValidateNets checks a multi-net result against the base graph.
+func ValidateNets(g *Graph, nets []Net, res *MultiNetResult) error {
+	return multinet.Validate(g, nets, res)
+}
+
+// WriteSVG draws the instance and (optionally nil) routed tree as an SVG
+// with one panel per routing layer.
+func WriteSVG(w io.Writer, in *Instance, tree *Tree) error {
+	return render.SVG(w, in, tree, render.DefaultSVGConfig())
+}
+
+// WriteSVGMulti draws several routed trees (e.g. a multi-net result) on
+// one instance, one colour per tree.
+func WriteSVGMulti(w io.Writer, in *Instance, trees []*Tree) error {
+	return render.SVGMulti(w, in, trees, render.DefaultSVGConfig())
+}
+
+// ASCIIArt renders the instance and (optionally nil) tree as text, one
+// block per layer: P pins, S Steiner points, # obstacles, + wires, * via
+// endpoints.
+func ASCIIArt(in *Instance, tree *Tree) string { return render.ASCII(in, tree) }

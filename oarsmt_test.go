@@ -1,0 +1,242 @@
+package oarsmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sel, err := NewSelector(1, UNetConfig{InChannels: 7, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := RandomInstance(2, RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2, MinPins: 5, MaxPins: 5, MinObstacles: 5, MaxObstacles: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(sel)
+	res, err := r.Route(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := PlainOARMST(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Cost > plain.Cost {
+		t.Error("guarded router must not exceed the plain OARMST")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	in, err := RandomInstance(3, RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2, MinPins: 4, MaxPins: 4, MinObstacles: 4, MaxObstacles: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []BaselineAlgorithm{Lin08, Liu14, Lin18} {
+		tree, err := RouteBaseline(alg, in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := tree.Validate(in.Graph, in.Pins); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestPublicAPIModelRoundTrip(t *testing.T) {
+	sel, err := NewSelector(4, UNetConfig{InChannels: 7, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveModel(sel, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Net.Config != sel.Net.Config {
+		t.Error("model config changed in round trip")
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing model should fail")
+	}
+	// ReadModel through a stream.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ReadModel(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPITrainAndEpisode(t *testing.T) {
+	sel, err := NewSelector(5, UNetConfig{InChannels: 7, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrainConfig{
+		LayoutsPerSize: 1, MinPins: 3, MaxPins: 3, CurriculumStages: 0,
+		MCTS: MCTSConfig{Iterations: 4}, BatchSize: 8, EpochsPerStage: 1, LR: 1e-3, Seed: 1,
+	}
+	if err := Train(sel, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	in, err := RandomInstance(6, RandomSpec{
+		H: 6, V: 6, MinM: 2, MaxM: 2, MinPins: 4, MaxPins: 4, MinObstacles: 2, MaxObstacles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SearchEpisode(sel, in, MCTSConfig{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sample.Label) != in.Graph.NumVertices() {
+		t.Error("episode label size wrong")
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	in, err := Benchmark("ind1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Graph.H != 33 || in.Graph.V != 28 || in.Graph.M != 4 {
+		t.Errorf("ind1 dims = %dx%dx%d", in.Graph.H, in.Graph.V, in.Graph.M)
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestPretrainedSelectorUsable(t *testing.T) {
+	sel, err := PretrainedSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := RandomInstance(9, RandomSpec{
+		H: 10, V: 10, MinM: 2, MaxM: 2, MinPins: 4, MaxPins: 4, MinObstacles: 4, MaxObstacles: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRouter(sel).Route(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultUNetConfig(t *testing.T) {
+	cfg := DefaultUNetConfig()
+	if cfg.InChannels != 7 {
+		t.Errorf("input channels = %d, want the 7-feature encoding", cfg.InChannels)
+	}
+	if _, err := NewSelector(1, cfg); err != nil {
+		t.Errorf("default config unusable: %v", err)
+	}
+}
+
+func TestPreferredDirectionThroughPublicAPI(t *testing.T) {
+	in, err := RandomInstance(10, RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2, MinPins: 3, MaxPins: 3,
+		MinObstacles: 2, MaxObstacles: 2,
+		PreferredDirectionPenalty: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Graph.HScale == nil {
+		t.Fatal("preferred directions not installed")
+	}
+	tree, err := RouteBaseline(Lin18, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteNetsPublicAPI(t *testing.T) {
+	in, err := RandomInstance(11, RandomSpec{
+		H: 10, V: 10, MinM: 2, MaxM: 2, MinPins: 2, MaxPins: 2, MinObstacles: 0, MaxObstacles: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := in.Graph
+	nets := []Net{
+		{Name: "a", Pins: []VertexID{g.Index(0, 0, 0), g.Index(9, 0, 0)}},
+		{Name: "b", Pins: []VertexID{g.Index(0, 9, 1), g.Index(9, 9, 1), g.Index(5, 5, 1)}},
+	}
+	res, err := RouteNets(g, nets, nil, MultiNetConfig{MaxRipupRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateNets(g, nets, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 {
+		t.Error("no cost accumulated")
+	}
+}
+
+func TestRenderPublicAPI(t *testing.T) {
+	in, err := RandomInstance(12, RandomSpec{
+		H: 6, V: 6, MinM: 1, MaxM: 1, MinPins: 3, MaxPins: 3, MinObstacles: 2, MaxObstacles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := PlainOARMST(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, in, tree); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty SVG")
+	}
+	if art := ASCIIArt(in, tree); art == "" {
+		t.Error("empty ASCII art")
+	}
+}
+
+func TestPublicAPIJSON(t *testing.T) {
+	in, err := RandomInstance(7, RandomSpec{
+		H: 6, V: 6, MinM: 1, MaxM: 1, MinPins: 3, MaxPins: 3, MinObstacles: 1, MaxObstacles: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPins() != in.NumPins() {
+		t.Error("JSON round trip lost pins")
+	}
+}
