@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench fuzz vet experiments examples train clean
+.PHONY: all build test test-short bench bench-all check fuzz vet experiments examples train clean
 
 all: build test
 
@@ -16,8 +16,22 @@ test:
 test-short:
 	go test -short ./...
 
-# Full benchmark sweep (micro-benchmarks + one bench per paper table/figure).
+# Static checks plus the race detector over the parallel compute surfaces.
+check: vet
+	go test -race ./internal/parallel ./internal/tensor ./internal/mcts
+
+# Core kernel/search benchmarks, run twice: once serial (OARSMT_WORKERS=0)
+# and once on the default worker pool, then folded into BENCH_tensor.json
+# with before/after ns/op and speedups.
+BENCH_PKGS = ./internal/tensor ./internal/mcts ./internal/route
+
 bench:
+	OARSMT_WORKERS=0 go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_serial.txt
+	go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_parallel.txt
+	go run ./cmd/oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt -o BENCH_tensor.json
+
+# Full benchmark sweep (micro-benchmarks + one bench per paper table/figure).
+bench-all:
 	go test -bench=. -benchmem ./...
 
 fuzz:
@@ -40,4 +54,5 @@ train:
 		-metrics train-metrics.csv
 
 clean:
-	rm -f test_output.txt bench_output.txt train-metrics.csv
+	rm -f test_output.txt bench_output.txt train-metrics.csv \
+		bench_serial.txt bench_parallel.txt BENCH_tensor.json

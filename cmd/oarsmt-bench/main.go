@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"oarsmt/internal/experiments"
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/selector"
 )
 
@@ -35,8 +36,12 @@ func main() {
 		modelPath = flag.String("model", "", "trained selector (default: the embedded pretrained model)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		csvDir    = flag.String("csv", "", "directory to also dump raw series as CSV files")
+		workers   = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = OARSMT_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {

@@ -1,0 +1,154 @@
+// oarsmt-benchjson converts two `go test -bench` runs — a serial baseline
+// (OARSMT_WORKERS=0) and a parallel run — into a machine-readable JSON
+// report with before/after ns/op and the resulting speedup per benchmark.
+// `make bench` uses it to produce BENCH_tensor.json.
+//
+// Usage:
+//
+//	oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt \
+//	    -o BENCH_tensor.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's before/after measurement.
+type Entry struct {
+	Name           string  `json:"name"`
+	SerialNsPerOp  float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the whole BENCH_tensor.json document.
+type Report struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-benchjson: ")
+
+	var (
+		serialPath   = flag.String("serial", "", "bench output of the OARSMT_WORKERS=0 run")
+		parallelPath = flag.String("parallel", "", "bench output of the default (parallel) run")
+		outPath      = flag.String("o", "BENCH_tensor.json", "output JSON path")
+	)
+	flag.Parse()
+	if *serialPath == "" || *parallelPath == "" {
+		log.Fatal("both -serial and -parallel are required")
+	}
+
+	serial, err := parseBench(*serialPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := parseBench(*parallelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, len(serial))
+	for name := range serial {
+		if _, ok := par[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	for _, name := range names {
+		s, p := serial[name], par[name]
+		e := Entry{
+			Name:            name,
+			SerialNsPerOp:   s.nsPerOp,
+			ParallelNsPerOp: p.nsPerOp,
+			AllocsPerOp:     p.allocsPerOp,
+		}
+		if p.nsPerOp > 0 {
+			e.Speedup = s.nsPerOp / p.nsPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark present in both runs")
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks, GOMAXPROCS=%d)", *outPath, len(rep.Benchmarks), rep.GoMaxProcs)
+}
+
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp float64
+}
+
+// parseBench extracts "BenchmarkName-N  iters  X ns/op [...]" lines. The
+// -N GOMAXPROCS suffix is stripped so serial and parallel runs line up.
+func parseBench(path string) (map[string]measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		var m measurement
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.nsPerOp = v
+				ok = true
+			case "allocs/op":
+				m.allocsPerOp = v
+			}
+		}
+		if ok {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}

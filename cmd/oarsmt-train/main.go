@@ -24,6 +24,7 @@ import (
 	"oarsmt/internal/layout"
 	"oarsmt/internal/mcts"
 	"oarsmt/internal/nn"
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/rl"
 	"oarsmt/internal/selector"
 )
@@ -51,8 +52,12 @@ func main() {
 		noAug    = flag.Bool("no-augment", false, "disable 16x data augmentation")
 		paperSch = flag.Bool("paper", false, "use the paper's full 12-size schedule")
 		metrics  = flag.String("metrics", "", "append per-stage metrics to this CSV file")
+		workers  = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = OARSMT_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var sizes []layout.TrainingSize
 	if *paperSch {

@@ -1,15 +1,14 @@
 package experiments
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"time"
 
 	"oarsmt/internal/baseline"
 	"oarsmt/internal/core"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/selector"
 	"oarsmt/internal/stats"
 )
@@ -147,7 +146,7 @@ func RunComparison(opts Options) ([]SubsetEval, error) {
 	}
 	workers := opts.Workers
 	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = parallel.Workers()
 	}
 	counts := SubsetLayoutCounts(opts.Scale)
 
@@ -194,10 +193,12 @@ func RunComparison(opts Options) ([]SubsetEval, error) {
 	return out, nil
 }
 
-// forEachParallel runs fn over [0, n) with up to `workers` goroutines,
-// giving each worker a private router pair (the selector is duplicated via
-// its serialised form because network instances cache activations and must
+// forEachParallel runs fn over [0, n) sharded across the shared worker
+// pool (capped at `workers`), giving each shard a private router pair (the
+// selector is cloned because network instances cache activations and must
 // not be shared across goroutines). The serial path avoids the copy.
+// Per-index results are identical at any worker count; the first error in
+// shard order is returned.
 func forEachParallel(n, workers int, sel *selector.Selector, fn func(*core.Router, *baseline.Router, int) error) error {
 	if workers > n {
 		workers = n
@@ -212,52 +213,28 @@ func forEachParallel(n, workers int, sel *selector.Selector, fn func(*core.Route
 		}
 		return nil
 	}
-	var buf bytes.Buffer
-	if err := sel.Save(&buf); err != nil {
-		return err
-	}
-	raw := buf.Bytes()
-
-	idx := make(chan int)
-	errs := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			var werr error
-			priv, err := selector.Load(bytes.NewReader(raw))
-			if err != nil {
-				werr = err
-			}
-			var ours *core.Router
-			var lin18 *baseline.Router
-			if werr == nil {
-				ours = core.NewRouter(priv)
-				lin18 = baseline.New(baseline.Lin18)
-			}
-			// Keep draining after an error so the feeder never blocks.
-			for i := range idx {
-				if werr != nil {
-					continue
-				}
-				if err := fn(ours, lin18, i); err != nil {
-					werr = err
-				}
-			}
-			errs <- werr
-		}()
-	}
-	go func() {
-		for i := 0; i < n; i++ {
-			idx <- i
+	errs := make([]error, workers)
+	parallel.ForWith(workers, n, func(shard, lo, hi int) {
+		priv, err := sel.Clone()
+		if err != nil {
+			errs[shard] = err
+			return
 		}
-		close(idx)
-	}()
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
+		ours := core.NewRouter(priv)
+		lin18 := baseline.New(baseline.Lin18)
+		for i := lo; i < hi; i++ {
+			if err := fn(ours, lin18, i); err != nil {
+				errs[shard] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // Table2 prints the routing-cost comparison (paper Table 2).

@@ -25,6 +25,7 @@ import (
 
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
 )
@@ -137,9 +138,12 @@ type node struct {
 	depth int
 
 	evaluated bool // cost/terminal computed
-	cost      float64
-	noChange  int
-	terminal  bool
+	// costDone marks a routing cost prefetched by the parallel leaf
+	// evaluation; terminal flags are still derived lazily.
+	costDone bool
+	cost     float64
+	noChange int
+	terminal bool
 
 	expanded bool
 	children []edge
@@ -154,6 +158,11 @@ type Searcher struct {
 
 	nSel []int
 	nOpp []int
+
+	// shardRouters are per-worker routers for the parallel leaf
+	// evaluation; the embedded router stays reserved for the search
+	// goroutine. Grown on demand before each parallel section.
+	shardRouters []*route.Router
 
 	root     *node
 	rootCost float64
@@ -371,7 +380,10 @@ func (s *Searcher) ensureEvaluatedWithPins(nd *node, sps []grid.VertexID) {
 		return
 	}
 	nd.evaluated = true
-	nd.cost = s.stateCost(sps)
+	if !nd.costDone {
+		nd.cost = s.stateCost(sps)
+		nd.costDone = true
+	}
 	maxDepth := s.in.NumPins() - 2
 	if nd.depth >= maxDepth {
 		nd.terminal = true
@@ -427,6 +439,65 @@ func (s *Searcher) expandWithPins(nd *node, sps []grid.VertexID) {
 			nd.children = append(nd.children, edge{action: grid.VertexID(id), p: p})
 		}
 	}
+	s.prefetchChildCosts(nd, sps)
+}
+
+// prefetchChildCosts evaluates the routing costs of the most promising
+// children of a freshly expanded node concurrently, one worker-private
+// router per shard. PUCT visits high-prior children first, so prefetching
+// the top priors overlaps the OARMST evaluations the serial search would
+// perform one iteration at a time. A state's cost is a pure function of
+// its pin set, so prefetched values are exactly the values lazy evaluation
+// would compute: the search trajectory — and therefore the selected
+// Steiner set and the training label — is bit-identical at every worker
+// count. Terminal flags still derive lazily from the parent chain.
+func (s *Searcher) prefetchChildCosts(nd *node, sps []grid.VertexID) {
+	w := parallel.Workers()
+	if w <= 1 || len(nd.children) < 2 {
+		return
+	}
+	k := 2 * w
+	if k > len(nd.children) {
+		k = len(nd.children)
+	}
+	// Top-k children by descending prior, ties on smaller action.
+	order := make([]int, len(nd.children))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := &nd.children[order[a]], &nd.children[order[b]]
+		if ea.p != eb.p {
+			return ea.p > eb.p
+		}
+		return ea.action < eb.action
+	})
+	top := order[:k]
+
+	for len(s.shardRouters) < w {
+		s.shardRouters = append(s.shardRouters, route.NewRouter(s.in.Graph))
+	}
+	base := make([]grid.VertexID, 0, len(s.in.Pins)+len(sps)+1)
+	base = append(base, s.in.Pins...)
+	base = append(base, sps...)
+	parallel.For(k, func(shard, lo, hi int) {
+		r := s.shardRouters[shard]
+		terms := make([]grid.VertexID, len(base), len(base)+1)
+		copy(terms, base)
+		for i := lo; i < hi; i++ {
+			e := &nd.children[top[i]]
+			tree, err := r.OARMST(append(terms, e.action))
+			if err != nil {
+				// Same impossibility as stateCost: candidates are free
+				// vertices of a routable layout.
+				panic(fmt.Sprintf("mcts: prefetch state cost: %v", err))
+			}
+			child := s.makeChild(nd, e.action)
+			child.cost = tree.Cost
+			child.costDone = true
+			e.child = child
+		}
+	})
 }
 
 // ActorPolicy implements the actor of paper Fig 5 / eq. (1): one selector

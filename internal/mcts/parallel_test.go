@@ -1,0 +1,68 @@
+package mcts
+
+import (
+	"testing"
+
+	"oarsmt/internal/parallel"
+)
+
+// TestSearchDeterministicAcrossWorkerCounts verifies the determinism
+// contract of the parallel leaf prefetch: the episode's selected Steiner
+// set, label, costs and search statistics are independent of the worker
+// count. Prefetching only computes child routing costs — pure functions of
+// the child pin set — ahead of time, so the search trajectory must be
+// bit-identical to the serial one.
+func TestSearchDeterministicAcrossWorkerCounts(t *testing.T) {
+	prevW := parallel.Workers()
+	defer parallel.SetWorkers(prevW)
+
+	sel := tinySelector(t, 11)
+	cfg := testConfig()
+
+	for _, seed := range []int64{5, 9} {
+		in := smallInstance(t, seed, 5)
+
+		parallel.SetWorkers(1)
+		ref, err := Search(sel, in, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, w := range []int{2, 3, 5} {
+			parallel.SetWorkers(w)
+			got, err := Search(sel, in, cfg)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			if len(got.Executed) != len(ref.Executed) {
+				t.Fatalf("seed=%d workers=%d: executed %v != serial %v",
+					seed, w, got.Executed, ref.Executed)
+			}
+			for i := range ref.Executed {
+				if got.Executed[i] != ref.Executed[i] {
+					t.Fatalf("seed=%d workers=%d: executed %v != serial %v",
+						seed, w, got.Executed, ref.Executed)
+				}
+			}
+			if got.RootCost != ref.RootCost || got.FinalCost != ref.FinalCost {
+				t.Fatalf("seed=%d workers=%d: costs (%v,%v) != serial (%v,%v)",
+					seed, w, got.RootCost, got.FinalCost, ref.RootCost, ref.FinalCost)
+			}
+			if got.Iterations != ref.Iterations || got.NodesExpanded != ref.NodesExpanded {
+				t.Fatalf("seed=%d workers=%d: stats (%d,%d) != serial (%d,%d)",
+					seed, w, got.Iterations, got.NodesExpanded, ref.Iterations, ref.NodesExpanded)
+			}
+			for i := range ref.Sample.Label {
+				if got.Sample.Label[i] != ref.Sample.Label[i] {
+					t.Fatalf("seed=%d workers=%d: label[%d] differs", seed, w, i)
+				}
+			}
+			for i := range ref.RootActions {
+				if got.RootActions[i] != ref.RootActions[i] {
+					t.Fatalf("seed=%d workers=%d: root action %d differs: %+v != %+v",
+						seed, w, i, got.RootActions[i], ref.RootActions[i])
+				}
+			}
+		}
+	}
+}

@@ -1,8 +1,12 @@
 // Package models embeds the pretrained Steiner-point selector shipped with
 // the repository. The model was trained with cmd/oarsmt-train (the
-// combinatorial-MCTS pipeline at CPU scale: mixed 8/12/16-sized layouts,
-// 2 and 4 routing layers, 4-stage curriculum); retrain and overwrite
-// selector.gob to ship a stronger one.
+// combinatorial-MCTS pipeline at CPU scale):
+//
+//	oarsmt-train -stages 8 -hv 8,12 -layers 2 -layouts 3 -alpha 16 \
+//	    -base 6 -depth 2 -batch 32 -epochs 2 -lr 2e-3 -seed 1 -curriculum 4
+//
+// Retrain and overwrite selector.gob to ship a stronger one (`make train`
+// runs a longer schedule).
 package models
 
 import (

@@ -4,8 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/tensor"
 )
+
+// normParallelMinWork is the minimum volume (elements) below which
+// GroupNorm stays serial; groups are fully independent in both passes, so
+// sharding them never changes results.
+var normParallelMinWork = 1 << 14
 
 // GroupNorm normalises a [C, H, V, M] volume over groups of channels
 // (Wu & He, 2018) with learned per-channel scale and shift. Unlike batch
@@ -58,7 +64,7 @@ func (g *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	g.lastStd = make([]float64, g.Groups)
 
 	out := tensor.New(x.Shape...)
-	for grp := 0; grp < g.Groups; grp++ {
+	g.forGroups(x.Len(), func(grp int) {
 		lo := grp * chPerGroup * spatial
 		hi := lo + chPerGroup*spatial
 		mu := 0.0
@@ -81,8 +87,26 @@ func (g *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 				out.Data[base+i] = ga*(x.Data[base+i]-mu)/std + be
 			}
 		}
-	}
+	})
 	return out
+}
+
+// forGroups runs body(grp) for every group, sharding the (independent)
+// groups over the worker pool when the volume warrants it. Each group
+// touches only its own channel slab and per-group statistics, so the
+// results are identical at any worker count.
+func (g *GroupNorm) forGroups(work int, body func(grp int)) {
+	if g.Groups > 1 && work >= normParallelMinWork {
+		parallel.For(g.Groups, func(_, lo, hi int) {
+			for grp := lo; grp < hi; grp++ {
+				body(grp)
+			}
+		})
+		return
+	}
+	for grp := 0; grp < g.Groups; grp++ {
+		body(grp)
+	}
 }
 
 // Backward implements Layer.
@@ -93,7 +117,7 @@ func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := float64(g.lastN)
 	gx := tensor.New(x.Shape...)
 
-	for grp := 0; grp < g.Groups; grp++ {
+	g.forGroups(x.Len(), func(grp int) {
 		mu, std := g.lastMu[grp], g.lastStd[grp]
 		// Accumulate the two group-wide reductions of the standard
 		// normalisation backward pass: sum(dy*gamma) and sum(dy*gamma*xhat).
@@ -122,7 +146,7 @@ func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				gx.Data[base+i] = (dy*ga - sumDg/n - xhat*sumDgXhat/n) / std
 			}
 		}
-	}
+	})
 	return gx
 }
 

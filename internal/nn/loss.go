@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/tensor"
 )
 
@@ -12,26 +13,37 @@ import (
 // the gradient wrt the logits. This is the selector's training loss
 // (paper §3.5); fusing the sigmoid keeps the computation stable for large
 // |logit|.
+//
+// The loss reduction always runs over the fixed chunks of
+// parallel.SumChunks — the chunk partial sums may be computed by any
+// number of workers but are merged in a fixed order, so the result is
+// bit-identical at every worker count. The gradient is elementwise and
+// each chunk writes a disjoint slice.
 func BCEWithLogits(logits, targets *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
 	if !logits.SameShape(targets) {
 		panic(fmt.Sprintf("nn: BCE shapes %v vs %v", logits.Shape, targets.Shape))
 	}
 	n := float64(logits.Len())
 	grad = tensor.New(logits.Shape...)
-	for i, z := range logits.Data {
-		y := targets.Data[i]
-		// loss_i = max(z,0) - z*y + log(1+exp(-|z|))
-		l := z
-		if l < 0 {
-			l = 0
+	loss = parallel.SumChunks(logits.Len(), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			z := logits.Data[i]
+			y := targets.Data[i]
+			// loss_i = max(z,0) - z*y + log(1+exp(-|z|))
+			l := z
+			if l < 0 {
+				l = 0
+			}
+			az := z
+			if az < 0 {
+				az = -az
+			}
+			s += l - z*y + math.Log1p(math.Exp(-az))
+			grad.Data[i] = (Sigmoid(z) - y) / n
 		}
-		az := z
-		if az < 0 {
-			az = -az
-		}
-		loss += l - z*y + math.Log1p(math.Exp(-az))
-		grad.Data[i] = (Sigmoid(z) - y) / n
-	}
+		return s
+	})
 	return loss / n, grad
 }
 

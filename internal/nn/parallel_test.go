@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/parallel"
+	"oarsmt/internal/tensor"
+)
+
+func randT(r *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func TestGroupNormBitEqualAcrossWorkerCounts(t *testing.T) {
+	prevWork := normParallelMinWork
+	prevW := parallel.Workers()
+	normParallelMinWork = 0
+	defer func() {
+		normParallelMinWork = prevWork
+		parallel.SetWorkers(prevW)
+	}()
+
+	r := rand.New(rand.NewSource(3))
+	x := randT(r, 8, 6, 5, 3)
+	gradOut := randT(r, 8, 6, 5, 3)
+
+	run := func(workers int) (*tensor.Tensor, *tensor.Tensor, []float64, []float64) {
+		parallel.SetWorkers(workers)
+		gn := NewGroupNorm("t", 8, 4)
+		for i := range gn.gamma.W.Data {
+			gn.gamma.W.Data[i] = 1 + 0.1*float64(i)
+			gn.beta.W.Data[i] = 0.05 * float64(i)
+		}
+		out := gn.Forward(x)
+		gx := gn.Backward(gradOut)
+		return out, gx, gn.gamma.G.Data, gn.beta.G.Data
+	}
+
+	refOut, refGx, refGG, refBG := run(1)
+	for _, w := range []int{2, 3, 8} {
+		out, gx, gg, bg := run(w)
+		for i := range refOut.Data {
+			if out.Data[i] != refOut.Data[i] {
+				t.Fatalf("workers=%d: forward[%d] differs", w, i)
+			}
+		}
+		for i := range refGx.Data {
+			if gx.Data[i] != refGx.Data[i] {
+				t.Fatalf("workers=%d: gradX[%d] differs", w, i)
+			}
+		}
+		for i := range refGG {
+			if gg[i] != refGG[i] || bg[i] != refBG[i] {
+				t.Fatalf("workers=%d: param grads differ at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestBCEWithLogitsBitEqualAcrossWorkerCounts(t *testing.T) {
+	prevW := parallel.Workers()
+	defer parallel.SetWorkers(prevW)
+
+	r := rand.New(rand.NewSource(4))
+	// Larger than one SumChunks chunk so the reduction really splits.
+	logits := randT(r, 3, 40, 40, 7)
+	targets := tensor.New(logits.Shape...)
+	for i := range targets.Data {
+		targets.Data[i] = r.Float64()
+	}
+
+	parallel.SetWorkers(1)
+	refLoss, refGrad := BCEWithLogits(logits, targets)
+	for _, w := range []int{2, 3, 8} {
+		parallel.SetWorkers(w)
+		loss, grad := BCEWithLogits(logits, targets)
+		if loss != refLoss {
+			t.Fatalf("workers=%d: loss %v != serial %v", w, loss, refLoss)
+		}
+		for i := range refGrad.Data {
+			if grad.Data[i] != refGrad.Data[i] {
+				t.Fatalf("workers=%d: grad[%d] differs", w, i)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"oarsmt/internal/layout"
 	"oarsmt/internal/mcts"
 	"oarsmt/internal/nn"
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/selector"
 	"oarsmt/internal/tensor"
 )
@@ -145,13 +146,19 @@ func (t *Trainer) stagePins() (lo, hi int, useCritic bool) {
 
 // GenerateSamples produces the training samples of one stage without
 // updating the selector; exported for the sample-generation benchmarks.
+//
+// The independent MCTS episodes run across the parallel worker pool, each
+// worker searching on a private clone of the current selector. Layout
+// generation stays serial so the trainer's RNG is consumed in a fixed
+// order, and the episode results are folded in layout order, so samples
+// and statistics are identical at every worker count.
 func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
 	lo, hi, useCritic := t.stagePins()
 	cfg := t.Cfg.MCTS
 	cfg.UseCritic = cfg.UseCritic && useCritic
 
 	stats := StageStats{Stage: t.stage + 1}
-	var samples []mcts.Sample
+	var ins []*layout.Instance
 	for _, size := range t.Cfg.Sizes {
 		spec := layout.TrainingSpec(size, lo, hi)
 		for i := 0; i < t.Cfg.LayoutsPerSize; i++ {
@@ -159,16 +166,50 @@ func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
 			if err != nil {
 				return nil, stats, fmt.Errorf("rl: stage %d: %w", t.stage+1, err)
 			}
+			ins = append(ins, in)
+		}
+	}
+
+	results := make([]*mcts.Result, len(ins))
+	if w := parallel.Workers(); w > 1 && len(ins) > 1 {
+		errs := make([]error, w)
+		parallel.For(len(ins), func(shard, lo, hi int) {
+			priv, err := t.Selector.Clone()
+			if err != nil {
+				errs[shard] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				res, err := mcts.Search(priv, ins[i], cfg)
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				results[i] = res
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, stats, fmt.Errorf("rl: stage %d: %w", t.stage+1, err)
+			}
+		}
+	} else {
+		for i, in := range ins {
 			res, err := mcts.Search(t.Selector, in, cfg)
 			if err != nil {
 				return nil, stats, fmt.Errorf("rl: stage %d: %w", t.stage+1, err)
 			}
-			samples = append(samples, res.Sample)
-			stats.Episodes++
-			stats.MCTSIterations += res.Iterations
-			stats.MeanRootCost += res.RootCost
-			stats.MeanFinalCost += res.FinalCost
+			results[i] = res
 		}
+	}
+
+	var samples []mcts.Sample
+	for _, res := range results {
+		samples = append(samples, res.Sample)
+		stats.Episodes++
+		stats.MCTSIterations += res.Iterations
+		stats.MeanRootCost += res.RootCost
+		stats.MeanFinalCost += res.FinalCost
 	}
 	if stats.Episodes > 0 {
 		stats.MeanRootCost /= float64(stats.Episodes)

@@ -7,6 +7,7 @@
 package selector
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -212,6 +213,19 @@ func (s *Selector) PolicySoftmax(g *grid.Graph, pins []grid.VertexID) []float64 
 
 // Save writes the selector's network to w.
 func (s *Selector) Save(w io.Writer) error { return s.Net.Save(w) }
+
+// Clone returns a private deep copy of the selector via its serialised
+// form. Network instances cache activations between Forward and Backward
+// and must never be shared across goroutines; the parallel episode loops
+// give every worker its own clone. Weights survive the gob round trip
+// bit-exactly, so a clone's inferences are identical to the original's.
+func (s *Selector) Clone() (*Selector, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
+}
 
 // Load reads a selector saved with Save.
 func Load(r io.Reader) (*Selector, error) {

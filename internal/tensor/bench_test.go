@@ -47,8 +47,19 @@ func BenchmarkConv3DBackward16(b *testing.B) {
 	}
 }
 
+func BenchmarkConv3DBackward32(b *testing.B) {
+	x, w, bias := benchConvInput(8, 32, 32, 4)
+	out := Conv3D(x, w, bias)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv3DBackward(x, w, out)
+	}
+}
+
 func BenchmarkAvgPool2(b *testing.B) {
 	x, _, _ := benchConvInput(8, 32, 32, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		AvgPool2(x)
@@ -57,6 +68,7 @@ func BenchmarkAvgPool2(b *testing.B) {
 
 func BenchmarkUpsampleNearest(b *testing.B) {
 	x, _, _ := benchConvInput(8, 16, 16, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		UpsampleNearest(x, 32, 32, 4)

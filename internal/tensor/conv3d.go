@@ -1,6 +1,17 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"oarsmt/internal/parallel"
+)
+
+// convParallelMinWork is the minimum number of kernel multiply-adds below
+// which a convolution stays on the serial path: sharding overhead would
+// dominate smaller calls. The threshold only affects wall-clock, never
+// results — the sharded paths are bit-identical to serial. A var so the
+// equality tests can force the parallel path on tiny shapes.
+var convParallelMinWork = 1 << 16
 
 // Conv3D computes a "same" 3-D convolution. x has shape [InC, H, V, M],
 // w has shape [OutC, InC, K, K, K] with K odd, b has shape [OutC] (or is
@@ -9,20 +20,40 @@ import "fmt"
 //
 // The implementation is a direct convolution with the contiguous M axis in
 // the inner loop, which is the sweet spot for the small channel counts the
-// selector uses.
+// selector uses. Large calls shard the (independent) output channels over
+// the parallel worker pool; every shard runs the identical per-channel
+// code on disjoint output slabs, so the result is bit-identical to the
+// serial path at any worker count.
 func Conv3D(x, w, b *Tensor) *Tensor {
 	inC, h, v, m := convDims(x)
 	outC, k := convKernelDims(w, inC)
 	if b != nil && (b.Rank() != 1 || b.Dim(0) != outC) {
 		panic(fmt.Sprintf("tensor: bias shape %v for %d output channels", b.Shape, outC))
 	}
-	p := k / 2
 	out := New(outC, h, v, m)
+	work := outC * inC * k * k * k * h * v * m
+	if outC > 1 && work >= convParallelMinWork {
+		parallel.For(outC, func(_, lo, hi int) {
+			convForwardRange(out, x, w, b, lo, hi)
+		})
+	} else {
+		convForwardRange(out, x, w, b, 0, outC)
+	}
+	return out
+}
+
+// convForwardRange computes output channels [ocLo, ocHi) of a Conv3D call.
+// Each output channel touches only its own slab of out, so disjoint ranges
+// may run concurrently.
+func convForwardRange(out, x, w, b *Tensor, ocLo, ocHi int) {
+	inC, h, v, m := convDims(x)
+	_, k := convKernelDims(w, inC)
+	p := k / 2
 
 	planeIn := h * v * m
 	planeOut := h * v * m
 	rowLen := m
-	for oc := 0; oc < outC; oc++ {
+	for oc := ocLo; oc < ocHi; oc++ {
 		outBase := oc * planeOut
 		if b != nil {
 			bias := b.Data[oc]
@@ -77,7 +108,6 @@ func Conv3D(x, w, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // convPlane3 accumulates the 3x3 (kv, km) taps of one kernel slice into a
@@ -159,6 +189,12 @@ func convPlane3(dst, src []float64, ws []float64, v, m int) {
 // Conv3DBackward computes the gradients of a Conv3D call: gradX wrt the
 // input, gradW wrt the kernel and gradB wrt the bias, given gradOut, the
 // gradient wrt the output.
+//
+// The parallel path shards gradB over output channels and gradX/gradW over
+// input channels. An input-channel shard walks the output channels in
+// ascending order, which reproduces the serial loop's per-element
+// floating-point accumulation sequence exactly: results are bit-identical
+// to the serial path at any worker count.
 func Conv3DBackward(x, w, gradOut *Tensor) (gradX, gradW, gradB *Tensor) {
 	inC, h, v, m := convDims(x)
 	outC, k := convKernelDims(w, inC)
@@ -166,10 +202,38 @@ func Conv3DBackward(x, w, gradOut *Tensor) (gradX, gradW, gradB *Tensor) {
 		gradOut.Dim(2) != v || gradOut.Dim(3) != m {
 		panic(fmt.Sprintf("tensor: gradOut shape %v for input %v", gradOut.Shape, x.Shape))
 	}
-	p := k / 2
 	gradX = New(inC, h, v, m)
 	gradW = New(outC, inC, k, k, k)
 	gradB = New(outC)
+
+	work := outC * inC * k * k * k * h * v * m
+	if inC > 1 && work >= convParallelMinWork {
+		plane := h * v * m
+		parallel.For(outC, func(_, lo, hi int) {
+			for oc := lo; oc < hi; oc++ {
+				goBase := oc * plane
+				sum := 0.0
+				for i := goBase; i < goBase+plane; i++ {
+					sum += gradOut.Data[i]
+				}
+				gradB.Data[oc] = sum
+			}
+		})
+		parallel.For(inC, func(_, lo, hi int) {
+			convBackwardInputRange(gradX, gradW, x, w, gradOut, lo, hi)
+		})
+		return gradX, gradW, gradB
+	}
+	convBackwardSerial(gradX, gradW, gradB, x, w, gradOut)
+	return gradX, gradW, gradB
+}
+
+// convBackwardSerial is the reference single-pass backward: output-channel
+// major, with the gradB reduction and the gradX/gradW taps fused.
+func convBackwardSerial(gradX, gradW, gradB, x, w, gradOut *Tensor) {
+	inC, h, v, m := convDims(x)
+	outC, k := convKernelDims(w, inC)
+	p := k / 2
 
 	plane := h * v * m
 	rowLen := m
@@ -219,7 +283,60 @@ func Conv3DBackward(x, w, gradOut *Tensor) (gradX, gradW, gradB *Tensor) {
 			}
 		}
 	}
-	return gradX, gradW, gradB
+}
+
+// convBackwardInputRange computes gradX and gradW for input channels
+// [icLo, icHi). Both outputs are disjoint across input channels, so
+// distinct ranges may run concurrently. For every gradX element the
+// contributions arrive in ascending output-channel order with the same
+// tap order as convBackwardSerial, making the accumulation bit-identical.
+func convBackwardInputRange(gradX, gradW, x, w, gradOut *Tensor, icLo, icHi int) {
+	inC, h, v, m := convDims(x)
+	outC, k := convKernelDims(w, inC)
+	p := k / 2
+
+	plane := h * v * m
+	rowLen := m
+	for ic := icLo; ic < icHi; ic++ {
+		inBase := ic * plane
+		for oc := 0; oc < outC; oc++ {
+			goBase := oc * plane
+			for kh := 0; kh < k; kh++ {
+				dh := kh - p
+				h0, h1 := clipRange(dh, h)
+				for kv := 0; kv < k; kv++ {
+					dv := kv - p
+					v0, v1 := clipRange(dv, v)
+					for km := 0; km < k; km++ {
+						dm := km - p
+						m0, m1 := clipRange(dm, m)
+						if m0 >= m1 {
+							continue
+						}
+						widx := (((oc*inC+ic)*k+kh)*k+kv)*k + km
+						wv := w.Data[widx]
+						wacc := 0.0
+						for hh := h0; hh < h1; hh++ {
+							srcRowBase := inBase + ((hh+dh)*v)*rowLen
+							dstRowBase := goBase + (hh*v)*rowLen
+							for vv := v0; vv < v1; vv++ {
+								src := srcRowBase + (vv+dv)*rowLen + dm
+								dst := dstRowBase + vv*rowLen
+								xs := x.Data[src+m0 : src+m1]
+								gs := gradOut.Data[dst+m0 : dst+m1]
+								gxs := gradX.Data[src+m0 : src+m1]
+								for i, gv := range gs {
+									wacc += xs[i] * gv
+									gxs[i] += wv * gv
+								}
+							}
+						}
+						gradW.Data[widx] = wacc
+					}
+				}
+			}
+		}
+	}
 }
 
 func convDims(x *Tensor) (c, h, v, m int) {
@@ -259,6 +376,26 @@ func clipRange(d, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// poolParallelMinWork is the minimum element count below which the
+// pooling/upsampling kernels stay serial.
+var poolParallelMinWork = 1 << 14
+
+// forChannels shards the (independent) channel loop [0, c) over the worker
+// pool when the volume is worth it; body(cc) must only touch channel cc.
+func forChannels(c, work int, body func(cc int)) {
+	if c > 1 && work >= poolParallelMinWork {
+		parallel.For(c, func(_, lo, hi int) {
+			for cc := lo; cc < hi; cc++ {
+				body(cc)
+			}
+		})
+		return
+	}
+	for cc := 0; cc < c; cc++ {
+		body(cc)
+	}
+}
+
 // AvgPool2 downsamples [C, H, V, M] by a factor of 2 in each spatial
 // dimension with ceil semantics: output dims are ceil(d/2) and border
 // cells average only the inputs they cover.
@@ -266,7 +403,7 @@ func AvgPool2(x *Tensor) *Tensor {
 	c, h, v, m := convDims(x)
 	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
 	out := New(c, oh, ov, om)
-	for cc := 0; cc < c; cc++ {
+	forChannels(c, x.Len(), func(cc int) {
 		for hh := 0; hh < oh; hh++ {
 			for vv := 0; vv < ov; vv++ {
 				for mm := 0; mm < om; mm++ {
@@ -283,7 +420,7 @@ func AvgPool2(x *Tensor) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -293,7 +430,7 @@ func AvgPool2Backward(inShape []int, gradOut *Tensor) *Tensor {
 	c, h, v, m := inShape[0], inShape[1], inShape[2], inShape[3]
 	gx := New(c, h, v, m)
 	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
-	for cc := 0; cc < c; cc++ {
+	forChannels(c, gx.Len(), func(cc int) {
 		for hh := 0; hh < oh; hh++ {
 			for vv := 0; vv < ov; vv++ {
 				for mm := 0; mm < om; mm++ {
@@ -316,7 +453,7 @@ func AvgPool2Backward(inShape []int, gradOut *Tensor) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return gx
 }
 
@@ -327,7 +464,7 @@ func AvgPool2Backward(inShape []int, gradOut *Tensor) *Tensor {
 func UpsampleNearest(x *Tensor, h, v, m int) *Tensor {
 	c, sh, sv, sm := convDims(x)
 	out := New(c, h, v, m)
-	for cc := 0; cc < c; cc++ {
+	forChannels(c, out.Len(), func(cc int) {
 		for hh := 0; hh < h; hh++ {
 			shh := hh * sh / h
 			for vv := 0; vv < v; vv++ {
@@ -338,7 +475,7 @@ func UpsampleNearest(x *Tensor, h, v, m int) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -348,7 +485,7 @@ func UpsampleNearestBackward(inShape []int, gradOut *Tensor) *Tensor {
 	c, sh, sv, sm := inShape[0], inShape[1], inShape[2], inShape[3]
 	_, h, v, m := convDims(gradOut)
 	gx := New(c, sh, sv, sm)
-	for cc := 0; cc < c; cc++ {
+	forChannels(c, gradOut.Len(), func(cc int) {
 		for hh := 0; hh < h; hh++ {
 			shh := hh * sh / h
 			for vv := 0; vv < v; vv++ {
@@ -359,7 +496,7 @@ func UpsampleNearestBackward(inShape []int, gradOut *Tensor) *Tensor {
 				}
 			}
 		}
-	}
+	})
 	return gx
 }
 

@@ -1,0 +1,182 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/parallel"
+)
+
+// forceParallel drops the work thresholds so even tiny shapes take the
+// sharded paths, runs fn, and restores everything.
+func forceParallel(t *testing.T, workers int, fn func()) {
+	t.Helper()
+	prevConv, prevPool := convParallelMinWork, poolParallelMinWork
+	prevW := parallel.Workers()
+	convParallelMinWork, poolParallelMinWork = 0, 0
+	parallel.SetWorkers(workers)
+	defer func() {
+		convParallelMinWork, poolParallelMinWork = prevConv, prevPool
+		parallel.SetWorkers(prevW)
+	}()
+	fn()
+}
+
+// convCase is one randomized Conv3D shape; the list deliberately includes
+// K != 3 (skipping the forward fast path), single-channel extremes, and
+// spatial dims that do not divide evenly across odd worker counts.
+type convCase struct {
+	inC, outC, h, v, m, k int
+}
+
+var convCases = []convCase{
+	{inC: 3, outC: 4, h: 5, v: 6, m: 3, k: 3},
+	{inC: 8, outC: 8, h: 9, v: 7, m: 4, k: 3},
+	{inC: 2, outC: 7, h: 4, v: 4, m: 2, k: 1},
+	{inC: 5, outC: 3, h: 6, v: 5, m: 5, k: 5},
+	{inC: 1, outC: 6, h: 8, v: 8, m: 2, k: 3},
+	{inC: 6, outC: 1, h: 8, v: 8, m: 2, k: 3},
+	{inC: 4, outC: 5, h: 1, v: 9, m: 1, k: 3},
+}
+
+// workerCounts exercises the serial knob (1), even/odd counts, and more
+// workers than channels.
+var workerCounts = []int{1, 2, 3, 5, 16}
+
+func TestConv3DForwardBitEqualSerialParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, c := range convCases {
+		x := randTensor(r, c.inC, c.h, c.v, c.m)
+		w := randTensor(r, c.outC, c.inC, c.k, c.k, c.k)
+		b := randTensor(r, c.outC)
+
+		ref := Conv3D(x, w, b) // thresholds intact: serial on these sizes
+		for _, nw := range workerCounts {
+			forceParallel(t, nw, func() {
+				got := Conv3D(x, w, b)
+				for i := range ref.Data {
+					if got.Data[i] != ref.Data[i] {
+						t.Fatalf("case %+v workers=%d: forward[%d] = %v, serial %v",
+							c, nw, i, got.Data[i], ref.Data[i])
+					}
+				}
+			})
+		}
+		// No-bias path.
+		refNB := Conv3D(x, w, nil)
+		forceParallel(t, 3, func() {
+			got := Conv3D(x, w, nil)
+			for i := range refNB.Data {
+				if got.Data[i] != refNB.Data[i] {
+					t.Fatalf("case %+v no-bias: forward[%d] differs", c, i)
+				}
+			}
+		})
+	}
+}
+
+func TestConv3DBackwardBitEqualSerialParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, c := range convCases {
+		x := randTensor(r, c.inC, c.h, c.v, c.m)
+		w := randTensor(r, c.outC, c.inC, c.k, c.k, c.k)
+		gradOut := randTensor(r, c.outC, c.h, c.v, c.m)
+
+		refX, refW, refB := Conv3DBackward(x, w, gradOut)
+		for _, nw := range workerCounts {
+			forceParallel(t, nw, func() {
+				gx, gw, gb := Conv3DBackward(x, w, gradOut)
+				for i := range refX.Data {
+					if gx.Data[i] != refX.Data[i] {
+						t.Fatalf("case %+v workers=%d: gradX[%d] = %v, serial %v",
+							c, nw, i, gx.Data[i], refX.Data[i])
+					}
+				}
+				for i := range refW.Data {
+					if gw.Data[i] != refW.Data[i] {
+						t.Fatalf("case %+v workers=%d: gradW[%d] = %v, serial %v",
+							c, nw, i, gw.Data[i], refW.Data[i])
+					}
+				}
+				for i := range refB.Data {
+					if gb.Data[i] != refB.Data[i] {
+						t.Fatalf("case %+v workers=%d: gradB[%d] = %v, serial %v",
+							c, nw, i, gb.Data[i], refB.Data[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPoolUpsampleBitEqualSerialParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	shapes := [][4]int{{4, 7, 6, 3}, {8, 5, 5, 2}, {1, 9, 4, 4}, {3, 1, 8, 1}}
+	for _, s := range shapes {
+		x := randTensor(r, s[0], s[1], s[2], s[3])
+		refPool := AvgPool2(x)
+		gradPool := randTensor(r, refPool.Shape...)
+		refPoolBack := AvgPool2Backward(x.Shape, gradPool)
+		refUp := UpsampleNearest(refPool, s[1], s[2], s[3])
+		gradUp := randTensor(r, refUp.Shape...)
+		refUpBack := UpsampleNearestBackward(refPool.Shape, gradUp)
+
+		for _, nw := range workerCounts {
+			forceParallel(t, nw, func() {
+				check := func(name string, got, want *Tensor) {
+					t.Helper()
+					for i := range want.Data {
+						if got.Data[i] != want.Data[i] {
+							t.Fatalf("shape %v workers=%d: %s[%d] differs", s, nw, name, i)
+						}
+					}
+				}
+				check("AvgPool2", AvgPool2(x), refPool)
+				check("AvgPool2Backward", AvgPool2Backward(x.Shape, gradPool), refPoolBack)
+				check("UpsampleNearest", UpsampleNearest(refPool, s[1], s[2], s[3]), refUp)
+				check("UpsampleNearestBackward", UpsampleNearestBackward(refPool.Shape, gradUp), refUpBack)
+			})
+		}
+	}
+}
+
+// TestConv3DParallelLargeShape runs one shape big enough to pass the real
+// thresholds, so the production gating (not just the forced one) is
+// exercised under multiple workers.
+func TestConv3DParallelLargeShape(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	x := randTensor(r, 8, 16, 16, 4)
+	w := randTensor(r, 8, 8, 3, 3, 3)
+	b := randTensor(r, 8)
+
+	prevW := parallel.Workers()
+	defer parallel.SetWorkers(prevW)
+
+	parallel.SetWorkers(1)
+	ref := Conv3D(x, w, b)
+	refX, refW, refB := Conv3DBackward(x, w, ref)
+
+	parallel.SetWorkers(4)
+	got := Conv3D(x, w, b)
+	gx, gw, gb := Conv3DBackward(x, w, ref)
+	for i := range ref.Data {
+		if got.Data[i] != ref.Data[i] {
+			t.Fatalf("forward[%d] differs under real thresholds", i)
+		}
+	}
+	for i := range refX.Data {
+		if gx.Data[i] != refX.Data[i] {
+			t.Fatalf("gradX[%d] differs under real thresholds", i)
+		}
+	}
+	for i := range refW.Data {
+		if gw.Data[i] != refW.Data[i] {
+			t.Fatalf("gradW[%d] differs under real thresholds", i)
+		}
+	}
+	for i := range refB.Data {
+		if gb.Data[i] != refB.Data[i] {
+			t.Fatalf("gradB[%d] differs under real thresholds", i)
+		}
+	}
+}
