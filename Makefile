@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-all check fuzz vet experiments examples train clean
+.PHONY: all build test test-short bench bench-all check fuzz vet experiments examples train serve serve-smoke clean
 
 all: build test
 
@@ -16,9 +16,10 @@ test:
 test-short:
 	go test -short ./...
 
-# Static checks plus the race detector over the parallel compute surfaces.
+# Static checks plus the race detector over the parallel compute and
+# serving surfaces.
 check: vet
-	go test -race ./internal/parallel ./internal/tensor ./internal/mcts
+	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve
 
 # Core kernel/search benchmarks, run twice: once serial (OARSMT_WORKERS=0)
 # and once on the default worker pool, then folded into BENCH_tensor.json
@@ -40,6 +41,17 @@ fuzz:
 # Regenerate every paper table and figure at CPU scale.
 experiments:
 	go run ./cmd/oarsmt-bench -exp all -scale small
+
+# Run the routing daemon on the embedded model.
+serve:
+	go run ./cmd/oarsmt-serve
+
+# End-to-end serving smoke test: build the daemon, start it on a free
+# port, check /healthz, route a layout (twice; the repeat must hit the
+# cache), then SIGTERM it and verify the graceful drain exits 0.
+serve-smoke:
+	go build -o bin/oarsmt-serve ./cmd/oarsmt-serve
+	go run ./cmd/oarsmt-smoke -bin bin/oarsmt-serve
 
 examples:
 	go run ./examples/quickstart

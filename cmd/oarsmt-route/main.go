@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,8 +39,16 @@ func main() {
 		svgPath   = flag.String("svg", "", "write an SVG drawing of the (last) routed tree")
 		ascii     = flag.Bool("ascii", false, "print an ASCII drawing of each routed tree")
 		segments  = flag.Bool("segments", false, "print merged wire segments and via stacks")
+		timeout   = flag.Duration("timeout", 0, "per-route deadline for ours/mst (0 = none), e.g. 30s")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	in, err := loadInstance(*bench, flag.Args())
 	if err != nil {
@@ -55,7 +64,7 @@ func main() {
 	}
 	var lastTree *route.Tree
 	for _, a := range algos {
-		tree, extra, err := runOne(a, in, *modelPath, *seq, *noGuard)
+		tree, extra, err := runOne(ctx, a, in, *modelPath, *seq, *noGuard)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,10 +125,10 @@ func loadInstance(bench string, args []string) (*layout.Instance, error) {
 	return layout.DecodeAny(f)
 }
 
-func runOne(algo string, in *layout.Instance, modelPath string, seq, noGuard bool) (*route.Tree, string, error) {
+func runOne(ctx context.Context, algo string, in *layout.Instance, modelPath string, seq, noGuard bool) (*route.Tree, string, error) {
 	switch algo {
 	case "mst":
-		tree, err := core.PlainOARMST(in)
+		tree, err := core.PlainOARMSTCtx(ctx, in)
 		return tree, "", err
 	case "lin08", "liu14", "lin18":
 		algs := map[string]baseline.Algorithm{
@@ -153,7 +162,7 @@ func runOne(algo string, in *layout.Instance, modelPath string, seq, noGuard boo
 			r.Mode = core.Sequential
 		}
 		r.GuardedAcceptance = !noGuard
-		res, err := r.Route(in)
+		res, err := r.RouteCtx(ctx, in)
 		if err != nil {
 			return nil, "", err
 		}

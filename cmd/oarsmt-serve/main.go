@@ -1,0 +1,113 @@
+// oarsmt-serve is the routing daemon: an HTTP JSON front end over the
+// embeddable batch-inference service of internal/serve.
+//
+// Usage:
+//
+//	oarsmt-serve                          # embedded model, :8931
+//	oarsmt-serve -addr :9000 -model selector.gob -queue 128 -batch 16
+//
+// Endpoints:
+//
+//	POST /route    route a layout (layout JSON body; ?timeout=250ms, ?edges=1)
+//	GET  /healthz  liveness (503 once draining)
+//	GET  /stats    counters: queue depth, batch sizes, cache hit rate, p50/p99
+//
+// SIGINT/SIGTERM triggers a graceful drain: in-flight and queued requests
+// are answered, new ones are refused, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oarsmt/internal/models"
+	"oarsmt/internal/selector"
+	"oarsmt/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-serve: ")
+
+	var (
+		addr        = flag.String("addr", ":8931", "listen address")
+		modelPath   = flag.String("model", "", "trained selector model (default: embedded)")
+		queueSize   = flag.Int("queue", 64, "job queue capacity (overflow returns 429)")
+		maxBatch    = flag.Int("batch", 8, "max layouts per scheduler batch")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long a batch waits for more requests")
+		cacheSize   = flag.Int("cache", 256, "routed-layout LRU capacity (negative disables)")
+		maxVolume   = flag.Int("max-volume", 1<<20, "max Hanan-graph vertices per layout")
+		timeout     = flag.Duration("timeout", 60*time.Second, "default per-request deadline (0 = none)")
+		seq         = flag.Bool("sequential", false, "sequential (n-2 inference) selection mode")
+		noGuard     = flag.Bool("no-guard", false, "disable guarded acceptance")
+		drainWait   = flag.Duration("drain", 30*time.Second, "max graceful-shutdown wait")
+	)
+	flag.Parse()
+
+	sel, err := loadSelector(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := serve.NewService(serve.Config{
+		Selector:            sel,
+		QueueSize:           *queueSize,
+		MaxBatch:            *maxBatch,
+		BatchWindow:         *batchWindow,
+		CacheSize:           *cacheSize,
+		MaxVolume:           *maxVolume,
+		DefaultTimeout:      *timeout,
+		NoGuard:             *noGuard,
+		SequentialInference: *seq,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (queue %d, batch %d, cache %d)",
+		*addr, *queueSize, *maxBatch, *cacheSize)
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("draining...")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	log.Print("drained, bye")
+}
+
+func loadSelector(path string) (*selector.Selector, error) {
+	if path == "" {
+		sel, err := models.New()
+		if err != nil {
+			return nil, errors.New("embedded model unavailable; pass -model selector.gob")
+		}
+		return sel, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return selector.Load(f)
+}

@@ -1,0 +1,161 @@
+// oarsmt-smoke is the serving smoke test driven by `make serve-smoke`: it
+// starts an oarsmt-serve daemon on a free port, waits for /healthz, routes
+// one layout (twice — the repeat must be a cache hit), reads /stats, then
+// sends SIGTERM and verifies the daemon drains and exits 0.
+//
+// Usage:
+//
+//	oarsmt-smoke -bin bin/oarsmt-serve
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"oarsmt/internal/serve"
+)
+
+const smokeLayout = `{"name":"smoke","grid":{"h":6,"v":6,"m":2,"viaCost":2,` +
+	`"dx":[1,1,1,1,1],"dy":[1,1,1,1,1],"blocked":[14,15,50],"pins":[0,5,35,70]}}`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-smoke: ")
+	bin := flag.String("bin", "bin/oarsmt-serve", "oarsmt-serve binary to exercise")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS")
+}
+
+func run(bin string) error {
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(bin, "-addr", addr, "-queue", "16", "-timeout", "30s")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	if err := waitHealthy(base, exited); err != nil {
+		return err
+	}
+
+	first, err := routeOnce(base)
+	if err != nil {
+		return err
+	}
+	if first.Cost <= 0 || first.NumEdges == 0 {
+		return fmt.Errorf("degenerate route response: %+v", first)
+	}
+	log.Printf("routed %q: cost %v, %d edges", first.Name, first.Cost, first.NumEdges)
+
+	second, err := routeOnce(base)
+	if err != nil {
+		return err
+	}
+	if !second.CacheHit {
+		return fmt.Errorf("repeat request was not a cache hit")
+	}
+	if second.Cost != first.Cost {
+		return fmt.Errorf("cached cost %v differs from first %v", second.Cost, first.Cost)
+	}
+
+	res, err := http.Get(base + "/stats")
+	if err != nil {
+		return fmt.Errorf("GET /stats: %w", err)
+	}
+	var st serve.Stats
+	err = json.NewDecoder(res.Body).Decode(&st)
+	res.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode /stats: %w", err)
+	}
+	if st.Completed < 2 || st.CacheHits < 1 {
+		return fmt.Errorf("implausible stats after two routes: %+v", st)
+	}
+	log.Printf("stats: %d completed, %d cache hits, %d inferences", st.Completed, st.CacheHits, st.Inferences)
+
+	// Graceful drain: SIGTERM must make the daemon exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("daemon did not exit within 60s of SIGTERM")
+	}
+	return nil
+}
+
+// freeAddr reserves then releases a loopback port; the tiny reuse race is
+// acceptable for a smoke test.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func waitHealthy(base string, exited <-chan error) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case err := <-exited:
+			return fmt.Errorf("daemon exited before becoming healthy: %v", err)
+		default:
+		}
+		res, err := http.Get(base + "/healthz")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/healthz not ready after 30s (last err: %v)", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func routeOnce(base string) (*serve.Response, error) {
+	res, err := http.Post(base+"/route", "application/json", strings.NewReader(smokeLayout))
+	if err != nil {
+		return nil, fmt.Errorf("POST /route: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(res.Body).Decode(&e)
+		return nil, fmt.Errorf("POST /route = %d: %s", res.StatusCode, e["error"])
+	}
+	var resp serve.Response
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,15 +92,45 @@ type Result struct {
 
 // Route routes the instance.
 func (r *Router) Route(in *layout.Instance) (*Result, error) {
+	return r.RouteCtx(context.Background(), in)
+}
+
+// RouteCtx routes the instance under a cancellation context: the deadline
+// is threaded into every maze-router search, so long constructions on large
+// layouts abort promptly once the context is cancelled. The network
+// inference itself is not interruptible mid-forward; cancellation is
+// checked before it starts and throughout tree construction.
+func (r *Router) RouteCtx(ctx context.Context, in *layout.Instance) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: route %q: %w", in.Name, err)
+	}
+	start := time.Now()
+	sps, inferences := r.Propose(in)
+	return r.Construct(ctx, in, sps, inferences, time.Since(start))
+}
+
+// Propose runs the selection phase alone: the selector's Steiner-point
+// proposal for the instance and the number of network inferences spent.
+// Splitting selection from construction lets a batch scheduler share one
+// selector across many layouts while fanning construction out in parallel;
+// Construct completes the route.
+func (r *Router) Propose(in *layout.Instance) ([]grid.VertexID, int) {
+	return r.propose(in)
+}
+
+// Construct builds the final tree from a Steiner-point proposal — the
+// second phase of RouteCtx, honouring the same cancellation semantics.
+// inferences and selectTime describe the selection phase that produced sps
+// and are copied into the Result for reporting.
+func (r *Router) Construct(ctx context.Context, in *layout.Instance, sps []grid.VertexID, inferences int, selectTime time.Duration) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
-
-	sps, inferences := r.propose(in)
 	res.Proposed = len(sps)
 	res.Inferences = inferences
-	res.SelectTime = time.Since(start)
+	res.SelectTime = selectTime
 
 	router := route.NewRouter(in.Graph)
+	router.SetContext(ctx)
 	// Unlike the Lin18 baseline, construction here is unbounded: the
 	// router's value proposition is tree quality, and bounded windows
 	// (route.Router.BoundedExploration) measurably cede exactly the cost
@@ -141,7 +172,7 @@ func (r *Router) Route(in *layout.Instance) (*Result, error) {
 			res.UsedSteiner = false
 		}
 	}
-	res.TotalTime = time.Since(start)
+	res.TotalTime = selectTime + time.Since(start)
 	return res, nil
 }
 
@@ -181,7 +212,14 @@ func (r *Router) proposeSequential(in *layout.Instance, k int) ([]grid.VertexID,
 // PlainOARMST routes the instance without any Steiner points: the
 // baseline spanning tree of the ST-to-MST metric.
 func PlainOARMST(in *layout.Instance) (*route.Tree, error) {
-	return route.NewRouter(in.Graph).OARMST(in.Pins)
+	return PlainOARMSTCtx(context.Background(), in)
+}
+
+// PlainOARMSTCtx is PlainOARMST under a cancellation context.
+func PlainOARMSTCtx(ctx context.Context, in *layout.Instance) (*route.Tree, error) {
+	r := route.NewRouter(in.Graph)
+	r.SetContext(ctx)
+	return r.OARMST(in.Pins)
 }
 
 // STtoMSTRatio evaluates the router on the instance and returns the

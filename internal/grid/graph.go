@@ -20,7 +20,10 @@
 // step.
 package grid
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // VertexID is the linear index of a grid vertex. IDs are assigned so that
 // increasing ID order equals lexicographic (h, v, m) order.
@@ -87,6 +90,13 @@ func New(h, v, m int, dx, dy []float64, viaCost float64) (*Graph, error) {
 	if h < 1 || v < 1 || m < 1 {
 		return nil, fmt.Errorf("grid: dimensions must be >= 1, got %dx%dx%d", h, v, m)
 	}
+	// VertexID is an int32; reject grids whose linear index space would
+	// overflow it (also guards the h*v*m allocations below against
+	// attacker-controlled dimensions).
+	if int64(h)*int64(v)*int64(m) > math.MaxInt32 {
+		return nil, fmt.Errorf("grid: %dx%dx%d = %d vertices exceeds the %d-vertex limit",
+			h, v, m, int64(h)*int64(v)*int64(m), math.MaxInt32)
+	}
 	if len(dx) != h-1 {
 		return nil, fmt.Errorf("grid: len(dx) = %d, want H-1 = %d", len(dx), h-1)
 	}
@@ -94,17 +104,17 @@ func New(h, v, m int, dx, dy []float64, viaCost float64) (*Graph, error) {
 		return nil, fmt.Errorf("grid: len(dy) = %d, want V-1 = %d", len(dy), v-1)
 	}
 	for i, c := range dx {
-		if c <= 0 {
-			return nil, fmt.Errorf("grid: dx[%d] = %v, want > 0", i, c)
+		if !(c > 0) || math.IsInf(c, 1) {
+			return nil, fmt.Errorf("grid: dx[%d] = %v, want finite > 0", i, c)
 		}
 	}
 	for i, c := range dy {
-		if c <= 0 {
-			return nil, fmt.Errorf("grid: dy[%d] = %v, want > 0", i, c)
+		if !(c > 0) || math.IsInf(c, 1) {
+			return nil, fmt.Errorf("grid: dy[%d] = %v, want finite > 0", i, c)
 		}
 	}
-	if viaCost <= 0 {
-		return nil, fmt.Errorf("grid: via cost = %v, want > 0", viaCost)
+	if !(viaCost > 0) || math.IsInf(viaCost, 1) {
+		return nil, fmt.Errorf("grid: via cost = %v, want finite > 0", viaCost)
 	}
 	return &Graph{
 		H: h, V: v, M: m,
@@ -243,8 +253,8 @@ func (g *Graph) SetLayerScales(hScale, vScale []float64) error {
 			return fmt.Errorf("grid: %s has %d entries for %d layers", name, len(s), g.M)
 		}
 		for i, v := range s {
-			if v <= 0 {
-				return fmt.Errorf("grid: %s[%d] = %v, want > 0", name, i, v)
+			if !(v > 0) || math.IsInf(v, 1) {
+				return fmt.Errorf("grid: %s[%d] = %v, want finite > 0", name, i, v)
 			}
 		}
 		return nil

@@ -1,0 +1,95 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"oarsmt/internal/grid"
+)
+
+// TestDecodeRejectsMalformed feeds the JSON decoder the malformed bodies a
+// routing server must survive: each must produce a descriptive error, and
+// none may panic.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"not json", `{"grid": `, "decode"},
+		{"zero dims", `{"name":"x","grid":{"h":0,"v":4,"m":1,"viaCost":1,"dx":[],"dy":[1,1,1],"pins":[0,1]}}`, "dimensions"},
+		{"negative dims", `{"name":"x","grid":{"h":-3,"v":4,"m":1,"viaCost":1,"dx":[],"dy":[1,1,1],"pins":[0,1]}}`, "dimensions"},
+		{"overflow dims", `{"name":"x","grid":{"h":100000,"v":100000,"m":1000,"viaCost":1,"dx":[],"dy":[],"pins":[0,1]}}`, "exceeds"},
+		{"dx length", `{"name":"x","grid":{"h":3,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,1]}}`, "len(dx)"},
+		{"zero edge cost", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[0],"dy":[1],"pins":[0,1]}}`, "want finite > 0"},
+		{"negative via", `{"name":"x","grid":{"h":2,"v":2,"m":2,"viaCost":-1,"dx":[1],"dy":[1],"pins":[0,1]}}`, "via cost"},
+		{"pin out of range", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,99]}}`, "out of range"},
+		{"negative pin", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[-1,1]}}`, "out of range"},
+		{"blocked pin", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"blocked":[0],"pins":[0,1]}}`, "blocked"},
+		{"blocked out of range", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"blocked":[9],"pins":[0,1]}}`, "out of range"},
+		{"one pin", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0]}}`, "at least 2"},
+		{"duplicate-only pins", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[3,3,3]}}`, "distinct"},
+		{"bad hscale", `{"name":"x","grid":{"h":2,"v":2,"m":2,"viaCost":1,"dx":[1],"dy":[1],"hscale":[1,0],"pins":[0,1]}}`, "HScale"},
+		{"geometric no layers", `{"name":"x","viaCost":1,"pins":[{"x":0,"y":0,"layer":0},{"x":5,"y":5,"layer":0}]}`, "layers"},
+		{"geometric zero via", `{"name":"x","layers":2,"viaCost":0,"pins":[{"x":0,"y":0,"layer":0},{"x":5,"y":5,"layer":0}]}`, "via cost"},
+		{"geometric one pin", `{"name":"x","layers":2,"viaCost":1,"pins":[{"x":0,"y":0,"layer":0}]}`, "pins"},
+		{"geometric pin layer", `{"name":"x","layers":2,"viaCost":1,"pins":[{"x":0,"y":0,"layer":5},{"x":5,"y":5,"layer":0}]}`, "layer"},
+		{"geometric obstacle layer", `{"name":"x","layers":2,"viaCost":1,"pins":[{"x":0,"y":0,"layer":0},{"x":9,"y":9,"layer":0}],"obstacles":[{"x1":2,"y1":2,"x2":4,"y2":4,"layer":7}]}`, "obstacle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("Decode accepted malformed body %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Decode error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeWithLimit checks the pre-allocation volume budget of the grid
+// form and the post-construction budget of the geometric form.
+func TestDecodeWithLimit(t *testing.T) {
+	big := `{"name":"big","grid":{"h":100,"v":100,"m":4,"viaCost":1,` +
+		`"dx":` + ones(99) + `,"dy":` + ones(99) + `,"pins":[0,1]}}`
+	if _, err := DecodeWithLimit(strings.NewReader(big), 1000); err == nil {
+		t.Fatal("DecodeWithLimit accepted a 40000-vertex grid with a 1000-vertex budget")
+	}
+	if _, err := DecodeWithLimit(strings.NewReader(big), 0); err != nil {
+		t.Fatalf("unlimited decode failed: %v", err)
+	}
+	small := `{"name":"small","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0,3]}}`
+	if _, err := DecodeWithLimit(strings.NewReader(small), 1000); err != nil {
+		t.Fatalf("DecodeWithLimit rejected a valid small grid: %v", err)
+	}
+}
+
+// TestGridRejectsNaN exercises the non-finite cost checks directly (JSON
+// cannot carry NaN, but programmatic construction can).
+func TestGridRejectsNaN(t *testing.T) {
+	if _, err := grid.New(2, 2, 1, []float64{math.NaN()}, []float64{1}, 1); err == nil {
+		t.Fatal("grid.New accepted NaN dx")
+	}
+	if _, err := grid.New(2, 2, 1, []float64{1}, []float64{math.Inf(1)}, 1); err == nil {
+		t.Fatal("grid.New accepted +Inf dy")
+	}
+	if _, err := grid.New(2, 2, 1, []float64{1}, []float64{1}, math.NaN()); err == nil {
+		t.Fatal("grid.New accepted NaN via cost")
+	}
+	g, err := grid.New(2, 2, 2, []float64{1}, []float64{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetLayerScales([]float64{1, math.NaN()}, nil); err == nil {
+		t.Fatal("SetLayerScales accepted NaN")
+	}
+}
+
+func ones(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = "1"
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

@@ -103,14 +103,39 @@ func EncodeInstance(w io.Writer, in *Instance) error {
 // Decode reads a JSON layout in either form and returns the grid-form
 // instance, converting geometric layouts through the Hanan construction.
 func Decode(rd io.Reader) (*Instance, error) {
+	return DecodeWithLimit(rd, 0)
+}
+
+// DecodeWithLimit is Decode with a cap on the decoded instance's Hanan
+// graph volume (vertex count). The grid form is checked before the graph
+// is allocated, so a hostile request body cannot force a huge allocation;
+// the geometric form (whose Hanan volume is bounded by the coordinate
+// count of the body itself) is checked after construction. A limit <= 0
+// means unlimited. Every malformed input returns a descriptive error;
+// nothing in this path panics.
+func DecodeWithLimit(rd io.Reader, maxVertices int) (*Instance, error) {
 	var jl jsonLayout
 	if err := json.NewDecoder(rd).Decode(&jl); err != nil {
 		return nil, fmt.Errorf("layout: decode: %w", err)
 	}
 	if jl.Grid != nil {
+		jg := jl.Grid
+		if maxVertices > 0 && (jg.H < 1 || jg.V < 1 || jg.M < 1 ||
+			int64(jg.H)*int64(jg.V)*int64(jg.M) > int64(maxVertices)) {
+			return nil, fmt.Errorf("layout %q: grid %dx%dx%d outside the 1..%d vertex budget",
+				jl.Name, jg.H, jg.V, jg.M, maxVertices)
+		}
 		return decodeGrid(&jl)
 	}
-	return decodeGeometric(&jl)
+	in, err := decodeGeometric(&jl)
+	if err != nil {
+		return nil, err
+	}
+	if maxVertices > 0 && in.Graph.NumVertices() > maxVertices {
+		return nil, fmt.Errorf("layout %q: Hanan graph has %d vertices, budget is %d",
+			jl.Name, in.Graph.NumVertices(), maxVertices)
+	}
+	return in, nil
 }
 
 func decodeGeometric(jl *jsonLayout) (*Instance, error) {
@@ -150,14 +175,21 @@ func decodeGrid(jl *jsonLayout) (*Instance, error) {
 		return nil, fmt.Errorf("layout %q: %d pins, need at least 2", jl.Name, len(jg.Pins))
 	}
 	pins := make([]grid.VertexID, len(jg.Pins))
+	distinct := map[int32]struct{}{}
 	for i, id := range jg.Pins {
 		if id < 0 || int(id) >= n {
-			return nil, fmt.Errorf("layout %q: pin %d out of range", jl.Name, id)
+			return nil, fmt.Errorf("layout %q: pin %d out of range [0, %d)", jl.Name, id, n)
 		}
 		if g.Blocked(grid.VertexID(id)) {
-			return nil, fmt.Errorf("layout %q: pin %d is blocked", jl.Name, id)
+			return nil, fmt.Errorf("layout %q: pin %d at %v is blocked by an obstacle",
+				jl.Name, id, g.CoordOf(grid.VertexID(id)))
 		}
 		pins[i] = grid.VertexID(id)
+		distinct[id] = struct{}{}
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("layout %q: %d pins but only %d distinct, need at least 2",
+			jl.Name, len(jg.Pins), len(distinct))
 	}
 	return &Instance{Name: jl.Name, Graph: g, Pins: pins}, nil
 }

@@ -13,6 +13,7 @@ package layout
 
 import (
 	"fmt"
+	"math"
 
 	"oarsmt/internal/geom"
 	"oarsmt/internal/grid"
@@ -51,8 +52,8 @@ func (l *Layout) Validate() error {
 	if l.Layers < 1 {
 		return fmt.Errorf("layout %q: layers = %d", l.Name, l.Layers)
 	}
-	if l.ViaCost <= 0 {
-		return fmt.Errorf("layout %q: via cost = %v", l.Name, l.ViaCost)
+	if !(l.ViaCost > 0) || math.IsInf(l.ViaCost, 1) {
+		return fmt.Errorf("layout %q: via cost = %v, want finite > 0", l.Name, l.ViaCost)
 	}
 	if len(l.Pins) < 2 {
 		return fmt.Errorf("layout %q: %d pins, need at least 2", l.Name, len(l.Pins))

@@ -1,0 +1,43 @@
+package mcts
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/layout"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+// TestSearchCtxCancelled checks a cancelled context interrupts an episode
+// with the context's error instead of a partial sample.
+func TestSearchCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sel, err := selector.NewRandom(rng, nn.DefaultUNetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := layout.Random(rng, layout.RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2,
+		MinPins: 5, MaxPins: 5, MinObstacles: 4, MaxObstacles: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SearchCtx(ctx, sel, in, Config{Iterations: 8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchCtx with cancelled context: err = %v, want context.Canceled", err)
+	}
+
+	// The background path must still complete.
+	res, err := SearchCtx(context.Background(), sel, in, Config{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RootCost <= 0 {
+		t.Fatalf("RootCost = %v, want > 0", res.RootCost)
+	}
+}

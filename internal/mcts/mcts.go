@@ -19,6 +19,7 @@
 package mcts
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -215,7 +216,13 @@ func (s *Searcher) alpha() int {
 
 // Run plays one full episode: α iterations per executed action until the
 // root becomes terminal, then extracts the training sample.
-func (s *Searcher) Run() (*Result, error) {
+func (s *Searcher) Run() (*Result, error) { return s.RunCtx(context.Background()) }
+
+// RunCtx is Run with cancellation: the context is polled once per search
+// iteration (each iteration routes a handful of OARMSTs, so cancellation
+// lands promptly), and a cancelled episode returns the context's error
+// instead of a partial sample.
+func (s *Searcher) RunCtx(ctx context.Context) (*Result, error) {
 	var executed []grid.VertexID
 	var rootActions []ActionStat
 	alpha := s.alpha()
@@ -223,6 +230,9 @@ func (s *Searcher) Run() (*Result, error) {
 
 	for !s.rootTerminal() {
 		for i := 0; i < alpha; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mcts: episode on %q: %w", s.in.Name, err)
+			}
 			s.iterate(maxDepth)
 		}
 		if rootActions == nil {
@@ -579,9 +589,14 @@ func (s *Searcher) bestRootAction() int {
 // Search runs one full combinatorial MCTS episode on the instance and
 // returns its result.
 func Search(sel *selector.Selector, in *layout.Instance, cfg Config) (*Result, error) {
+	return SearchCtx(context.Background(), sel, in, cfg)
+}
+
+// SearchCtx is Search with cancellation; see Searcher.RunCtx.
+func SearchCtx(ctx context.Context, sel *selector.Selector, in *layout.Instance, cfg Config) (*Result, error) {
 	s, err := NewSearcher(sel, in, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunCtx(ctx)
 }

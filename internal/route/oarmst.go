@@ -39,6 +39,9 @@ func (r *Router) OARMST(terminals []grid.VertexID) (*Tree, error) {
 	// list is maintained incrementally as paths join the tree.
 	sources := []grid.VertexID{terms[0]}
 	for len(remaining) > 0 {
+		if r.cancelled() {
+			return nil, fmt.Errorf("route: OARMST: %w", r.ctxErr)
+		}
 		isTarget := func(v grid.VertexID) bool {
 			_, isTerm := remaining[v]
 			return isTerm
@@ -61,9 +64,15 @@ func (r *Router) OARMST(terminals []grid.VertexID) (*Tree, error) {
 			r.Bounds = nil
 		}
 		if !ok {
+			if r.ctxErr != nil {
+				return nil, fmt.Errorf("route: OARMST: %w", r.ctxErr)
+			}
 			path, _, ok = r.ShortestToTarget(sources, isTarget)
 		}
 		if !ok {
+			if r.ctxErr != nil {
+				return nil, fmt.Errorf("route: OARMST: %w", r.ctxErr)
+			}
 			// Report a deterministic representative of the unreachable set.
 			var worst grid.VertexID = -1
 			for v := range remaining {
@@ -117,6 +126,9 @@ func (r *Router) SteinerTree(pins, steiner []grid.VertexID) (*SteinerResult, err
 	// a pocket could never join the tree, so reachability from the pins is
 	// part of validity.
 	reachable := r.reachableFrom(ps[0])
+	if r.ctxErr != nil {
+		return nil, fmt.Errorf("route: SteinerTree: %w", r.ctxErr)
+	}
 	sps := make([]grid.VertexID, 0, len(steiner))
 	for _, s := range dedupSorted(steiner) {
 		if _, isPin := pinSet[s]; isPin || r.g.Blocked(s) || !reachable[s] {
@@ -182,7 +194,12 @@ func (r *Router) reachableFrom(from grid.VertexID) []bool {
 	reached[from] = true
 	queue := []grid.VertexID{from}
 	var buf []grid.Neighbor
+	visits := 0
 	for len(queue) > 0 {
+		visits++
+		if visits%ctxCheckInterval == 0 && r.cancelled() {
+			return reached // partial; callers must consult r.ctxErr
+		}
 		v := queue[0]
 		queue = queue[1:]
 		buf = r.g.Neighbors(v, buf[:0])

@@ -32,6 +32,11 @@ func (r *Router) Retrace(t *Tree, terminals []grid.VertexID, maxPasses int) (*Tr
 
 	improvedPasses := 0
 	for pass := 0; pass < maxPasses; pass++ {
+		if r.cancelled() {
+			// A cancelled retrace returns the best tree found so far; the
+			// tree builders surface the deadline, retracing never has to.
+			break
+		}
 		improved := false
 		for _, term := range terms {
 			if len(adj[term]) != 1 {

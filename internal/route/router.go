@@ -11,10 +11,15 @@
 package route
 
 import (
+	"context"
 	"fmt"
 
 	"oarsmt/internal/grid"
 )
+
+// ctxCheckInterval is how many heap pops (or BFS visits) pass between
+// context checks; a power of two keeps the check a cheap mask-and-branch.
+const ctxCheckInterval = 1024
 
 // Router runs maze-routing searches over a fixed grid graph.
 type Router struct {
@@ -27,6 +32,12 @@ type Router struct {
 
 	heap   pairHeap
 	nbrBuf []grid.Neighbor
+
+	// ctx, when non-nil, is consulted every ctxCheckInterval heap pops;
+	// a cancelled search aborts with ok == false and records the cause in
+	// ctxErr so the tree builders can surface it as an error.
+	ctx    context.Context
+	ctxErr error
 
 	// Bounds, when non-nil, restricts every search to the given grid-space
 	// box. Used by the bounded-exploration baseline ([14]); searches that
@@ -102,6 +113,35 @@ func NewRouter(g *grid.Graph) *Router {
 // Graph returns the graph the router operates on.
 func (r *Router) Graph() *grid.Graph { return r.g }
 
+// SetContext installs a cancellation context on the router: subsequent
+// searches poll it periodically and abort once it is cancelled, making
+// per-request deadlines effective even inside long Dijkstra expansions on
+// large graphs. A nil context (the default) disables polling.
+func (r *Router) SetContext(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil // never cancelled: skip the polling entirely
+	}
+	r.ctx = ctx
+	r.ctxErr = nil
+}
+
+// Err returns the context error that aborted the most recent search, or
+// nil when the search ran to completion.
+func (r *Router) Err() error { return r.ctxErr }
+
+// cancelled polls the installed context; it records and reports the
+// cancellation cause.
+func (r *Router) cancelled() bool {
+	if r.ctx == nil {
+		return false
+	}
+	if err := r.ctx.Err(); err != nil {
+		r.ctxErr = err
+		return true
+	}
+	return false
+}
+
 func (r *Router) nextEpoch() {
 	r.epoch++
 	if r.epoch == 0 { // wrapped: clear tags and restart
@@ -119,7 +159,9 @@ func (r *Router) nextEpoch() {
 // reachable (within the bounds, if set).
 func (r *Router) ShortestToTarget(sources []grid.VertexID, isTarget func(grid.VertexID) bool) (path []grid.VertexID, cost float64, ok bool) {
 	r.nextEpoch()
+	r.ctxErr = nil
 	r.heap = r.heap[:0]
+	pops := 0
 	for _, s := range sources {
 		if r.g.Blocked(s) {
 			continue
@@ -136,6 +178,10 @@ func (r *Router) ShortestToTarget(sources []grid.VertexID, isTarget func(grid.Ve
 		r.heap.push(pair{0, s})
 	}
 	for len(r.heap) > 0 {
+		pops++
+		if pops%ctxCheckInterval == 0 && r.cancelled() {
+			return nil, 0, false
+		}
 		p := r.heap.pop()
 		if p.d > r.dist[p.id] { // stale entry
 			continue

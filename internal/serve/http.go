@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"oarsmt/internal/layout"
+)
+
+// maxBodyBytes bounds a /route request body; layouts are JSON and even
+// dense 256x256x4 obstacle grids fit comfortably.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /route    — route one layout (JSON body, layout.Decode format);
+//	                 query: timeout=250ms caps the request deadline,
+//	                 edges=1 includes the routed tree in the response
+//	GET  /healthz  — 200 "ok" while serving, 503 "draining" after Close
+//	GET  /stats    — JSON counters snapshot (Stats)
+//
+// Queue overflow maps to 429 with Retry-After; oversized or malformed
+// layouts to 4xx; deadline expiry to 504.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	in, err := layout.DecodeWithLimit(body, s.cfg.MaxVolume)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "timeout: want a positive duration like 250ms")
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	resp, err := s.Submit(ctx, in)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrTooLarge):
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			httpError(w, http.StatusGatewayTimeout, err.Error())
+		default:
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+		}
+		return
+	}
+	if r.URL.Query().Get("edges") == "" {
+		resp.Edges = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Closed() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

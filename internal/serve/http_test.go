@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallLayoutJSON is a 3x3x2 grid-form layout with two pins, tiny enough
+// for instant routing in HTTP tests.
+const smallLayoutJSON = `{"name":"t","grid":{"h":3,"v":3,"m":2,"viaCost":2,` +
+	`"dx":[1,1],"dy":[1,1],"pins":[0,8]}}`
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newTestService(t, cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func TestHTTPRoute(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+
+	res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST /route = %d, want 200", res.StatusCode)
+	}
+	var resp Response
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost <= 0 || resp.NumEdges == 0 {
+		t.Errorf("degenerate response: %+v", resp)
+	}
+	if resp.Edges != nil {
+		t.Error("edges included without edges=1")
+	}
+
+	res2, err := http.Post(srv.URL+"/route?edges=1", "application/json", strings.NewReader(smallLayoutJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var resp2 Response
+	if err := json.NewDecoder(res2.Body).Decode(&resp2); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Edges) != resp2.NumEdges {
+		t.Errorf("edges=1 returned %d edges, numEdges says %d", len(resp2.Edges), resp2.NumEdges)
+	}
+	if !resp2.CacheHit {
+		t.Error("second identical request missed the cache")
+	}
+}
+
+func TestHTTPRouteRejectsMalformed(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad json", `{"grid":`, http.StatusBadRequest},
+		{"one pin", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0]}}`, http.StatusBadRequest},
+		{"oversized grid", `{"name":"x","grid":{"h":9999,"v":9999,"m":99,"viaCost":1,"dx":[],"dy":[],"pins":[0,1]}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Body.Close()
+			if res.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", res.StatusCode, tc.want)
+			}
+		})
+	}
+
+	res, err := http.Get(srv.URL + "/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /route = %d, want 405", res.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	gate := make(chan struct{})
+	s, srv := newTestServer(t, Config{QueueSize: 1, CacheSize: -1, gate: gate})
+	gateOpen := false
+	defer func() {
+		if !gateOpen {
+			close(gate)
+		}
+	}()
+
+	// Occupy the single queue slot (the scheduler is gated, so the job
+	// stays queued until the gate opens).
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
+		if err == nil {
+			res.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	other := `{"name":"u","grid":{"h":3,"v":3,"m":2,"viaCost":2,"dx":[1,1],"dy":[1,1],"pins":[1,7]}}`
+	res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request = %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	close(gate) // release the scheduler so the held request completes
+	gateOpen = true
+	<-hold
+}
+
+func TestHTTPTimeout504(t *testing.T) {
+	gate := make(chan struct{})
+	_, srv := newTestServer(t, Config{gate: gate})
+	defer close(gate)
+
+	// The scheduler is gated, so the 1ns deadline always expires queued.
+	res, err := http.Post(srv.URL+"/route?timeout=1ns", "application/json", strings.NewReader(smallLayoutJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired request = %d, want 504", res.StatusCode)
+	}
+
+	res2, err := http.Post(srv.URL+"/route?timeout=banana", "application/json", strings.NewReader(smallLayoutJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout = %d, want 400", res2.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	s, srv := newTestServer(t, Config{})
+
+	res, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", res.StatusCode)
+	}
+
+	post, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+
+	sres, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sres.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sres.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed < 1 || st.QueueCapacity == 0 || st.UptimeSeconds < 0 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+
+	s.Close()
+	hres, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close /healthz = %d, want 503", hres.StatusCode)
+	}
+}

@@ -1,0 +1,572 @@
+// Package serve is the embeddable routing service of the repository: a
+// long-running front end that amortizes model load and batches inference
+// over the one-shot routing pipeline of internal/core.
+//
+// Requests enter a bounded job queue (backpressure: a full queue sheds
+// load with ErrQueueFull, which the HTTP layer maps to 429 + Retry-After).
+// A scheduler goroutine drains the queue, groups queued layouts into
+// same-size batches — the same-size grouping of internal/rl's Fig 9
+// training batches, reused here so one shared selector serves a whole
+// group with one inference per distinct layout — and fans the OARMST
+// constructions out on the internal/parallel worker pool. Results are
+// memoized in an LRU keyed by the augmentation-normalized canonical
+// layout hash, so any of the 16 symmetric orientations of a layout hits
+// the same entry. Per-request deadlines travel as context.Context through
+// internal/core and internal/route, interrupting even long Dijkstra
+// expansions.
+//
+// The package is stdlib-only and embeddable; cmd/oarsmt-serve wraps it in
+// an HTTP daemon.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oarsmt/internal/core"
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/parallel"
+	"oarsmt/internal/route"
+	"oarsmt/internal/selector"
+)
+
+// Sentinel errors of the service surface.
+var (
+	// ErrQueueFull is returned when the bounded job queue is at capacity;
+	// clients should back off and retry (HTTP 429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrClosed is returned once the service has begun draining.
+	ErrClosed = errors.New("serve: service closed")
+	// ErrTooLarge is returned for layouts above Config.MaxVolume.
+	ErrTooLarge = errors.New("serve: layout exceeds the volume budget")
+)
+
+// Config parameterises a Service.
+type Config struct {
+	// Selector is the trained Steiner-point selector shared by every
+	// request. Required. The service owns it: selector inference caches
+	// activations and must stay on the scheduler goroutine.
+	Selector *selector.Selector
+	// QueueSize bounds the job queue; <= 0 means 64.
+	QueueSize int
+	// MaxBatch caps how many queued jobs one scheduler pass drains;
+	// <= 0 means 8, 1 disables batching.
+	MaxBatch int
+	// BatchWindow is how long a draining pass waits for more queued jobs
+	// after the first; <= 0 means 2ms.
+	BatchWindow time.Duration
+	// CacheSize is the LRU capacity in routed layouts; 0 means 256,
+	// negative disables caching.
+	CacheSize int
+	// MaxVolume rejects layouts with more Hanan-graph vertices (guards
+	// both decode-time allocation and per-request CPU); <= 0 means 1<<20.
+	MaxVolume int
+	// DefaultTimeout is applied to requests whose context has no
+	// deadline; <= 0 leaves them unbounded.
+	DefaultTimeout time.Duration
+	// RetracePasses and GuardedAcceptance configure the underlying
+	// core.Router; NewService defaults them to core.NewRouter's settings
+	// (one pass, guarded).
+	RetracePasses     int
+	NoGuard           bool
+	SequentialInference bool
+
+	// gate, when non-nil, is waited on before every scheduler pass; test
+	// hook for deterministically holding the queue full.
+	gate chan struct{}
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxVolume <= 0 {
+		c.MaxVolume = 1 << 20
+	}
+	if c.RetracePasses == 0 {
+		c.RetracePasses = 1
+	}
+	return c
+}
+
+// Coord3 is a grid coordinate in a JSON-friendly shape.
+type Coord3 struct {
+	H int `json:"h"`
+	V int `json:"v"`
+	M int `json:"m"`
+}
+
+// Response is the answer to one routing request.
+type Response struct {
+	Name          string   `json:"name,omitempty"`
+	Cost          float64  `json:"cost"`
+	HorWirelength float64  `json:"horWirelength"`
+	VerWirelength float64  `json:"verWirelength"`
+	ViaWirelength float64  `json:"viaWirelength"`
+	NumEdges      int      `json:"numEdges"`
+	SteinerPoints []Coord3 `json:"steinerPoints"`
+	UsedSteiner   bool     `json:"usedSteiner"`
+	Proposed      int      `json:"proposed"`
+	CacheHit      bool     `json:"cacheHit"`
+	BatchSize     int      `json:"batchSize"`
+	ElapsedMillis float64  `json:"elapsedMillis"`
+	// Edges is the full routed tree; populated only when requested.
+	Edges [][2]Coord3 `json:"edges,omitempty"`
+}
+
+// job is one queued request.
+type job struct {
+	ctx      context.Context
+	in       *layout.Instance
+	key      cacheKey
+	toCanon  grid.Aug
+	enqueued time.Time
+
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// Service is the embeddable routing service. Create one with NewService
+// and shut it down with Close.
+type Service struct {
+	cfg    Config
+	router *core.Router
+	queue  chan *job
+	cache  *lruCache // nil when caching is disabled
+
+	mu     sync.RWMutex // serializes enqueue against Close
+	closed bool
+
+	done  chan struct{} // scheduler exited
+	start time.Time
+	ctr   counters
+}
+
+// NewService starts a service (and its scheduler goroutine) over the
+// configuration.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Selector == nil {
+		return nil, fmt.Errorf("serve: Config.Selector is required")
+	}
+	cfg = cfg.withDefaults()
+	r := core.NewRouter(cfg.Selector)
+	r.RetracePasses = cfg.RetracePasses
+	if cfg.RetracePasses < 0 {
+		r.RetracePasses = 0
+	}
+	r.GuardedAcceptance = !cfg.NoGuard
+	if cfg.SequentialInference {
+		r.Mode = core.Sequential
+	}
+	s := &Service{
+		cfg:    cfg,
+		router: r,
+		queue:  make(chan *job, cfg.QueueSize),
+		done:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	go s.run()
+	return s, nil
+}
+
+// Closed reports whether the service has begun draining.
+func (s *Service) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Close drains the service: new submissions are rejected with ErrClosed,
+// every already-queued job is still routed and answered, and Close
+// returns once the scheduler has exited. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// Submit routes one instance through the service: cache lookup, then the
+// batching queue. It blocks until the response is ready, the queue
+// rejects the job, or ctx is cancelled.
+func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, error) {
+	if in == nil || in.Graph == nil {
+		return nil, fmt.Errorf("serve: nil instance")
+	}
+	if in.Graph.NumVertices() > s.cfg.MaxVolume {
+		return nil, fmt.Errorf("%w: %d vertices, budget %d",
+			ErrTooLarge, in.Graph.NumVertices(), s.cfg.MaxVolume)
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+
+	start := time.Now()
+	key, toCanon := canonicalize(in)
+	if resp, ok := s.lookup(in, key, toCanon, start); ok {
+		return resp, nil
+	}
+	s.ctr.cacheMisses.Add(1)
+
+	j := &job{ctx: ctx, in: in, key: key, toCanon: toCanon, enqueued: start, done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.ctr.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.ctr.submitted.Add(1)
+
+	select {
+	case <-j.done:
+		return j.resp, j.err
+	case <-ctx.Done():
+		// The scheduler observes the same context and will answer the job
+		// with the cancellation; reporting it here keeps latency honest.
+		return nil, ctx.Err()
+	}
+}
+
+// lookup serves a request straight from the cache when possible.
+func (s *Service) lookup(in *layout.Instance, key cacheKey, toCanon grid.Aug, start time.Time) (*Response, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	e, ok := s.cache.get(key)
+	if !ok {
+		return nil, false
+	}
+	tree, steiner, ok := treeFromEntry(in, toCanon, e)
+	if !ok {
+		return nil, false
+	}
+	s.ctr.cacheHits.Add(1)
+	s.ctr.submitted.Add(1)
+	s.ctr.completed.Add(1)
+	resp := s.buildResponse(in, tree, steiner, e.usedSteiner, e.proposed, start)
+	resp.CacheHit = true
+	s.ctr.lat.record(time.Since(start))
+	return resp, true
+}
+
+// buildResponse shapes a routed tree into the wire response.
+func (s *Service) buildResponse(in *layout.Instance, tree *route.Tree, steiner []grid.VertexID, usedSteiner bool, proposed int, start time.Time) *Response {
+	g := in.Graph
+	hor, ver, via := tree.WirelengthByAxis(g)
+	resp := &Response{
+		Name:          in.Name,
+		Cost:          tree.Cost,
+		HorWirelength: hor,
+		VerWirelength: ver,
+		ViaWirelength: via,
+		NumEdges:      len(tree.Edges),
+		SteinerPoints: make([]Coord3, 0, len(steiner)),
+		UsedSteiner:   usedSteiner,
+		Proposed:      proposed,
+		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, sp := range steiner {
+		c := g.CoordOf(sp)
+		resp.SteinerPoints = append(resp.SteinerPoints, Coord3{H: c.H, V: c.V, M: c.M})
+	}
+	resp.Edges = make([][2]Coord3, 0, len(tree.Edges))
+	for _, e := range tree.Edges {
+		ca, cb := g.CoordOf(e.A), g.CoordOf(e.B)
+		resp.Edges = append(resp.Edges, [2]Coord3{
+			{H: ca.H, V: ca.V, M: ca.M},
+			{H: cb.H, V: cb.V, M: cb.M},
+		})
+	}
+	return resp
+}
+
+// run is the scheduler: it drains the queue in batches, groups each drain
+// by grid dimensions, and processes the groups.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		if s.cfg.gate != nil {
+			<-s.cfg.gate
+		}
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := s.drainBatch(first)
+		for _, group := range groupByDims(batch) {
+			s.processGroup(group)
+		}
+	}
+}
+
+// drainBatch collects up to MaxBatch queued jobs, waiting at most
+// BatchWindow after the first for stragglers.
+func (s *Service) drainBatch(first *job) []*job {
+	batch := []*job{first}
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// groupByDims splits a drained batch into same-size groups, preserving
+// arrival order within and across groups.
+func groupByDims(batch []*job) [][]*job {
+	var order [][3]int
+	groups := map[[3]int][]*job{}
+	for _, j := range batch {
+		g := j.in.Graph
+		key := [3]int{g.H, g.V, g.M}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], j)
+	}
+	out := make([][]*job, 0, len(order))
+	for _, key := range order {
+		out = append(out, groups[key])
+	}
+	return out
+}
+
+// rep is one distinct layout of a group: the representative instance plus
+// every job that asked for it (possibly in different orientations).
+type rep struct {
+	jobs []*job
+	sps  []grid.VertexID
+	inf  int
+	skip bool // answered from cache or wholly cancelled
+}
+
+// processGroup serves one same-size group: one shared-selector inference
+// per distinct layout (serial — the selector is not goroutine-safe), then
+// parallel OARMST construction over the distinct layouts.
+func (s *Service) processGroup(group []*job) {
+	batchSize := len(group)
+	s.ctr.observeBatch(batchSize)
+
+	// Dedup by canonical key, preserving arrival order.
+	var reps []*rep
+	byKey := map[cacheKey]*rep{}
+	for _, j := range group {
+		if r, ok := byKey[j.key]; ok {
+			r.jobs = append(r.jobs, j)
+			continue
+		}
+		r := &rep{jobs: []*job{j}}
+		byKey[j.key] = r
+		reps = append(reps, r)
+	}
+
+	// Phase 1 (serial): cache re-check and shared selector inference.
+	for _, r := range reps {
+		lead := r.lead()
+		if lead == nil {
+			// Every requester gave up while queued: shed the work.
+			for _, j := range r.jobs {
+				s.finish(j, nil, j.ctx.Err())
+			}
+			r.skip = true
+			continue
+		}
+		if s.cache != nil {
+			if e, ok := s.cache.get(lead.key); ok {
+				// The layout was routed between enqueue and drain: a
+				// cache hit for every job of the rep.
+				s.ctr.cacheHits.Add(int64(len(r.jobs)))
+				for _, j := range s.answerFromEntry(r, e, batchSize, true) {
+					s.routeFallback(j, batchSize)
+				}
+				r.skip = true
+				continue
+			}
+		}
+		r.sps, r.inf = s.router.Propose(lead.in)
+		s.ctr.inferences.Add(int64(r.inf))
+	}
+
+	// Phase 2 (parallel): OARMST construction per distinct layout, one
+	// worker-private router each (core.Construct builds its own). Jobs
+	// whose entry mapping fails (hash collision) are deferred; the
+	// fallback re-route touches the shared selector and must stay serial.
+	live := make([]*rep, 0, len(reps))
+	for _, r := range reps {
+		if !r.skip {
+			live = append(live, r)
+		}
+	}
+	fallback := make([][]*job, len(live))
+	parallel.For(len(live), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := live[i]
+			lead := r.lead()
+			if lead == nil {
+				for _, j := range r.jobs {
+					s.finish(j, nil, j.ctx.Err())
+				}
+				continue
+			}
+			res, err := s.router.Construct(lead.ctx, lead.in, r.sps, r.inf, 0)
+			if err != nil {
+				r.errOut(s, err)
+				continue
+			}
+			e := entryFromTree(lead.in, lead.toCanon, res.Tree, res.SteinerPoints, res.UsedSteiner, res.Proposed)
+			if s.cache != nil {
+				s.cache.add(lead.key, e)
+			}
+			fallback[i] = s.answerFromEntry(r, e, batchSize, false)
+		}
+	})
+
+	// Phase 3 (serial): collision fallbacks, routed individually — the
+	// re-route runs the shared selector, so it cannot live in phase 2.
+	for _, jobs := range fallback {
+		for _, j := range jobs {
+			s.routeFallback(j, batchSize)
+		}
+	}
+}
+
+// routeFallback answers one job with a direct (unbatched, uncached) route.
+// Must run on the scheduler goroutine: it uses the shared selector.
+func (s *Service) routeFallback(j *job, batchSize int) {
+	res, err := s.router.RouteCtx(j.ctx, j.in)
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	s.ctr.inferences.Add(int64(res.Inferences))
+	resp := s.buildResponse(j.in, res.Tree, res.SteinerPoints, res.UsedSteiner, res.Proposed, j.enqueued)
+	resp.BatchSize = batchSize
+	s.finish(j, resp, nil)
+}
+
+// lead returns the first job of the rep whose context is still live, or
+// nil when all have been cancelled.
+func (r *rep) lead() *job {
+	for _, j := range r.jobs {
+		if j.ctx.Err() == nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// errOut answers every job of the rep with the error.
+func (r *rep) errOut(s *Service, err error) {
+	for _, j := range r.jobs {
+		s.finish(j, nil, err)
+	}
+}
+
+// answerFromEntry maps a canonical-space entry into each requesting job's
+// own orientation and answers it. It returns the jobs whose mapping failed
+// (possible only under a hash collision); the caller re-routes those
+// serially via routeFallback.
+func (s *Service) answerFromEntry(r *rep, e *cacheEntry, batchSize int, cacheHit bool) []*job {
+	var fallback []*job
+	for _, j := range r.jobs {
+		if err := j.ctx.Err(); err != nil {
+			s.finish(j, nil, err)
+			continue
+		}
+		tree, steiner, ok := treeFromEntry(j.in, j.toCanon, e)
+		if !ok {
+			fallback = append(fallback, j)
+			continue
+		}
+		resp := s.buildResponse(j.in, tree, steiner, e.usedSteiner, e.proposed, j.enqueued)
+		resp.BatchSize = batchSize
+		resp.CacheHit = cacheHit
+		s.finish(j, resp, nil)
+	}
+	return fallback
+}
+
+// finish answers a job exactly once and records latency.
+func (s *Service) finish(j *job, resp *Response, err error) {
+	j.resp, j.err = resp, err
+	if err != nil {
+		s.ctr.failed.Add(1)
+	} else {
+		s.ctr.completed.Add(1)
+	}
+	s.ctr.lat.record(time.Since(j.enqueued))
+	close(j.done)
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueSize,
+		Submitted:     s.ctr.submitted.Load(),
+		Completed:     s.ctr.completed.Load(),
+		Failed:        s.ctr.failed.Load(),
+		Rejected:      s.ctr.rejected.Load(),
+		CacheHits:     s.ctr.cacheHits.Load(),
+		CacheMisses:   s.ctr.cacheMisses.Load(),
+		Inferences:    s.ctr.inferences.Load(),
+		Batches:       s.ctr.batches.Load(),
+		BatchedJobs:   s.ctr.batchedJobs.Load(),
+		MaxBatch:      s.ctr.maxBatch.Load(),
+		P50Millis:     float64(s.ctr.lat.percentile(0.50).Microseconds()) / 1000,
+		P99Millis:     float64(s.ctr.lat.percentile(0.99).Microseconds()) / 1000,
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.BatchedJobs) / float64(st.Batches)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return st
+}

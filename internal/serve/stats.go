@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the number of power-of-two latency buckets: bucket i
+// counts requests whose latency fell in [2^i µs, 2^(i+1) µs), which spans
+// 1 µs up to ~35 minutes.
+const latBuckets = 32
+
+// latencyHist is a lock-free fixed-bucket latency histogram good enough
+// for p50/p99 reporting; percentiles are upper bounds of the bucket the
+// rank lands in, so they are conservative by at most 2x.
+type latencyHist struct {
+	counts [latBuckets]atomic.Int64
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < latBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+}
+
+// percentile returns an upper bound of the p-quantile (p in (0, 1]) of the
+// recorded latencies, or 0 when nothing was recorded.
+func (h *latencyHist) percentile(p float64) time.Duration {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<uint(latBuckets)) * time.Microsecond
+}
+
+// counters are the service's expvar-style metrics. All fields are atomics;
+// a consistent-enough snapshot is taken field by field.
+type counters struct {
+	submitted   atomic.Int64 // requests accepted (queued or served from cache)
+	completed   atomic.Int64 // jobs answered successfully
+	failed      atomic.Int64 // jobs answered with an error
+	rejected    atomic.Int64 // submissions shed with ErrQueueFull (HTTP 429)
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	batches     atomic.Int64 // same-size groups processed
+	batchedJobs atomic.Int64 // jobs carried by those groups
+	maxBatch    atomic.Int64
+	inferences  atomic.Int64 // selector network inferences spent
+	lat         latencyHist
+}
+
+func (c *counters) observeBatch(n int) {
+	c.batches.Add(1)
+	c.batchedJobs.Add(int64(n))
+	for {
+		cur := c.maxBatch.Load()
+		if int64(n) <= cur || c.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the service's counters, shaped for
+// the /stats endpoint.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCapacity int     `json:"queueCapacity"`
+	CacheEntries  int     `json:"cacheEntries"`
+
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Inferences  int64 `json:"inferences"`
+
+	Batches      int64   `json:"batches"`
+	BatchedJobs  int64   `json:"batchedJobs"`
+	MeanBatch    float64 `json:"meanBatch"`
+	MaxBatch     int64   `json:"maxBatch"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+
+	P50Millis float64 `json:"p50Millis"`
+	P99Millis float64 `json:"p99Millis"`
+}
