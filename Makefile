@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-all check fuzz vet experiments examples train serve serve-smoke clean
+.PHONY: all build test test-short bench bench-all check check-fast lint fuzz vet experiments examples train serve serve-smoke clean
 
 all: build test
 
@@ -16,10 +16,22 @@ test:
 test-short:
 	go test -short ./...
 
-# Static checks plus the race detector over the parallel compute and
-# serving surfaces.
-check: vet
+# The project-specific determinism & concurrency analyzers (internal/lint):
+# detmap, nowallclock, seededrand, rawgo, floatreduce, ctxhygiene. Exits
+# nonzero on any finding; see DESIGN.md "Static analysis".
+lint:
+	go run ./cmd/oarsmt-lint ./...
+
+# Static checks (vet + oarsmt-lint) plus the race detector over every
+# surface the worker pool reaches. The second tier runs -short so check
+# stays minutes-scale.
+check: vet lint
 	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve
+	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
+
+# Static analysis only (no race detector): fast enough for a pre-commit
+# hook.
+check-fast: vet lint
 
 # Core kernel/search benchmarks, run twice: once serial (OARSMT_WORKERS=0)
 # and once on the default worker pool, then folded into BENCH_tensor.json
@@ -37,6 +49,7 @@ bench-all:
 
 fuzz:
 	go test -fuzz=FuzzDecode -fuzztime=30s ./internal/layout/
+	go test -fuzz=FuzzTextFmt -fuzztime=30s ./internal/layout/
 
 # Regenerate every paper table and figure at CPU scale.
 experiments:

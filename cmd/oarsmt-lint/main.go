@@ -1,0 +1,137 @@
+// Command oarsmt-lint runs the repository's determinism & concurrency
+// static-analysis suite (internal/lint) over the module.
+//
+// Usage:
+//
+//	oarsmt-lint [flags] [packages]
+//
+// Packages default to ./... and accept the go tool's directory patterns
+// ("./internal/route", "./internal/..."). The process exits 0 when clean,
+// 1 when findings were reported and 2 on usage or load errors, so it slots
+// directly into make check and pre-commit hooks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oarsmt/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		list    = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: oarsmt-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oarsmt-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oarsmt-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oarsmt-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oarsmt-lint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "oarsmt-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "oarsmt-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -enable / -disable flags against the suite.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	selected := lint.Analyzers()
+	if enable != "" {
+		selected = selected[:0]
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q in -enable", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if lint.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q in -disable", name)
+			}
+			skip[name] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range selected {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return selected, nil
+}

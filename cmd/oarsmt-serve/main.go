@@ -75,6 +75,7 @@ func main() {
 	defer stop()
 
 	serveErr := make(chan error, 1)
+	//oarsmt:allow rawgo(daemon plumbing: ListenAndServe blocks until shutdown and never touches routing state)
 	go func() { serveErr <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (queue %d, batch %d, cache %d)",
 		*addr, *queueSize, *maxBatch, *cacheSize)

@@ -50,6 +50,7 @@ func run(bin string) error {
 		return fmt.Errorf("start %s: %w", bin, err)
 	}
 	exited := make(chan error, 1)
+	//oarsmt:allow rawgo(smoke-test plumbing: waits on the child daemon process, no routing state involved)
 	go func() { exited <- cmd.Wait() }()
 	defer cmd.Process.Kill()
 

@@ -52,3 +52,35 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTextFmt hardens the plain-text benchmark reader the same way
+// FuzzDecode hardens the JSON path: arbitrary input must either parse into
+// a layout that survives an EncodeText/DecodeText round trip or return an
+// error — never panic.
+func FuzzTextFmt(f *testing.F) {
+	f.Add("pins 2\n0 0\n5 5\n")
+	f.Add("layers 4\nviacost 3\npins 3\n10 20\n30 40 1\n55 5 0\nobstacles 1\n0 0 8 8\n")
+	f.Add("2\n0 0\n9 9\n1\n1 1 2 2\n")
+	f.Add("# comment\n\npins 1\n7 7\n")
+	f.Add("pins x\n")
+	f.Add("layers -3\npins 2\n0 0\n1 1 9\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		l, err := DecodeText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeText(&buf, l); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := DecodeText(&buf)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if len(back.Pins) != len(l.Pins) || len(back.Obstacles) != len(l.Obstacles) {
+			t.Fatalf("round trip changed counts: pins %d->%d, obstacles %d->%d",
+				len(l.Pins), len(back.Pins), len(l.Obstacles), len(back.Obstacles))
+		}
+	})
+}

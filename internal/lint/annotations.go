@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// annotation is one parsed //oarsmt:allow comment.
+type annotation struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "//oarsmt:allow"
+
+// collectAnnotations parses every //oarsmt:allow comment in the package.
+// Grammar (one annotation per comment, no space before the parenthesis):
+//
+//	//oarsmt:allow <analyzer>(<non-empty reason>)
+//
+// Malformed annotations and annotations naming an unknown analyzer are
+// returned as diagnostics — a typo in a suppression must not silently
+// disable it.
+func collectAnnotations(p *Package) ([]*annotation, []Diagnostic) {
+	var anns []*annotation
+	var errs []Diagnostic
+	bad := func(pos token.Position, format string, args ...any) {
+		errs = append(errs, Diagnostic{Pos: pos, Analyzer: "allow", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := c.Text[len(allowPrefix):]
+				if rest == "" || rest[0] != ' ' {
+					bad(pos, "malformed annotation %q: want //oarsmt:allow <analyzer>(<reason>)", c.Text)
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				open := strings.IndexByte(rest, '(')
+				closeIdx := strings.IndexByte(rest, ')')
+				if open <= 0 || closeIdx < open {
+					bad(pos, "malformed annotation %q: want //oarsmt:allow <analyzer>(<reason>)", c.Text)
+					continue
+				}
+				name := rest[:open]
+				reason := strings.TrimSpace(rest[open+1 : closeIdx])
+				if ByName(name) == nil {
+					bad(pos, "annotation names unknown analyzer %q", name)
+					continue
+				}
+				if reason == "" {
+					bad(pos, "annotation for %q has an empty reason: say why the finding is safe", name)
+					continue
+				}
+				anns = append(anns, &annotation{pos: pos, analyzer: name, reason: reason})
+			}
+		}
+	}
+	return anns, errs
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerDetmap flags range statements over maps in the deterministic
+// packages (geom, grid, layout, route, mcts, core, nn, tensor, rl, and
+// serve's canonical-hash file): Go randomises map iteration order per
+// range, so any map range whose visit order can reach a result, a
+// serialized byte, or a training label breaks bit-reproducibility.
+//
+// One idiom is recognised as safe without annotation: a loop body that
+// only appends keys/values to local slices which are then passed to a
+// sort.* or slices.* call later in the same function (collect-then-sort).
+// Provably order-insensitive reductions — pure min/max scans, set
+// membership counting — must carry //oarsmt:allow detmap(reason) instead,
+// which keeps every exception reviewable in place.
+var AnalyzerDetmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "map iteration order leaking into results of deterministic packages",
+	Run:  runDetmap,
+}
+
+func runDetmap(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	eachFunc(p, func(f *ast.File, fd *ast.FuncDecl) {
+		file := p.Fset.Position(f.Pos()).Filename
+		if !isDeterministicFile(p, file) {
+			return
+		}
+		sorts := sortCalls(p, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectThenSorted(p, rng, sorts) {
+				return true
+			}
+			report(rng.For, "range over map %s: iteration order may leak into results; collect and sort keys, or annotate //oarsmt:allow detmap(reason)",
+				types.ExprString(rng.X))
+			return true
+		})
+	})
+}
+
+// sortCall records one sort.*/slices.* call and the variables its
+// arguments reference.
+type sortCall struct {
+	pos  token.Pos
+	objs map[types.Object]bool
+}
+
+func sortCalls(p *Package, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgOf(p, sel.X)
+		if pkg == nil || (pkg.Path() != "sort" && pkg.Path() != "slices") {
+			return true
+		}
+		sc := sortCall{pos: call.Pos(), objs: make(map[types.Object]bool)}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						sc.objs[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, sc)
+		return true
+	})
+	return out
+}
+
+// collectThenSorted reports whether the range body only appends to local
+// slices that are all sorted later in the same function.
+func collectThenSorted(p *Package, rng *ast.RangeStmt, sorts []sortCall) bool {
+	targets := appendTargets(p, rng.Body.List)
+	if targets == nil {
+		return false
+	}
+	for obj := range targets {
+		sorted := false
+		for _, sc := range sorts {
+			if sc.pos > rng.End() && sc.objs[obj] {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTargets returns the objects appended to when every statement is of
+// the form `s = append(s, ...)`, optionally inside if statements (filtered
+// collection), `continue` branches, or nested range loops; nil when the
+// body does anything else. Nested ranges are safe here because whatever
+// order the appends happen in, the sort requirement on every target
+// restores a canonical order afterwards.
+func appendTargets(p *Package, stmts []ast.Stmt) map[types.Object]bool {
+	targets := make(map[types.Object]bool)
+	var walk func(list []ast.Stmt) bool
+	walk = func(list []ast.Stmt) bool {
+		for _, st := range list {
+			switch s := st.(type) {
+			case *ast.BranchStmt:
+				if s.Tok != token.CONTINUE {
+					return false
+				}
+			case *ast.RangeStmt:
+				if !walk(s.Body.List) {
+					return false
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 || s.Tok != token.ASSIGN {
+					return false
+				}
+				lhs, ok := s.Lhs[0].(*ast.Ident)
+				if !ok {
+					return false
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" {
+					return false
+				}
+				if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+					return false
+				}
+				obj := p.Info.Uses[lhs]
+				if obj == nil {
+					obj = p.Info.Defs[lhs]
+				}
+				if obj == nil {
+					return false
+				}
+				targets[obj] = true
+			case *ast.IfStmt:
+				if s.Init != nil {
+					// An if with an init clause (`if _, ok := m[k]; ok`) is
+					// still pure filtering; allow it.
+					if _, ok := s.Init.(*ast.AssignStmt); !ok {
+						return false
+					}
+				}
+				if !walk(s.Body.List) {
+					return false
+				}
+				if s.Else != nil {
+					eb, ok := s.Else.(*ast.BlockStmt)
+					if !ok || !walk(eb.List) {
+						return false
+					}
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(stmts) || len(targets) == 0 {
+		return nil
+	}
+	return targets
+}

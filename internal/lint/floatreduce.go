@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerFloatReduce flags floating-point accumulation (`+=`, `-=`, `++`,
+// `--`) into a variable captured from outside a parallel.For / ForWith /
+// Map callback. Besides being a data race, a captured float accumulator
+// makes the rounding depend on which shard adds first — float addition is
+// not associative — so the result changes with the worker count. The
+// deterministic alternatives are parallel.SumChunks (fixed-order chunked
+// reduction) or shard-private partials merged in shard order; writes to
+// indexed slots (sums[shard] += x) are shard-disjoint by construction and
+// therefore not flagged.
+var AnalyzerFloatReduce = &Analyzer{
+	Name: "floatreduce",
+	Doc:  "captured float accumulation inside parallel callbacks",
+	Run:  runFloatReduce,
+}
+
+// parallelEntryPoints are the pool entry points whose callbacks run
+// concurrently. SumChunks is excluded: its partial callback is the
+// sanctioned reduction site.
+var parallelEntryPoints = map[string]bool{"For": true, "ForWith": true, "Map": true}
+
+func runFloatReduce(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := selTo(p, call.Fun, "oarsmt/internal/parallel")
+			if !ok || !parallelEntryPoints[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkCallback(p, name, lit, report)
+			}
+			return true
+		})
+	}
+}
+
+func checkCallback(p *Package, entry string, lit *ast.FuncLit, report func(pos token.Pos, format string, args ...any)) {
+	// A variable is captured when it was declared before the callback's
+	// body begins; accumulators local to the callback are shard-private
+	// and safe.
+	captured := func(x ast.Expr) (string, bool) {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return "", false // indexed/field writes are shard-disjoint patterns
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return "", false
+		}
+		tv, ok := p.Info.Types[x]
+		if !ok || !isFloat(tv.Type) {
+			return "", false
+		}
+		if obj.Pos() >= lit.Body.Pos() && obj.Pos() < lit.Body.End() {
+			return "", false
+		}
+		return id.Name, true
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if name, ok := captured(lhs); ok {
+					report(s.Pos(), "float accumulation into captured %q inside parallel.%s callback: rounding order depends on the schedule; use parallel.SumChunks or shard-private partials", name, entry)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := captured(s.X); ok {
+				report(s.Pos(), "float accumulation into captured %q inside parallel.%s callback: rounding order depends on the schedule; use parallel.SumChunks or shard-private partials", name, entry)
+			}
+		}
+		return true
+	})
+}

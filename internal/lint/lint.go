@@ -1,0 +1,214 @@
+// Package lint is the repository's dependency-free static-analysis engine.
+// It enforces the determinism and concurrency contracts that the rest of
+// the codebase only states in prose: bit-identical routing results at any
+// worker count, cache-replay equality in internal/serve, and reproducible
+// MCTS-generated training labels. One unsorted map range or stray
+// time.Now() in a reward path silently breaks those guarantees; this
+// package makes the contract machine-checked.
+//
+// The engine is built exclusively on the standard library (go/parser,
+// go/ast, go/types with the source importer) because the module has zero
+// dependencies and the build environment is offline. See DESIGN.md
+// "Static analysis" for the analyzer catalogue and the annotation grammar.
+//
+// # Suppressions
+//
+// A finding that is a provably order-insensitive reduction (or otherwise
+// intentional) is whitelisted in place with
+//
+//	//oarsmt:allow <analyzer>(<reason>)
+//
+// on the offending line or the line directly above it. The runner verifies
+// that every annotation suppresses at least one finding; a stale
+// annotation is itself reported, so suppressions cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package as the analyzers see it.
+type Package struct {
+	// Path is the import path ("oarsmt/internal/route"). Corpus packages
+	// loaded from testdata get a synthetic "testdata/<name>" path.
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types and Info come from go/types; Info is always populated even
+	// when type checking reported errors (analysis degrades gracefully).
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds non-fatal type-checker errors, mostly useful when
+	// debugging the loader itself.
+	TypeErrors []error
+}
+
+// An Analyzer checks one invariant over a package and reports findings
+// through the report callback.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDetmap,
+		AnalyzerNoWallClock,
+		AnalyzerSeededRand,
+		AnalyzerRawGo,
+		AnalyzerFloatReduce,
+		AnalyzerCtxHygiene,
+	}
+}
+
+// ByName resolves an analyzer by name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the given analyzers over the packages, applies the
+// //oarsmt:allow suppressions, and returns the surviving diagnostics
+// sorted by position. Unused annotations and annotation grammar errors are
+// appended as findings of the pseudo-analyzer "allow".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	for _, p := range pkgs {
+		anns, annErrs := collectAnnotations(p)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			a := a
+			a.Run(p, func(pos token.Pos, format string, args ...any) {
+				raw = append(raw, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			})
+		}
+		for _, d := range raw {
+			if !suppress(anns, d) {
+				diags = append(diags, d)
+			}
+		}
+		for _, e := range annErrs {
+			diags = append(diags, e)
+		}
+		// An annotation must earn its keep: if it suppressed nothing, the
+		// code it excused has been fixed (or the annotation is wrong) and
+		// it must be deleted. Annotations for analyzers that were not run
+		// this invocation are exempt rather than falsely "unused".
+		for _, an := range anns {
+			if !an.used && enabled[an.analyzer] {
+				diags = append(diags, Diagnostic{
+					Pos:      an.pos,
+					Analyzer: "allow",
+					Message: fmt.Sprintf(
+						"unused //oarsmt:allow %s annotation: it suppresses no finding; delete it", an.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppress consumes a matching annotation for the diagnostic, if any.
+func suppress(anns []*annotation, d Diagnostic) bool {
+	for _, an := range anns {
+		if an.analyzer != d.Analyzer || an.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		// The annotation covers its own line (trailing comment) and the
+		// line directly below (comment on its own line above the code).
+		if d.Pos.Line == an.pos.Line || d.Pos.Line == an.pos.Line+1 {
+			an.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// detPackages are the import-path suffixes of the packages whose outputs
+// must be bit-reproducible: anything feeding tree construction,
+// serialization, training labels, or the serving cache key.
+var detPackages = []string{
+	"internal/geom",
+	"internal/grid",
+	"internal/layout",
+	"internal/route",
+	"internal/mcts",
+	"internal/core",
+	"internal/nn",
+	"internal/tensor",
+	"internal/rl",
+}
+
+// isDeterministicFile reports whether detmap applies to the file: every
+// file of a deterministic package, plus the canonical-hash half of
+// internal/serve (serve/hash.go feeds the cache key, so its iteration
+// order is part of the serving contract even though the rest of serve is
+// free to use maps for bookkeeping). Corpus packages under testdata are
+// always in scope so the golden tests exercise the analyzer.
+func isDeterministicFile(p *Package, filename string) bool {
+	if strings.HasPrefix(p.Path, "testdata/") {
+		return true
+	}
+	for _, suf := range detPackages {
+		if p.Path == "oarsmt/"+suf || strings.HasSuffix(p.Path, "/"+suf) {
+			return true
+		}
+	}
+	return strings.HasSuffix(filename, "internal/serve/hash.go")
+}
+
+// pathIsAny reports whether the package path matches one of the given
+// module-relative suffixes.
+func pathIsAny(path string, sufs ...string) bool {
+	for _, suf := range sufs {
+		if path == "oarsmt/"+suf || strings.HasSuffix(path, "/"+suf) || path == suf {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// corpusCases maps each golden-corpus directory to the analyzers run over
+// it. The annotations corpus uses detmap as its carrier analyzer because
+// the //oarsmt:allow machinery itself is analyzer-agnostic.
+var corpusCases = []struct {
+	dir       string
+	analyzers []string
+}{
+	{"detmap", []string{"detmap"}},
+	{"nowallclock", []string{"nowallclock"}},
+	{"seededrand", []string{"seededrand"}},
+	{"rawgo", []string{"rawgo"}},
+	{"floatreduce", []string{"floatreduce"}},
+	{"ctxhygiene", []string{"ctxhygiene"}},
+	{"annotations", []string{"detmap"}},
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// parseWants returns the expected-diagnostic regexps of every corpus file,
+// keyed by filename and line.
+func parseWants(t *testing.T, dir string) map[string]map[int][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string]map[int][]*regexp.Regexp)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perLine := make(map[int][]*regexp.Regexp)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				perLine[i+1] = append(perLine[i+1], re)
+			}
+		}
+		wants[path] = perLine
+	}
+	return wants
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range corpusCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			rel := filepath.Join("internal", "lint", "testdata", "src", tc.dir)
+			pkg, err := loader.LoadCorpus(rel, tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("corpus must type-check cleanly, got: %v", pkg.TypeErrors)
+			}
+			var analyzers []*Analyzer
+			for _, name := range tc.analyzers {
+				a := ByName(name)
+				if a == nil {
+					t.Fatalf("unknown analyzer %q", name)
+				}
+				analyzers = append(analyzers, a)
+			}
+			diags := Run([]*Package{pkg}, analyzers)
+
+			wants := parseWants(t, filepath.Join(loader.ModuleRoot, rel))
+			matched := make(map[*regexp.Regexp]bool)
+			for _, d := range diags {
+				res := "unexpected"
+				for _, re := range wants[d.Pos.Filename][d.Pos.Line] {
+					if !matched[re] && re.MatchString(d.Message) {
+						matched[re] = true
+						res = "ok"
+						break
+					}
+				}
+				if res != "ok" {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for file, perLine := range wants {
+				for line, res := range perLine {
+					for _, re := range res {
+						if !matched[re] {
+							t.Errorf("%s:%d: missing expected diagnostic matching %q", file, line, re)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusPositions pins the exact positions of one seeded violation per
+// analyzer, so a regression that reports the right message at the wrong
+// place cannot slip through the regexp matching above.
+func TestCorpusPositions(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range corpusCases {
+		if tc.dir == "annotations" {
+			continue
+		}
+		rel := filepath.Join("internal", "lint", "testdata", "src", tc.dir)
+		pkg, err := loader.LoadCorpus(rel, tc.dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := Run([]*Package{pkg}, []*Analyzer{ByName(tc.dir)})
+		if len(diags) == 0 {
+			t.Errorf("%s: corpus produced no diagnostics", tc.dir)
+			continue
+		}
+		for _, d := range diags {
+			if d.Analyzer != tc.dir {
+				t.Errorf("%s: diagnostic from wrong analyzer: %s", tc.dir, d)
+			}
+			if d.Pos.Line <= 0 || d.Pos.Column <= 0 || !strings.HasSuffix(filepath.Dir(d.Pos.Filename), tc.dir) {
+				t.Errorf("%s: diagnostic with bad position: %s", tc.dir, d)
+			}
+		}
+	}
+}
+
+// TestRepoLintClean is the self-test the tentpole demands: the repository
+// must satisfy its own determinism contract, so every future PR inherits
+// it as a regression test.
+func TestRepoLintClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing module packages", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestAnalyzerNames guards the driver's -enable/-disable contract: every
+// analyzer resolves by its documented name and the suite order is stable.
+func TestAnalyzerNames(t *testing.T) {
+	want := []string{"detmap", "nowallclock", "seededrand", "rawgo", "floatreduce", "ctxhygiene"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering the Makefile and
+// editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "detmap", Message: "boom"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "x.go:3:7: [detmap] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestAnnotationGrammar exercises collectAnnotations directly on a
+// synthetic package, independent of the corpus.
+func TestAnnotationGrammar(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+//oarsmt:allow detmap(good reason)
+var a int
+
+//oarsmt:allow rawgo(another fine reason) trailing prose is ignored
+var b int
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadCorpus(dir, "scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns, errs := collectAnnotations(pkg)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected grammar errors: %v", errs)
+	}
+	if len(anns) != 2 {
+		t.Fatalf("got %d annotations, want 2", len(anns))
+	}
+	if anns[0].analyzer != "detmap" || anns[0].reason != "good reason" {
+		t.Errorf("first annotation parsed as %q(%q)", anns[0].analyzer, anns[0].reason)
+	}
+	if anns[1].analyzer != "rawgo" || anns[1].reason != "another fine reason" {
+		t.Errorf("second annotation parsed as %q(%q)", anns[1].analyzer, anns[1].reason)
+	}
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerNoWallClock flags wall-clock reads (time.Now, time.Since,
+// time.Until) outside the packages that legitimately measure elapsed time:
+// the serving layer, the experiment/baseline harnesses, and executables
+// (package main — cmd/ daemons and examples). Everywhere else a wall-clock
+// read is either dead weight or, far worse, an input to a reward or cost
+// that silently varies run to run.
+var AnalyzerNoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "wall-clock reads outside serve/experiments/baseline/main packages",
+	Run:  runNoWallClock,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNoWallClock(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if p.Name == "main" || pathIsAny(p.Path, "internal/serve", "internal/experiments", "internal/baseline") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := selTo(p, sel, "time"); ok && wallClockFuncs[name] {
+				report(sel.Pos(), "time.%s outside timing code: wall-clock reads make results vary run to run; plumb durations in from the caller or annotate //oarsmt:allow nowallclock(reason)", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerRawGo flags `go` statements outside internal/parallel (the
+// deterministic worker pool) and internal/serve (the request plumbing):
+// ad-hoc goroutines in compute code reintroduce schedule-dependent
+// execution order, which is exactly what the pool's contiguous sharding
+// and fixed-order reduction exist to prevent. Hot-path concurrency must go
+// through parallel.For/SumChunks; daemon plumbing in cmd/ that genuinely
+// needs a goroutine carries an //oarsmt:allow rawgo(reason) annotation.
+var AnalyzerRawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "go statements outside internal/parallel and internal/serve",
+	Run:  runRawGo,
+}
+
+func runRawGo(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if pathIsAny(p.Path, "internal/parallel", "internal/serve") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				report(g.Pos(), "raw go statement: route concurrency through the deterministic worker pool (parallel.For) or annotate //oarsmt:allow rawgo(reason)")
+			}
+			return true
+		})
+	}
+}

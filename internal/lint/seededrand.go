@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerSeededRand flags every use of a math/rand (or math/rand/v2)
+// package-level function: the global source is shared process state, so
+// two call sites interleave differently depending on goroutine schedule
+// and call order, destroying label reproducibility. Only explicit
+// per-purpose generators — rand.New(rand.NewSource(seed)) — are allowed,
+// so the constructor family (New, NewSource, NewPCG, NewChaCha8, NewZipf)
+// is exempt. Types (rand.Rand, rand.Source) and methods on instances are
+// untouched.
+var AnalyzerSeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "math/rand top-level functions (unseeded shared source)",
+	Run:  runSeededRand,
+}
+
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runSeededRand(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := pkgOf(p, sel.X)
+			if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc || randConstructors[sel.Sel.Name] {
+				return true
+			}
+			report(sel.Pos(), "rand.%s uses the shared global source: results depend on call interleaving; use a seeded rand.New(rand.NewSource(seed)) instance", sel.Sel.Name)
+			return true
+		})
+	}
+}

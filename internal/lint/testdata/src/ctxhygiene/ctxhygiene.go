@@ -1,0 +1,37 @@
+// Package ctxhygiene is the golden corpus for the ctxhygiene analyzer:
+// minting a root context inside a function that already receives one
+// severs the caller's deadline and must be flagged; convenience wrappers
+// without a ctx parameter must not.
+package ctxhygiene
+
+import "context"
+
+func severedDeadline(ctx context.Context) error {
+	sub := context.Background() // want "context.Background in a function that already receives a ctx"
+	return work(sub)
+}
+
+func lazyTODO(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := work(context.TODO()); err != nil { // want "context.TODO in a function that already receives a ctx"
+			return err
+		}
+	}
+	return work(ctx)
+}
+
+// wrapper has no ctx parameter, so there is no caller context to drop:
+// this is the sanctioned convenience-API shape.
+func wrapper() error {
+	return severedDeadline(context.Background())
+}
+
+func derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub)
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

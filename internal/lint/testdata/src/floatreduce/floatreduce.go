@@ -1,0 +1,64 @@
+// Package floatreduce is the golden corpus for the floatreduce analyzer:
+// float accumulation into variables captured by parallel callbacks must be
+// flagged; shard-private accumulators, shard-indexed slots and
+// parallel.SumChunks must not.
+package floatreduce
+
+import "oarsmt/internal/parallel"
+
+func capturedAdd(xs []float64) float64 {
+	total := 0.0
+	parallel.For(len(xs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want "float accumulation into captured .total."
+		}
+	})
+	return total
+}
+
+func capturedSub(xs []float64) float64 {
+	var t float64
+	parallel.ForWith(4, len(xs), func(_, lo, hi int) {
+		t -= xs[lo] // want "float accumulation into captured .t."
+	})
+	return t
+}
+
+func capturedInc(n int) float64 {
+	var ticks float64
+	parallel.For(n, func(_, lo, hi int) {
+		ticks++ // want "float accumulation into captured .ticks."
+	})
+	return ticks
+}
+
+// shardPrivate is the sanctioned manual pattern: a local accumulator per
+// shard, merged in shard order afterwards.
+func shardPrivate(xs []float64) float64 {
+	w := 4
+	sums := make([]float64, w)
+	parallel.ForWith(w, len(xs), func(shard, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		sums[shard] = s
+	})
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// sumChunks is the primary sanctioned pattern; its partial callback is the
+// reduction site by design and is not flagged.
+func sumChunks(xs []float64) float64 {
+	return parallel.SumChunks(len(xs), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	})
+}

@@ -1,0 +1,28 @@
+// Package nowallclock is the golden corpus for the nowallclock analyzer:
+// wall-clock reads in deterministic library code must be flagged;
+// annotated timing metadata and non-clock uses of package time must not.
+package nowallclock
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now() // want "time.Now outside timing code"
+	work()
+	return time.Since(start) // want "time.Since outside timing code"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until outside timing code"
+}
+
+// conversions and constants of package time are not wall-clock reads.
+func epoch() time.Time {
+	return time.Unix(0, 0).Add(5 * time.Second)
+}
+
+func annotated() time.Time {
+	//oarsmt:allow nowallclock(corpus: demonstrates an annotated exemption)
+	return time.Now()
+}
+
+func work() {}

@@ -1,0 +1,21 @@
+// Package rawgo is the golden corpus for the rawgo analyzer: ad-hoc go
+// statements outside the worker pool and the serving layer must be
+// flagged; annotated plumbing must not.
+package rawgo
+
+func spawn() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }() // want "raw go statement"
+	return <-ch
+}
+
+func spawnCall(done chan struct{}) {
+	go close(done) // want "raw go statement"
+}
+
+func annotated() {
+	done := make(chan struct{})
+	//oarsmt:allow rawgo(corpus: demonstrates an annotated exemption)
+	go close(done)
+	<-done
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgOf returns the imported package an identifier refers to, or nil when
+// the expression is not a plain package qualifier.
+func pkgOf(p *Package, x ast.Expr) *types.Package {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// selTo matches a selector expression `pkg.Name` against an import path,
+// returning the selected name and true on match.
+func selTo(p *Package, x ast.Expr, pkgPath string) (string, bool) {
+	sel, ok := x.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg := pkgOf(p, sel.X)
+	if pkg == nil || pkg.Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// eachFunc visits every function declaration with a body.
+func eachFunc(p *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(p *Package, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t, ok := p.Info.Types[field.Type]; ok && t.Type != nil {
+			if named, ok := t.Type.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package rl
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"oarsmt/internal/layout"
 	"oarsmt/internal/mcts"
@@ -264,7 +265,7 @@ func (t *Trainer) Fit(samples []mcts.Sample) (float64, error) {
 	for k := range groups {
 		keys = append(keys, k)
 	}
-	sortKeys(keys)
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
 
 	var lastEpochLoss float64
 	for epoch := 0; epoch < t.Cfg.EpochsPerStage; epoch++ {
@@ -299,14 +300,6 @@ func (t *Trainer) Fit(samples []mcts.Sample) (float64, error) {
 		}
 	}
 	return lastEpochLoss, nil
-}
-
-func sortKeys(keys [][3]int) {
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && lessKey(keys[j], keys[j-1]); j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
 }
 
 func lessKey(a, b [3]int) bool {

@@ -53,6 +53,7 @@ func (r *Router) OARMST(terminals []grid.VertexID) (*Tree, error) {
 			// reach the nearest remaining terminal plus the margin.
 			treeBounds := BoundsOf(r.g, sources)
 			dmin := -1
+			//oarsmt:allow detmap(pure min-reduction over window distances; result is independent of visit order)
 			for v := range remaining {
 				if d := windowDistance(treeBounds, r.g.CoordOf(v)); dmin < 0 || d < dmin {
 					dmin = d
@@ -75,6 +76,7 @@ func (r *Router) OARMST(terminals []grid.VertexID) (*Tree, error) {
 			}
 			// Report a deterministic representative of the unreachable set.
 			var worst grid.VertexID = -1
+			//oarsmt:allow detmap(pure min-scan for the smallest unreachable terminal; order-insensitive)
 			for v := range remaining {
 				if worst == -1 || v < worst {
 					worst = v

@@ -78,13 +78,23 @@ func (r *Router) Retrace(t *Tree, terminals []grid.VertexID, maxPasses int) (*Tr
 		return t, 0
 	}
 
-	out := newTree(terms[0])
+	// Rebuild the tree over sorted edges: inserting in adjacency-map order
+	// would make both Edges order and the float Cost accumulation (addition
+	// is not associative) vary run to run.
+	edges := make([]Edge, 0, len(t.Edges))
 	for v, ns := range adj {
 		for _, w := range ns {
 			if v < w {
-				out.addEdge(r.g, v, w)
+				edges = append(edges, Edge{A: v, B: w})
 			}
 		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return edges[i].A < edges[j].A || (edges[i].A == edges[j].A && edges[i].B < edges[j].B)
+	})
+	out := newTree(terms[0])
+	for _, e := range edges {
+		out.addEdge(r.g, e.A, e.B)
 	}
 	return out, improvedPasses
 }

@@ -118,8 +118,11 @@ func (r *Router) Graph() *grid.Graph { return r.g }
 // per-request deadlines effective even inside long Dijkstra expansions on
 // large graphs. A nil context (the default) disables polling.
 func (r *Router) SetContext(ctx context.Context) {
-	if ctx == context.Background() || ctx == context.TODO() {
-		ctx = nil // never cancelled: skip the polling entirely
+	if ctx != nil && ctx.Done() == nil {
+		// A nil Done channel means the context can never be cancelled
+		// (Background, TODO, or any value-only context): skip the polling
+		// entirely.
+		ctx = nil
 	}
 	r.ctx = ctx
 	r.ctxErr = nil
