@@ -17,8 +17,8 @@ test-short:
 	go test -short ./...
 
 # The project-specific determinism & concurrency analyzers (internal/lint):
-# detmap, nowallclock, seededrand, rawgo, floatreduce, ctxhygiene. Exits
-# nonzero on any finding; see DESIGN.md "Static analysis".
+# detmap, nowallclock, seededrand, rawgo, floatreduce, ctxhygiene,
+# obsnames. Exits nonzero on any finding; see DESIGN.md "Static analysis".
 lint:
 	go run ./cmd/oarsmt-lint ./...
 
@@ -26,7 +26,7 @@ lint:
 # surface the worker pool reaches. The second tier runs -short so check
 # stays minutes-scale.
 check: vet lint
-	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve
+	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/obs ./internal/errs
 	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
 
 # Static analysis only (no race detector): fast enough for a pre-commit
@@ -42,6 +42,7 @@ bench:
 	OARSMT_WORKERS=0 go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_serial.txt
 	go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_parallel.txt
 	go run ./cmd/oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt -o BENCH_tensor.json
+	go run ./cmd/oarsmt-bench -exp obs -obs-out BENCH_obs.json
 
 # Full benchmark sweep (micro-benchmarks + one bench per paper table/figure).
 bench-all:
@@ -80,4 +81,4 @@ train:
 
 clean:
 	rm -f test_output.txt bench_output.txt train-metrics.csv \
-		bench_serial.txt bench_parallel.txt BENCH_tensor.json
+		bench_serial.txt bench_parallel.txt BENCH_tensor.json BENCH_obs.json

@@ -7,6 +7,7 @@ package oarsmt
 // cmd/oarsmt-bench, which also prints the paper-formatted rows.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -86,7 +87,7 @@ func benchCostComparison(b *testing.B, subset string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ro, err := ours.Route(in)
+		ro, err := ours.Route(context.Background(), in)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func BenchmarkTable3RuntimeOursT32(b *testing.B) {
 	ours := core.NewRouter(sel)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ours.Route(ins[i%len(ins)]); err != nil {
+		if _, err := ours.Route(context.Background(), ins[i%len(ins)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +163,7 @@ func benchTable4(b *testing.B, name string) {
 		if _, err := lin18.Route(in); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ours.Route(in); err != nil {
+		if _, err := ours.Route(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,7 +254,7 @@ func BenchmarkAblationInferenceMode(b *testing.B) {
 		r := &core.Router{Selector: sel, Mode: mode, GuardedAcceptance: false, RetracePasses: 1}
 		b.Run(mode.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := r.Route(in); err != nil {
+				if _, err := r.Route(context.Background(), in); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -310,7 +311,7 @@ func BenchmarkAblationGuardedAcceptance(b *testing.B) {
 		r := &core.Router{Selector: sel, Mode: core.OneShot, GuardedAcceptance: guarded, RetracePasses: 1}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := r.Route(ins[i%len(ins)]); err != nil {
+				if _, err := r.Route(context.Background(), ins[i%len(ins)]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"oarsmt/internal/experiments"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/parallel"
 	"oarsmt/internal/selector"
 )
@@ -31,12 +33,14 @@ func main() {
 	log.SetPrefix("oarsmt-bench: ")
 
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1,table2,table3,table4,fig10,fig11,fig12,speedups,ablation,optgap,all")
+		exp       = flag.String("exp", "all", "experiment: table1,table2,table3,table4,fig10,fig11,fig12,speedups,ablation,optgap,obs,all")
 		scaleFlag = flag.String("scale", "small", "small, medium or paper")
 		modelPath = flag.String("model", "", "trained selector (default: the embedded pretrained model)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		csvDir    = flag.String("csv", "", "directory to also dump raw series as CSV files")
 		workers   = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = OARSMT_WORKERS or GOMAXPROCS)")
+		tracePath = flag.String("trace", "", "write a JSON span tree of the benchmark run to this file")
+		obsOut    = flag.String("obs-out", "BENCH_obs.json", "output path for the -exp obs stage-timing report")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -48,6 +52,11 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := experiments.Options{Scale: scale, Seed: *seed, Out: os.Stdout}
+	var trace *obs.Trace
+	if *tracePath != "" {
+		trace = obs.NewTrace("oarsmt.bench")
+		opts.Ctx = obs.With(context.Background(), &obs.Observer{Trace: trace})
+	}
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {
@@ -156,6 +165,42 @@ func main() {
 		if _, err := experiments.OptimalityGap(opts, n); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if all || wants["obs"] {
+		n := 8
+		if scale >= experiments.ScaleMedium {
+			n = 32
+		}
+		rep, err := experiments.StageBench(opts, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteObsBenchJSON(f, rep); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *obsOut)
+	}
+	if trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote span trace to %s", *tracePath)
 	}
 }
 

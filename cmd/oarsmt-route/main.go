@@ -20,6 +20,7 @@ import (
 	"oarsmt/internal/core"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/models"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/render"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
@@ -40,6 +41,7 @@ func main() {
 		ascii     = flag.Bool("ascii", false, "print an ASCII drawing of each routed tree")
 		segments  = flag.Bool("segments", false, "print merged wire segments and via stacks")
 		timeout   = flag.Duration("timeout", 0, "per-route deadline for ours/mst (0 = none), e.g. 30s")
+		tracePath = flag.String("trace", "", "write a JSON span tree of the run to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +50,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	var trace *obs.Trace
+	if *tracePath != "" {
+		trace = obs.NewTrace("oarsmt.route")
+		ctx = obs.With(ctx, &obs.Observer{Trace: trace})
 	}
 
 	in, err := loadInstance(*bench, flag.Args())
@@ -90,6 +97,19 @@ func main() {
 			}
 		}
 	}
+	if trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote span trace to %s\n", *tracePath)
+	}
 	if *svgPath != "" && lastTree != nil {
 		f, err := os.Create(*svgPath)
 		if err != nil {
@@ -128,7 +148,7 @@ func loadInstance(bench string, args []string) (*layout.Instance, error) {
 func runOne(ctx context.Context, algo string, in *layout.Instance, modelPath string, seq, noGuard bool) (*route.Tree, string, error) {
 	switch algo {
 	case "mst":
-		tree, err := core.PlainOARMSTCtx(ctx, in)
+		tree, err := core.PlainOARMST(ctx, in)
 		return tree, "", err
 	case "lin08", "liu14", "lin18":
 		algs := map[string]baseline.Algorithm{
@@ -162,7 +182,7 @@ func runOne(ctx context.Context, algo string, in *layout.Instance, modelPath str
 			r.Mode = core.Sequential
 		}
 		r.GuardedAcceptance = !noGuard
-		res, err := r.RouteCtx(ctx, in)
+		res, err := r.Route(ctx, in)
 		if err != nil {
 			return nil, "", err
 		}

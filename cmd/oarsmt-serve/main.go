@@ -11,6 +11,8 @@
 //	POST /route    route a layout (layout JSON body; ?timeout=250ms, ?edges=1)
 //	GET  /healthz  liveness (503 once draining)
 //	GET  /stats    counters: queue depth, batch sizes, cache hit rate, p50/p99
+//	GET  /metrics  Prometheus text exposition (service + process registries)
+//	/debug/pprof/  Go profiling endpoints (with -pprof)
 //
 // SIGINT/SIGTERM triggers a graceful drain: in-flight and queued requests
 // are answered, new ones are refused, then the process exits 0.
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +51,7 @@ func main() {
 		seq         = flag.Bool("sequential", false, "sequential (n-2 inference) selection mode")
 		noGuard     = flag.Bool("no-guard", false, "disable guarded acceptance")
 		drainWait   = flag.Duration("drain", 30*time.Second, "max graceful-shutdown wait")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -70,7 +74,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// The service handler owns everything else; pprof mounts beside it
+		// on an explicit mux (the binary never touches http.DefaultServeMux).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

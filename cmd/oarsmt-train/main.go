@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"oarsmt/internal/layout"
 	"oarsmt/internal/mcts"
 	"oarsmt/internal/nn"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/parallel"
 	"oarsmt/internal/rl"
 	"oarsmt/internal/selector"
@@ -53,6 +55,7 @@ func main() {
 		paperSch = flag.Bool("paper", false, "use the paper's full 12-size schedule")
 		metrics  = flag.String("metrics", "", "append per-stage metrics to this CSV file")
 		workers  = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = OARSMT_WORKERS or GOMAXPROCS)")
+		tracePth = flag.String("trace", "", "write a JSON span tree of the training run to this file")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -127,10 +130,17 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	var trace *obs.Trace
+	if *tracePth != "" {
+		trace = obs.NewTrace("oarsmt.train")
+		ctx = obs.With(ctx, &obs.Observer{Trace: trace})
+	}
+
 	tr := rl.NewTrainer(sel, cfg)
 	start := time.Now()
 	for i := 0; i < *stages; i++ {
-		stats, err := tr.RunStage()
+		stats, err := tr.RunStageCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,6 +159,19 @@ func main() {
 		if err := save(sel, *out); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if trace != nil {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote span trace to %s", *tracePth)
 	}
 	log.Printf("saved %s after %d stages (%.1fs)", *out, *stages, time.Since(start).Seconds())
 }

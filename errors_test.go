@@ -1,0 +1,117 @@
+package oarsmt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"oarsmt/internal/serve"
+)
+
+// TestSentinelWrapRoundTrips pins the wrapping contract: every public
+// sentinel survives fmt.Errorf("%w") wrapping under errors.Is, and the
+// sentinels are mutually distinct.
+func TestSentinelWrapRoundTrips(t *testing.T) {
+	sentinels := map[string]error{
+		"ErrTimeout":       ErrTimeout,
+		"ErrQueueFull":     ErrQueueFull,
+		"ErrInvalidLayout": ErrInvalidLayout,
+		"ErrNoPath":        ErrNoPath,
+	}
+	for name, sentinel := range sentinels {
+		wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", sentinel))
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("double-wrapped %s does not match itself", name)
+		}
+		for other, otherErr := range sentinels {
+			if other != name && errors.Is(wrapped, otherErr) {
+				t.Errorf("wrapped %s also matches %s", name, other)
+			}
+		}
+	}
+	// The serving layer's backpressure error is the same identity.
+	if !errors.Is(serve.ErrQueueFull, ErrQueueFull) {
+		t.Error("serve.ErrQueueFull does not match oarsmt.ErrQueueFull")
+	}
+}
+
+// TestErrTimeoutThroughPublicAPI routes with an already-expired deadline
+// and checks the returned error matches both the module sentinel and the
+// stdlib's context.DeadlineExceeded.
+func TestErrTimeoutThroughPublicAPI(t *testing.T) {
+	sel, err := NewSelector(1, UNetConfig{InChannels: 7, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := RandomInstance(2, RandomSpec{
+		H: 8, V: 8, MinM: 2, MaxM: 2, MinPins: 4, MaxPins: 4, MinObstacles: 4, MaxObstacles: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, err = NewRouter(sel).Route(ctx, in)
+	if err == nil {
+		t.Fatal("route with an expired deadline succeeded")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("error %v does not match ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not match context.DeadlineExceeded", err)
+	}
+}
+
+// TestErrInvalidLayoutThroughPublicAPI decodes malformed layout JSON and
+// checks every failure mode matches ErrInvalidLayout.
+func TestErrInvalidLayoutThroughPublicAPI(t *testing.T) {
+	for _, body := range []string{
+		"{not json",
+		`{"grid": {"h": -3, "v": 4, "m": 1}}`,
+		`{}`,
+	} {
+		_, err := DecodeInstance(strings.NewReader(body))
+		if err == nil {
+			t.Fatalf("decoding %q succeeded", body)
+		}
+		if !errors.Is(err, ErrInvalidLayout) {
+			t.Errorf("decode error %v for %q does not match ErrInvalidLayout", err, body)
+		}
+	}
+}
+
+// TestErrNoPathThroughPublicAPI routes a layout whose second pin is walled
+// in by obstacles on a single layer, so no rectilinear path exists, and
+// checks the unreachable error matches ErrNoPath.
+func TestErrNoPathThroughPublicAPI(t *testing.T) {
+	l := &Layout{
+		Name:    "walled-in",
+		Layers:  1,
+		ViaCost: 1,
+		Pins: []Point{
+			{X: 1, Y: 1, Layer: 0},
+			{X: 5, Y: 5, Layer: 0},
+		},
+		// Four overlapping rectangles forming a closed ring around (5,5).
+		Obstacles: []Rect{
+			{X1: 3, Y1: 3, X2: 4, Y2: 7, Layer: 0},
+			{X1: 6, Y1: 3, X2: 7, Y2: 7, Layer: 0},
+			{X1: 3, Y1: 3, X2: 7, Y2: 4, Layer: 0},
+			{X1: 3, Y1: 6, X2: 7, Y2: 7, Layer: 0},
+		},
+	}
+	in, err := l.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PlainOARMST(context.Background(), in)
+	if err == nil {
+		t.Fatal("routing a walled-in pin succeeded")
+	}
+	if !errors.Is(err, ErrNoPath) {
+		t.Errorf("unreachable error %v does not match ErrNoPath", err)
+	}
+}

@@ -1,6 +1,7 @@
 package oarsmt_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func ExampleNewRouter() {
 		log.Fatal(err)
 	}
 	r := oarsmt.NewRouter(nil)
-	res, err := r.Route(in)
+	res, err := r.Route(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func ExamplePlainOARMST() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := oarsmt.PlainOARMST(in)
+	tree, err := oarsmt.PlainOARMST(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func ExampleASCIIArt() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := oarsmt.PlainOARMST(in)
+	tree, err := oarsmt.PlainOARMST(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -57,7 +58,7 @@ func main() {
 		c16 := mustRoute(in, oarsmt.Liu14)
 		c14 := mustRoute(in, oarsmt.Lin18)
 		start := time.Now()
-		res, err := router.Route(in)
+		res, err := router.Route(context.Background(), in)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	// The plain OARMST for reference.
-	mst, err := oarsmt.PlainOARMST(in)
+	mst, err := oarsmt.PlainOARMST(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := oarsmt.RouteNets(g, nets, sel, oarsmt.MultiNetConfig{MaxRipupRounds: 4})
+	res, err := oarsmt.RouteNets(context.Background(), g, nets, sel, oarsmt.MultiNetConfig{MaxRipupRounds: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 		in.Graph.H, in.Graph.V, in.Graph.M, in.NumPins(), in.Graph.NumBlocked())
 
 	// 1. The spanning tree with no Steiner points (the ST-to-MST baseline).
-	mst, err := oarsmt.PlainOARMST(in)
+	mst, err := oarsmt.PlainOARMST(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	router := oarsmt.NewRouter(sel)
-	res, err := router.Route(in)
+	res, err := router.Route(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

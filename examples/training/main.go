@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 		r := &oarsmt.Router{Selector: sel, Mode: oarsmt.OneShot, GuardedAcceptance: false}
 		sum := 0.0
 		for _, in := range evalSet {
-			ratio, err := r.STtoMSTRatio(in)
+			ratio, err := r.STtoMSTRatio(context.Background(), in)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -94,7 +95,7 @@ func main() {
 
 	// Route one held-out layout with the trained model and show the tree.
 	router := oarsmt.NewRouter(loaded)
-	res, err := router.Route(evalSet[0])
+	res, err := router.Route(context.Background(), evalSet[0])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,11 @@
 // AlphaGo-like and PPO baseline routers of §4.2 — which re-runs the
 // network after every selected point — and the ST-to-MST evaluation metric
 // of Fig 11/12.
+//
+// The canonical entry point is the context-first Router.Route(ctx, in,
+// ...Option); per-call behaviour (deadline, worker count, inference mode,
+// observability sinks) is configured with functional options rather than
+// by mutating the Router.
 package core
 
 import (
@@ -15,8 +20,11 @@ import (
 	"fmt"
 	"time"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
+	"oarsmt/internal/parallel"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
 )
@@ -68,6 +76,47 @@ func NewRouter(sel *selector.Selector) *Router {
 	return &Router{Selector: sel, Mode: OneShot, GuardedAcceptance: true, RetracePasses: 1}
 }
 
+// Option configures one Route call without mutating the Router, so a
+// shared Router stays safe for concurrent use.
+type Option func(*callConfig)
+
+type callConfig struct {
+	timeout    time.Duration
+	workers    int
+	hasWorkers bool
+	mode       InferenceMode
+	hasMode    bool
+	observer   *obs.Observer
+}
+
+// WithTimeout derives a deadline for this call: the context handed to the
+// maze-router searches is cancelled after d. Zero or negative d is a
+// no-op.
+func WithTimeout(d time.Duration) Option {
+	return func(c *callConfig) { c.timeout = d }
+}
+
+// WithWorkers sets the worker-pool size before routing. The pool is
+// process-wide (see internal/parallel), so the setting outlives the call
+// and affects concurrent routes; it is a convenience for single-tenant
+// binaries, not a per-call isolation mechanism.
+func WithWorkers(n int) Option {
+	return func(c *callConfig) { c.workers, c.hasWorkers = n, true }
+}
+
+// WithInferenceMode overrides the Router's inference mode for this call
+// only.
+func WithInferenceMode(m InferenceMode) Option {
+	return func(c *callConfig) { c.mode, c.hasMode = m, true }
+}
+
+// WithObserver attaches observability sinks (span trace and/or metrics
+// registry) to the call's context. Tracing never alters routing output;
+// see the obs package's determinism contract.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *callConfig) { c.observer = o }
+}
+
 // Result is the outcome of routing one layout.
 type Result struct {
 	Tree *route.Tree
@@ -90,23 +139,56 @@ type Result struct {
 	UsedSteiner bool
 }
 
-// Route routes the instance.
-func (r *Router) Route(in *layout.Instance) (*Result, error) {
-	return r.RouteCtx(context.Background(), in)
-}
-
-// RouteCtx routes the instance under a cancellation context: the deadline
-// is threaded into every maze-router search, so long constructions on large
+// Route routes the instance under a cancellation context: the deadline is
+// threaded into every maze-router search, so long constructions on large
 // layouts abort promptly once the context is cancelled. The network
 // inference itself is not interruptible mid-forward; cancellation is
 // checked before it starts and throughout tree construction.
-func (r *Router) RouteCtx(ctx context.Context, in *layout.Instance) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: route %q: %w", in.Name, err)
+//
+// Deadline errors match both oarsmt.ErrTimeout and
+// context.DeadlineExceeded under errors.Is; an unreachable terminal
+// matches oarsmt.ErrNoPath.
+func (r *Router) Route(ctx context.Context, in *layout.Instance, opts ...Option) (*Result, error) {
+	var cfg callConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	start := time.Now() //oarsmt:allow nowallclock(SelectTime is reported metadata; it never feeds a routing decision)
-	sps, inferences := r.Propose(in)
-	return r.Construct(ctx, in, sps, inferences, time.Since(start)) //oarsmt:allow nowallclock(elapsed-time metadata for Result reporting only)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	if cfg.hasWorkers {
+		parallel.SetWorkers(cfg.workers)
+	}
+	if cfg.observer != nil {
+		ctx = obs.With(ctx, cfg.observer)
+	}
+	rr := r
+	if cfg.hasMode && cfg.mode != r.Mode {
+		clone := *r
+		clone.Mode = cfg.mode
+		rr = &clone
+	}
+
+	ctx, end := obs.Span(ctx, "core.route")
+	defer end()
+	if err := ctx.Err(); err != nil {
+		return nil, errs.Classify(fmt.Errorf("core: route %q: %w", in.Name, err))
+	}
+	t := obs.StartTimer()
+	_, endSel := obs.Span(ctx, "core.selector")
+	sps, inferences := rr.Propose(in)
+	endSel()
+	return rr.Construct(ctx, in, sps, inferences, t.Elapsed())
+}
+
+// RouteCtx routes the instance.
+//
+// Deprecated: RouteCtx predates the context-first redesign; it is
+// equivalent to Route(ctx, in) with no options.
+func (r *Router) RouteCtx(ctx context.Context, in *layout.Instance) (*Result, error) {
+	return r.Route(ctx, in)
 }
 
 // Propose runs the selection phase alone: the selector's Steiner-point
@@ -119,11 +201,11 @@ func (r *Router) Propose(in *layout.Instance) ([]grid.VertexID, int) {
 }
 
 // Construct builds the final tree from a Steiner-point proposal — the
-// second phase of RouteCtx, honouring the same cancellation semantics.
+// second phase of Route, honouring the same cancellation semantics.
 // inferences and selectTime describe the selection phase that produced sps
 // and are copied into the Result for reporting.
 func (r *Router) Construct(ctx context.Context, in *layout.Instance, sps []grid.VertexID, inferences int, selectTime time.Duration) (*Result, error) {
-	start := time.Now() //oarsmt:allow nowallclock(TotalTime is reported metadata; it never feeds a routing decision)
+	t := obs.StartTimer()
 	res := &Result{}
 	res.Proposed = len(sps)
 	res.Inferences = inferences
@@ -135,14 +217,18 @@ func (r *Router) Construct(ctx context.Context, in *layout.Instance, sps []grid.
 	// router's value proposition is tree quality, and bounded windows
 	// (route.Router.BoundedExploration) measurably cede exactly the cost
 	// advantage Table 2 reports.
+	_, endST := obs.Span(ctx, "core.oarmst")
 	st, err := router.SteinerTree(in.Pins, sps)
+	endST()
 	if err != nil {
-		return nil, fmt.Errorf("core: route %q: %w", in.Name, err)
+		return nil, errs.Classify(fmt.Errorf("core: route %q: %w", in.Name, err))
 	}
 	tree := st.Tree
 	kept := st.Kept
 	if r.RetracePasses > 0 {
+		_, endRT := obs.Span(ctx, "core.retrace")
 		tree, _ = router.Retrace(tree, in.Pins, r.RetracePasses)
+		endRT()
 		// Retracing can demote a branch point; keep the report honest.
 		deg := tree.Degrees()
 		filtered := kept[:0]
@@ -158,13 +244,16 @@ func (r *Router) Construct(ctx context.Context, in *layout.Instance, sps []grid.
 	res.UsedSteiner = true
 
 	if r.GuardedAcceptance {
+		_, endG := obs.Span(ctx, "core.guard")
 		plain, err := router.OARMST(in.Pins)
 		if err != nil {
-			return nil, fmt.Errorf("core: route %q: %w", in.Name, err)
+			endG()
+			return nil, errs.Classify(fmt.Errorf("core: route %q: %w", in.Name, err))
 		}
 		if r.RetracePasses > 0 {
 			plain, _ = router.Retrace(plain, in.Pins, r.RetracePasses)
 		}
+		endG()
 		res.PlainCost = plain.Cost
 		if plain.Cost < res.Tree.Cost {
 			res.Tree = plain
@@ -172,7 +261,15 @@ func (r *Router) Construct(ctx context.Context, in *layout.Instance, sps []grid.
 			res.UsedSteiner = false
 		}
 	}
-	res.TotalTime = selectTime + time.Since(start) //oarsmt:allow nowallclock(elapsed-time metadata for Result reporting only)
+	res.TotalTime = selectTime + t.Elapsed()
+
+	m := obs.MetricsFrom(ctx)
+	m.Counter("core.routes").Inc()
+	m.Counter("core.inferences").Add(int64(inferences))
+	if !res.UsedSteiner {
+		m.Counter("core.guard_rejections").Inc()
+	}
+	m.Histogram("core.route_latency").Observe(res.TotalTime)
 	return res, nil
 }
 
@@ -211,30 +308,39 @@ func (r *Router) proposeSequential(in *layout.Instance, k int) ([]grid.VertexID,
 
 // PlainOARMST routes the instance without any Steiner points: the
 // baseline spanning tree of the ST-to-MST metric.
-func PlainOARMST(in *layout.Instance) (*route.Tree, error) {
-	return PlainOARMSTCtx(context.Background(), in)
-}
-
-// PlainOARMSTCtx is PlainOARMST under a cancellation context.
-func PlainOARMSTCtx(ctx context.Context, in *layout.Instance) (*route.Tree, error) {
+func PlainOARMST(ctx context.Context, in *layout.Instance) (*route.Tree, error) {
+	_, end := obs.Span(ctx, "core.oarmst")
+	defer end()
 	r := route.NewRouter(in.Graph)
 	r.SetContext(ctx)
-	return r.OARMST(in.Pins)
+	tree, err := r.OARMST(in.Pins)
+	if err != nil {
+		return nil, errs.Classify(err)
+	}
+	return tree, nil
+}
+
+// PlainOARMSTCtx routes the instance without Steiner points.
+//
+// Deprecated: PlainOARMSTCtx predates the context-first redesign; it is
+// equivalent to PlainOARMST(ctx, in).
+func PlainOARMSTCtx(ctx context.Context, in *layout.Instance) (*route.Tree, error) {
+	return PlainOARMST(ctx, in)
 }
 
 // STtoMSTRatio evaluates the router on the instance and returns the
 // ST-to-MST ratio of §4.2: the routed Steiner tree cost over the plain
 // OARMST cost. Lower is better; 1.0 means the Steiner points bought
 // nothing.
-func (r *Router) STtoMSTRatio(in *layout.Instance) (float64, error) {
-	mst, err := PlainOARMST(in)
+func (r *Router) STtoMSTRatio(ctx context.Context, in *layout.Instance) (float64, error) {
+	mst, err := PlainOARMST(ctx, in)
 	if err != nil {
 		return 0, err
 	}
 	if mst.Cost <= 0 {
 		return 0, fmt.Errorf("core: degenerate MST cost %v on %q", mst.Cost, in.Name)
 	}
-	res, err := r.Route(in)
+	res, err := r.Route(ctx, in)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func randomInstance(t *testing.T, seed int64, pins int) *layout.Instance {
 func TestRouteProducesValidTree(t *testing.T) {
 	r := NewRouter(tinySelector(t))
 	in := randomInstance(t, 2, 5)
-	res, err := r.Route(in)
+	res, err := r.Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestGuardedAcceptanceNeverWorseThanPlain(t *testing.T) {
 	r := NewRouter(tinySelector(t))
 	for seed := int64(10); seed < 25; seed++ {
 		in := randomInstance(t, seed, 6)
-		res, err := r.Route(in)
+		res, err := r.Route(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		plain, err := PlainOARMST(in)
+		plain, err := PlainOARMST(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func TestUnguardedModeSkipsPlainRoute(t *testing.T) {
 	r := NewRouter(tinySelector(t))
 	r.GuardedAcceptance = false
 	in := randomInstance(t, 3, 5)
-	res, err := r.Route(in)
+	res, err := r.Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestSequentialModeRunsNMinus2Inferences(t *testing.T) {
 	r := NewRouter(tinySelector(t))
 	r.Mode = Sequential
 	in := randomInstance(t, 4, 6)
-	res, err := r.Route(in)
+	res, err := r.Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestSequentialProposalsAreDistinctAndValid(t *testing.T) {
 func TestTwoPinLayoutNeedsNoSelector(t *testing.T) {
 	r := NewRouter(nil) // nil selector: only legal for <3-pin layouts
 	in := randomInstance(t, 6, 2)
-	res, err := r.Route(in)
+	res, err := r.Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestTwoPinLayoutNeedsNoSelector(t *testing.T) {
 func TestSTtoMSTRatio(t *testing.T) {
 	r := NewRouter(tinySelector(t))
 	in := randomInstance(t, 7, 5)
-	ratio, err := r.STtoMSTRatio(in)
+	ratio, err := r.STtoMSTRatio(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSTtoMSTRatio(t *testing.T) {
 	// Without the guard the ratio may exceed 1 for an untrained selector,
 	// but must stay positive and finite.
 	r.GuardedAcceptance = false
-	ratio2, err := r.STtoMSTRatio(in)
+	ratio2, err := r.STtoMSTRatio(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

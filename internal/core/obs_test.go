@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"oarsmt/internal/errs"
+	"oarsmt/internal/obs"
+)
+
+// spanNames flattens a span tree into the set of span names it contains.
+func spanNames(s *obs.SpanData, into map[string]int64) {
+	into[s.Name] += s.DurationNS
+	for _, c := range s.Children {
+		spanNames(c, into)
+	}
+}
+
+// TestRouteSpanTreeCoversStages is the acceptance criterion for stage
+// tracing: a traced route must produce a span tree with at least the four
+// pipeline stages (total, selector, oarmst, retrace), each with a non-zero
+// duration, and the tree must survive a JSON round trip.
+func TestRouteSpanTreeCoversStages(t *testing.T) {
+	r := NewRouter(tinySelector(t))
+	in := randomInstance(t, 2, 5)
+
+	trace := obs.NewTrace("core.test_route")
+	ctx := obs.With(context.Background(), &obs.Observer{Trace: trace, Metrics: obs.NewRegistry()})
+	if _, err := r.Route(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var root obs.SpanData
+	if err := json.Unmarshal(buf.Bytes(), &root); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+
+	durs := map[string]int64{}
+	spanNames(&root, durs)
+	for _, stage := range []string{"core.test_route", "core.route", "core.selector", "core.oarmst", "core.retrace"} {
+		d, ok := durs[stage]
+		if !ok {
+			t.Errorf("span tree missing stage %q (have %v)", stage, durs)
+			continue
+		}
+		if d <= 0 {
+			t.Errorf("stage %q has non-positive duration %d", stage, d)
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbRouting pins the determinism contract of the
+// observability layer: routing with tracing and metrics enabled must
+// return a bit-identical tree to routing without them.
+func TestTracingDoesNotPerturbRouting(t *testing.T) {
+	sel := tinySelector(t)
+	in := randomInstance(t, 7, 6)
+
+	plain, err := NewRouter(sel).Route(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := obs.NewTrace("core.test_route")
+	ctx := obs.With(context.Background(), &obs.Observer{Trace: trace, Metrics: obs.NewRegistry()})
+	traced, err := NewRouter(sel).Route(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Tree.Cost != traced.Tree.Cost {
+		t.Errorf("tracing changed the cost: %v vs %v", plain.Tree.Cost, traced.Tree.Cost)
+	}
+	if !reflect.DeepEqual(plain.Tree.Edges, traced.Tree.Edges) {
+		t.Error("tracing changed the routed edges")
+	}
+	if !reflect.DeepEqual(plain.SteinerPoints, traced.SteinerPoints) {
+		t.Error("tracing changed the selected Steiner points")
+	}
+}
+
+// TestRouteRecordsMetrics checks that a traced route increments the
+// context registry's core counters and latency histogram.
+func TestRouteRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), &obs.Observer{Metrics: reg})
+	if _, err := NewRouter(tinySelector(t)).Route(ctx, randomInstance(t, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["core.routes"] != 1 {
+		t.Errorf("core.routes = %d, want 1", snap.Counters["core.routes"])
+	}
+	if snap.Counters["core.inferences"] < 1 {
+		t.Errorf("core.inferences = %d, want >= 1", snap.Counters["core.inferences"])
+	}
+	if h := snap.Histograms["core.route_latency"]; h.Count != 1 {
+		t.Errorf("core.route_latency count = %d, want 1", h.Count)
+	}
+}
+
+// TestRouteTimeoutMatchesSentinels checks the context-first API's error
+// contract end to end: an expired deadline surfaces as an error matching
+// both the module's ErrTimeout and context.DeadlineExceeded.
+func TestRouteTimeoutMatchesSentinels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewRouter(tinySelector(t)).Route(ctx, randomInstance(t, 4, 5))
+	if err == nil {
+		t.Fatal("route with a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled route error %v does not match context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), -1)
+	defer dcancel()
+	_, err = NewRouter(tinySelector(t)).Route(dctx, randomInstance(t, 4, 5))
+	if err == nil {
+		t.Fatal("route with an expired deadline succeeded")
+	}
+	if !errors.Is(err, errs.ErrTimeout) {
+		t.Errorf("expired route error %v does not match ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired route error %v does not match context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package errs holds the canonical sentinel errors of the module. They
+// live at the bottom of the dependency graph so every internal package can
+// wrap them, while the root package re-exports the same values for callers
+// to match with errors.Is — wrapping happens internally, identity is
+// shared, and no import cycles arise.
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// timeoutError is ErrTimeout's type. Besides matching itself it matches
+// context.DeadlineExceeded, so callers switching on errors.Is(err,
+// ErrTimeout) and legacy callers checking context.DeadlineExceeded agree.
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "oarsmt: deadline exceeded" }
+
+// Timeout implements the net.Error-style timeout predicate.
+func (timeoutError) Timeout() bool { return true }
+
+// Is makes errors.Is(ErrTimeout, context.DeadlineExceeded) true.
+func (timeoutError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+var (
+	// ErrTimeout reports that a routing call exceeded its deadline. It
+	// matches context.DeadlineExceeded under errors.Is.
+	ErrTimeout error = timeoutError{}
+
+	// ErrQueueFull reports that the serving queue rejected a submission
+	// (backpressure).
+	ErrQueueFull = errors.New("oarsmt: queue full")
+
+	// ErrInvalidLayout reports that a layout failed to decode or validate.
+	ErrInvalidLayout = errors.New("oarsmt: invalid layout")
+
+	// ErrNoPath reports that a terminal is unreachable on the routing
+	// graph.
+	ErrNoPath = errors.New("oarsmt: no path")
+)
+
+// Classify wraps context cancellation errors with the module's sentinels:
+// a deadline becomes ErrTimeout (still matching context.DeadlineExceeded
+// through it), other errors pass through unchanged. Call it at API
+// boundaries that run under a caller-supplied context.
+func Classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}

@@ -1,0 +1,80 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelRoundTrips(t *testing.T) {
+	for _, sentinel := range []error{ErrTimeout, ErrQueueFull, ErrInvalidLayout, ErrNoPath} {
+		wrapped := fmt.Errorf("stage 3: %w", sentinel)
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("errors.Is(wrap(%v), sentinel) = false", sentinel)
+		}
+		double := fmt.Errorf("outer: %w", wrapped)
+		if !errors.Is(double, sentinel) {
+			t.Errorf("errors.Is(double-wrap(%v), sentinel) = false", sentinel)
+		}
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrTimeout, ErrQueueFull, ErrInvalidLayout, ErrNoPath}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v matches unrelated sentinel %v", a, b)
+			}
+		}
+	}
+}
+
+func TestErrTimeoutMatchesDeadlineExceeded(t *testing.T) {
+	if !errors.Is(ErrTimeout, context.DeadlineExceeded) {
+		t.Error("ErrTimeout does not match context.DeadlineExceeded")
+	}
+	wrapped := fmt.Errorf("route: %w", ErrTimeout)
+	if !errors.Is(wrapped, context.DeadlineExceeded) {
+		t.Error("wrapped ErrTimeout does not match context.DeadlineExceeded")
+	}
+	if errors.Is(ErrTimeout, context.Canceled) {
+		t.Error("ErrTimeout matches context.Canceled")
+	}
+	var te interface{ Timeout() bool }
+	if !errors.As(ErrTimeout, &te) || !te.Timeout() {
+		t.Error("ErrTimeout does not implement Timeout() bool == true")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(nil) != nil {
+		t.Error("Classify(nil) != nil")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	got := Classify(ctx.Err())
+	if !errors.Is(got, ErrTimeout) {
+		t.Errorf("Classify(DeadlineExceeded) = %v, does not match ErrTimeout", got)
+	}
+	if !errors.Is(got, context.DeadlineExceeded) {
+		t.Errorf("Classify lost the context.DeadlineExceeded identity: %v", got)
+	}
+
+	// Already-classified errors are not wrapped again.
+	if again := Classify(got); again != got {
+		t.Errorf("Classify re-wrapped: %v", again)
+	}
+
+	// Cancellation and unrelated errors pass through unchanged.
+	if got := Classify(context.Canceled); got != context.Canceled {
+		t.Errorf("Classify(Canceled) = %v", got)
+	}
+	other := errors.New("boom")
+	if got := Classify(other); got != other {
+		t.Errorf("Classify(other) = %v", got)
+	}
+}

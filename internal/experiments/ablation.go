@@ -79,6 +79,7 @@ func AblationGuardedAcceptance(opts Options, n int) (*GuardedAcceptanceResult, e
 	spec := layout.RandomSpec{
 		H: 12, V: 12, MinM: 2, MaxM: 4, MinPins: 4, MaxPins: 8, MinObstacles: 10, MaxObstacles: 20,
 	}
+	ctx := opts.Context()
 	guarded := core.NewRouter(sel)
 	unguarded := &core.Router{Selector: sel, Mode: core.OneShot, GuardedAcceptance: false,
 		RetracePasses: guarded.RetracePasses} // like-for-like except the guard
@@ -88,11 +89,11 @@ func AblationGuardedAcceptance(opts Options, n int) (*GuardedAcceptanceResult, e
 		if err != nil {
 			return nil, err
 		}
-		rg, err := guarded.Route(in)
+		rg, err := guarded.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}
-		ru, err := unguarded.Route(in)
+		ru, err := unguarded.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}

@@ -148,6 +148,7 @@ func RunComparison(opts Options) ([]SubsetEval, error) {
 	if workers < 1 {
 		workers = parallel.Workers()
 	}
+	ctx := opts.Context()
 	counts := SubsetLayoutCounts(opts.Scale)
 
 	var out []SubsetEval
@@ -172,7 +173,7 @@ func RunComparison(opts Options) ([]SubsetEval, error) {
 			if err != nil {
 				return fmt.Errorf("experiments: %s baseline: %w", sub.Name, err)
 			}
-			res, err := w.Route(in)
+			res, err := w.Route(ctx, in)
 			if err != nil {
 				return fmt.Errorf("experiments: %s ours: %w", sub.Name, err)
 			}

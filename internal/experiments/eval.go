@@ -43,6 +43,7 @@ func EvaluateModel(opts Options, spec layout.RandomSpec, n int) (*ModelEval, err
 	lin18 := baseline.New(baseline.Lin18)
 	rng := rand.New(rand.NewSource(opts.seed()))
 
+	ctx := opts.Context()
 	res := &ModelEval{Spec: spec, Layouts: n}
 	var ratios, imps []float64
 	for i := 0; i < n; i++ {
@@ -50,11 +51,11 @@ func EvaluateModel(opts Options, spec layout.RandomSpec, n int) (*ModelEval, err
 		if err != nil {
 			return nil, err
 		}
-		mst, err := core.PlainOARMST(in)
+		mst, err := core.PlainOARMST(ctx, in)
 		if err != nil {
 			return nil, err
 		}
-		ru, err := unguarded.Route(in)
+		ru, err := unguarded.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +66,7 @@ func EvaluateModel(opts Options, spec layout.RandomSpec, n int) (*ModelEval, err
 			res.ImprovedLayouts.Hits++
 		}
 
-		rg, err := guarded.Route(in)
+		rg, err := guarded.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}

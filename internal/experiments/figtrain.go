@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -153,11 +154,11 @@ func TrainingComparison(opts Options, cfg FigTrainingConfig) ([]TrainingCurve, e
 				return nil, fmt.Errorf("experiments: %v stage %d: %w", kind, stage, err)
 			}
 			elapsed += time.Since(start)
-			rIn, err := avgSTtoMST(sel, mode, evalIn)
+			rIn, err := avgSTtoMST(opts.Context(), sel, mode, evalIn)
 			if err != nil {
 				return nil, err
 			}
-			rBeyond, err := avgSTtoMST(sel, mode, evalBeyond)
+			rBeyond, err := avgSTtoMST(opts.Context(), sel, mode, evalBeyond)
 			if err != nil {
 				return nil, err
 			}
@@ -241,13 +242,13 @@ func evalSet(seed int64, size layout.TrainingSize, pins [2]int, n int) ([]*layou
 // avgSTtoMST evaluates the unguarded ST-to-MST ratio — the learning-quality
 // metric of Fig 11/12, where a ratio above 1 genuinely signals a selector
 // that hurts — averaged over the evaluation set.
-func avgSTtoMST(sel *selector.Selector, mode core.InferenceMode, evals []*layout.Instance) (float64, error) {
+func avgSTtoMST(ctx context.Context, sel *selector.Selector, mode core.InferenceMode, evals []*layout.Instance) (float64, error) {
 	// No guard and no retracing: the metric isolates what the *selected
 	// Steiner points* buy over the plain spanning tree, as in the paper.
 	r := &core.Router{Selector: sel, Mode: mode, GuardedAcceptance: false, RetracePasses: 0}
 	sum := 0.0
 	for _, in := range evals {
-		ratio, err := r.STtoMSTRatio(in)
+		ratio, err := r.STtoMSTRatio(ctx, in)
 		if err != nil {
 			return 0, err
 		}
@@ -281,16 +282,17 @@ func MeasureSpeedups(opts Options, cfg FigTrainingConfig) (*SpeedupMetrics, erro
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.Context()
 	m := &SpeedupMetrics{}
 
 	oneShot := &core.Router{Selector: sel, Mode: core.OneShot}
 	seq := &core.Router{Selector: sel, Mode: core.Sequential}
 	for _, in := range evals {
-		r1, err := oneShot.Route(in)
+		r1, err := oneShot.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}
-		r2, err := seq.Route(in)
+		r2, err := seq.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"oarsmt/internal/core"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
+)
+
+// StageTiming is the wall time one pipeline stage accumulated across every
+// route of a StageBench run.
+type StageTiming struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+}
+
+// ObsBenchReport is the stage-resolved timing artefact behind
+// BENCH_obs.json: where a routed layout's time actually goes (selector
+// inference vs OARMST construction vs retrace vs guard), plus the search
+// volume the routes generated.
+type ObsBenchReport struct {
+	Layouts    int                              `json:"layouts"`
+	Stages     []StageTiming                    `json:"stages"`
+	Counters   map[string]int64                 `json:"counters"`
+	Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+}
+
+// StageBench routes n random layouts with span tracing and a private
+// metric registry enabled, then aggregates the span tree into per-stage
+// totals. Search-volume counters (route.*) live on the process-wide
+// registry, so they are reported as the delta across the run.
+func StageBench(opts Options, n int) (*ObsBenchReport, error) {
+	sel, err := opts.selectorOrQuick()
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace("bench.stage_timings")
+	ctx := obs.With(opts.Context(), &obs.Observer{Trace: trace, Metrics: reg})
+
+	rng := rand.New(rand.NewSource(opts.seed()))
+	spec := layout.RandomSpec{
+		H: 12, V: 12, MinM: 2, MaxM: 3, MinPins: 4, MaxPins: 8, MinObstacles: 8, MaxObstacles: 16,
+	}
+	before := obs.Snapshot()
+	r := core.NewRouter(sel)
+	for i := 0; i < n; i++ {
+		in, err := layout.Random(rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.Route(ctx, in); err != nil {
+			return nil, err
+		}
+	}
+	after := obs.Snapshot()
+
+	rep := &ObsBenchReport{Layouts: n, Counters: map[string]int64{}}
+	// Aggregate the span tree by stage name, preserving first-seen order.
+	agg := map[string]*StageTiming{}
+	var order []string
+	var walk func(s *obs.SpanData)
+	walk = func(s *obs.SpanData) {
+		st, ok := agg[s.Name]
+		if !ok {
+			st = &StageTiming{Name: s.Name}
+			agg[s.Name] = st
+			order = append(order, s.Name)
+		}
+		st.Count++
+		st.TotalNS += s.DurationNS
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, c := range trace.Root().Children {
+		walk(c)
+	}
+	for _, name := range order {
+		rep.Stages = append(rep.Stages, *agg[name])
+	}
+
+	// Per-run registry (core.*) plus the process-wide delta (route.*).
+	snap := reg.Snapshot()
+	for name, v := range snap.Counters {
+		rep.Counters[name] = v
+	}
+	for name, v := range after.Counters {
+		if d := v - before.Counters[name]; d > 0 {
+			rep.Counters[name] = d
+		}
+	}
+	rep.Histograms = snap.Histograms
+
+	w := opts.out()
+	fmt.Fprintf(w, "Stage-resolved timings over %d layouts:\n", n)
+	for _, st := range rep.Stages {
+		fmt.Fprintf(w, "  %-16s n=%-5d total=%.3fms\n", st.Name, st.Count, float64(st.TotalNS)/1e6)
+	}
+	return rep, nil
+}
+
+// WriteObsBenchJSON serialises the report (indented, trailing newline).
+func WriteObsBenchJSON(w io.Writer, rep *ObsBenchReport) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

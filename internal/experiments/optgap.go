@@ -39,6 +39,7 @@ func OptimalityGap(opts Options, n int) (*OptimalityGapResult, error) {
 		MinPins: 3, MaxPins: 6,
 		MinObstacles: 6, MaxObstacles: 14,
 	}
+	ctx := opts.Context()
 	res := &OptimalityGapResult{Layouts: n}
 	for i := 0; i < n; i++ {
 		in, err := layout.Random(rng, spec)
@@ -55,7 +56,7 @@ func OptimalityGap(opts Options, n int) (*OptimalityGapResult, error) {
 			i--
 			continue
 		}
-		ro, err := ours.Route(in)
+		ro, err := ours.Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +75,7 @@ func OptimalityGap(opts Options, n int) (*OptimalityGapResult, error) {
 			}
 			*alg.sum += rb.Tree.Cost / opt
 		}
-		mst, err := core.PlainOARMST(in)
+		mst, err := core.PlainOARMST(ctx, in)
 		if err != nil {
 			return nil, err
 		}

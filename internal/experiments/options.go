@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -82,6 +83,18 @@ type Options struct {
 	// but the *measured runtimes* of Table 3 are only meaningful at
 	// Workers = 1, so the harness forces serial evaluation when timing.
 	Workers int
+	// Ctx bounds the run and carries observability sinks (obs.With); nil
+	// means context.Background(). Cancellation aborts mid-experiment with
+	// the routing error.
+	Ctx context.Context
+}
+
+// Context returns the run's context, defaulting to context.Background().
+func (o Options) Context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o Options) out() io.Writer {

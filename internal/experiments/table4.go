@@ -42,6 +42,7 @@ func Table4(opts Options) ([]Table4Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.Context()
 	ours := core.NewRouter(sel)
 	w := opts.out()
 	fmt.Fprintf(w, "Table 4: Routing-cost comparison on public-benchmark equivalents (C_via = 3, scale=%v)\n", opts.Scale)
@@ -73,7 +74,7 @@ func Table4(opts Options) ([]Table4Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s [14]: %w", name, err)
 		}
-		rOurs, err := ours.Route(in)
+		rOurs, err := ours.Route(ctx, in)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s ours: %w", name, err)
 		}

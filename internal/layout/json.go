@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/geom"
 	"oarsmt/internal/grid"
 )
@@ -102,6 +103,8 @@ func EncodeInstance(w io.Writer, in *Instance) error {
 
 // Decode reads a JSON layout in either form and returns the grid-form
 // instance, converting geometric layouts through the Hanan construction.
+// Malformed inputs return errors matching the module's invalid-layout
+// sentinel (oarsmt.ErrInvalidLayout) under errors.Is.
 func Decode(rd io.Reader) (*Instance, error) {
 	return DecodeWithLimit(rd, 0)
 }
@@ -114,6 +117,14 @@ func Decode(rd io.Reader) (*Instance, error) {
 // means unlimited. Every malformed input returns a descriptive error;
 // nothing in this path panics.
 func DecodeWithLimit(rd io.Reader, maxVertices int) (*Instance, error) {
+	in, err := decodeWithLimit(rd, maxVertices)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errs.ErrInvalidLayout, err)
+	}
+	return in, nil
+}
+
+func decodeWithLimit(rd io.Reader, maxVertices int) (*Instance, error) {
 	var jl jsonLayout
 	if err := json.NewDecoder(rd).Decode(&jl); err != nil {
 		return nil, fmt.Errorf("layout: decode: %w", err)

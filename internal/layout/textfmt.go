@@ -2,10 +2,12 @@ package layout
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/geom"
 )
 
@@ -145,8 +147,17 @@ func EncodeText(w io.Writer, l *Layout) error {
 }
 
 // DecodeAny sniffs the input: a leading '{' selects the JSON reader,
-// anything else the text reader (converted to grid form).
+// anything else the text reader (converted to grid form). Malformed
+// inputs match oarsmt.ErrInvalidLayout under errors.Is.
 func DecodeAny(r io.Reader) (*Instance, error) {
+	in, err := decodeAny(r)
+	if err != nil && !errors.Is(err, errs.ErrInvalidLayout) {
+		return nil, fmt.Errorf("%w: %w", errs.ErrInvalidLayout, err)
+	}
+	return in, err
+}
+
+func decodeAny(r io.Reader) (*Instance, error) {
 	br := bufio.NewReader(r)
 	for {
 		b, err := br.Peek(1)

@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerRawGo,
 		AnalyzerFloatReduce,
 		AnalyzerCtxHygiene,
+		AnalyzerObsNames,
 	}
 }
 

@@ -21,6 +21,7 @@ var corpusCases = []struct {
 	{"rawgo", []string{"rawgo"}},
 	{"floatreduce", []string{"floatreduce"}},
 	{"ctxhygiene", []string{"ctxhygiene"}},
+	{"obsnames", []string{"obsnames"}},
 	{"annotations", []string{"detmap"}},
 }
 
@@ -169,7 +170,7 @@ func TestRepoLintClean(t *testing.T) {
 // TestAnalyzerNames guards the driver's -enable/-disable contract: every
 // analyzer resolves by its documented name and the suite order is stable.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"detmap", "nowallclock", "seededrand", "rawgo", "floatreduce", "ctxhygiene"}
+	want := []string{"detmap", "nowallclock", "seededrand", "rawgo", "floatreduce", "ctxhygiene", "obsnames"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerObsNames enforces the observability naming convention at compile
+// time: every constant metric/span name handed to internal/obs must be two
+// or more dot-separated snake_case components ("mcts.leaf_eval"). The obs
+// registry panics on malformed names at first use, but a name on a cold
+// path (an error counter, say) can ship unexercised; this check moves the
+// failure to `make check`.
+var AnalyzerObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "metric/span names passed to internal/obs must be dotted snake_case",
+	Run:  runObsNames,
+}
+
+// obsNameArg maps each name-taking function or method of internal/obs to
+// the index of its name argument.
+var obsNameArg = map[string]int{
+	"Counter":     0,
+	"Gauge":       0,
+	"FloatGauge":  0,
+	"Histogram":   0,
+	"GaugeFunc":   0,
+	"NewTrace":    0,
+	"Lap":         0,
+	"Span":        1,
+	"ObserveSpan": 1,
+}
+
+func runObsNames(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if pathIsAny(p.Path, "internal/obs") {
+		// The package defines the convention; its own tests deliberately
+		// exercise malformed names.
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			idx, ok := obsNameArg[fn.Name()]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := p.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic name; the runtime validator catches it
+			}
+			if name := constant.StringVal(tv.Value); !validObsName(name) {
+				report(arg.Pos(), "obs name %q passed to %s is not dotted snake_case: want two or more dot-separated [a-z][a-z0-9_]* components like \"mcts.leaf_eval\"", name, fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// validObsName mirrors obs.ValidName; duplicated so the lint engine stays
+// free of module-internal imports (it must be able to analyze a broken
+// obs package without failing to build).
+func validObsName(name string) bool {
+	parts := strings.Split(name, ".")
+	if len(parts) < 2 {
+		return false
+	}
+	for _, part := range parts {
+		if len(part) == 0 || part[0] < 'a' || part[0] > 'z' {
+			return false
+		}
+		for i := 1; i < len(part); i++ {
+			c := part[i]
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,44 @@
+// Package obsnames is the golden corpus for the obsnames analyzer:
+// constant metric/span names handed to internal/obs must be dotted
+// snake_case; dynamic names are left to the runtime validator.
+package obsnames
+
+import (
+	"context"
+	"time"
+
+	"oarsmt/internal/obs"
+)
+
+// badName is constant-folded into its use sites, so naming a metric
+// through a const is checked just like a literal.
+const badName = "HeapPops"
+
+func registry(ctx context.Context) {
+	obs.Default.Counter("route.heap_pops").Inc()                       // fine
+	obs.Default.Counter(badName)                                       // want "obs name .HeapPops. passed to Counter is not dotted snake_case"
+	obs.Default.Gauge("serve.queueDepth")                              // want "obs name .serve.queueDepth. passed to Gauge is not dotted snake_case"
+	obs.Default.FloatGauge("rl.loss")                                  // fine
+	obs.Default.Histogram("latency")                                   // want "obs name .latency. passed to Histogram is not dotted snake_case"
+	obs.Default.GaugeFunc("serve.2queue", func() float64 { return 0 }) // want "obs name .serve.2queue. passed to GaugeFunc is not dotted snake_case"
+}
+
+func spans(ctx context.Context) {
+	ctx, end := obs.Span(ctx, "core.route") // fine
+	defer end()
+	obs.Span(ctx, "core.Route")                   // want "obs name .core.Route. passed to Span is not dotted snake_case"
+	obs.ObserveSpan(ctx, "rl.epoch", time.Second) // fine
+	obs.ObserveSpan(ctx, "rl epoch", time.Second) // want "obs name .rl.epoch. passed to ObserveSpan is not dotted snake_case"
+	obs.NewTrace("route")                         // want "obs name .route. passed to NewTrace is not dotted snake_case"
+	obs.NewTrace("oarsmt.route")                  // fine
+}
+
+func laps(sw *obs.Stopwatch) {
+	sw.Lap("mcts.select") // fine
+	sw.Lap("mcts.Select") // want "obs name .mcts.Select. passed to Lap is not dotted snake_case"
+}
+
+// dynamic names cannot be judged statically and are skipped.
+func dynamic(which string) {
+	obs.Default.Counter("route." + which)
+}

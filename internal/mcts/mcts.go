@@ -26,6 +26,7 @@ import (
 
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/parallel"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
@@ -172,6 +173,11 @@ type Searcher struct {
 
 	iterations    int
 	nodesExpanded int
+
+	// sw aggregates per-stage timings across iterations when the episode
+	// runs under an active trace; nil (the common case) makes every lap a
+	// no-op. Timing is telemetry only — it never feeds the search.
+	sw *obs.Stopwatch
 }
 
 // NewSearcher prepares an episode on the instance. The instance must have
@@ -223,6 +229,11 @@ func (s *Searcher) Run() (*Result, error) { return s.RunCtx(context.Background()
 // lands promptly), and a cancelled episode returns the context's error
 // instead of a partial sample.
 func (s *Searcher) RunCtx(ctx context.Context) (*Result, error) {
+	ctx, end := obs.Span(ctx, "mcts.episode")
+	defer end()
+	if obs.Enabled(ctx) {
+		s.sw = obs.NewStopwatch()
+	}
 	var executed []grid.VertexID
 	var rootActions []ActionStat
 	alpha := s.alpha()
@@ -251,6 +262,12 @@ func (s *Searcher) RunCtx(ctx context.Context) (*Result, error) {
 		executed = append(executed, e.action)
 		s.ensureEvaluated(s.root)
 	}
+
+	s.sw.Emit(ctx)
+	m := obs.MetricsFrom(ctx)
+	m.Counter("mcts.episodes").Inc()
+	m.Counter("mcts.iterations").Add(int64(s.iterations))
+	m.Counter("mcts.nodes_expanded").Add(int64(s.nodesExpanded))
 
 	label := make([]float64, len(s.nSel))
 	for i := range label {
@@ -304,6 +321,7 @@ func (s *Searcher) rootTerminal() bool {
 // pass (paper Fig 6).
 func (s *Searcher) iterate(maxDepth int) {
 	s.iterations++
+	s.sw.Reset()
 	cur := s.root
 	// statePins tracks the Steiner points along the traversal path.
 	path := make([]*edge, 0, 8)
@@ -343,7 +361,9 @@ func (s *Searcher) iterate(maxDepth int) {
 
 	// Simulation: value of the leaf.
 	s.ensureEvaluatedWithPins(cur, pathPins)
+	s.sw.Lap("mcts.select")
 	v := s.leafValue(cur, pathPins, maxDepth)
+	s.sw.Lap("mcts.leaf_eval")
 
 	// Backpropagation.
 	for _, e := range path {
@@ -351,6 +371,7 @@ func (s *Searcher) iterate(maxDepth int) {
 		e.w += v
 		e.q = e.w / float64(e.n)
 	}
+	s.sw.Lap("mcts.backprop")
 }
 
 // selectChild returns the index of the child edge maximising Q + U
@@ -391,8 +412,10 @@ func (s *Searcher) ensureEvaluatedWithPins(nd *node, sps []grid.VertexID) {
 	}
 	nd.evaluated = true
 	if !nd.costDone {
+		s.sw.Lap("mcts.select")
 		nd.cost = s.stateCost(sps)
 		nd.costDone = true
+		s.sw.Lap("mcts.leaf_eval")
 	}
 	maxDepth := s.in.NumPins() - 2
 	if nd.depth >= maxDepth {
@@ -443,6 +466,7 @@ func (s *Searcher) expandWithPins(nd *node, sps []grid.VertexID) {
 	nd.expanded = true
 	s.nodesExpanded++
 
+	s.sw.Lap("mcts.select")
 	policy := s.ActorPolicy(sps, nd.last)
 	for id, p := range policy {
 		if p > 0 {
@@ -450,6 +474,7 @@ func (s *Searcher) expandWithPins(nd *node, sps []grid.VertexID) {
 		}
 	}
 	s.prefetchChildCosts(nd, sps)
+	s.sw.Lap("mcts.expand")
 }
 
 // prefetchChildCosts evaluates the routing costs of the most promising

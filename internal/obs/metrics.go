@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus counter contract to hold;
+// this is not enforced at runtime).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous integer value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n when n exceeds the current value
+// (lock-free high-watermark).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// FloatGauge is an atomic instantaneous float value (loss curves, ratios).
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores f.
+func (g *FloatGauge) Set(f float64) { g.bits.Store(math.Float64bits(f)) }
+
+// Load returns the current value (0 before the first Set).
+func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// NumBuckets is the number of power-of-two latency buckets of a Histogram:
+// bucket 0 counts observations below 2 µs and bucket i >= 1 counts
+// [2^i µs, 2^(i+1) µs), spanning 1 µs up to ~35 minutes.
+const NumBuckets = 32
+
+// Histogram is a lock-free fixed-bucket duration histogram good enough for
+// p50/p99 reporting; percentiles are upper bounds of the bucket the rank
+// lands in, so they are conservative by at most 2x.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// BucketIndex returns the bucket an observation of duration d lands in.
+func BucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < NumBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper boundary of bucket i
+// (2^(i+1) µs).
+func BucketUpper(i int) time.Duration {
+	return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[BucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Percentile returns an upper bound of the p-quantile (p in (0, 1]) of the
+// observations, or 0 when nothing was observed.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	SumNS   int64   `json:"sum_ns"`
+	P50NS   int64   `json:"p50_ns"`
+	P99NS   int64   `json:"p99_ns"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNS: h.sumNS.Load(),
+		P50NS: int64(h.Percentile(0.50)),
+		P99NS: int64(h.Percentile(0.99)),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			// Pad with the zero prefix so indices stay bucket indices.
+			for len(s.Buckets) < i {
+				s.Buckets = append(s.Buckets, 0)
+			}
+			s.Buckets = append(s.Buckets, n)
+		}
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+// Package obs is the repository's observability layer: allocation-light
+// atomic counters and gauges, fixed-bucket latency histograms, and
+// hierarchical span tracing, all stdlib-only.
+//
+// The layer is built around two sinks:
+//
+//   - a Registry of named metrics (Counter, Gauge, FloatGauge, Histogram,
+//     GaugeFunc), snapshotted with Registry.Snapshot and exported in
+//     Prometheus text format with Registry.WritePrometheus. The
+//     package-level Default registry carries the process-wide hot-path
+//     metrics (route.*, core.*, mcts.*, rl.*); internal/serve owns a
+//     per-service registry so concurrent services never share counters.
+//   - a Trace of hierarchical spans (Span, ObserveSpan), carried through
+//     call trees on a context.Context and serialised as a JSON span tree.
+//
+// # Determinism contract
+//
+// Nothing in this package feeds a routing decision: metrics are
+// write-mostly atomics, and a context without an Observer makes Span a
+// no-op that returns its input context unchanged. Routing output is
+// therefore bit-identical with tracing enabled, disabled, or absent —
+// the invariant the determinism test corpus pins.
+//
+// # Naming
+//
+// Metric and span names are dotted snake_case ("serve.queue_depth",
+// "mcts.leaf_eval"): every dot-separated component matches
+// [a-z][a-z0-9_]*, with at least two components. Registration panics on
+// malformed names and the obsnames lint analyzer enforces the convention
+// statically at every call site.
+package obs
+
+import (
+	"context"
+)
+
+// Observer bundles the observability sinks one call tree carries: a span
+// trace and an optional metrics registry overriding Default. Either field
+// may be nil.
+type Observer struct {
+	// Trace receives hierarchical spans; nil disables tracing.
+	Trace *Trace
+	// Metrics overrides the Default registry for code that resolves its
+	// sink through MetricsFrom; nil means Default.
+	Metrics *Registry
+}
+
+// ctxKey is the private context key space of the package.
+type ctxKey int
+
+const (
+	observerKey ctxKey = iota
+	spanKey
+)
+
+// With attaches the observer to the context. The trace's root span becomes
+// the current span, so subsequent Span calls nest under it.
+func With(ctx context.Context, o *Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, observerKey, o)
+	if o.Trace != nil {
+		ctx = context.WithValue(ctx, spanKey, o.Trace.root)
+	}
+	return ctx
+}
+
+// FromContext returns the observer attached to the context, or nil.
+func FromContext(ctx context.Context) *Observer {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(observerKey).(*Observer)
+	return o
+}
+
+// MetricsFrom resolves the metrics registry of the context: the observer's
+// registry when one is attached, the Default registry otherwise.
+func MetricsFrom(ctx context.Context) *Registry {
+	if o := FromContext(ctx); o != nil && o.Metrics != nil {
+		return o.Metrics
+	}
+	return Default
+}
+
+// Enabled reports whether the context carries an active trace; callers can
+// skip building expensive span attributes when it is false.
+func Enabled(ctx context.Context) bool {
+	o := FromContext(ctx)
+	return o != nil && o.Trace != nil
+}

@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- histogram bucket boundaries ------------------------------------------
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{1 * time.Microsecond, 0},
+		{2 * time.Microsecond, 1}, // first value past bucket 0's upper bound
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{7 * time.Microsecond, 2},
+		{8 * time.Microsecond, 3},
+		{1 * time.Millisecond, 9},        // 1000 µs ∈ [2^9, 2^10)
+		{1 * time.Second, 19},            // 1e6 µs ∈ [2^19, 2^20)
+		{24 * time.Hour, NumBuckets - 1}, // clamped to the last bucket
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.d); got != c.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpperMatchesIndex(t *testing.T) {
+	// Every bucket's upper bound must land in the NEXT bucket, and one
+	// nanosecond less must land in the bucket itself.
+	for i := 0; i < NumBuckets-1; i++ {
+		up := BucketUpper(i)
+		if got := BucketIndex(up); got != i+1 {
+			t.Errorf("BucketIndex(BucketUpper(%d)=%v) = %d, want %d", i, up, got, i+1)
+		}
+		if got := BucketIndex(up - time.Nanosecond); got != i {
+			t.Errorf("BucketIndex(BucketUpper(%d)-1ns) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.99) != 0 {
+		t.Fatalf("empty histogram percentile = %v, want 0", h.Percentile(0.99))
+	}
+	// 99 fast observations and one slow one: p50 must stay in the fast
+	// bucket, p99 in the fast bucket too (rank 99 of 100), p100 slow.
+	for i := 0; i < 99; i++ {
+		h.Observe(3 * time.Microsecond) // bucket 1, upper bound 4 µs
+	}
+	h.Observe(1 * time.Second)
+	if got := h.Percentile(0.50); got != 4*time.Microsecond {
+		t.Errorf("p50 = %v, want 4µs", got)
+	}
+	if got := h.Percentile(0.99); got != 4*time.Microsecond {
+		t.Errorf("p99 = %v, want 4µs", got)
+	}
+	if got := h.Percentile(1.0); got != BucketUpper(19) {
+		t.Errorf("p100 = %v, want %v", got, BucketUpper(19))
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d, want 100", h.Count())
+	}
+	wantSum := 99*3*time.Microsecond + time.Second
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramSnapshotBucketPadding(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Microsecond) // bucket 2
+	s := h.snapshot()
+	if len(s.Buckets) != 3 {
+		t.Fatalf("Buckets = %v, want zero-padded length 3", s.Buckets)
+	}
+	if s.Buckets[0] != 0 || s.Buckets[1] != 0 || s.Buckets[2] != 1 {
+		t.Fatalf("Buckets = %v, want [0 0 1]", s.Buckets)
+	}
+}
+
+// --- metric primitives ----------------------------------------------------
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Load() != 5 {
+		t.Fatalf("SetMax lowered the gauge: %d", g.Load())
+	}
+	g.SetMax(9)
+	if g.Load() != 9 {
+		t.Fatalf("SetMax(9) = %d", g.Load())
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	if g.Load() != 0 {
+		t.Fatalf("zero FloatGauge = %v", g.Load())
+	}
+	g.Set(3.25)
+	if g.Load() != 3.25 {
+		t.Fatalf("FloatGauge = %v, want 3.25", g.Load())
+	}
+}
+
+// --- registry -------------------------------------------------------------
+
+func TestValidName(t *testing.T) {
+	good := []string{"serve.queue_depth", "mcts.leaf_eval", "a.b", "route.heap_pops", "rl.stage_3x"}
+	bad := []string{"", "serve", "Serve.queue", "serve.Queue", "serve..q", ".serve", "serve.", "serve-queue.x", "serve.1q", "serve.q depth"}
+	for _, n := range good {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range bad {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter(\"BadName\") did not panic")
+		}
+	}()
+	NewRegistry().Counter("BadName")
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("test.hits")
+	c1.Inc()
+	c2 := r.Counter("test.hits")
+	if c1 != c2 {
+		t.Fatal("Counter returned a different instance for the same name")
+	}
+	if c2.Load() != 1 {
+		t.Fatalf("counter = %d, want 1", c2.Load())
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.hits").Add(7)
+	r.Gauge("test.depth").Set(3)
+	r.FloatGauge("test.loss").Set(0.5)
+	r.GaugeFunc("test.uptime_seconds", func() float64 { return 42 })
+	r.Histogram("test.latency").Observe(3 * time.Microsecond)
+
+	m := r.Snapshot()
+	if m.Counters["test.hits"] != 7 {
+		t.Errorf("snapshot counter = %d, want 7", m.Counters["test.hits"])
+	}
+	if m.Gauges["test.depth"] != 3 || m.Gauges["test.loss"] != 0.5 || m.Gauges["test.uptime_seconds"] != 42 {
+		t.Errorf("snapshot gauges = %v", m.Gauges)
+	}
+	h := m.Histograms["test.latency"]
+	if h.Count != 1 || h.SumNS != int64(3*time.Microsecond) {
+		t.Errorf("snapshot histogram = %+v", h)
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("snapshot not JSON-serialisable: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.hits").Add(2)
+	r.Gauge("test.depth").Set(5)
+	h := r.Histogram("test.latency")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(1 * time.Second)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE oarsmt_test_hits counter",
+		"oarsmt_test_hits 2",
+		"# TYPE oarsmt_test_depth gauge",
+		"oarsmt_test_depth 5",
+		"# TYPE oarsmt_test_latency histogram",
+		`oarsmt_test_latency_bucket{le="+Inf"} 2`,
+		"oarsmt_test_latency_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be nondecreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "oarsmt_test_latency_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Errorf("cumulative bucket count decreased: %q after %d", line, last)
+		}
+		last = n
+	}
+}
+
+// fmtSscan pulls the trailing integer off a prometheus line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*n, err = parseInt(line[i+1:])
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, c := range s {
+		v = v*10 + int64(c-'0')
+	}
+	return v, nil
+}
+
+// --- spans ----------------------------------------------------------------
+
+func TestSpanDisabledIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, end := Span(ctx, "core.route")
+	if ctx2 != ctx {
+		t.Fatal("Span without a trace derived a new context")
+	}
+	end() // must not panic
+	if Enabled(ctx) {
+		t.Fatal("Enabled = true on a bare context")
+	}
+	ObserveSpan(ctx, "core.route", time.Second) // must not panic
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace("test.main")
+	ctx := With(context.Background(), &Observer{Trace: tr})
+	if !Enabled(ctx) {
+		t.Fatal("Enabled = false with a trace attached")
+	}
+
+	ctx1, end1 := Span(ctx, "test.outer")
+	_, endA := Span(ctx1, "test.inner_a")
+	endA()
+	_, endB := Span(ctx1, "test.inner_b")
+	endB()
+	end1()
+	ObserveSpan(ctx, "test.sibling", 5*time.Millisecond)
+
+	root := tr.Root()
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	outer := root.Children[0]
+	if outer.Name != "test.outer" || len(outer.Children) != 2 {
+		t.Fatalf("outer = %+v", outer)
+	}
+	if outer.Children[0].Name != "test.inner_a" || outer.Children[1].Name != "test.inner_b" {
+		t.Fatalf("inner spans = %q, %q", outer.Children[0].Name, outer.Children[1].Name)
+	}
+	if sib := root.Children[1]; sib.Name != "test.sibling" || sib.DurationNS != int64(5*time.Millisecond) {
+		t.Fatalf("sibling = %+v", sib)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SpanData
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if decoded.Name != "test.main" || decoded.DurationNS == 0 {
+		t.Fatalf("decoded root = %+v", decoded)
+	}
+}
+
+func TestMetricsFromOverride(t *testing.T) {
+	own := NewRegistry()
+	ctx := With(context.Background(), &Observer{Metrics: own})
+	if MetricsFrom(ctx) != own {
+		t.Fatal("MetricsFrom did not resolve the observer's registry")
+	}
+	if MetricsFrom(context.Background()) != Default {
+		t.Fatal("MetricsFrom on a bare context != Default")
+	}
+	if MetricsFrom(nil) != Default { //nolint:staticcheck // nil-safety is part of the contract
+		t.Fatal("MetricsFrom(nil) != Default")
+	}
+}
+
+// --- stopwatch ------------------------------------------------------------
+
+func TestStopwatchNilSafe(t *testing.T) {
+	var sw *Stopwatch
+	sw.Reset()
+	sw.Lap("test.stage")
+	sw.Emit(context.Background()) // all must be no-ops
+}
+
+func TestStopwatchAggregatesLaps(t *testing.T) {
+	tr := NewTrace("test.main")
+	ctx := With(context.Background(), &Observer{Trace: tr})
+	sw := NewStopwatch()
+	for i := 0; i < 3; i++ {
+		sw.Reset()
+		time.Sleep(time.Millisecond)
+		sw.Lap("test.select")
+		time.Sleep(time.Millisecond)
+		sw.Lap("test.expand")
+	}
+	sw.Emit(ctx)
+
+	root := tr.Root()
+	if len(root.Children) != 2 {
+		t.Fatalf("emitted spans = %d, want 2 aggregated stages", len(root.Children))
+	}
+	for i, want := range []string{"test.select", "test.expand"} {
+		s := root.Children[i]
+		if s.Name != want {
+			t.Errorf("span %d = %q, want %q (first-lap order)", i, s.Name, want)
+		}
+		if s.DurationNS < int64(2*time.Millisecond) {
+			t.Errorf("span %q duration %dns, want >= 2ms aggregated", s.Name, s.DurationNS)
+		}
+	}
+
+	// Emit cleared the totals: a second emit adds nothing.
+	sw.Emit(ctx)
+	if len(tr.Root().Children) != 2 {
+		t.Fatal("Emit did not clear accumulated laps")
+	}
+}
+
+// --- concurrency ----------------------------------------------------------
+
+func TestConcurrentMetricsAndSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace("test.main")
+	ctx := With(context.Background(), &Observer{Trace: tr, Metrics: r})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("test.ops")
+			h := r.Histogram("test.latency")
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				_, end := Span(ctx, "test.worker")
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("test.ops").Load(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("test.latency").Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+	if got := len(tr.Root().Children); got != 1600 {
+		t.Fatalf("spans = %d, want 1600", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

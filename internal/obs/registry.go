@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a set of named metrics. The zero value is not usable; create
+// one with NewRegistry. All methods are safe for concurrent use; the
+// get-or-create accessors are intended to be resolved once and the
+// returned metric retained, so the registry lock never sits on a hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	floats   map[string]*FloatGauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// Default is the process-wide registry carrying the hot-path metrics of
+// the routing, search and training packages.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		floats:   make(map[string]*FloatGauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
+	}
+}
+
+// ValidName reports whether the name follows the repository's metric/span
+// naming convention: two or more dot-separated snake_case components, each
+// matching [a-z][a-z0-9_]*.
+func ValidName(name string) bool {
+	parts := strings.Split(name, ".")
+	if len(parts) < 2 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) == 0 || p[0] < 'a' || p[0] > 'z' {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			c := p[i]
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mustValid panics on a malformed metric name: names are compile-time
+// literals, so a bad one is a programming error best caught at first use.
+func mustValid(name string) {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: invalid metric/span name %q (want dotted snake_case like \"serve.queue_depth\")", name))
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	mustValid(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	mustValid(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	mustValid(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floats[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.floats[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	mustValid(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a gauge computed on demand at snapshot/export time
+// (queue depths, cache sizes, uptimes). Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	mustValid(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Metrics is a point-in-time snapshot of a registry. Counters and integer
+// gauges keep exact int64 values; function gauges are evaluated at
+// snapshot time and folded into Gauges alongside float gauges.
+type Metrics struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric of the registry. The capture is
+// per-metric atomic (no torn reads of a single counter) but not a global
+// consistent cut; related counters may be off by in-flight operations.
+func (r *Registry) Snapshot() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := Metrics{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.floats)+len(r.funcs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		m.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		m.Gauges[name] = float64(g.Load())
+	}
+	for name, g := range r.floats {
+		m.Gauges[name] = g.Load()
+	}
+	for name, fn := range r.funcs {
+		m.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		m.Histograms[name] = h.snapshot()
+	}
+	return m
+}
+
+// Snapshot captures the Default registry.
+func Snapshot() Metrics { return Default.Snapshot() }
+
+// promName converts a dotted metric name to the Prometheus exposition
+// name: oarsmt_<name with dots replaced by underscores>.
+func promName(name string) string {
+	return "oarsmt_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// WritePrometheus writes every metric of the registry in the Prometheus
+// text exposition format (version 0.0.4). Histograms export cumulative
+// le-buckets with boundaries in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type hist struct {
+		name string
+		h    *Histogram
+	}
+	var counters, gauges []string
+	cvals := map[string]int64{}
+	gvals := map[string]float64{}
+	var hists []hist
+	for name, c := range r.counters {
+		counters = append(counters, name)
+		cvals[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		gauges = append(gauges, name)
+		gvals[name] = float64(g.Load())
+	}
+	for name, g := range r.floats {
+		gauges = append(gauges, name)
+		gvals[name] = g.Load()
+	}
+	for name, fn := range r.funcs {
+		gauges = append(gauges, name)
+		gvals[name] = fn()
+	}
+	for name, h := range r.hists {
+		hists = append(hists, hist{name, h})
+	}
+	r.mu.Unlock()
+
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, name := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), cvals[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(name), promName(name), gvals[name]); err != nil {
+			return err
+		}
+	}
+	for _, hh := range hists {
+		pn := promName(hh.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i := 0; i < NumBuckets; i++ {
+			n := hh.h.buckets[i].Load()
+			cum += n
+			if n == 0 && i > 0 {
+				continue // keep the exposition compact; cumulative counts stay correct
+			}
+			le := BucketUpper(i).Seconds()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatLE(le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			pn, cum, pn, hh.h.Sum().Seconds(), pn, hh.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatLE(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

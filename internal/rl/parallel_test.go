@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"reflect"
 	"testing"
 
 	"oarsmt/internal/parallel"
@@ -34,7 +35,7 @@ func TestGenerateSamplesBitEqualAcrossWorkerCounts(t *testing.T) {
 	refLabels, refStats := run(1)
 	for _, w := range []int{2, 3} {
 		labels, stats := run(w)
-		if stats != refStats {
+		if !reflect.DeepEqual(stats, refStats) {
 			t.Fatalf("workers=%d: stats %+v != serial %+v", w, stats, refStats)
 		}
 		if len(labels) != len(refLabels) {

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"oarsmt/internal/layout"
 	"oarsmt/internal/mcts"
 	"oarsmt/internal/nn"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/parallel"
 	"oarsmt/internal/selector"
 	"oarsmt/internal/tensor"
@@ -99,6 +101,9 @@ type StageStats struct {
 	MeanLoss       float64
 	MeanRootCost   float64
 	MeanFinalCost  float64
+	// EpochLosses is the mean BCE loss of each training epoch of the
+	// stage, in epoch order — the stage's loss curve.
+	EpochLosses []float64
 }
 
 // Trainer drives the selector-evolution loop of Fig 8. Each RunStage call
@@ -154,6 +159,14 @@ func (t *Trainer) stagePins() (lo, hi int, useCritic bool) {
 // order, and the episode results are folded in layout order, so samples
 // and statistics are identical at every worker count.
 func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
+	return t.GenerateSamplesCtx(context.Background())
+}
+
+// GenerateSamplesCtx is GenerateSamples under a cancellation context; the
+// context also carries the observability sinks of the episode spans.
+func (t *Trainer) GenerateSamplesCtx(ctx context.Context) ([]mcts.Sample, StageStats, error) {
+	ctx, end := obs.Span(ctx, "rl.generate")
+	defer end()
 	lo, hi, useCritic := t.stagePins()
 	cfg := t.Cfg.MCTS
 	cfg.UseCritic = cfg.UseCritic && useCritic
@@ -181,7 +194,7 @@ func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
 				return
 			}
 			for i := lo; i < hi; i++ {
-				res, err := mcts.Search(priv, ins[i], cfg)
+				res, err := mcts.SearchCtx(ctx, priv, ins[i], cfg)
 				if err != nil {
 					errs[shard] = err
 					return
@@ -196,7 +209,7 @@ func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
 		}
 	} else {
 		for i, in := range ins {
-			res, err := mcts.Search(t.Selector, in, cfg)
+			res, err := mcts.SearchCtx(ctx, t.Selector, in, cfg)
 			if err != nil {
 				return nil, stats, fmt.Errorf("rl: stage %d: %w", t.stage+1, err)
 			}
@@ -217,33 +230,53 @@ func (t *Trainer) GenerateSamples() ([]mcts.Sample, StageStats, error) {
 		stats.MeanFinalCost /= float64(stats.Episodes)
 	}
 	stats.Samples = len(samples)
+	m := obs.MetricsFrom(ctx)
+	m.Counter("rl.episodes").Add(int64(stats.Episodes))
+	m.Counter("rl.samples").Add(int64(stats.Samples))
 	return samples, stats, nil
 }
 
 // RunStage performs one full stage: sample generation, augmentation, and
 // EpochsPerStage epochs of same-size mini-batch training.
 func (t *Trainer) RunStage() (StageStats, error) {
-	samples, stats, err := t.GenerateSamples()
+	return t.RunStageCtx(context.Background())
+}
+
+// RunStageCtx is RunStage under a cancellation context carrying the
+// observability sinks: the stage emits rl.stage / rl.generate /
+// rl.augment / rl.fit spans (with one rl.epoch span per training epoch)
+// and updates the rl.* metrics.
+func (t *Trainer) RunStageCtx(ctx context.Context) (StageStats, error) {
+	ctx, end := obs.Span(ctx, "rl.stage")
+	defer end()
+	samples, stats, err := t.GenerateSamplesCtx(ctx)
 	if err != nil {
 		return stats, err
 	}
 
 	if t.Cfg.Augment {
+		_, endAug := obs.Span(ctx, "rl.augment")
 		var augmented []mcts.Sample
 		for _, s := range samples {
 			augmented = append(augmented, AugmentSample(s)...)
 		}
 		samples = augmented
+		endAug()
 	}
 	stats.TrainedSamples = len(samples)
 
-	loss, err := t.Fit(samples)
+	loss, epochLosses, err := t.fit(ctx, samples)
 	if err != nil {
 		return stats, err
 	}
 	stats.MeanLoss = loss
+	stats.EpochLosses = epochLosses
 	t.stage++
 	stats.Stage = t.stage
+
+	m := obs.MetricsFrom(ctx)
+	m.Counter("rl.stages").Inc()
+	m.FloatGauge("rl.loss").Set(loss)
 	return stats, nil
 }
 
@@ -251,8 +284,18 @@ func (t *Trainer) RunStage() (StageStats, error) {
 // same-size batches (Fig 9) and returns the mean BCE loss of the final
 // epoch.
 func (t *Trainer) Fit(samples []mcts.Sample) (float64, error) {
+	loss, _, err := t.fit(context.Background(), samples)
+	return loss, err
+}
+
+// fit is Fit with observability: an rl.fit span wrapping the epoch loop,
+// one rl.epoch span per epoch, and the per-epoch loss curve returned for
+// StageStats.
+func (t *Trainer) fit(ctx context.Context, samples []mcts.Sample) (float64, []float64, error) {
+	ctx, end := obs.Span(ctx, "rl.fit")
+	defer end()
 	if len(samples) == 0 {
-		return 0, fmt.Errorf("rl: no samples to fit")
+		return 0, nil, fmt.Errorf("rl: no samples to fit")
 	}
 	// Group by layout dimensions so every batch has a single size.
 	groups := map[[3]int][]int{}
@@ -268,7 +311,10 @@ func (t *Trainer) Fit(samples []mcts.Sample) (float64, error) {
 	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
 
 	var lastEpochLoss float64
+	epochLosses := make([]float64, 0, t.Cfg.EpochsPerStage)
+	epochHist := obs.MetricsFrom(ctx).Histogram("rl.epoch_latency")
 	for epoch := 0; epoch < t.Cfg.EpochsPerStage; epoch++ {
+		epochTimer := obs.StartTimer()
 		totalLoss, nBatches := 0.0, 0
 		for _, key := range keys {
 			idxs := append([]int(nil), groups[key]...)
@@ -298,8 +344,12 @@ func (t *Trainer) Fit(samples []mcts.Sample) (float64, error) {
 		if nBatches > 0 {
 			lastEpochLoss = totalLoss / float64(nBatches)
 		}
+		epochLosses = append(epochLosses, lastEpochLoss)
+		d := epochTimer.Elapsed()
+		epochHist.Observe(d)
+		obs.ObserveSpan(ctx, "rl.epoch", d)
 	}
-	return lastEpochLoss, nil
+	return lastEpochLoss, epochLosses, nil
 }
 
 func lessKey(a, b [3]int) bool {

@@ -19,6 +19,7 @@ import (
 // deterministic: terminals are seeded from the smallest VertexID and all
 // Dijkstra ties break on vertex ID.
 func (r *Router) OARMST(terminals []grid.VertexID) (*Tree, error) {
+	mOARMSTBuilds.Inc()
 	terms := dedupSorted(terminals)
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("route: OARMST needs at least one terminal")

@@ -19,6 +19,7 @@ func (r *Router) Retrace(t *Tree, terminals []grid.VertexID, maxPasses int) (*Tr
 	if maxPasses < 1 || len(t.Edges) == 0 {
 		return t, 0
 	}
+	mRetracePasses.Inc()
 	adj := make(map[grid.VertexID][]grid.VertexID, t.NumVertices())
 	for _, e := range t.Edges {
 		adj[e.A] = append(adj[e.A], e.B)

@@ -14,7 +14,20 @@ import (
 	"context"
 	"fmt"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
+	"oarsmt/internal/obs"
+)
+
+// Search-volume counters on the process-wide registry, resolved once so
+// the hot loop only touches locals and a couple of atomics per search.
+// Write-only telemetry: nothing here feeds a routing decision.
+var (
+	mSearches      = obs.Default.Counter("route.searches")
+	mHeapPops      = obs.Default.Counter("route.heap_pops")
+	mRelaxations   = obs.Default.Counter("route.relaxations")
+	mOARMSTBuilds  = obs.Default.Counter("route.oarmst_builds")
+	mRetracePasses = obs.Default.Counter("route.retrace_calls")
 )
 
 // ctxCheckInterval is how many heap pops (or BFS visits) pass between
@@ -164,7 +177,12 @@ func (r *Router) ShortestToTarget(sources []grid.VertexID, isTarget func(grid.Ve
 	r.nextEpoch()
 	r.ctxErr = nil
 	r.heap = r.heap[:0]
-	pops := 0
+	pops, relaxations := 0, 0
+	defer func() {
+		mSearches.Inc()
+		mHeapPops.Add(int64(pops))
+		mRelaxations.Add(int64(relaxations))
+	}()
 	for _, s := range sources {
 		if r.g.Blocked(s) {
 			continue
@@ -204,6 +222,7 @@ func (r *Router) ShortestToTarget(sources []grid.VertexID, isTarget func(grid.Ve
 			}
 			nd := p.d + nb.Cost
 			if r.seen[nb.ID] != r.epoch || nd < r.dist[nb.ID] {
+				relaxations++
 				r.seen[nb.ID] = r.epoch
 				r.dist[nb.ID] = nd
 				r.prev[nb.ID] = p.id
@@ -283,3 +302,8 @@ type ErrUnreachable struct {
 func (e *ErrUnreachable) Error() string {
 	return fmt.Sprintf("route: terminal %d at %v is unreachable", e.Terminal, e.Coord)
 }
+
+// Is makes every unreachable-terminal error match the module's ErrNoPath
+// sentinel under errors.Is, without losing the structured terminal/coord
+// detail available through errors.As.
+func (e *ErrUnreachable) Is(target error) bool { return target == errs.ErrNoPath }

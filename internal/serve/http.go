@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"time"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
 )
 
 // maxBodyBytes bounds a /route request body; layouts are JSON and even
@@ -21,14 +23,20 @@ const maxBodyBytes = 8 << 20
 //	                 edges=1 includes the routed tree in the response
 //	GET  /healthz  — 200 "ok" while serving, 503 "draining" after Close
 //	GET  /stats    — JSON counters snapshot (Stats)
+//	GET  /metrics  — Prometheus text exposition: the service registry
+//	                 followed by the process-wide obs.Default registry
+//	                 (route/core search-volume counters)
 //
 // Queue overflow maps to 429 with Retry-After; oversized or malformed
-// layouts to 4xx; deadline expiry to 504.
+// layouts to 4xx; deadline expiry to 504. Error classes are matched with
+// errors.Is against the module sentinels (oarsmt.ErrQueueFull,
+// oarsmt.ErrTimeout, ...), so wrapped errors map correctly.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -60,15 +68,19 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.Submit(ctx, in)
 	if err != nil {
 		switch {
-		case errors.Is(err, ErrQueueFull):
+		case errors.Is(err, errs.ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, ErrTooLarge):
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, errs.ErrInvalidLayout):
+			httpError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, errs.ErrTimeout), errors.Is(err, context.Canceled):
 			httpError(w, http.StatusGatewayTimeout, err.Error())
+		case errors.Is(err, errs.ErrNoPath):
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
 		default:
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 		}
@@ -92,6 +104,18 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics exposes the service registry followed by the process-wide
+// default registry (route/core/mcts counters) in the Prometheus text
+// format. Metric name sets are disjoint (serve.* vs route.*/core.*), so
+// concatenating the expositions is well-formed.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.m.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	obs.Default.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

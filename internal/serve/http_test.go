@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -203,5 +204,48 @@ func TestHTTPHealthAndStats(t *testing.T) {
 	hres.Body.Close()
 	if hres.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-close /healthz = %d, want 503", hres.StatusCode)
+	}
+}
+
+// TestHTTPMetrics checks the Prometheus exposition: after one routed
+// request the service counters and the process-wide routing counters both
+// appear under their oarsmt_-prefixed names.
+func TestHTTPMetrics(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+
+	post, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE oarsmt_serve_submitted counter",
+		"oarsmt_serve_completed 1",
+		"# TYPE oarsmt_serve_queue_capacity gauge",
+		"# TYPE oarsmt_serve_latency histogram",
+		"oarsmt_serve_latency_bucket{le=\"+Inf\"} 1",
+		// Process-wide registry: the routed request ran Dijkstra searches.
+		"# TYPE oarsmt_route_searches counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\nexposition:\n%s", want, text)
+		}
 	}
 }

@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"oarsmt/internal/core"
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/parallel"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
@@ -37,8 +39,10 @@ import (
 // Sentinel errors of the service surface.
 var (
 	// ErrQueueFull is returned when the bounded job queue is at capacity;
-	// clients should back off and retry (HTTP 429).
-	ErrQueueFull = errors.New("serve: job queue full")
+	// clients should back off and retry (HTTP 429). It is the module-wide
+	// backpressure sentinel, so errors.Is matches both this name and the
+	// root package's oarsmt.ErrQueueFull.
+	ErrQueueFull = errs.ErrQueueFull
 	// ErrClosed is returned once the service has begun draining.
 	ErrClosed = errors.New("serve: service closed")
 	// ErrTooLarge is returned for layouts above Config.MaxVolume.
@@ -71,8 +75,8 @@ type Config struct {
 	// RetracePasses and GuardedAcceptance configure the underlying
 	// core.Router; NewService defaults them to core.NewRouter's settings
 	// (one pass, guarded).
-	RetracePasses     int
-	NoGuard           bool
+	RetracePasses       int
+	NoGuard             bool
 	SequentialInference bool
 
 	// gate, when non-nil, is waited on before every scheduler pass; test
@@ -153,7 +157,7 @@ type Service struct {
 
 	done  chan struct{} // scheduler exited
 	start time.Time
-	ctr   counters
+	m     *metrics
 }
 
 // NewService starts a service (and its scheduler goroutine) over the
@@ -178,13 +182,30 @@ func NewService(cfg Config) (*Service, error) {
 		queue:  make(chan *job, cfg.QueueSize),
 		done:   make(chan struct{}),
 		start:  time.Now(),
+		m:      newMetrics(),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
 	}
+	// Instantaneous state exports as on-demand gauges: evaluated at
+	// snapshot/scrape time, so they are never stale the way a periodically
+	// copied struct was.
+	s.m.reg.GaugeFunc("serve.queue_depth", func() float64 { return float64(len(s.queue)) })
+	s.m.reg.GaugeFunc("serve.queue_capacity", func() float64 { return float64(cfg.QueueSize) })
+	s.m.reg.GaugeFunc("serve.cache_entries", func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.len())
+	})
+	s.m.reg.GaugeFunc("serve.uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
 	go s.run()
 	return s, nil
 }
+
+// Registry exposes the service's metric registry so embedding callers can
+// export it alongside their own; the HTTP layer's GET /metrics uses it.
+func (s *Service) Registry() *obs.Registry { return s.m.reg }
 
 // Closed reports whether the service has begun draining.
 func (s *Service) Closed() bool {
@@ -230,7 +251,7 @@ func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, e
 	if resp, ok := s.lookup(in, key, toCanon, start); ok {
 		return resp, nil
 	}
-	s.ctr.cacheMisses.Add(1)
+	s.m.cacheMisses.Inc()
 
 	j := &job{ctx: ctx, in: in, key: key, toCanon: toCanon, enqueued: start, done: make(chan struct{})}
 	s.mu.RLock()
@@ -243,10 +264,10 @@ func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, e
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
-		s.ctr.rejected.Add(1)
+		s.m.rejected.Inc()
 		return nil, ErrQueueFull
 	}
-	s.ctr.submitted.Add(1)
+	s.m.submitted.Inc()
 
 	select {
 	case <-j.done:
@@ -254,7 +275,7 @@ func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, e
 	case <-ctx.Done():
 		// The scheduler observes the same context and will answer the job
 		// with the cancellation; reporting it here keeps latency honest.
-		return nil, ctx.Err()
+		return nil, errs.Classify(ctx.Err())
 	}
 }
 
@@ -271,12 +292,12 @@ func (s *Service) lookup(in *layout.Instance, key cacheKey, toCanon grid.Aug, st
 	if !ok {
 		return nil, false
 	}
-	s.ctr.cacheHits.Add(1)
-	s.ctr.submitted.Add(1)
-	s.ctr.completed.Add(1)
+	s.m.cacheHits.Inc()
+	s.m.submitted.Inc()
+	s.m.completed.Inc()
 	resp := s.buildResponse(in, tree, steiner, e.usedSteiner, e.proposed, start)
 	resp.CacheHit = true
-	s.ctr.lat.record(time.Since(start))
+	s.m.latency.Observe(time.Since(start))
 	return resp, true
 }
 
@@ -387,7 +408,7 @@ type rep struct {
 // parallel OARMST construction over the distinct layouts.
 func (s *Service) processGroup(group []*job) {
 	batchSize := len(group)
-	s.ctr.observeBatch(batchSize)
+	s.m.observeBatch(batchSize)
 
 	// Dedup by canonical key, preserving arrival order.
 	var reps []*rep
@@ -417,7 +438,7 @@ func (s *Service) processGroup(group []*job) {
 			if e, ok := s.cache.get(lead.key); ok {
 				// The layout was routed between enqueue and drain: a
 				// cache hit for every job of the rep.
-				s.ctr.cacheHits.Add(int64(len(r.jobs)))
+				s.m.cacheHits.Add(int64(len(r.jobs)))
 				for _, j := range s.answerFromEntry(r, e, batchSize, true) {
 					s.routeFallback(j, batchSize)
 				}
@@ -426,7 +447,7 @@ func (s *Service) processGroup(group []*job) {
 			}
 		}
 		r.sps, r.inf = s.router.Propose(lead.in)
-		s.ctr.inferences.Add(int64(r.inf))
+		s.m.inferences.Add(int64(r.inf))
 	}
 
 	// Phase 2 (parallel): OARMST construction per distinct layout, one
@@ -475,12 +496,12 @@ func (s *Service) processGroup(group []*job) {
 // routeFallback answers one job with a direct (unbatched, uncached) route.
 // Must run on the scheduler goroutine: it uses the shared selector.
 func (s *Service) routeFallback(j *job, batchSize int) {
-	res, err := s.router.RouteCtx(j.ctx, j.in)
+	res, err := s.router.Route(j.ctx, j.in)
 	if err != nil {
 		s.finish(j, nil, err)
 		return
 	}
-	s.ctr.inferences.Add(int64(res.Inferences))
+	s.m.inferences.Add(int64(res.Inferences))
 	resp := s.buildResponse(j.in, res.Tree, res.SteinerPoints, res.UsedSteiner, res.Proposed, j.enqueued)
 	resp.BatchSize = batchSize
 	s.finish(j, resp, nil)
@@ -528,45 +549,16 @@ func (s *Service) answerFromEntry(r *rep, e *cacheEntry, batchSize int, cacheHit
 	return fallback
 }
 
-// finish answers a job exactly once and records latency.
+// finish answers a job exactly once and records latency. Errors are
+// classified so deadline expiries surface as the module's ErrTimeout.
 func (s *Service) finish(j *job, resp *Response, err error) {
+	err = errs.Classify(err)
 	j.resp, j.err = resp, err
 	if err != nil {
-		s.ctr.failed.Add(1)
+		s.m.failed.Inc()
 	} else {
-		s.ctr.completed.Add(1)
+		s.m.completed.Inc()
 	}
-	s.ctr.lat.record(time.Since(j.enqueued))
+	s.m.latency.Observe(time.Since(j.enqueued))
 	close(j.done)
-}
-
-// Stats returns a snapshot of the service's counters.
-func (s *Service) Stats() Stats {
-	st := Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueSize,
-		Submitted:     s.ctr.submitted.Load(),
-		Completed:     s.ctr.completed.Load(),
-		Failed:        s.ctr.failed.Load(),
-		Rejected:      s.ctr.rejected.Load(),
-		CacheHits:     s.ctr.cacheHits.Load(),
-		CacheMisses:   s.ctr.cacheMisses.Load(),
-		Inferences:    s.ctr.inferences.Load(),
-		Batches:       s.ctr.batches.Load(),
-		BatchedJobs:   s.ctr.batchedJobs.Load(),
-		MaxBatch:      s.ctr.maxBatch.Load(),
-		P50Millis:     float64(s.ctr.lat.percentile(0.50).Microseconds()) / 1000,
-		P99Millis:     float64(s.ctr.lat.percentile(0.99).Microseconds()) / 1000,
-	}
-	if s.cache != nil {
-		st.CacheEntries = s.cache.len()
-	}
-	if st.Batches > 0 {
-		st.MeanBatch = float64(st.BatchedJobs) / float64(st.Batches)
-	}
-	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
-		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
-	}
-	return st
 }

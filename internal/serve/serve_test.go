@@ -28,7 +28,7 @@ func tinySelector(t *testing.T) *selector.Selector {
 }
 
 func plainTree(in *layout.Instance) (*route.Tree, error) {
-	return core.PlainOARMST(in)
+	return core.PlainOARMST(context.Background(), in)
 }
 
 func newTestService(t *testing.T, cfg Config) *Service {
@@ -60,7 +60,7 @@ func TestParallelSubmitsMatchSerialCore(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		sz := sizes[i%len(sizes)]
 		in := serveInstance(t, int64(100+i), sz[0], sz[1], sz[2], 4+i%3)
-		res, err := serial.Route(in)
+		res, err := serial.Route(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestCacheHitAcrossOrientations(t *testing.T) {
 	in := serveInstance(t, 13, 6, 8, 2, 5)
 
 	serial := core.NewRouter(sel)
-	base, err := serial.Route(in)
+	base, err := serial.Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,81 +1,57 @@
 package serve
 
 import (
-	"sync/atomic"
 	"time"
+
+	"oarsmt/internal/obs"
 )
 
-// latBuckets is the number of power-of-two latency buckets: bucket i
-// counts requests whose latency fell in [2^i µs, 2^(i+1) µs), which spans
-// 1 µs up to ~35 minutes.
-const latBuckets = 32
+// metrics are the service's instruments, resolved once from a per-Service
+// obs.Registry so two services in one process (tests, blue/green) never
+// share state and the hot paths only touch atomics. The registry is also
+// what GET /metrics exports; earlier revisions kept a bespoke atomic
+// struct here whose snapshot raced batch completion.
+type metrics struct {
+	reg *obs.Registry
 
-// latencyHist is a lock-free fixed-bucket latency histogram good enough
-// for p50/p99 reporting; percentiles are upper bounds of the bucket the
-// rank lands in, so they are conservative by at most 2x.
-type latencyHist struct {
-	counts [latBuckets]atomic.Int64
+	submitted   *obs.Counter // requests accepted (queued or served from cache)
+	completed   *obs.Counter // jobs answered successfully
+	failed      *obs.Counter // jobs answered with an error
+	rejected    *obs.Counter // submissions shed with ErrQueueFull (HTTP 429)
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	batches     *obs.Counter // same-size groups processed
+	batchedJobs *obs.Counter // jobs carried by those groups
+	inferences  *obs.Counter // selector network inferences spent
+	maxBatch    *obs.Gauge   // high-watermark of jobs per group
+	latency     *obs.Histogram
 }
 
-func (h *latencyHist) record(d time.Duration) {
-	us := d.Microseconds()
-	b := 0
-	for us > 1 && b < latBuckets-1 {
-		us >>= 1
-		b++
+// newMetrics builds the service registry. The queue/cache/uptime gauges
+// are registered later by NewService: they close over the Service, which
+// does not exist yet when its metrics field is initialized.
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:         reg,
+		submitted:   reg.Counter("serve.submitted"),
+		completed:   reg.Counter("serve.completed"),
+		failed:      reg.Counter("serve.failed"),
+		rejected:    reg.Counter("serve.rejected"),
+		cacheHits:   reg.Counter("serve.cache_hits"),
+		cacheMisses: reg.Counter("serve.cache_misses"),
+		batches:     reg.Counter("serve.batches"),
+		batchedJobs: reg.Counter("serve.batched_jobs"),
+		inferences:  reg.Counter("serve.inferences"),
+		maxBatch:    reg.Gauge("serve.max_batch"),
+		latency:     reg.Histogram("serve.latency"),
 	}
-	h.counts[b].Add(1)
 }
 
-// percentile returns an upper bound of the p-quantile (p in (0, 1]) of the
-// recorded latencies, or 0 when nothing was recorded.
-func (h *latencyHist) percentile(p float64) time.Duration {
-	var total int64
-	for i := range h.counts {
-		total += h.counts[i].Load()
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(p * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
-		}
-	}
-	return time.Duration(int64(1)<<uint(latBuckets)) * time.Microsecond
-}
-
-// counters are the service's expvar-style metrics. All fields are atomics;
-// a consistent-enough snapshot is taken field by field.
-type counters struct {
-	submitted   atomic.Int64 // requests accepted (queued or served from cache)
-	completed   atomic.Int64 // jobs answered successfully
-	failed      atomic.Int64 // jobs answered with an error
-	rejected    atomic.Int64 // submissions shed with ErrQueueFull (HTTP 429)
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	batches     atomic.Int64 // same-size groups processed
-	batchedJobs atomic.Int64 // jobs carried by those groups
-	maxBatch    atomic.Int64
-	inferences  atomic.Int64 // selector network inferences spent
-	lat         latencyHist
-}
-
-func (c *counters) observeBatch(n int) {
-	c.batches.Add(1)
-	c.batchedJobs.Add(int64(n))
-	for {
-		cur := c.maxBatch.Load()
-		if int64(n) <= cur || c.maxBatch.CompareAndSwap(cur, int64(n)) {
-			return
-		}
-	}
+func (m *metrics) observeBatch(n int) {
+	m.batches.Inc()
+	m.batchedJobs.Add(int64(n))
+	m.maxBatch.SetMax(int64(n))
 }
 
 // Stats is a point-in-time snapshot of the service's counters, shaped for
@@ -102,4 +78,36 @@ type Stats struct {
 
 	P50Millis float64 `json:"p50Millis"`
 	P99Millis float64 `json:"p99Millis"`
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	m := s.m
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueSize,
+		Submitted:     m.submitted.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		Rejected:      m.rejected.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		Inferences:    m.inferences.Load(),
+		Batches:       m.batches.Load(),
+		BatchedJobs:   m.batchedJobs.Load(),
+		MaxBatch:      m.maxBatch.Load(),
+		P50Millis:     float64(m.latency.Percentile(0.50).Microseconds()) / 1000,
+		P99Millis:     float64(m.latency.Percentile(0.99).Microseconds()) / 1000,
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.BatchedJobs) / float64(st.Batches)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return st
 }

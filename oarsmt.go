@@ -20,12 +20,15 @@
 package oarsmt
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"oarsmt/internal/baseline"
 	"oarsmt/internal/core"
+	"oarsmt/internal/errs"
 	"oarsmt/internal/geom"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
@@ -33,11 +36,64 @@ import (
 	"oarsmt/internal/models"
 	"oarsmt/internal/multinet"
 	"oarsmt/internal/nn"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/render"
 	"oarsmt/internal/rl"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
 )
+
+// Sentinel errors of the public API. They are the canonical identities the
+// internal packages wrap, so errors.Is works on any error the module
+// returns, however deeply wrapped.
+var (
+	// ErrTimeout reports that a call exceeded its deadline; it also
+	// matches context.DeadlineExceeded under errors.Is.
+	ErrTimeout = errs.ErrTimeout
+	// ErrQueueFull reports serving-queue backpressure.
+	ErrQueueFull = errs.ErrQueueFull
+	// ErrInvalidLayout reports a layout that failed to decode or validate.
+	ErrInvalidLayout = errs.ErrInvalidLayout
+	// ErrNoPath reports an unreachable terminal on the routing graph.
+	ErrNoPath = errs.ErrNoPath
+)
+
+// Observability re-exports (see internal/obs): Router.Route and the other
+// context-first entry points accept an Observer via WithObserver; Snapshot
+// reads the process-wide metrics.
+type (
+	// Observer bundles a span trace and/or a metrics registry for one
+	// call tree.
+	Observer = obs.Observer
+	// Trace is a hierarchical span tree, serialisable as JSON.
+	Trace = obs.Trace
+	// Metrics is a point-in-time snapshot of the metrics registry.
+	Metrics = obs.Metrics
+)
+
+// NewTrace creates a span trace whose root carries the given dotted
+// snake_case name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// Snapshot captures the process-wide metrics registry (route.*, core.*,
+// mcts.*, rl.* counters and histograms).
+func Snapshot() Metrics { return obs.Snapshot() }
+
+// RouteOption configures one Router.Route call.
+type RouteOption = core.Option
+
+// WithTimeout bounds one Route call with a deadline; exceeding it returns
+// an error matching ErrTimeout.
+func WithTimeout(d time.Duration) RouteOption { return core.WithTimeout(d) }
+
+// WithWorkers sets the process-wide worker-pool size before routing.
+func WithWorkers(n int) RouteOption { return core.WithWorkers(n) }
+
+// WithInferenceMode overrides the router's inference mode for one call.
+func WithInferenceMode(m InferenceMode) RouteOption { return core.WithInferenceMode(m) }
+
+// WithObserver attaches observability sinks to one Route call.
+func WithObserver(o *Observer) RouteOption { return core.WithObserver(o) }
 
 // Core problem types.
 type (
@@ -172,7 +228,9 @@ func EncodeInstance(w io.Writer, in *Instance) error { return layout.EncodeInsta
 
 // PlainOARMST routes an instance with no Steiner points: the spanning-tree
 // baseline of the ST-to-MST metric.
-func PlainOARMST(in *Instance) (*Tree, error) { return core.PlainOARMST(in) }
+func PlainOARMST(ctx context.Context, in *Instance) (*Tree, error) {
+	return core.PlainOARMST(ctx, in)
+}
 
 // BaselineAlgorithm identifies one of the reproduced algorithmic routers.
 type BaselineAlgorithm = baseline.Algorithm
@@ -215,13 +273,16 @@ type (
 )
 
 // RouteNets routes all nets on the graph with the RL router (or the plain
-// OARMST when sel is nil) as the single-net engine.
-func RouteNets(g *Graph, nets []Net, sel *Selector, cfg MultiNetConfig) (*MultiNetResult, error) {
+// OARMST when sel is nil) as the single-net engine. The context bounds the
+// whole negotiation loop.
+func RouteNets(ctx context.Context, g *Graph, nets []Net, sel *Selector, cfg MultiNetConfig) (*MultiNetResult, error) {
 	engine := multinet.RouterFunc(func(in *Instance) (*route.Tree, error) {
 		if sel == nil || in.NumPins() < 3 {
-			return route.NewRouter(in.Graph).OARMST(in.Pins)
+			r := route.NewRouter(in.Graph)
+			r.SetContext(ctx)
+			return r.OARMST(in.Pins)
 		}
-		res, err := core.NewRouter(sel).Route(in)
+		res, err := core.NewRouter(sel).Route(ctx, in)
 		if err != nil {
 			return nil, err
 		}

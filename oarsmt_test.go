@@ -2,6 +2,7 @@ package oarsmt
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,14 +20,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := NewRouter(sel)
-	res, err := r.Route(in)
+	res, err := r.Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
 		t.Fatal(err)
 	}
-	plain, err := PlainOARMST(in)
+	plain, err := PlainOARMST(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestPretrainedSelectorUsable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewRouter(sel).Route(in)
+	res, err := NewRouter(sel).Route(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestRouteNetsPublicAPI(t *testing.T) {
 		{Name: "a", Pins: []VertexID{g.Index(0, 0, 0), g.Index(9, 0, 0)}},
 		{Name: "b", Pins: []VertexID{g.Index(0, 9, 1), g.Index(9, 9, 1), g.Index(5, 5, 1)}},
 	}
-	res, err := RouteNets(g, nets, nil, MultiNetConfig{MaxRipupRounds: 2})
+	res, err := RouteNets(context.Background(), g, nets, nil, MultiNetConfig{MaxRipupRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestRenderPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := PlainOARMST(in)
+	tree, err := PlainOARMST(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
