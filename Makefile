@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-all check check-fast lint fuzz vet experiments examples train serve serve-smoke clean
+.PHONY: all build test test-short bench bench-all bench-fault check check-fast crash-test lint fuzz vet experiments examples train train-resume serve serve-smoke clean
 
 all: build test
 
@@ -26,12 +26,22 @@ lint:
 # surface the worker pool reaches. The second tier runs -short so check
 # stays minutes-scale.
 check: vet lint
-	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/obs ./internal/errs
+	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault
 	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
 
 # Static analysis only (no race detector): fast enough for a pre-commit
 # hook.
 check-fast: vet lint
+
+# Fault-tolerance suite under the race detector: checkpoint frame
+# corruption/torn-write recovery, kill-and-resume bit-identity, injected
+# selector/route/enqueue faults, serve degradation and contained panics.
+crash-test:
+	go test -race -count=1 ./internal/ckpt ./internal/fault \
+		-run .
+	go test -race -count=1 ./internal/rl -run 'Checkpoint|Resume|DetSource'
+	go test -race -count=1 ./internal/core ./internal/serve \
+		-run 'Fault|Degrad|Retry|Panic|Enqueue'
 
 # Core kernel/search benchmarks, run twice: once serial (OARSMT_WORKERS=0)
 # and once on the default worker pool, then folded into BENCH_tensor.json
@@ -43,6 +53,17 @@ bench:
 	go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_parallel.txt
 	go run ./cmd/oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt -o BENCH_tensor.json
 	go run ./cmd/oarsmt-bench -exp obs -obs-out BENCH_obs.json
+
+# Fault-tolerance cost guard: checkpoint save/load throughput and the
+# degraded-path route latency vs the healthy baseline, folded into
+# BENCH_fault.json. The "serial" column is the healthy/workerless run,
+# "parallel" the default pool, same flow as `make bench`.
+FAULT_BENCH_PKGS = ./internal/ckpt ./internal/core
+
+bench-fault:
+	OARSMT_WORKERS=0 go test -run='^$$' -bench='Checkpoint|Route' -benchmem $(FAULT_BENCH_PKGS) | tee bench_fault_serial.txt
+	go test -run='^$$' -bench='Checkpoint|Route' -benchmem $(FAULT_BENCH_PKGS) | tee bench_fault_parallel.txt
+	go run ./cmd/oarsmt-benchjson -serial bench_fault_serial.txt -parallel bench_fault_parallel.txt -o BENCH_fault.json
 
 # Full benchmark sweep (micro-benchmarks + one bench per paper table/figure).
 bench-all:
@@ -73,12 +94,21 @@ examples:
 	go run ./examples/preferred
 	go run ./examples/multinet
 
-# Retrain the embedded selector (checkpointed per stage; interruptible).
+# Retrain the embedded selector. Crash-safe: a checkpoint lands in
+# train-ckpts/ after every stage, and `make train-resume` continues a
+# killed run bit-identically.
+TRAIN_FLAGS = -o internal/models/selector.gob \
+	-stages 16 -hv 8,12,16 -layers 2,4 -layouts 6 -alpha 1024 \
+	-metrics train-metrics.csv -ckpt-dir train-ckpts
+
 train:
-	go run ./cmd/oarsmt-train -o internal/models/selector.gob \
-		-stages 16 -hv 8,12,16 -layers 2,4 -layouts 6 -alpha 1024 \
-		-metrics train-metrics.csv
+	go run ./cmd/oarsmt-train $(TRAIN_FLAGS)
+
+train-resume:
+	go run ./cmd/oarsmt-train $(TRAIN_FLAGS) -resume
 
 clean:
 	rm -f test_output.txt bench_output.txt train-metrics.csv \
-		bench_serial.txt bench_parallel.txt BENCH_tensor.json BENCH_obs.json
+		bench_serial.txt bench_parallel.txt BENCH_tensor.json BENCH_obs.json \
+		bench_fault_serial.txt bench_fault_parallel.txt BENCH_fault.json
+	rm -rf train-ckpts

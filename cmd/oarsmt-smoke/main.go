@@ -121,9 +121,22 @@ func freeAddr() (string, error) {
 	return addr, nil
 }
 
+// waitHealthy polls /healthz with a bounded, deterministic exponential
+// backoff (10ms doubling to a 640ms cap, 40 attempts ≈ 24s worst case)
+// instead of a wall-clock deadline, so the startup race between the child
+// daemon binding its port and the first probe resolves the same way on a
+// loaded CI box as on a fast laptop. A connection refused while the child
+// is still booting is expected; the last error is reported if the budget
+// runs out, and the whole smoke test exits non-zero.
 func waitHealthy(base string, exited <-chan error) error {
-	deadline := time.Now().Add(30 * time.Second)
-	for {
+	const (
+		attempts   = 40
+		backoff0   = 10 * time.Millisecond
+		backoffCap = 640 * time.Millisecond
+	)
+	delay := backoff0
+	var lastErr error
+	for i := 0; i < attempts; i++ {
 		select {
 		case err := <-exited:
 			return fmt.Errorf("daemon exited before becoming healthy: %v", err)
@@ -135,12 +148,15 @@ func waitHealthy(base string, exited <-chan error) error {
 			if res.StatusCode == http.StatusOK {
 				return nil
 			}
+			err = fmt.Errorf("/healthz = %d", res.StatusCode)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("/healthz not ready after 30s (last err: %v)", err)
+		lastErr = err
+		time.Sleep(delay)
+		if delay *= 2; delay > backoffCap {
+			delay = backoffCap
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
+	return fmt.Errorf("/healthz not ready after %d probes (last err: %v)", attempts, lastErr)
 }
 
 func routeOnce(base string) (*serve.Response, error) {

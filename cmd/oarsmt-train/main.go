@@ -9,6 +9,14 @@
 // The defaults train a compact CPU-scale model in a few minutes. The
 // paper-scale schedule (-paper) uses the 12 mixed sizes of §3.6 and the
 // full curriculum; expect it to run for a very long time on a CPU.
+//
+// With -ckpt-dir the trainer writes a crash-safe checksummed checkpoint
+// (model + optimizer + RNG state) after every stage; after a crash or
+// SIGKILL, rerunning with -resume and the same flags continues from the
+// newest intact checkpoint and produces a bit-identical final model:
+//
+//	oarsmt-train -o selector.gob -stages 8 -ckpt-dir ckpts   # killed at stage 5
+//	oarsmt-train -o selector.gob -stages 8 -ckpt-dir ckpts -resume
 package main
 
 import (
@@ -37,7 +45,10 @@ func main() {
 
 	var (
 		out      = flag.String("o", "selector.gob", "output model path")
-		resume   = flag.String("resume", "", "existing model to continue training")
+		from     = flag.String("from", "", "existing model to continue training (fresh optimizer/RNG)")
+		resume   = flag.Bool("resume", false, "resume bit-identically from the newest checkpoint in -ckpt-dir")
+		ckptDir  = flag.String("ckpt-dir", "", "write a crash-safe checkpoint here after every stage")
+		ckptKeep = flag.Int("ckpt-keep", 3, "checkpoints to retain in -ckpt-dir (0 = all)")
 		stages   = flag.Int("stages", 6, "training stages (paper: 32)")
 		hvList   = flag.String("hv", "8,12", "comma-separated H=V sizes (paper: 16,24,32)")
 		mList    = flag.String("layers", "2", "comma-separated layer counts (paper: 4,6,8,10)")
@@ -81,10 +92,21 @@ func main() {
 		}
 	}
 
+	if *resume && *from != "" {
+		log.Fatal("-resume and -from are mutually exclusive: -resume restores the full training state from -ckpt-dir, -from only loads model weights")
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume needs -ckpt-dir to know where the checkpoints live")
+	}
+
 	var sel *selector.Selector
 	var err error
-	if *resume != "" {
-		f, ferr := os.Open(*resume)
+	switch {
+	case *resume:
+		// The selector comes out of the checkpoint itself; created below
+		// once the config is assembled.
+	case *from != "":
+		f, ferr := os.Open(*from)
 		if ferr != nil {
 			log.Fatal(ferr)
 		}
@@ -93,8 +115,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("resumed model %s (%d parameters)", *resume, sel.Net.NumParams())
-	} else {
+		log.Printf("continuing from model %s (%d parameters)", *from, sel.Net.NumParams())
+	default:
 		sel, err = selector.NewRandom(rand.New(rand.NewSource(*seed)), nn.UNetConfig{
 			InChannels: selector.NumFeatures, Base: *base, Depth: *depth, Kernel: 3, Norm: *norm,
 		})
@@ -137,9 +159,23 @@ func main() {
 		ctx = obs.With(ctx, &obs.Observer{Trace: trace})
 	}
 
-	tr := rl.NewTrainer(sel, cfg)
+	var tr *rl.Trainer
+	if *resume {
+		tr, err = rl.ResumeTrainer(*ckptDir, cfg, *ckptKeep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel = tr.Selector
+		log.Printf("resumed from checkpoint in %s at stage %d (%d parameters)",
+			*ckptDir, tr.Stage(), sel.Net.NumParams())
+	} else {
+		tr = rl.NewTrainer(sel, cfg)
+		if *ckptDir != "" {
+			tr.EnableCheckpoints(*ckptDir, *ckptKeep)
+		}
+	}
 	start := time.Now()
-	for i := 0; i < *stages; i++ {
+	for tr.Stage() < *stages {
 		stats, err := tr.RunStageCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
@@ -155,10 +191,16 @@ func main() {
 				stats.MeanLoss, stats.MeanRootCost, stats.MeanFinalCost,
 				time.Since(start).Seconds())
 		}
-		// Checkpoint after every stage so long runs are interruptible.
+		// Export the model after every stage so long runs always leave a
+		// usable -o file; -ckpt-dir additionally persists the full training
+		// state (optimizer, RNG) for bit-identical -resume.
 		if err := save(sel, *out); err != nil {
 			log.Fatal(err)
 		}
+	}
+	// A resumed run that was already past -stages still leaves the model.
+	if err := save(sel, *out); err != nil {
+		log.Fatal(err)
 	}
 	if trace != nil {
 		f, err := os.Create(*tracePth)

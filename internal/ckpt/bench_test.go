@@ -1,0 +1,64 @@
+package ckpt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPayload approximates a trainer snapshot: the tiny selector used in
+// tests gobs to a few hundred KB; 256 KiB is representative.
+func benchPayload() []byte {
+	p := make([]byte, 256<<10)
+	for i := range p {
+		p[i] = byte(i * 2654435761)
+	}
+	return p
+}
+
+func BenchmarkCheckpointSave(b *testing.B) {
+	dir := b.TempDir()
+	payload := benchPayload()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Save(dir, i%8, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointLoad(b *testing.B) {
+	dir := b.TempDir()
+	payload := benchPayload()
+	path, err := Save(dir, 0, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointLatest(b *testing.B) {
+	for _, n := range []int{1, 16} {
+		b.Run(fmt.Sprintf("files=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			payload := benchPayload()
+			for seq := 0; seq < n; seq++ {
+				if _, err := Save(dir, seq, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Latest(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

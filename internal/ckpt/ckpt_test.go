@@ -1,0 +1,182 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oarsmt/internal/fault"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != headerSize+len(payload)+trailerSize {
+			t.Fatalf("frame length %d, want %d", buf.Len(), headerSize+len(payload)+trailerSize)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip payload mismatch: %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestDecodeRejectsEveryCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, []byte("hello checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	// Truncation at every length below the full frame must fail.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := Decode(bytes.NewReader(frame[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d/%d bytes: err = %v, want ErrCorrupt", cut, len(frame), err)
+		}
+	}
+	// A flipped bit anywhere (magic, version, length, payload, trailer)
+	// must fail with ErrCorrupt or ErrVersion.
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x01
+		_, err := Decode(bytes.NewReader(mut))
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at byte %d: err = %v, want ErrCorrupt/ErrVersion", i, err)
+		}
+	}
+}
+
+func TestSaveLoadLatestRetain(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Latest(dir); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest of empty dir: %v, want ErrNotFound", err)
+	}
+	for seq := 0; seq < 5; seq++ {
+		path, err := Save(dir, seq, []byte{byte(seq)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(path) != Name(seq) {
+			t.Fatalf("saved as %s, want %s", path, Name(seq))
+		}
+	}
+	e, payload, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 4 || len(payload) != 1 || payload[0] != 4 {
+		t.Fatalf("Latest = seq %d payload %v", e.Seq, payload)
+	}
+	if err := Retain(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 3 || entries[1].Seq != 4 {
+		t.Fatalf("after Retain(2): %+v", entries)
+	}
+	// Re-saving an existing sequence replaces it atomically.
+	if _, err := Save(dir, 4, []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if _, payload, _ := Latest(dir); string(payload) != "replaced" {
+		t.Fatalf("re-save did not replace: %q", payload)
+	}
+}
+
+func TestLatestFallsBackPastCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(dir, 2, []byte("newer but doomed")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the newest checkpoint mid-payload, as a crash during a
+	// non-atomic write would.
+	path := filepath.Join(dir, Name(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of truncated file: %v, want ErrCorrupt", err)
+	}
+	e, payload, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 1 || string(payload) != "good" {
+		t.Fatalf("Latest fell back to seq %d payload %q, want 1 %q", e.Seq, payload, "good")
+	}
+}
+
+func TestSaveHonoursWriteFault(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+
+	// Error mode: Save fails cleanly, nothing lands on disk.
+	fault.Set("ckpt.write", fault.Options{Mode: fault.Error, Times: 1})
+	if _, err := Save(dir, 0, []byte("never written")); err == nil {
+		t.Fatal("Save under error fault succeeded")
+	}
+	if entries, _ := List(dir); len(entries) != 0 {
+		t.Fatalf("error fault left files behind: %+v", entries)
+	}
+
+	// Partial mode: Save returns an error AND lands a truncated frame on
+	// the final name — a torn write Latest must then fall back past.
+	if _, err := Save(dir, 0, []byte("good base")); err != nil {
+		t.Fatal(err)
+	}
+	fault.Set("ckpt.write", fault.Options{Mode: fault.Partial, Times: 1})
+	if _, err := Save(dir, 1, []byte("torn")); err == nil {
+		t.Fatal("Save under partial fault reported success")
+	}
+	if _, err := Load(filepath.Join(dir, Name(1))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("partial fault did not leave a corrupt file: %v", err)
+	}
+	e, payload, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 0 || string(payload) != "good base" {
+		t.Fatalf("Latest after torn write = seq %d %q", e.Seq, payload)
+	}
+}
+
+func TestListIgnoresStrangers(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, 7, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ckpt-00000001.ckpt.tmp", "notes.txt", "ckpt-x.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Seq != 7 {
+		t.Fatalf("List = %+v, want only seq 7", entries)
+	}
+	if missing, err := List(filepath.Join(dir, "nope")); err != nil || missing != nil {
+		t.Fatalf("List of missing dir = %v, %v", missing, err)
+	}
+}

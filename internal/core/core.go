@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/obs"
@@ -137,6 +138,11 @@ type Result struct {
 	// is the Steiner-guided one.
 	PlainCost   float64
 	UsedSteiner bool
+	// Degraded reports that the selector inference failed and the tree is
+	// the plain OARMST fallback: still a valid route, but without the
+	// learned Steiner points. Callers that cache results must not cache
+	// degraded ones.
+	Degraded bool
 }
 
 // Route routes the instance under a cancellation context: the deadline is
@@ -178,8 +184,14 @@ func (r *Router) Route(ctx context.Context, in *layout.Instance, opts ...Option)
 	}
 	t := obs.StartTimer()
 	_, endSel := obs.Span(ctx, "core.selector")
-	sps, inferences := rr.Propose(in)
+	sps, inferences, perr := rr.TryPropose(in)
 	endSel()
+	if perr != nil {
+		// Selector inference failed: degrade to the plain OARMST rather
+		// than failing the route. The result is still valid, just without
+		// the learned Steiner points, and is flagged Degraded.
+		return rr.ConstructPlain(ctx, in, t.Elapsed())
+	}
 	return rr.Construct(ctx, in, sps, inferences, t.Elapsed())
 }
 
@@ -198,6 +210,56 @@ func (r *Router) RouteCtx(ctx context.Context, in *layout.Instance) (*Result, er
 // Construct completes the route.
 func (r *Router) Propose(in *layout.Instance) ([]grid.VertexID, int) {
 	return r.propose(in)
+}
+
+// TryPropose is Propose with failure reporting: it honours the
+// `selector.infer` fault-injection point, so serving and routing layers
+// can exercise (and recover from) inference failures deterministically.
+// An Error-mode fault returns an error matching errs.ErrTransient; a
+// Panic-mode fault propagates, to be contained at the service boundary.
+// Callers degrade to ConstructPlain when TryPropose fails.
+func (r *Router) TryPropose(in *layout.Instance) ([]grid.VertexID, int, error) {
+	if fault.Enabled() {
+		if err := fault.Inject("selector.infer"); err != nil {
+			return nil, 0, fmt.Errorf("core: selector inference: %w", err)
+		}
+	}
+	sps, inferences := r.propose(in)
+	return sps, inferences, nil
+}
+
+// ConstructPlain is the degraded second phase: it builds the plain OARMST
+// (no Steiner points) with the router's usual retracing, flags the result
+// Degraded, and counts it on core.fallbacks. It exists so callers whose
+// selector inference failed can still answer with a valid route instead
+// of an error — the serving layer uses it when retries are exhausted.
+func (r *Router) ConstructPlain(ctx context.Context, in *layout.Instance, selectTime time.Duration) (*Result, error) {
+	t := obs.StartTimer()
+	router := route.NewRouter(in.Graph)
+	router.SetContext(ctx)
+	_, endST := obs.Span(ctx, "core.oarmst")
+	tree, err := router.OARMST(in.Pins)
+	endST()
+	if err != nil {
+		return nil, errs.Classify(fmt.Errorf("core: route %q: %w", in.Name, err))
+	}
+	if r.RetracePasses > 0 {
+		_, endRT := obs.Span(ctx, "core.retrace")
+		tree, _ = router.Retrace(tree, in.Pins, r.RetracePasses)
+		endRT()
+	}
+	res := &Result{
+		Tree:       tree,
+		SelectTime: selectTime,
+		TotalTime:  selectTime + t.Elapsed(),
+		PlainCost:  tree.Cost,
+		Degraded:   true,
+	}
+	m := obs.MetricsFrom(ctx)
+	m.Counter("core.routes").Inc()
+	m.Counter("core.fallbacks").Inc()
+	m.Histogram("core.route_latency").Observe(res.TotalTime)
+	return res, nil
 }
 
 // Construct builds the final tree from a Steiner-point proposal — the

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
+	"oarsmt/internal/obs"
+)
+
+// TestRouteDegradesOnSelectorFault: with selector.infer failing at 100%,
+// Route still answers — with the plain OARMST, flagged Degraded — and the
+// core.fallbacks counter ticks. When the fault clears, routing returns to
+// normal inference.
+func TestRouteDegradesOnSelectorFault(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	r := NewRouter(tinySelector(t))
+	in := randomInstance(t, 2, 5)
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), &obs.Observer{Metrics: reg})
+
+	fault.Set("selector.infer", fault.Options{Mode: fault.Error})
+	res, err := r.Route(ctx, in)
+	if err != nil {
+		t.Fatalf("route under selector fault failed outright: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("result not flagged Degraded")
+	}
+	if res.UsedSteiner || res.Inferences != 0 || res.Proposed != 0 {
+		t.Errorf("degraded result claims inference work: %+v", res)
+	}
+	if err := res.Tree.Validate(in.Graph, in.Pins); err != nil {
+		t.Fatalf("degraded tree invalid: %v", err)
+	}
+	if n := reg.Snapshot().Counters["core.fallbacks"]; n != 1 {
+		t.Errorf("core.fallbacks = %d, want 1", n)
+	}
+
+	fault.Clear("selector.infer")
+	res, err = r.Route(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Inferences != 1 {
+		t.Errorf("routing did not return to normal after fault cleared: %+v", res)
+	}
+}
+
+// TestTryProposeErrorIsTransient pins the retry contract: injected
+// inference failures are retryable.
+func TestTryProposeErrorIsTransient(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	fault.Set("selector.infer", fault.Options{Mode: fault.Error, Times: 1})
+	r := NewRouter(tinySelector(t))
+	in := randomInstance(t, 3, 5)
+	_, _, err := r.TryPropose(in)
+	if !errors.Is(err, errs.ErrTransient) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("TryPropose error = %v, want transient injected", err)
+	}
+	// Times=1: the retry succeeds.
+	sps, inf, err := r.TryPropose(in)
+	if err != nil || inf != 1 || len(sps) == 0 {
+		t.Fatalf("retry after one-shot fault: sps=%v inf=%d err=%v", sps, inf, err)
+	}
+}
+
+// TestRouteDijkstraFaultSurfaces: an injected failure inside the maze
+// router surfaces as an error from Route (construction, unlike selection,
+// has no cheaper fallback).
+func TestRouteDijkstraFaultSurfaces(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	fault.Set("route.dijkstra", fault.Options{Mode: fault.Error})
+	r := NewRouter(tinySelector(t))
+	_, err := r.Route(context.Background(), randomInstance(t, 4, 5))
+	if err == nil {
+		t.Fatal("route with failing dijkstra succeeded")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("error lost the injection marker: %v", err)
+	}
+}

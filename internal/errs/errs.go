@@ -39,6 +39,21 @@ var (
 	// ErrNoPath reports that a terminal is unreachable on the routing
 	// graph.
 	ErrNoPath = errors.New("oarsmt: no path")
+
+	// ErrInvalidModel reports a selector model that failed to decode or
+	// validate (truncated file, version mismatch, missing or non-finite
+	// parameters). The HTTP layer maps it to 422.
+	ErrInvalidModel = errors.New("oarsmt: invalid model")
+
+	// ErrInternal reports a failure contained at a service boundary — a
+	// recovered panic or an exhausted retry budget. The HTTP layer maps it
+	// to 500; the daemon itself stays alive.
+	ErrInternal = errors.New("oarsmt: internal error")
+
+	// ErrTransient marks a failure as retryable: the serving scheduler
+	// retries operations whose error matches it with capped exponential
+	// backoff before giving up. Injected faults (internal/fault) wrap it.
+	ErrTransient = errors.New("oarsmt: transient failure")
 )
 
 // Classify wraps context cancellation errors with the module's sentinels:

@@ -1,0 +1,343 @@
+// Package fault is the repository's deterministic fault-injection
+// registry: named injection points woven through the production code
+// (ckpt.write, selector.infer, serve.enqueue, route.dijkstra, ...) that are
+// no-ops until armed, then fail on a fully deterministic schedule.
+//
+// Production cost is one atomic load per point: until the first Set or a
+// non-empty OARSMT_FAULTS environment spec arms the registry, Check and
+// Inject return immediately. Under test, points are armed programmatically
+// (Set/Clear/Reset) or from the environment:
+//
+//	OARSMT_FAULTS='selector.infer=error;ckpt.write=partial:times=1'
+//	OARSMT_FAULTS='route.dijkstra=error:after=2:times=3;serve.enqueue=delay:5ms'
+//	OARSMT_FAULTS='selector.infer=error:p=0.25:seed=7'
+//
+// The spec grammar is semicolon-separated `point=mode[:opt]...` entries.
+// Modes are error, panic, delay (one opt is the duration) and partial
+// (honoured by writers such as internal/ckpt, which truncates the write).
+// Options times=N (fire at most N times), after=N (skip the first N hits),
+// every=N (fire every Nth hit) and p=F:seed=S (seeded Bernoulli schedule)
+// compose; everything is deterministic for a fixed spec and hit sequence,
+// so crash-and-resume and degradation tests replay exactly.
+//
+// Injected errors wrap errs.ErrTransient, so the serving layer's
+// retry-on-transient policy engages, and remain distinguishable from real
+// failures through errors.Is(err, fault.ErrInjected).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oarsmt/internal/errs"
+)
+
+// Mode is what an armed point does when its schedule fires.
+type Mode uint8
+
+// Injection modes.
+const (
+	// Off disarms the point.
+	Off Mode = iota
+	// Error makes Inject return an injected error (wrapping both
+	// ErrInjected and errs.ErrTransient).
+	Error
+	// Panic makes Inject panic; used to exercise panic containment at
+	// service boundaries.
+	Panic
+	// Delay makes Inject sleep for Options.Delay before returning nil;
+	// used to force timeouts deterministically.
+	Delay
+	// Partial is advisory: Inject reports it through Check, and writers
+	// that support it (internal/ckpt) truncate their write mid-payload.
+	Partial
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Partial:
+		return "partial"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrInjected marks every error produced by this package; tests assert on
+// it and production code must never match it explicitly.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Options is the schedule of one armed point.
+type Options struct {
+	// Mode selects the failure behaviour; Off disarms.
+	Mode Mode
+	// Delay is the sleep duration of Delay mode.
+	Delay time.Duration
+	// P is the firing probability per hit; 0 or 1 means always fire. The
+	// Bernoulli draws come from a rand.Rand seeded with Seed, so the
+	// schedule is deterministic per point.
+	P float64
+	// Seed seeds the probability schedule.
+	Seed int64
+	// Times caps how many times the point fires; 0 means unlimited.
+	Times int
+	// After skips the first N hits before the schedule starts.
+	After int
+	// Every fires only every Nth eligible hit; 0 or 1 means every hit.
+	Every int
+}
+
+// Verdict is the outcome of one Check: what the caller should do now.
+type Verdict struct {
+	// Mode is Off when the point did not fire.
+	Mode Mode
+	// Err is the injected error of Error mode (nil otherwise).
+	Err error
+	// Delay is the injected sleep of Delay mode.
+	Delay time.Duration
+}
+
+// point is the mutable state of one armed injection point.
+type point struct {
+	opts  Options
+	rng   *rand.Rand // nil unless 0 < P < 1
+	hits  int        // Check calls observed
+	fired int        // times the schedule fired
+}
+
+var (
+	// armed is the production fast path: false means Check/Inject return
+	// without taking the lock.
+	armed atomic.Bool
+
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+func init() {
+	if spec := os.Getenv("OARSMT_FAULTS"); spec != "" {
+		if err := ParseSpec(spec); err != nil {
+			// A mistyped spec silently disabling injection would defeat the
+			// whole harness; fail loudly at startup.
+			panic(fmt.Sprintf("fault: OARSMT_FAULTS: %v", err))
+		}
+	}
+}
+
+// Enabled reports whether any point is armed; production hot paths may use
+// it to skip building injection arguments.
+func Enabled() bool { return armed.Load() }
+
+// Set arms (or, with Options.Mode == Off, disarms) the named point,
+// resetting its hit and fire counters.
+func Set(name string, o Options) {
+	mu.Lock()
+	defer mu.Unlock()
+	if o.Mode == Off {
+		delete(points, name)
+	} else {
+		p := &point{opts: o}
+		if o.P > 0 && o.P < 1 {
+			p.rng = rand.New(rand.NewSource(o.Seed))
+		}
+		points[name] = p
+	}
+	armed.Store(len(points) > 0)
+}
+
+// Clear disarms the named point.
+func Clear(name string) { Set(name, Options{}) }
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(false)
+}
+
+// Armed returns the names of the armed points, sorted.
+func Armed() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Check consults the named point's schedule and returns what fired. It
+// never sleeps or panics itself — Inject does — so writers that need the
+// Partial verdict can act on it directly.
+func Check(name string) Verdict {
+	if !armed.Load() {
+		return Verdict{}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return Verdict{}
+	}
+	p.hits++
+	if p.hits <= p.opts.After {
+		return Verdict{}
+	}
+	if p.opts.Times > 0 && p.fired >= p.opts.Times {
+		return Verdict{}
+	}
+	if every := p.opts.Every; every > 1 && (p.hits-p.opts.After)%every != 0 {
+		return Verdict{}
+	}
+	if p.rng != nil && p.rng.Float64() >= p.opts.P {
+		return Verdict{}
+	}
+	p.fired++
+	v := Verdict{Mode: p.opts.Mode, Delay: p.opts.Delay}
+	if p.opts.Mode == Error || p.opts.Mode == Partial {
+		v.Err = fmt.Errorf("%w at %s (hit %d): %w", ErrInjected, name, p.hits, errs.ErrTransient)
+	}
+	return v
+}
+
+// Inject is the one-line hook production code places at an injection
+// point: it returns nil instantly when the registry is idle, returns the
+// injected error in Error (and Partial) mode, panics in Panic mode, and
+// sleeps then returns nil in Delay mode.
+func Inject(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	v := Check(name)
+	switch v.Mode {
+	case Panic:
+		panic(fmt.Sprintf("fault: injected panic at %s", name))
+	case Delay:
+		time.Sleep(v.Delay)
+		return nil
+	default:
+		return v.Err
+	}
+}
+
+// ParseSpec arms every point of a spec string (the OARSMT_FAULTS grammar;
+// see the package comment). Parsing is all-or-nothing: on error no point
+// is armed.
+func ParseSpec(spec string) error {
+	type entry struct {
+		name string
+		opts Options
+	}
+	var entries []entry
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("bad entry %q: want point=mode[:opt]...", part)
+		}
+		o, err := parseOptions(rest)
+		if err != nil {
+			return fmt.Errorf("point %s: %w", name, err)
+		}
+		entries = append(entries, entry{name, o})
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("empty fault spec")
+	}
+	for _, e := range entries {
+		Set(e.name, e.opts)
+	}
+	return nil
+}
+
+// parseOptions parses "mode[:opt]..." where opts are times=N, after=N,
+// every=N, p=F, seed=N, or (for delay) a bare duration.
+func parseOptions(s string) (Options, error) {
+	var o Options
+	toks := strings.Split(s, ":")
+	switch strings.TrimSpace(toks[0]) {
+	case "error":
+		o.Mode = Error
+	case "panic":
+		o.Mode = Panic
+	case "delay":
+		o.Mode = Delay
+	case "partial":
+		o.Mode = Partial
+	case "off":
+		o.Mode = Off
+	default:
+		return o, fmt.Errorf("unknown mode %q", toks[0])
+	}
+	for _, tok := range toks[1:] {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if o.Mode == Delay {
+			if d, err := time.ParseDuration(tok); err == nil {
+				o.Delay = d
+				continue
+			}
+		}
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return o, fmt.Errorf("bad option %q", tok)
+		}
+		switch k {
+		case "times", "after", "every":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return o, fmt.Errorf("option %s: want a non-negative integer, got %q", k, v)
+			}
+			switch k {
+			case "times":
+				o.Times = n
+			case "after":
+				o.After = n
+			case "every":
+				o.Every = n
+			}
+		case "p":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return o, fmt.Errorf("option p: want a probability in [0,1], got %q", v)
+			}
+			o.P = f
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return o, fmt.Errorf("option seed: want an integer, got %q", v)
+			}
+			o.Seed = n
+		default:
+			return o, fmt.Errorf("unknown option %q", k)
+		}
+	}
+	if o.Mode == Delay && o.Delay <= 0 {
+		return o, fmt.Errorf("delay mode needs a positive duration (delay:5ms)")
+	}
+	return o, nil
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"oarsmt/internal/errs"
+)
+
+func TestIdleRegistryIsNoOp(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("fresh registry reports Enabled")
+	}
+	if err := Inject("selector.infer"); err != nil {
+		t.Fatalf("idle Inject returned %v", err)
+	}
+	if v := Check("selector.infer"); v.Mode != Off {
+		t.Fatalf("idle Check returned %+v", v)
+	}
+}
+
+func TestErrorModeFiresAndClears(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("selector.infer", Options{Mode: Error})
+	err := Inject("selector.infer")
+	if err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error does not match ErrInjected: %v", err)
+	}
+	if !errors.Is(err, errs.ErrTransient) {
+		t.Errorf("injected error does not match errs.ErrTransient: %v", err)
+	}
+	Clear("selector.infer")
+	if err := Inject("selector.infer"); err != nil {
+		t.Fatalf("cleared point still fires: %v", err)
+	}
+	if Enabled() {
+		t.Error("Enabled after the last point was cleared")
+	}
+}
+
+func TestTimesAfterEverySchedule(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	// Skip 2 hits, then fire every 2nd eligible hit, at most 2 times:
+	// hits 1,2 skipped; 3 no (1st eligible), 4 fires, 5 no, 6 fires, 7+ capped.
+	Set("p", Options{Mode: Error, After: 2, Every: 2, Times: 2})
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if Inject("p") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{4, 6}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+}
+
+func TestSeededProbabilityDeterministic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	run := func() []bool {
+		Set("p", Options{Mode: Error, P: 0.5, Seed: 42})
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Inject("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	some, all := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identically-seeded runs", i)
+		}
+		some = some || a[i]
+		all = all && a[i]
+	}
+	if !some || all {
+		t.Errorf("p=0.5 schedule fired on %v of 20 hits; want a mix", a)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Options{Mode: Panic})
+	defer func() {
+		if recover() == nil {
+			t.Error("Panic mode did not panic")
+		}
+	}()
+	Inject("p")
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Options{Mode: Delay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("delay mode returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delay mode slept %v, want >= 10ms", d)
+	}
+}
+
+func TestPartialModeVerdict(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("ckpt.write", Options{Mode: Partial, Times: 1})
+	v := Check("ckpt.write")
+	if v.Mode != Partial || v.Err == nil {
+		t.Fatalf("partial verdict = %+v", v)
+	}
+	if v := Check("ckpt.write"); v.Mode != Off {
+		t.Fatalf("times=1 point fired twice: %+v", v)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	spec := "selector.infer=error; ckpt.write=partial:times=1 ;serve.enqueue=delay:5ms;route.dijkstra=error:p=0.5:seed=3:after=1"
+	if err := ParseSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	got := Armed()
+	want := []string{"ckpt.write", "route.dijkstra", "selector.infer", "serve.enqueue"}
+	if len(got) != len(want) {
+		t.Fatalf("armed points %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("armed points %v, want %v", got, want)
+		}
+	}
+	if err := Inject("selector.infer"); err == nil {
+		t.Error("parsed error point did not fire")
+	}
+
+	for _, bad := range []string{"", "noequals", "p=squash", "p=delay", "p=error:times=x", "p=error:p=2"} {
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestConcurrentChecksRace(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Options{Mode: Error, Every: 3})
+	var wg sync.WaitGroup
+	fired := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if Inject("p") != nil {
+					fired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 800 {
+		t.Errorf("every=3 over 2400 concurrent hits fired %d times, want 800", total)
+	}
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"oarsmt/internal/tensor"
@@ -66,6 +67,47 @@ func (a *Adam) ZeroGrad() {
 	for _, p := range a.params {
 		p.G.Zero()
 	}
+}
+
+// AdamState is an exportable snapshot of an Adam optimizer's mutable
+// state: the step counter and both moment estimates, ordered like the
+// parameter slice the optimizer was built over. It is plain data (gob- and
+// JSON-friendly) so training checkpoints can persist it; the copied
+// float64 slices round-trip bit-exactly.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State deep-copies the optimizer's mutable state for checkpointing.
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float64(nil), a.m[i].Data...)
+		st.V[i] = append([]float64(nil), a.v[i].Data...)
+	}
+	return st
+}
+
+// Restore overwrites the optimizer's mutable state from a snapshot taken
+// by State on an optimizer over identically-shaped parameters. After a
+// successful Restore, continued training is bit-identical to the run the
+// snapshot was taken from.
+func (a *Adam) Restore(st AdamState) error {
+	if len(st.M) != len(a.m) || len(st.V) != len(a.v) {
+		return fmt.Errorf("nn: adam state has %d/%d moment tensors, optimizer has %d", len(st.M), len(st.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(st.M[i]) != a.m[i].Len() || len(st.V[i]) != a.v[i].Len() {
+			return fmt.Errorf("nn: adam state tensor %d has %d/%d values, want %d", i, len(st.M[i]), len(st.V[i]), a.m[i].Len())
+		}
+	}
+	a.t = st.T
+	for i := range a.m {
+		copy(a.m[i].Data, st.M[i])
+		copy(a.v[i].Data, st.V[i])
+	}
+	return nil
 }
 
 // SGD implements plain stochastic gradient descent with optional momentum.

@@ -4,7 +4,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
+
+	"oarsmt/internal/errs"
 )
 
 // Model files are gob-encoded snapshots: the architecture config plus
@@ -36,26 +39,42 @@ func (u *UNet3D) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// LoadUNet3D reads a network saved by Save.
-func LoadUNet3D(r io.Reader) (*UNet3D, error) {
+// LoadUNet3D reads a network saved by Save. Every way a model file can be
+// bad — truncated or garbage bytes, a foreign format version, missing or
+// mis-sized parameters, non-finite weights, or an architecture config the
+// constructor rejects — surfaces as an error matching errs.ErrInvalidModel,
+// so callers need a single errors.Is check to map it (the HTTP layer
+// returns 422). The gob decoder can panic on some malformed inputs; that
+// panic is contained here and reported the same way.
+func LoadUNet3D(r io.Reader) (u *UNet3D, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			u, err = nil, fmt.Errorf("%w: decode model: panic: %v", errs.ErrInvalidModel, p)
+		}
+	}()
 	var snap unetSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("nn: decode model: %w", err)
+		return nil, fmt.Errorf("%w: decode model: %w", errs.ErrInvalidModel, err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("nn: model version %d, want %d", snap.Version, snapshotVersion)
+		return nil, fmt.Errorf("%w: model version %d, want %d", errs.ErrInvalidModel, snap.Version, snapshotVersion)
 	}
-	u, err := NewUNet3D(rand.New(rand.NewSource(0)), snap.Config)
+	u, err = NewUNet3D(rand.New(rand.NewSource(0)), snap.Config)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", errs.ErrInvalidModel, err)
 	}
 	for _, p := range u.Params() {
 		data, ok := snap.Params[p.Name]
 		if !ok {
-			return nil, fmt.Errorf("nn: model missing parameter %q", p.Name)
+			return nil, fmt.Errorf("%w: model missing parameter %q", errs.ErrInvalidModel, p.Name)
 		}
 		if len(data) != p.W.Len() {
-			return nil, fmt.Errorf("nn: parameter %q has %d values, want %d", p.Name, len(data), p.W.Len())
+			return nil, fmt.Errorf("%w: parameter %q has %d values, want %d", errs.ErrInvalidModel, p.Name, len(data), p.W.Len())
+		}
+		for i, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: parameter %q has non-finite value at index %d", errs.ErrInvalidModel, p.Name, i)
+			}
 		}
 		copy(p.W.Data, data)
 	}

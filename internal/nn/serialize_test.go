@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/errs"
+	"oarsmt/internal/tensor"
+)
+
+func savedModel(t *testing.T) []byte {
+	t.Helper()
+	u, err := NewUNet3D(rand.New(rand.NewSource(3)), UNetConfig{InChannels: 3, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadInvalidModelSentinel(t *testing.T) {
+	data := savedModel(t)
+
+	// Truncation at a spread of prefixes must yield ErrInvalidModel, never
+	// a raw gob error or a panic.
+	for _, cut := range []int{0, 1, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := LoadUNet3D(bytes.NewReader(data[:cut])); !errors.Is(err, errs.ErrInvalidModel) {
+			t.Errorf("truncated at %d/%d bytes: err = %v, want ErrInvalidModel", cut, len(data), err)
+		}
+	}
+	// Garbage bytes.
+	if _, err := LoadUNet3D(bytes.NewReader([]byte("not a model at all"))); !errors.Is(err, errs.ErrInvalidModel) {
+		t.Errorf("garbage: err = %v, want ErrInvalidModel", err)
+	}
+	// Corrupted interior bytes: flip a window and require either a clean
+	// load (gob can be insensitive to some flips) or the sentinel.
+	for off := 0; off+8 < len(data); off += len(data) / 13 {
+		mut := append([]byte(nil), data...)
+		for i := 0; i < 8; i++ {
+			mut[off+i] ^= 0xFF
+		}
+		if _, err := LoadUNet3D(bytes.NewReader(mut)); err != nil && !errors.Is(err, errs.ErrInvalidModel) {
+			t.Errorf("corruption at %d: err = %v, want nil or ErrInvalidModel", off, err)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	u, _ := NewUNet3D(rand.New(rand.NewSource(3)), UNetConfig{InChannels: 3, Base: 2, Depth: 1, Kernel: 3})
+	snap := unetSnapshot{Version: snapshotVersion + 1, Config: u.Config, Params: map[string][]float64{}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadUNet3D(&buf); !errors.Is(err, errs.ErrInvalidModel) {
+		t.Errorf("wrong version: err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestLoadRejectsNonFiniteWeights(t *testing.T) {
+	u, _ := NewUNet3D(rand.New(rand.NewSource(3)), UNetConfig{InChannels: 3, Base: 2, Depth: 1, Kernel: 3})
+	u.Params()[0].W.Data[0] = math.NaN()
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadUNet3D(&buf); !errors.Is(err, errs.ErrInvalidModel) {
+		t.Errorf("NaN weight: err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestAdamStateRestoreBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	u, _ := NewUNet3D(r, UNetConfig{InChannels: 2, Base: 2, Depth: 1, Kernel: 3})
+	x := randTensor(r, 2, 4, 4, 1)
+	y := tensor.New(4, 4, 1)
+	for i := range y.Data {
+		if r.Float64() < 0.3 {
+			y.Data[i] = 1
+		}
+	}
+	step := func(u *UNet3D, opt *Adam) {
+		out := u.Forward(x)
+		_, grad := BCEWithLogits(out, y)
+		u.Backward(grad)
+		opt.Step()
+	}
+
+	// Run A: 6 uninterrupted steps.
+	optA := NewAdam(u.Params(), 0.01)
+	snapU, _ := cloneUNet(u)
+	for i := 0; i < 6; i++ {
+		step(u, optA)
+	}
+
+	// Run B: 3 steps, snapshot, fresh optimizer restored from the
+	// snapshot, 3 more steps — weights must match run A bit for bit.
+	optB := NewAdam(snapU.Params(), 0.01)
+	for i := 0; i < 3; i++ {
+		step(snapU, optB)
+	}
+	st := optB.State()
+	optB2 := NewAdam(snapU.Params(), 0.01)
+	if err := optB2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		step(snapU, optB2)
+	}
+
+	pa, pb := u.Params(), snapU.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatalf("param %s[%d]: %v != %v after restore", pa[i].Name, j, pa[i].W.Data[j], pb[i].W.Data[j])
+			}
+		}
+	}
+
+	// Shape mismatches are rejected.
+	bad := optB2.State()
+	bad.M = bad.M[:len(bad.M)-1]
+	if err := NewAdam(snapU.Params(), 0.01).Restore(bad); err == nil {
+		t.Error("Restore accepted a state with missing moment tensors")
+	}
+}
+
+// cloneUNet round-trips a network through its serialised form.
+func cloneUNet(u *UNet3D) (*UNet3D, error) {
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		return nil, err
+	}
+	return LoadUNet3D(&buf)
+}

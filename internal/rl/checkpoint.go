@@ -1,0 +1,149 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"oarsmt/internal/ckpt"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+)
+
+// detSource is the trainer's random source: splitmix64, chosen over
+// math/rand's default source because its entire state is one uint64 and
+// therefore serialisable. A resumed trainer restores the state and draws
+// the exact sequence an uninterrupted run would have drawn, which is what
+// makes crash-and-resume bit-identical. (rand.Rand adds no hidden state on
+// top of its source for the methods the trainer uses — only Read buffers,
+// and the trainer never calls it.)
+type detSource struct{ state uint64 }
+
+func newDetSource(seed int64) *detSource { return &detSource{state: uint64(seed)} }
+
+// Seed implements rand.Source.
+func (s *detSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64 (splitmix64, Steele et al. 2014).
+func (s *detSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *detSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// trainerSnapshot is the gob payload of one training checkpoint: every
+// piece of mutable trainer state, so Save + Restore + continue is
+// bit-identical to never stopping.
+type trainerSnapshot struct {
+	// ConfigFP fingerprints the (defaulted) training configuration; resume
+	// refuses a checkpoint taken under a different configuration, since
+	// silently continuing with mismatched hyperparameters would corrupt
+	// the run.
+	ConfigFP string
+	// Stage is the number of completed stages.
+	Stage int
+	// RNG is the trainer's random-source state.
+	RNG uint64
+	// Model is the selector in its serialised (gob) form.
+	Model []byte
+	// Opt is the Adam optimizer's mutable state.
+	Opt nn.AdamState
+}
+
+// configFingerprint canonicalises a Config for checkpoint compatibility
+// checks. %+v over the defaulted struct covers every field, including the
+// nested MCTS config and the size schedule.
+func configFingerprint(cfg Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// EnableCheckpoints makes every completed stage write an atomic,
+// checksummed checkpoint into dir, retaining the newest keep files
+// (keep <= 0 retains all). Call before the first stage; combine with
+// ResumeTrainer to continue an interrupted run.
+func (t *Trainer) EnableCheckpoints(dir string, keep int) {
+	t.ckptDir, t.ckptKeep = dir, keep
+}
+
+// CheckpointDir returns the auto-checkpoint directory ("" when disabled).
+func (t *Trainer) CheckpointDir() string { return t.ckptDir }
+
+// snapshot captures the trainer's full mutable state as a gob payload.
+func (t *Trainer) snapshot() ([]byte, error) {
+	var model bytes.Buffer
+	if err := t.Selector.Save(&model); err != nil {
+		return nil, err
+	}
+	snap := trainerSnapshot{
+		ConfigFP: configFingerprint(t.Cfg),
+		Stage:    t.stage,
+		RNG:      t.src.state,
+		Model:    model.Bytes(),
+		Opt:      t.opt.State(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SaveCheckpoint writes the trainer's state as the checkpoint of the last
+// completed stage and applies the retention policy. It is called
+// automatically after each stage once EnableCheckpoints is set, and may be
+// called directly for ad-hoc snapshots.
+func (t *Trainer) SaveCheckpoint() (string, error) {
+	if t.ckptDir == "" {
+		return "", fmt.Errorf("rl: checkpoints not enabled (call EnableCheckpoints)")
+	}
+	payload, err := t.snapshot()
+	if err != nil {
+		return "", fmt.Errorf("rl: snapshot stage %d: %w", t.stage, err)
+	}
+	path, err := ckpt.Save(t.ckptDir, t.stage, payload)
+	if err != nil {
+		return "", fmt.Errorf("rl: checkpoint stage %d: %w", t.stage, err)
+	}
+	if err := ckpt.Retain(t.ckptDir, t.ckptKeep); err != nil {
+		return "", fmt.Errorf("rl: checkpoint retention: %w", err)
+	}
+	return path, nil
+}
+
+// ResumeTrainer reconstructs a trainer from the newest valid checkpoint in
+// dir, transparently skipping corrupt (torn-write) files. The returned
+// trainer continues exactly where the checkpointed run stopped: its
+// selector, optimizer moments, RNG state and stage counter are restored,
+// so subsequent stages are bit-identical to an uninterrupted run. cfg must
+// equal the configuration the checkpoint was taken under. Checkpointing
+// into dir stays enabled on the returned trainer with retention keep.
+func ResumeTrainer(dir string, cfg Config, keep int) (*Trainer, error) {
+	entry, payload, err := ckpt.Latest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("rl: resume from %s: %w", dir, err)
+	}
+	var snap trainerSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rl: resume from %s: decode snapshot: %w", entry.Path, err)
+	}
+	cfg = cfg.withDefaults()
+	if fp := configFingerprint(cfg); fp != snap.ConfigFP {
+		return nil, fmt.Errorf("rl: resume from %s: config mismatch:\ncheckpoint: %s\ncurrent:    %s",
+			entry.Path, snap.ConfigFP, fp)
+	}
+	sel, err := selector.Load(bytes.NewReader(snap.Model))
+	if err != nil {
+		return nil, fmt.Errorf("rl: resume from %s: %w", entry.Path, err)
+	}
+	t := NewTrainer(sel, cfg)
+	t.src.state = snap.RNG
+	t.stage = snap.Stage
+	if err := t.opt.Restore(snap.Opt); err != nil {
+		return nil, fmt.Errorf("rl: resume from %s: %w", entry.Path, err)
+	}
+	t.EnableCheckpoints(dir, keep)
+	return t, nil
+}

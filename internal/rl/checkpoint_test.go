@@ -1,0 +1,196 @@
+package rl
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"oarsmt/internal/ckpt"
+	"oarsmt/internal/fault"
+)
+
+// modelHash fingerprints a trainer's selector weights bit-exactly, in
+// parameter order (the gob form is not byte-stable: it serialises the
+// parameter map in randomized iteration order).
+func modelHash(t *testing.T, tr *Trainer) [sha256.Size]byte {
+	t.Helper()
+	h := sha256.New()
+	for _, p := range tr.Selector.Net.Params() {
+		h.Write([]byte(p.Name))
+		for _, w := range p.W.Data {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(w))
+			h.Write(b[:])
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func runStages(t *testing.T, tr *Trainer, n int) []StageStats {
+	t.Helper()
+	out := make([]StageStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := tr.RunStage()
+		if err != nil {
+			t.Fatalf("stage %d: %v", i+1, err)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TestCrashAndResumeBitIdentical is the tentpole acceptance test: a run
+// killed after stage 2 and resumed from disk must finish stage 3 with
+// stage statistics and final model weights bit-identical to a run that was
+// never interrupted.
+func TestCrashAndResumeBitIdentical(t *testing.T) {
+	cfg := tinyConfig()
+
+	// Reference: 3 uninterrupted stages.
+	ref := NewTrainer(tinySelector(t, 10), cfg)
+	refStats := runStages(t, ref, 3)
+	refHash := modelHash(t, ref)
+
+	// Crash run: checkpoint every stage, kill mid-stage-3. The "kill" is
+	// SIGKILL-equivalent for state purposes: the trainer object is
+	// abandoned and everything after this line comes from disk only.
+	dir := t.TempDir()
+	crash := NewTrainer(tinySelector(t, 10), cfg)
+	crash.EnableCheckpoints(dir, 3)
+	crashStats := runStages(t, crash, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupt stage 3 before it completes
+	if _, err := crash.RunStageCtx(ctx); err == nil {
+		t.Fatal("cancelled stage 3 reported success")
+	}
+	crash = nil
+
+	// Resume from disk and finish stage 3.
+	res, err := ResumeTrainer(dir, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stage() != 2 {
+		t.Fatalf("resumed at stage %d, want 2", res.Stage())
+	}
+	st3, err := res.RunStage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats := append(crashStats, st3)
+
+	if len(gotStats) != len(refStats) {
+		t.Fatalf("stage count %d, want %d", len(gotStats), len(refStats))
+	}
+	for i := range refStats {
+		if !reflect.DeepEqual(gotStats[i], refStats[i]) {
+			t.Errorf("stage %d stats diverge after resume:\n got %+v\nwant %+v", i+1, gotStats[i], refStats[i])
+		}
+	}
+	if modelHash(t, res) != refHash {
+		t.Error("final model hash differs between resumed and uninterrupted runs")
+	}
+}
+
+// TestResumeFallsBackPastTruncatedCheckpoint covers the torn-write
+// acceptance path: the newest checkpoint is truncated on disk, Latest
+// detects it and resume continues from the previous stage — and the rerun
+// of that stage still converges to the uninterrupted run bit for bit.
+func TestResumeFallsBackPastTruncatedCheckpoint(t *testing.T) {
+	cfg := tinyConfig()
+
+	ref := NewTrainer(tinySelector(t, 11), cfg)
+	runStages(t, ref, 3)
+	refHash := modelHash(t, ref)
+
+	dir := t.TempDir()
+	tr := NewTrainer(tinySelector(t, 11), cfg)
+	tr.EnableCheckpoints(dir, 0)
+	runStages(t, tr, 3)
+
+	// Truncate the stage-3 checkpoint as a torn write would.
+	path := filepath.Join(dir, ckpt.Name(3))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ResumeTrainer(dir, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stage() != 2 {
+		t.Fatalf("resumed at stage %d, want fallback to 2", res.Stage())
+	}
+	if _, err := res.RunStage(); err != nil {
+		t.Fatal(err)
+	}
+	if modelHash(t, res) != refHash {
+		t.Error("model hash after truncated-checkpoint fallback differs from reference")
+	}
+}
+
+func TestResumeRejectsConfigMismatch(t *testing.T) {
+	cfg := tinyConfig()
+	dir := t.TempDir()
+	tr := NewTrainer(tinySelector(t, 12), cfg)
+	tr.EnableCheckpoints(dir, 0)
+	runStages(t, tr, 1)
+
+	other := cfg
+	other.LR = cfg.LR * 2
+	if _, err := ResumeTrainer(dir, other, 0); err == nil {
+		t.Error("resume accepted a checkpoint from a different configuration")
+	}
+	if _, err := ResumeTrainer(t.TempDir(), cfg, 0); !errors.Is(err, ckpt.ErrNotFound) {
+		t.Errorf("resume from empty dir: %v, want ckpt.ErrNotFound", err)
+	}
+}
+
+// TestCheckpointWriteFaultSurfaces ensures a failing checkpoint write is
+// reported by the stage rather than silently dropping crash-safety.
+func TestCheckpointWriteFaultSurfaces(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	cfg := tinyConfig()
+	dir := t.TempDir()
+	tr := NewTrainer(tinySelector(t, 13), cfg)
+	tr.EnableCheckpoints(dir, 0)
+
+	fault.Set("ckpt.write", fault.Options{Mode: fault.Error, Times: 1})
+	if _, err := tr.RunStage(); err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("stage with failing checkpoint write returned %v, want injected error", err)
+	}
+	// The next stage checkpoints fine and retention applies.
+	if _, err := tr.RunStage(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ckpt.Latest(dir); err != nil {
+		t.Fatalf("no checkpoint after recovery: %v", err)
+	}
+}
+
+func TestDetSourceKnownValuesAndInterface(t *testing.T) {
+	// splitmix64 reference values for seed 0 (Vigna's implementation).
+	s := newDetSource(0)
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("splitmix64(seed 0) draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+	if v := newDetSource(1).Int63(); v < 0 {
+		t.Errorf("Int63 returned negative %d", v)
+	}
+}

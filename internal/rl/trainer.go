@@ -115,17 +115,23 @@ type Trainer struct {
 	Selector *selector.Selector
 
 	rng   *rand.Rand
+	src   *detSource // rng's source; its one-word state is checkpointable
 	opt   *nn.Adam
 	stage int
+
+	ckptDir  string // "" disables per-stage auto-checkpointing
+	ckptKeep int
 }
 
 // NewTrainer creates a trainer over the selector.
 func NewTrainer(sel *selector.Selector, cfg Config) *Trainer {
 	cfg = cfg.withDefaults()
+	src := newDetSource(cfg.Seed)
 	return &Trainer{
 		Cfg:      cfg,
 		Selector: sel,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rand.New(src),
+		src:      src,
 		opt:      nn.NewAdam(sel.Net.Params(), cfg.LR),
 	}
 }
@@ -277,6 +283,16 @@ func (t *Trainer) RunStageCtx(ctx context.Context) (StageStats, error) {
 	m := obs.MetricsFrom(ctx)
 	m.Counter("rl.stages").Inc()
 	m.FloatGauge("rl.loss").Set(loss)
+
+	if t.ckptDir != "" {
+		if _, err := t.SaveCheckpoint(); err != nil {
+			// The stage itself succeeded; surface the checkpoint failure so
+			// the operator knows crash-safety is gone, rather than
+			// discovering it after the crash.
+			return stats, err
+		}
+		m.Counter("rl.checkpoints").Inc()
+	}
 	return stats, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/obs"
 )
@@ -176,6 +177,14 @@ func (r *Router) nextEpoch() {
 func (r *Router) ShortestToTarget(sources []grid.VertexID, isTarget func(grid.VertexID) bool) (path []grid.VertexID, cost float64, ok bool) {
 	r.nextEpoch()
 	r.ctxErr = nil
+	if fault.Enabled() {
+		// The injected error travels the same road as a context
+		// cancellation: recorded on ctxErr, surfaced by the tree builders.
+		if err := fault.Inject("route.dijkstra"); err != nil {
+			r.ctxErr = err
+			return nil, 0, false
+		}
+	}
 	r.heap = r.heap[:0]
 	pops, relaxations := 0, 0
 	defer func() {

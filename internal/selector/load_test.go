@@ -1,0 +1,51 @@
+package selector
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/errs"
+	"oarsmt/internal/nn"
+)
+
+func TestLoadInvalidModel(t *testing.T) {
+	s := tinySelector(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+
+	// Truncated .gob files must surface the sentinel, not a raw decode
+	// error or a panic (the bug this guards against).
+	for _, cut := range []int{0, 1, len(data) / 3, len(data) - 1} {
+		if _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, errs.ErrInvalidModel) {
+			t.Errorf("truncated at %d/%d bytes: err = %v, want ErrInvalidModel", cut, len(data), err)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte{0x00, 0x01, 0x02})); !errors.Is(err, errs.ErrInvalidModel) {
+		t.Errorf("garbage bytes: err = %v, want ErrInvalidModel", err)
+	}
+
+	// A structurally valid network with the wrong channel count is not a
+	// selector.
+	wrong, err := nn.NewUNet3D(rand.New(rand.NewSource(1)),
+		nn.UNetConfig{InChannels: 3, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := wrong.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); !errors.Is(err, errs.ErrInvalidModel) {
+		t.Errorf("wrong channel count: err = %v, want ErrInvalidModel", err)
+	}
+
+	// And the happy path still loads.
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Errorf("valid model failed to load: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/nn"
 	"oarsmt/internal/tensor"
@@ -227,15 +228,17 @@ func (s *Selector) Clone() (*Selector, error) {
 	return Load(&buf)
 }
 
-// Load reads a selector saved with Save.
+// Load reads a selector saved with Save. Any invalid model file —
+// truncated, corrupt, wrong version, wrong channel count — yields an
+// error matching errs.ErrInvalidModel.
 func Load(r io.Reader) (*Selector, error) {
 	net, err := nn.LoadUNet3D(r)
 	if err != nil {
 		return nil, err
 	}
 	if net.Config.InChannels != NumFeatures {
-		return nil, fmt.Errorf("selector: model has %d input channels, want %d",
-			net.Config.InChannels, NumFeatures)
+		return nil, fmt.Errorf("%w: model has %d input channels, selector encoding has %d",
+			errs.ErrInvalidModel, net.Config.InChannels, NumFeatures)
 	}
 	return &Selector{Net: net}, nil
 }

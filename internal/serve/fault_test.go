@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
+)
+
+// TestServeDegradesUnderSelectorFault is the serving acceptance test: with
+// selector.infer failing at 100% (past the retry budget), every request is
+// still answered with a valid plain-OARMST route flagged degraded:true,
+// the serve.degraded counter ticks, the daemon never crashes — and when
+// the fault clears, responses return to normal inference (the degraded
+// answers must not have poisoned the cache).
+func TestServeDegradesUnderSelectorFault(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	var slept []time.Duration
+	s := newTestService(t, Config{
+		MaxRetries: 2,
+		sleep:      func(d time.Duration) { slept = append(slept, d) },
+	})
+	in := serveInstance(t, 42, 6, 6, 2, 5)
+
+	fault.Set("selector.infer", fault.Options{Mode: fault.Error})
+	resp, err := s.Submit(context.Background(), in)
+	if err != nil {
+		t.Fatalf("submit under 100%% selector fault failed: %v", err)
+	}
+	if !resp.Degraded {
+		t.Error("response not flagged degraded")
+	}
+	if resp.UsedSteiner || len(resp.SteinerPoints) != 0 {
+		t.Errorf("degraded response claims Steiner points: %+v", resp)
+	}
+	if resp.Cost <= 0 || resp.NumEdges == 0 {
+		t.Errorf("degraded response is not a valid route: %+v", resp)
+	}
+	// The retry budget was spent, on the documented deterministic schedule.
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Errorf("backoff schedule %v, want [1ms 2ms]", slept)
+	}
+	st := s.Stats()
+	if st.Degraded != 1 || st.Retries != 2 {
+		t.Errorf("stats degraded=%d retries=%d, want 1 and 2", st.Degraded, st.Retries)
+	}
+
+	// Clear the fault: the same layout must now route with real inference
+	// — a degraded entry in the cache would keep answering degraded.
+	fault.Reset()
+	resp, err = s.Submit(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Error("service still degraded after the fault cleared (cache poisoned?)")
+	}
+	if resp.CacheHit {
+		t.Error("degraded result was served from cache")
+	}
+	if s.Stats().Inferences == 0 {
+		t.Error("no inference recorded after recovery")
+	}
+}
+
+// TestRetryRecoversWithinBudget: a fault that fires once is absorbed by a
+// retry — the answer is a normal (non-degraded) response.
+func TestRetryRecoversWithinBudget(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	s := newTestService(t, Config{
+		MaxRetries: 2,
+		sleep:      func(time.Duration) {},
+	})
+	fault.Set("selector.infer", fault.Options{Mode: fault.Error, Times: 1})
+	resp, err := s.Submit(context.Background(), serveInstance(t, 43, 6, 6, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Error("one transient failure degraded the response despite the retry budget")
+	}
+	if st := s.Stats(); st.Retries != 1 {
+		t.Errorf("retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestInjectedPanicContained: a panic at the inference point answers the
+// request with ErrInternal (HTTP 500) and leaves the scheduler alive for
+// the next request.
+func TestInjectedPanicContained(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	s := newTestService(t, Config{})
+	fault.Set("selector.infer", fault.Options{Mode: fault.Panic, Times: 1})
+
+	_, err := s.Submit(context.Background(), serveInstance(t, 44, 6, 6, 2, 5))
+	if !errors.Is(err, errs.ErrInternal) {
+		t.Fatalf("panicked request returned %v, want ErrInternal", err)
+	}
+	// The daemon survived: the next submit routes normally.
+	resp, err := s.Submit(context.Background(), serveInstance(t, 45, 6, 6, 2, 5))
+	if err != nil || resp.Degraded {
+		t.Fatalf("service dead or degraded after contained panic: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestEnqueueFaultShedsRetryably: an injected failure at serve.enqueue is
+// shed as a transient (retryable) error, and admission recovers when the
+// fault clears.
+func TestEnqueueFaultShedsRetryably(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	s := newTestService(t, Config{CacheSize: -1})
+	in := serveInstance(t, 46, 6, 6, 2, 4)
+
+	fault.Set("serve.enqueue", fault.Options{Mode: fault.Error, Times: 1})
+	_, err := s.Submit(context.Background(), in)
+	if !errors.Is(err, errs.ErrTransient) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("enqueue fault surfaced as %v, want transient injected", err)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", s.Stats().Rejected)
+	}
+	if _, err := s.Submit(context.Background(), in); err != nil {
+		t.Fatalf("admission did not recover: %v", err)
+	}
+}
+
+// TestHTTPFaultStatusCodes covers the wire mapping of the failure modes:
+// injected panic → 500 with the daemon still answering, 100% inference
+// fault → 200 with degraded:true and serve.degraded visible in /metrics,
+// enqueue fault → 503 + Retry-After.
+func TestHTTPFaultStatusCodes(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	_, srv := newTestServer(t, Config{CacheSize: -1, sleep: func(time.Duration) {}})
+
+	post := func() *http.Response {
+		t.Helper()
+		res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { res.Body.Close() })
+		return res
+	}
+
+	fault.Set("selector.infer", fault.Options{Mode: fault.Panic, Times: 1})
+	if res := post(); res.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panic request = %d, want 500", res.StatusCode)
+	}
+
+	// Daemon alive; now a persistent error fault degrades with 200.
+	fault.Set("selector.infer", fault.Options{Mode: fault.Error})
+	res := post()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("degraded request = %d, want 200", res.StatusCode)
+	}
+	var resp Response
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Error("degraded response not flagged on the wire")
+	}
+	fault.Clear("selector.infer")
+
+	mres, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	mtext, err := io.ReadAll(mres.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mtext), "oarsmt_serve_degraded") {
+		t.Error("/metrics does not expose serve.degraded")
+	}
+
+	fault.Set("serve.enqueue", fault.Options{Mode: fault.Error, Times: 1})
+	if res := post(); res.StatusCode != http.StatusServiceUnavailable || res.Header.Get("Retry-After") == "" {
+		t.Errorf("enqueue fault = %d (Retry-After %q), want 503 with Retry-After", res.StatusCode, res.Header.Get("Retry-After"))
+	}
+
+	// Everything cleared: healthy again.
+	fault.Reset()
+	if res := post(); res.StatusCode != http.StatusOK {
+		t.Errorf("post-recovery request = %d, want 200", res.StatusCode)
+	}
+}

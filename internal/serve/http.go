@@ -79,6 +79,15 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err.Error())
 		case errors.Is(err, errs.ErrTimeout), errors.Is(err, context.Canceled):
 			httpError(w, http.StatusGatewayTimeout, err.Error())
+		case errors.Is(err, errs.ErrInternal):
+			// A contained panic or exhausted retry budget: the daemon
+			// itself is healthy, this request is not.
+			httpError(w, http.StatusInternalServerError, err.Error())
+		case errors.Is(err, errs.ErrTransient):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, errs.ErrInvalidModel):
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
 		case errors.Is(err, errs.ErrNoPath):
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 		default:

@@ -28,6 +28,7 @@ import (
 
 	"oarsmt/internal/core"
 	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/obs"
@@ -78,10 +79,23 @@ type Config struct {
 	RetracePasses       int
 	NoGuard             bool
 	SequentialInference bool
+	// MaxRetries is how many times a transient selector-inference failure
+	// (an error matching oarsmt.ErrTransient) is retried before the
+	// request degrades to the plain-OARMST fallback; 0 means 2, negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay, doubling per attempt up to
+	// RetryBackoffMax. The schedule is deterministic — no jitter — so
+	// fault-injection tests replay exactly. Defaults: 1ms, capped at 50ms.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 
 	// gate, when non-nil, is waited on before every scheduler pass; test
 	// hook for deterministically holding the queue full.
 	gate chan struct{}
+	// sleep is the retry backoff's clock, injectable so tests observe the
+	// schedule without wall-clock waits; nil means time.Sleep.
+	sleep func(time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +116,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetracePasses == 0 {
 		c.RetracePasses = 1
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 50 * time.Millisecond
+	}
+	if c.sleep == nil {
+		c.sleep = time.Sleep
 	}
 	return c
 }
@@ -124,7 +153,12 @@ type Response struct {
 	SteinerPoints []Coord3 `json:"steinerPoints"`
 	UsedSteiner   bool     `json:"usedSteiner"`
 	Proposed      int      `json:"proposed"`
-	CacheHit      bool     `json:"cacheHit"`
+	// Degraded reports that selector inference failed (after retries) and
+	// the tree is the plain-OARMST fallback: a valid route without the
+	// learned Steiner points. Degraded results are never cached, so the
+	// service returns to normal answers as soon as inference recovers.
+	Degraded bool `json:"degraded"`
+	CacheHit bool `json:"cacheHit"`
 	BatchSize     int      `json:"batchSize"`
 	ElapsedMillis float64  `json:"elapsedMillis"`
 	// Edges is the full routed tree; populated only when requested.
@@ -252,6 +286,16 @@ func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, e
 		return resp, nil
 	}
 	s.m.cacheMisses.Inc()
+
+	if fault.Enabled() {
+		// Injection point for enqueue-path failures: Error sheds the
+		// request as retryable (503 + Retry-After), Delay stalls admission
+		// to force queueing/timeout behaviour.
+		if err := fault.Inject("serve.enqueue"); err != nil {
+			s.m.rejected.Inc()
+			return nil, fmt.Errorf("serve: enqueue: %w", err)
+		}
+	}
 
 	j := &job{ctx: ctx, in: in, key: key, toCanon: toCanon, enqueued: start, done: make(chan struct{})}
 	s.mu.RLock()
@@ -397,10 +441,11 @@ func groupByDims(batch []*job) [][]*job {
 // rep is one distinct layout of a group: the representative instance plus
 // every job that asked for it (possibly in different orientations).
 type rep struct {
-	jobs []*job
-	sps  []grid.VertexID
-	inf  int
-	skip bool // answered from cache or wholly cancelled
+	jobs     []*job
+	sps      []grid.VertexID
+	inf      int
+	skip     bool // answered from cache or wholly cancelled
+	degraded bool // inference failed after retries; construct the plain fallback
 }
 
 // processGroup serves one same-size group: one shared-selector inference
@@ -439,15 +484,32 @@ func (s *Service) processGroup(group []*job) {
 				// The layout was routed between enqueue and drain: a
 				// cache hit for every job of the rep.
 				s.m.cacheHits.Add(int64(len(r.jobs)))
-				for _, j := range s.answerFromEntry(r, e, batchSize, true) {
+				for _, j := range s.answerFromEntry(r, e, batchSize, true, false) {
 					s.routeFallback(j, batchSize)
 				}
 				r.skip = true
 				continue
 			}
 		}
-		r.sps, r.inf = s.router.Propose(lead.in)
-		s.m.inferences.Add(int64(r.inf))
+		// Shared-selector inference with transient-failure retry and panic
+		// containment. A panic (e.g. an injected one at selector.infer)
+		// fails this rep's jobs with ErrInternal — the scheduler, and the
+		// daemon, stay alive. An inference *error* that survives retries
+		// degrades the rep: phase 2 builds the plain OARMST instead.
+		err := contained(func() error {
+			var perr error
+			r.sps, r.inf, perr = s.proposeWithRetry(lead.ctx, lead.in)
+			return perr
+		})
+		switch {
+		case err == nil:
+			s.m.inferences.Add(int64(r.inf))
+		case errors.Is(err, errs.ErrInternal):
+			r.errOut(s, err)
+			r.skip = true
+		default:
+			r.degraded = true
+		}
 	}
 
 	// Phase 2 (parallel): OARMST construction per distinct layout, one
@@ -471,16 +533,27 @@ func (s *Service) processGroup(group []*job) {
 				}
 				continue
 			}
-			res, err := s.router.Construct(lead.ctx, lead.in, r.sps, r.inf, 0)
+			var res *core.Result
+			err := contained(func() error {
+				var cerr error
+				if r.degraded {
+					res, cerr = s.router.ConstructPlain(lead.ctx, lead.in, 0)
+				} else {
+					res, cerr = s.router.Construct(lead.ctx, lead.in, r.sps, r.inf, 0)
+				}
+				return cerr
+			})
 			if err != nil {
 				r.errOut(s, err)
 				continue
 			}
 			e := entryFromTree(lead.in, lead.toCanon, res.Tree, res.SteinerPoints, res.UsedSteiner, res.Proposed)
-			if s.cache != nil {
+			if s.cache != nil && !r.degraded {
+				// Never cache a degraded result: a poisoned cache would keep
+				// answering without Steiner points after the fault clears.
 				s.cache.add(lead.key, e)
 			}
-			fallback[i] = s.answerFromEntry(r, e, batchSize, false)
+			fallback[i] = s.answerFromEntry(r, e, batchSize, false, r.degraded)
 		}
 	})
 
@@ -496,7 +569,12 @@ func (s *Service) processGroup(group []*job) {
 // routeFallback answers one job with a direct (unbatched, uncached) route.
 // Must run on the scheduler goroutine: it uses the shared selector.
 func (s *Service) routeFallback(j *job, batchSize int) {
-	res, err := s.router.Route(j.ctx, j.in)
+	var res *core.Result
+	err := contained(func() error {
+		var rerr error
+		res, rerr = s.router.Route(j.ctx, j.in)
+		return rerr
+	})
 	if err != nil {
 		s.finish(j, nil, err)
 		return
@@ -504,7 +582,48 @@ func (s *Service) routeFallback(j *job, batchSize int) {
 	s.m.inferences.Add(int64(res.Inferences))
 	resp := s.buildResponse(j.in, res.Tree, res.SteinerPoints, res.UsedSteiner, res.Proposed, j.enqueued)
 	resp.BatchSize = batchSize
+	if res.Degraded {
+		resp.Degraded = true
+		s.m.degraded.Inc()
+	}
 	s.finish(j, resp, nil)
+}
+
+// proposeWithRetry runs the shared selector's proposal, retrying transient
+// failures (errors matching errs.ErrTransient) up to Config.MaxRetries
+// times with deterministic capped exponential backoff. The backoff sleeps
+// through the injected Config.sleep clock, never reads the wall clock, and
+// has no jitter, so a seeded fault schedule replays identically.
+func (s *Service) proposeWithRetry(ctx context.Context, in *layout.Instance) ([]grid.VertexID, int, error) {
+	backoff := s.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		sps, inf, err := s.router.TryPropose(in)
+		if err == nil {
+			return sps, inf, nil
+		}
+		if !errors.Is(err, errs.ErrTransient) || attempt >= s.cfg.MaxRetries || ctx.Err() != nil {
+			return nil, 0, err
+		}
+		s.m.retries.Inc()
+		s.cfg.sleep(backoff)
+		backoff *= 2
+		if backoff > s.cfg.RetryBackoffMax {
+			backoff = s.cfg.RetryBackoffMax
+		}
+	}
+}
+
+// contained runs fn with panic containment: a panic anywhere below (the
+// scheduler's inference and construction phases route through here) is
+// recovered into an error matching errs.ErrInternal, which the HTTP layer
+// maps to 500. The daemon never dies to a per-request panic.
+func contained(fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: recovered panic: %v", errs.ErrInternal, p)
+		}
+	}()
+	return fn()
 }
 
 // lead returns the first job of the rep whose context is still live, or
@@ -529,7 +648,7 @@ func (r *rep) errOut(s *Service, err error) {
 // own orientation and answers it. It returns the jobs whose mapping failed
 // (possible only under a hash collision); the caller re-routes those
 // serially via routeFallback.
-func (s *Service) answerFromEntry(r *rep, e *cacheEntry, batchSize int, cacheHit bool) []*job {
+func (s *Service) answerFromEntry(r *rep, e *cacheEntry, batchSize int, cacheHit, degraded bool) []*job {
 	var fallback []*job
 	for _, j := range r.jobs {
 		if err := j.ctx.Err(); err != nil {
@@ -544,6 +663,10 @@ func (s *Service) answerFromEntry(r *rep, e *cacheEntry, batchSize int, cacheHit
 		resp := s.buildResponse(j.in, tree, steiner, e.usedSteiner, e.proposed, j.enqueued)
 		resp.BatchSize = batchSize
 		resp.CacheHit = cacheHit
+		if degraded {
+			resp.Degraded = true
+			s.m.degraded.Inc()
+		}
 		s.finish(j, resp, nil)
 	}
 	return fallback

@@ -23,6 +23,8 @@ type metrics struct {
 	batches     *obs.Counter // same-size groups processed
 	batchedJobs *obs.Counter // jobs carried by those groups
 	inferences  *obs.Counter // selector network inferences spent
+	degraded    *obs.Counter // responses answered by the plain-OARMST fallback
+	retries     *obs.Counter // transient-inference retries spent
 	maxBatch    *obs.Gauge   // high-watermark of jobs per group
 	latency     *obs.Histogram
 }
@@ -43,6 +45,8 @@ func newMetrics() *metrics {
 		batches:     reg.Counter("serve.batches"),
 		batchedJobs: reg.Counter("serve.batched_jobs"),
 		inferences:  reg.Counter("serve.inferences"),
+		degraded:    reg.Counter("serve.degraded"),
+		retries:     reg.Counter("serve.retries"),
 		maxBatch:    reg.Gauge("serve.max_batch"),
 		latency:     reg.Histogram("serve.latency"),
 	}
@@ -69,6 +73,8 @@ type Stats struct {
 	CacheHits   int64 `json:"cacheHits"`
 	CacheMisses int64 `json:"cacheMisses"`
 	Inferences  int64 `json:"inferences"`
+	Degraded    int64 `json:"degraded"`
+	Retries     int64 `json:"retries"`
 
 	Batches      int64   `json:"batches"`
 	BatchedJobs  int64   `json:"batchedJobs"`
@@ -94,6 +100,8 @@ func (s *Service) Stats() Stats {
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
 		Inferences:    m.inferences.Load(),
+		Degraded:      m.degraded.Load(),
+		Retries:       m.retries.Load(),
 		Batches:       m.batches.Load(),
 		BatchedJobs:   m.batchedJobs.Load(),
 		MaxBatch:      m.maxBatch.Load(),

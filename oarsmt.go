@@ -56,6 +56,16 @@ var (
 	ErrInvalidLayout = errs.ErrInvalidLayout
 	// ErrNoPath reports an unreachable terminal on the routing graph.
 	ErrNoPath = errs.ErrNoPath
+	// ErrInvalidModel reports a selector model file that failed to decode
+	// or validate (truncated, corrupt, wrong version or architecture).
+	ErrInvalidModel = errs.ErrInvalidModel
+	// ErrInternal reports a failure contained at a service boundary — a
+	// recovered panic or an exhausted retry budget; the serving daemon
+	// itself stays alive.
+	ErrInternal = errs.ErrInternal
+	// ErrTransient marks a retryable failure; the serving scheduler
+	// retries matching errors with capped deterministic backoff.
+	ErrTransient = errs.ErrTransient
 )
 
 // Observability re-exports (see internal/obs): Router.Route and the other
