@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-all bench-fault check check-fast crash-test lint fuzz vet experiments examples train train-resume serve serve-smoke clean
+.PHONY: all build test test-short bench bench-gate bench-all bench-fault check check-fast crash-test lint fuzz vet experiments examples train train-resume serve serve-smoke clean
 
 all: build test
 
@@ -23,11 +23,12 @@ lint:
 	go run ./cmd/oarsmt-lint ./...
 
 # Static checks (vet + oarsmt-lint) plus the race detector over every
-# surface the worker pool reaches. The second tier runs -short so check
-# stays minutes-scale.
+# surface the worker pool reaches, plus the kernel speedup regression
+# gate. The second tier runs -short so check stays minutes-scale.
 check: vet lint
 	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault
 	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
+	$(MAKE) bench-gate
 
 # Static analysis only (no race detector): fast enough for a pre-commit
 # hook.
@@ -45,14 +46,24 @@ crash-test:
 
 # Core kernel/search benchmarks, run twice: once serial (OARSMT_WORKERS=0)
 # and once on the default worker pool, then folded into BENCH_tensor.json
-# with before/after ns/op and speedups.
+# with before/after ns/op, speedups, and per-benchmark speedup floors.
+# -count=3 lets benchjson keep the minimum of each measurement; recording
+# fails if any speedup regressed below the previously recorded floor.
 BENCH_PKGS = ./internal/tensor ./internal/mcts ./internal/route
 
 bench:
-	OARSMT_WORKERS=0 go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_serial.txt
-	go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | tee bench_parallel.txt
+	OARSMT_WORKERS=0 go test -run='^$$' -bench=. -benchmem -count=3 $(BENCH_PKGS) | tee bench_serial.txt
+	go test -run='^$$' -bench=. -benchmem -count=3 $(BENCH_PKGS) | tee bench_parallel.txt
 	go run ./cmd/oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt -o BENCH_tensor.json
 	go run ./cmd/oarsmt-bench -exp obs -obs-out BENCH_obs.json
+
+# Speedup regression gate (run by `make check`): re-measure the kernel
+# suite quickly and fail if any benchmark's speedup fell below the floor
+# recorded in BENCH_tensor.json. Never rewrites the report.
+bench-gate:
+	OARSMT_WORKERS=0 go test -run='^$$' -bench=. -benchmem -benchtime=0.3s -count=2 $(BENCH_PKGS) | tee bench_serial.txt
+	go test -run='^$$' -bench=. -benchmem -benchtime=0.3s -count=2 $(BENCH_PKGS) | tee bench_parallel.txt
+	go run ./cmd/oarsmt-benchjson -gate -serial bench_serial.txt -parallel bench_parallel.txt -o BENCH_tensor.json
 
 # Fault-tolerance cost guard: checkpoint save/load throughput and the
 # degraded-path route latency vs the healthy baseline, folded into

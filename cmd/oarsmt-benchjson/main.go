@@ -1,12 +1,28 @@
 // oarsmt-benchjson converts two `go test -bench` runs — a serial baseline
 // (OARSMT_WORKERS=0) and a parallel run — into a machine-readable JSON
-// report with before/after ns/op and the resulting speedup per benchmark.
-// `make bench` uses it to produce BENCH_tensor.json.
+// report with before/after ns/op, the resulting speedup per benchmark, and
+// a per-benchmark speedup floor that turns the report into a regression
+// gate. `make bench` uses it to produce BENCH_tensor.json; `make
+// bench-gate` re-runs the suite and verifies every speedup still clears
+// the recorded floor.
 //
 // Usage:
 //
 //	oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt \
-//	    -o BENCH_tensor.json
+//	    -o BENCH_tensor.json           # record (fails below recorded floors)
+//	oarsmt-benchjson -gate -serial ... -parallel ... -o BENCH_tensor.json
+//	                                   # verify only, never writes
+//
+// Recording is itself gated: when the output file already exists, the new
+// speedups must clear its floors before the file is rewritten, so a
+// regression cannot launder itself by re-recording. Floors ratchet — a new
+// floor is max(old, 0.9 x measured speedup) capped at 1.0, so a kernel
+// that has demonstrated a speedup may never fall below parity again.
+// Speedups within -noise of 1.0 snap to exactly 1.0 first, on record and
+// gate runs alike: benchmarks too small to parallelise (or any run on a
+// single-core host, where serial and pooled execution are the same code
+// path) wobble around parity and must neither accumulate spurious floors
+// nor trip the gate with that wobble.
 package main
 
 import (
@@ -15,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -24,11 +41,14 @@ import (
 
 // Entry is one benchmark's before/after measurement.
 type Entry struct {
-	Name           string  `json:"name"`
-	SerialNsPerOp  float64 `json:"serial_ns_per_op"`
+	Name            string  `json:"name"`
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
 	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
-	Speedup        float64 `json:"speedup"`
-	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	Speedup         float64 `json:"speedup"`
+	AllocsPerOp     float64 `json:"allocs_per_op,omitempty"`
+	// Floor is the gated minimum speedup: later runs fail when their
+	// (noise-snapped) speedup drops below it.
+	Floor float64 `json:"speedup_floor,omitempty"`
 }
 
 // Report is the whole BENCH_tensor.json document.
@@ -46,6 +66,9 @@ func main() {
 		serialPath   = flag.String("serial", "", "bench output of the OARSMT_WORKERS=0 run")
 		parallelPath = flag.String("parallel", "", "bench output of the default (parallel) run")
 		outPath      = flag.String("o", "BENCH_tensor.json", "output JSON path")
+		gate         = flag.Bool("gate", false, "verify speedups against the floors in -o instead of rewriting it")
+		noise        = flag.Float64("noise", 0.10, "snap speedups within this fraction of 1.0 to exactly 1.0")
+		margin       = flag.Float64("margin", 0.10, "slack between a measured speedup and the floor it records")
 	)
 	flag.Parse()
 	if *serialPath == "" || *parallelPath == "" {
@@ -79,12 +102,39 @@ func main() {
 			AllocsPerOp:     p.allocsPerOp,
 		}
 		if p.nsPerOp > 0 {
-			e.Speedup = s.nsPerOp / p.nsPerOp
+			e.Speedup = snap(s.nsPerOp/p.nsPerOp, *noise)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
 	if len(rep.Benchmarks) == 0 {
 		log.Fatal("no benchmark present in both runs")
+	}
+
+	prev := loadFloors(*outPath)
+	if *gate {
+		if len(prev) == 0 {
+			log.Fatalf("%s has no recorded floors to gate against (run make bench first)", *outPath)
+		}
+		if n := checkFloors(rep.Benchmarks, prev); n > 0 {
+			log.Fatalf("%d benchmark(s) below their recorded speedup floor", n)
+		}
+		log.Printf("gate ok: %d benchmarks at or above their floors", len(rep.Benchmarks))
+		return
+	}
+
+	// Record mode: regressions against the existing floors abort before
+	// anything is rewritten, then each floor ratchets upward.
+	if n := checkFloors(rep.Benchmarks, prev); n > 0 {
+		log.Fatalf("%d benchmark(s) below their recorded speedup floor; not rewriting %s", n, *outPath)
+	}
+	for i := range rep.Benchmarks {
+		e := &rep.Benchmarks[i]
+		floor := math.Min(1.0, e.Speedup*(1.0-*margin))
+		if old, ok := prev[e.Name]; ok && old > floor {
+			floor = old
+		}
+		e.Floor = round4(floor)
+		e.Speedup = round4(e.Speedup)
 	}
 
 	f, err := os.Create(*outPath)
@@ -100,6 +150,57 @@ func main() {
 	log.Printf("wrote %s (%d benchmarks, GOMAXPROCS=%d)", *outPath, len(rep.Benchmarks), rep.GoMaxProcs)
 }
 
+// snap collapses speedups within noise of parity to exactly 1.0, so
+// benchmarks that run serially either way cannot record a floor above or
+// below 1.0 out of measurement wobble.
+func snap(speedup, noise float64) float64 {
+	if math.Abs(speedup-1.0) <= noise {
+		return 1.0
+	}
+	return speedup
+}
+
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// loadFloors reads the recorded per-benchmark floors of an existing
+// report; a missing or unreadable file simply means no floors yet.
+func loadFloors(path string) map[string]float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Printf("warning: %s exists but is not a bench report (%v); ignoring its floors", path, err)
+		return nil
+	}
+	out := map[string]float64{}
+	for _, e := range rep.Benchmarks {
+		if e.Floor > 0 {
+			out[e.Name] = e.Floor
+		}
+	}
+	return out
+}
+
+// checkFloors reports how many entries fall below their recorded floor,
+// logging each violation.
+func checkFloors(entries []Entry, floors map[string]float64) int {
+	bad := 0
+	for _, e := range entries {
+		floor, ok := floors[e.Name]
+		if !ok {
+			continue
+		}
+		if e.Speedup < floor {
+			log.Printf("REGRESSION %s: speedup %.3f below floor %.3f (serial %.0f ns/op, parallel %.0f ns/op)",
+				e.Name, e.Speedup, floor, e.SerialNsPerOp, e.ParallelNsPerOp)
+			bad++
+		}
+	}
+	return bad
+}
+
 type measurement struct {
 	nsPerOp     float64
 	allocsPerOp float64
@@ -107,6 +208,9 @@ type measurement struct {
 
 // parseBench extracts "BenchmarkName-N  iters  X ns/op [...]" lines. The
 // -N GOMAXPROCS suffix is stripped so serial and parallel runs line up.
+// Repeated measurements of one benchmark (-count > 1) keep the minimum
+// ns/op: the fastest run has the least scheduler and cache interference,
+// so minima are the most reproducible statistic to gate on.
 func parseBench(path string) (map[string]measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -140,7 +244,10 @@ func parseBench(path string) (map[string]measurement, error) {
 				m.allocsPerOp = v
 			}
 		}
-		if ok {
+		if !ok {
+			continue
+		}
+		if old, seen := out[name]; !seen || m.nsPerOp < old.nsPerOp {
 			out[name] = m
 		}
 	}

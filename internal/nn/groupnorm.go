@@ -8,11 +8,6 @@ import (
 	"oarsmt/internal/tensor"
 )
 
-// normParallelMinWork is the minimum volume (elements) below which
-// GroupNorm stays serial; groups are fully independent in both passes, so
-// sharding them never changes results.
-var normParallelMinWork = 1 << 14
-
 // GroupNorm normalises a [C, H, V, M] volume over groups of channels
 // (Wu & He, 2018) with learned per-channel scale and shift. Unlike batch
 // normalisation it is independent of the batch, which matters here because
@@ -34,6 +29,10 @@ type GroupNorm struct {
 	lastStd []float64 // per group
 	lastMu  []float64
 	lastN   int // elements per group
+
+	ar *tensor.Arena
+	// Float32 inference-mode weight caches (converted once).
+	gamma32, beta32 *tensor.T32
 }
 
 // NewGroupNorm creates a GroupNorm over c channels in the given number of
@@ -60,10 +59,14 @@ func (g *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	spatial := x.Dim(1) * x.Dim(2) * x.Dim(3)
 	chPerGroup := g.C / g.Groups
 	g.lastN = chPerGroup * spatial
-	g.lastMu = make([]float64, g.Groups)
-	g.lastStd = make([]float64, g.Groups)
+	if cap(g.lastMu) < g.Groups {
+		g.lastMu = make([]float64, g.Groups)
+		g.lastStd = make([]float64, g.Groups)
+	}
+	g.lastMu = g.lastMu[:g.Groups]
+	g.lastStd = g.lastStd[:g.Groups]
 
-	out := tensor.New(x.Shape...)
+	out := g.ar.New(x.Shape...)
 	g.forGroups(x.Len(), func(grp int) {
 		lo := grp * chPerGroup * spatial
 		hi := lo + chPerGroup*spatial
@@ -92,21 +95,16 @@ func (g *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // forGroups runs body(grp) for every group, sharding the (independent)
-// groups over the worker pool when the volume warrants it. Each group
-// touches only its own channel slab and per-group statistics, so the
-// results are identical at any worker count.
+// groups over the worker pool when the volume (the shared work estimate of
+// parallel.ForWork) warrants it. Each group touches only its own channel
+// slab and per-group statistics, so the results are identical at any
+// worker count.
 func (g *GroupNorm) forGroups(work int, body func(grp int)) {
-	if g.Groups > 1 && work >= normParallelMinWork {
-		parallel.For(g.Groups, func(_, lo, hi int) {
-			for grp := lo; grp < hi; grp++ {
-				body(grp)
-			}
-		})
-		return
-	}
-	for grp := 0; grp < g.Groups; grp++ {
-		body(grp)
-	}
+	parallel.ForWork(work, g.Groups, func(_, lo, hi int) {
+		for grp := lo; grp < hi; grp++ {
+			body(grp)
+		}
+	})
 }
 
 // Backward implements Layer.
@@ -115,7 +113,7 @@ func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	spatial := x.Dim(1) * x.Dim(2) * x.Dim(3)
 	chPerGroup := g.C / g.Groups
 	n := float64(g.lastN)
-	gx := tensor.New(x.Shape...)
+	gx := g.ar.New(x.Shape...)
 
 	g.forGroups(x.Len(), func(grp int) {
 		mu, std := g.lastMu[grp], g.lastStd[grp]
@@ -152,3 +150,55 @@ func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Layer.
 func (g *GroupNorm) Params() []*Param { return []*Param{g.gamma, g.beta} }
+
+func (g *GroupNorm) setArena(a *tensor.Arena) { g.ar = a }
+
+// precompute32 converts the scale/shift weights for the float32 inference
+// mode.
+func (g *GroupNorm) precompute32() {
+	g.gamma32 = tensor.Convert32(g.gamma.W)
+	g.beta32 = tensor.Convert32(g.beta.W)
+}
+
+// forward32 is the inference-only float32 forward pass. The group mean and
+// variance accumulate in float64 — a float32 running sum over thousands of
+// elements loses enough precision to move the normalisation visibly — and
+// only the final per-element scale runs in float32.
+func (g *GroupNorm) forward32(x *tensor.T32) *tensor.T32 {
+	if x.Rank() != 4 || x.Dim(0) != g.C {
+		panic(fmt.Sprintf("nn: GroupNorm input shape %v, want [%d,H,V,M]", x.Shape, g.C))
+	}
+	if g.gamma32 == nil {
+		g.precompute32()
+	}
+	spatial := x.Dim(1) * x.Dim(2) * x.Dim(3)
+	chPerGroup := g.C / g.Groups
+	n := float64(chPerGroup * spatial)
+
+	out := g.ar.New32(x.Shape...)
+	g.forGroups(x.Len(), func(grp int) {
+		lo := grp * chPerGroup * spatial
+		hi := lo + chPerGroup*spatial
+		mu := 0.0
+		for _, v := range x.Data[lo:hi] {
+			mu += float64(v)
+		}
+		mu /= n
+		varSum := 0.0
+		for _, v := range x.Data[lo:hi] {
+			d := float64(v) - mu
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum/n + g.Eps)
+		mu32 := float32(mu)
+		for c := grp * chPerGroup; c < (grp+1)*chPerGroup; c++ {
+			scale := float32(float64(g.gamma32.Data[c]) / std)
+			be := g.beta32.Data[c]
+			base := c * spatial
+			for i := 0; i < spatial; i++ {
+				out.Data[base+i] = scale*(x.Data[base+i]-mu32) + be
+			}
+		}
+	})
+	return out
+}

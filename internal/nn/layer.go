@@ -40,12 +40,24 @@ type Layer interface {
 	Params() []*Param
 }
 
+// arenaUser is implemented by layers whose activations can come from a
+// shared bump arena (see tensor.Arena for the ownership rules).
+type arenaUser interface {
+	setArena(a *tensor.Arena)
+}
+
 // Conv3D is a "same" 3-D convolution layer with odd cubic kernels.
 type Conv3D struct {
 	InC, OutC, K int
 	weight       *Param
 	bias         *Param
 	lastX        *tensor.Tensor
+
+	// ar, when set, provides activation and gradient storage.
+	ar *tensor.Arena
+	// w32/b32 cache the float32-converted weights of the inference mode;
+	// they are derived data, converted once and never trained.
+	w32, b32 *tensor.T32
 }
 
 // NewConv3D creates a conv layer with He-initialised weights.
@@ -68,12 +80,12 @@ func NewConv3D(r *rand.Rand, name string, inC, outC, k int) *Conv3D {
 // Forward implements Layer.
 func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c.lastX = x
-	return tensor.Conv3D(x, c.weight.W, c.bias.W)
+	return tensor.Conv3DIn(c.ar, x, c.weight.W, c.bias.W)
 }
 
 // Backward implements Layer.
 func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gx, gw, gb := tensor.Conv3DBackward(c.lastX, c.weight.W, grad)
+	gx, gw, gb := tensor.Conv3DBackwardIn(c.ar, c.lastX, c.weight.W, grad)
 	c.weight.G.AddScaled(gw, 1)
 	c.bias.G.AddScaled(gb, 1)
 	return gx
@@ -82,15 +94,34 @@ func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (c *Conv3D) Params() []*Param { return []*Param{c.weight, c.bias} }
 
+func (c *Conv3D) setArena(a *tensor.Arena) { c.ar = a }
+
+// precompute32 converts the weights for the float32 inference mode. The
+// cache goes stale if the weights are trained afterwards; the selector
+// only enables float32 on frozen inference instances.
+func (c *Conv3D) precompute32() {
+	c.w32 = tensor.Convert32(c.weight.W)
+	c.b32 = tensor.Convert32(c.bias.W)
+}
+
+// forward32 is the inference-only float32 forward pass.
+func (c *Conv3D) forward32(x *tensor.T32) *tensor.T32 {
+	if c.w32 == nil {
+		c.precompute32()
+	}
+	return tensor.Conv3D32(c.ar, x, c.w32, c.b32)
+}
+
 // ReLU is the rectified-linear activation.
 type ReLU struct {
 	lastX *tensor.Tensor
+	ar    *tensor.Arena
 }
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.lastX = x
-	out := tensor.New(x.Shape...)
+	out := l.ar.New(x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
@@ -101,7 +132,7 @@ func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gx := tensor.New(grad.Shape...)
+	gx := l.ar.New(grad.Shape...)
 	for i, v := range l.lastX.Data {
 		if v > 0 {
 			gx.Data[i] = grad.Data[i]
@@ -113,12 +144,26 @@ func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (l *ReLU) Params() []*Param { return nil }
 
+func (l *ReLU) setArena(a *tensor.Arena) { l.ar = a }
+
+// relu32In is the stateless float32 ReLU of the inference mode.
+func relu32In(a *tensor.Arena, x *tensor.T32) *tensor.T32 {
+	out := a.New32(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
 // ResBlock is a 3-D convolutional residual block (He et al. [8]):
 // out = ReLU(x + Conv(ReLU(Conv(x)))). Channel count is preserved.
 type ResBlock struct {
 	conv1, conv2 *Conv3D
 	relu1        ReLU
 	lastSum      *tensor.Tensor
+	ar           *tensor.Arena
 }
 
 // NewResBlock creates a residual block over c channels with kernel k.
@@ -132,10 +177,12 @@ func NewResBlock(r *rand.Rand, name string, c, k int) *ResBlock {
 // Forward implements Layer.
 func (b *ResBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 	y := b.conv2.Forward(b.relu1.Forward(b.conv1.Forward(x)))
-	sum := x.Clone()
-	sum.AddScaled(y, 1)
+	sum := b.ar.New(x.Shape...)
+	for i, v := range x.Data {
+		sum.Data[i] = v + y.Data[i]
+	}
 	b.lastSum = sum
-	out := tensor.New(sum.Shape...)
+	out := b.ar.New(sum.Shape...)
 	for i, v := range sum.Data {
 		if v > 0 {
 			out.Data[i] = v
@@ -147,7 +194,7 @@ func (b *ResBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Layer.
 func (b *ResBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// Through the final ReLU.
-	gSum := tensor.New(grad.Shape...)
+	gSum := b.ar.New(grad.Shape...)
 	for i, v := range b.lastSum.Data {
 		if v > 0 {
 			gSum.Data[i] = grad.Data[i]
@@ -163,6 +210,26 @@ func (b *ResBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (b *ResBlock) Params() []*Param {
 	return append(b.conv1.Params(), b.conv2.Params()...)
+}
+
+func (b *ResBlock) setArena(a *tensor.Arena) {
+	b.ar = a
+	b.conv1.setArena(a)
+	b.conv2.setArena(a)
+	b.relu1.setArena(a)
+}
+
+// forward32 is the inference-only float32 forward pass; the sum+ReLU tail
+// is fused into one loop.
+func (b *ResBlock) forward32(x *tensor.T32) *tensor.T32 {
+	y := b.conv2.forward32(relu32In(b.ar, b.conv1.forward32(x)))
+	out := b.ar.New32(x.Shape...)
+	for i, v := range x.Data {
+		if s := v + y.Data[i]; s > 0 {
+			out.Data[i] = s
+		}
+	}
+	return out
 }
 
 // Sequential chains layers.
@@ -193,6 +260,14 @@ func (s *Sequential) Params() []*Param {
 		out = append(out, l.Params()...)
 	}
 	return out
+}
+
+func (s *Sequential) setArena(a *tensor.Arena) {
+	for _, l := range s.Layers {
+		if u, ok := l.(arenaUser); ok {
+			u.setArena(a)
+		}
+	}
 }
 
 // Sigmoid returns 1/(1+exp(-x)) elementwise; used at inference time to map

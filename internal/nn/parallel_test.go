@@ -17,11 +17,10 @@ func randT(r *rand.Rand, shape ...int) *tensor.Tensor {
 }
 
 func TestGroupNormBitEqualAcrossWorkerCounts(t *testing.T) {
-	prevWork := normParallelMinWork
+	prevWork := parallel.SetMinShardWork(1)
 	prevW := parallel.Workers()
-	normParallelMinWork = 0
 	defer func() {
-		normParallelMinWork = prevWork
+		parallel.SetMinShardWork(prevWork)
 		parallel.SetWorkers(prevW)
 	}()
 

@@ -77,6 +77,11 @@ type UNet3D struct {
 	// Forward state for Backward.
 	encInShapes [][]int // input shape at each level before pooling
 	skipChans   []int
+
+	// arena, when attached via SetArena, provides all activation and
+	// gradient storage. Forward resets it at entry, so arena-backed
+	// outputs stay valid exactly until the next forward pass.
+	arena *tensor.Arena
 }
 
 // NewUNet3D builds a randomly initialised U-Net.
@@ -116,6 +121,62 @@ func NewUNet3D(r *rand.Rand, cfg UNetConfig) (*UNet3D, error) {
 	return u, nil
 }
 
+// SetArena attaches a bump arena that provides every activation and
+// gradient buffer of the network. The network owns the reuse boundary:
+// Forward (and Forward32) reset the arena at entry, which recycles the
+// previous pass's activations and gradients — safe because training always
+// completes Backward before the next Forward. Callers must copy any
+// network output they keep across passes. A network with an arena is
+// single-goroutine, which Layer already requires.
+func (u *UNet3D) SetArena(a *tensor.Arena) {
+	u.arena = a
+	u.stem.setArena(a)
+	u.head.setArena(a)
+	for _, c := range u.encConv {
+		c.setArena(a)
+	}
+	for _, c := range u.decConv {
+		c.setArena(a)
+	}
+	for _, b := range u.encRes {
+		b.setArena(a)
+	}
+	for _, b := range u.decRes {
+		b.setArena(a)
+	}
+	for _, n := range u.norms {
+		n.setArena(a)
+	}
+	for _, r := range u.relus {
+		r.setArena(a)
+	}
+}
+
+// Precompute32 converts all weights to the float32 caches used by
+// Forward32. Call once on a frozen inference network; training the
+// network afterwards leaves the caches stale.
+func (u *UNet3D) Precompute32() {
+	u.stem.precompute32()
+	u.head.precompute32()
+	for _, c := range u.encConv {
+		c.precompute32()
+	}
+	for _, c := range u.decConv {
+		c.precompute32()
+	}
+	for _, b := range u.encRes {
+		b.conv1.precompute32()
+		b.conv2.precompute32()
+	}
+	for _, b := range u.decRes {
+		b.conv1.precompute32()
+		b.conv2.precompute32()
+	}
+	for _, n := range u.norms {
+		n.precompute32()
+	}
+}
+
 // applyNorm runs the i-th GroupNorm when normalisation is enabled.
 func (u *UNet3D) applyNorm(i int, x *tensor.Tensor) *tensor.Tensor {
 	if u.norms == nil {
@@ -137,6 +198,7 @@ func (u *UNet3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(0) != u.Config.InChannels {
 		panic(fmt.Sprintf("nn: UNet input shape %v, want [%d,H,V,M]", x.Shape, u.Config.InChannels))
 	}
+	u.arena.Reset()
 	relu := 0
 	depth := u.Config.Depth
 	u.encInShapes = u.encInShapes[:0]
@@ -149,7 +211,7 @@ func (u *UNet3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for l := 1; l <= depth; l++ {
 		skips = append(skips, cur)
 		u.encInShapes = append(u.encInShapes, append([]int(nil), cur.Shape...))
-		pooled := tensor.AvgPool2(cur)
+		pooled := tensor.AvgPool2In(u.arena, cur)
 		cur = u.encRes[l].Forward(u.relus[relu].Forward(u.applyNorm(relu, u.encConv[l-1].Forward(pooled))))
 		relu++
 	}
@@ -157,14 +219,51 @@ func (u *UNet3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	// Decoder.
 	for i := 0; i < depth; i++ {
 		skip := skips[depth-1-i]
-		up := tensor.UpsampleNearest(cur, skip.Dim(1), skip.Dim(2), skip.Dim(3))
+		up := tensor.UpsampleNearestIn(u.arena, cur, skip.Dim(1), skip.Dim(2), skip.Dim(3))
 		u.skipChans = append(u.skipChans, up.Dim(0))
-		cat := tensor.ConcatC(up, skip)
+		cat := tensor.ConcatCIn(u.arena, up, skip)
 		cur = u.decRes[i].Forward(u.relus[relu].Forward(u.applyNorm(relu, u.decConv[i].Forward(cat))))
 		relu++
 	}
 
 	out := u.head.Forward(cur)
+	return out.Reshape(out.Dim(1), out.Dim(2), out.Dim(3))
+}
+
+// Forward32 is the float32 inference-mode forward pass: same structure as
+// Forward, float32 storage end to end, no state recorded for Backward.
+// Call Precompute32 (or selector.EnableFloat32) first on a frozen network.
+func (u *UNet3D) Forward32(x *tensor.T32) *tensor.T32 {
+	if x.Rank() != 4 || x.Dim(0) != u.Config.InChannels {
+		panic(fmt.Sprintf("nn: UNet input shape %v, want [%d,H,V,M]", x.Shape, u.Config.InChannels))
+	}
+	u.arena.Reset()
+	norm32 := func(i int, t *tensor.T32) *tensor.T32 {
+		if u.norms == nil {
+			return t
+		}
+		return u.norms[i].forward32(t)
+	}
+	relu := 0
+	depth := u.Config.Depth
+
+	skips := make([]*tensor.T32, 0, depth)
+	cur := u.encRes[0].forward32(relu32In(u.arena, norm32(relu, u.stem.forward32(x))))
+	relu++
+	for l := 1; l <= depth; l++ {
+		skips = append(skips, cur)
+		pooled := tensor.AvgPool232(u.arena, cur)
+		cur = u.encRes[l].forward32(relu32In(u.arena, norm32(relu, u.encConv[l-1].forward32(pooled))))
+		relu++
+	}
+	for i := 0; i < depth; i++ {
+		skip := skips[depth-1-i]
+		up := tensor.UpsampleNearest32(u.arena, cur, skip.Dim(1), skip.Dim(2), skip.Dim(3))
+		cat := tensor.ConcatC32(u.arena, up, skip)
+		cur = u.decRes[i].forward32(relu32In(u.arena, norm32(relu, u.decConv[i].forward32(cat))))
+		relu++
+	}
+	out := u.head.forward32(cur)
 	return out.Reshape(out.Dim(1), out.Dim(2), out.Dim(3))
 }
 
@@ -181,18 +280,18 @@ func (u *UNet3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := depth - 1; i >= 0; i-- {
 		g = u.decConv[i].Backward(u.backNorm(relu, u.relus[relu].Backward(u.decRes[i].Backward(g))))
 		relu--
-		gUp, gSkip := tensor.SplitC(g, u.skipChans[i])
+		gUp, gSkip := tensor.SplitCIn(u.arena, g, u.skipChans[i])
 		skipGrads[depth-1-i] = gSkip
 		// Up-sampled from the level below (or bottleneck).
 		srcShape := u.belowShape(depth - 1 - i)
-		g = tensor.UpsampleNearestBackward(srcShape, gUp)
+		g = tensor.UpsampleNearestBackwardIn(u.arena, srcShape, gUp)
 	}
 
 	// Encoder, bottom-up.
 	for l := depth; l >= 1; l-- {
 		g = u.encConv[l-1].Backward(u.backNorm(relu, u.relus[relu].Backward(u.encRes[l].Backward(g))))
 		relu--
-		g = tensor.AvgPool2Backward(u.encInShapes[l-1], g)
+		g = tensor.AvgPool2BackwardIn(u.arena, u.encInShapes[l-1], g)
 		g.AddScaled(skipGrads[l-1], 1)
 	}
 	return u.stem.Backward(u.backNorm(relu, u.relus[relu].Backward(u.encRes[0].Backward(g))))

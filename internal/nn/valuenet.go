@@ -16,6 +16,7 @@ type ValueNet struct {
 	InChannels int
 	trunk      *Sequential
 	lastShape  []int
+	arena      *tensor.Arena
 }
 
 // NewValueNet builds a randomly initialised value network.
@@ -36,6 +37,7 @@ func (v *ValueNet) Forward(x *tensor.Tensor) float64 {
 	if x.Rank() != 4 || x.Dim(0) != v.InChannels {
 		panic(fmt.Sprintf("nn: ValueNet input shape %v, want [%d,H,V,M]", x.Shape, v.InChannels))
 	}
+	v.arena.Reset()
 	out := v.trunk.Forward(x)
 	v.lastShape = append(v.lastShape[:0], out.Shape...)
 	return out.Sum() / float64(out.Len())
@@ -51,3 +53,12 @@ func (v *ValueNet) Backward(grad float64) *tensor.Tensor {
 
 // Params returns the learnable parameters.
 func (v *ValueNet) Params() []*Param { return v.trunk.Params() }
+
+// SetArena attaches a bump arena for the trunk's activations and
+// gradients. Like UNet3D, the net owns the reuse boundary: Forward resets
+// the arena at entry, so outputs of a pass stay valid exactly until the
+// next Forward.
+func (v *ValueNet) SetArena(a *tensor.Arena) {
+	v.arena = a
+	v.trunk.setArena(a)
+}

@@ -182,6 +182,72 @@ func ForWith(w, n int, fn func(shard, lo, hi int)) {
 	}
 }
 
+// minShardWork is the per-shard work floor used by ShardsForWork, in
+// abstract work units (the tensor kernels pass multiply-add counts); 0
+// means "use the default".
+var minShardWork atomic.Int64
+
+// defaultMinShardWork is tuned so one shard amortizes the pool's dispatch
+// cost (two atomic ops plus a channel send per helper) at the roughly
+// 1-2 multiply-adds/ns the direct kernels sustain: a shard below ~256k
+// MACs finishes in the same order of magnitude as waking a helper.
+const defaultMinShardWork = 1 << 18
+
+// MinShardWork returns the current per-shard work floor.
+func MinShardWork() int {
+	if v := minShardWork.Load(); v > 0 {
+		return int(v)
+	}
+	return defaultMinShardWork
+}
+
+// SetMinShardWork overrides the per-shard work floor and returns the
+// previous value; n <= 0 restores the default. Like the worker count it
+// only moves the serial/parallel cutover, never results — tests set it to
+// 1 to force the sharded paths on tiny shapes.
+func SetMinShardWork(n int) int {
+	prev := MinShardWork()
+	if n <= 0 {
+		minShardWork.Store(0)
+	} else {
+		minShardWork.Store(int64(n))
+	}
+	return prev
+}
+
+// ShardsForWork returns how many shards a kernel with the given total work
+// estimate should split its n independent units into: enough workers that
+// every shard still clears MinShardWork, never more than Workers() or n,
+// and 1 (the inline serial path) whenever the whole call is under twice
+// the floor. Shard counts depend only on (work, n, Workers(),
+// MinShardWork), so a fixed configuration shards identically everywhere.
+func ShardsForWork(work, n int) int {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n <= 1 {
+		return 1
+	}
+	min := MinShardWork()
+	if work < 2*min {
+		return 1
+	}
+	if s := work / min; s < w {
+		w = s
+	}
+	return w
+}
+
+// ForWork is For with the shard count sized by a work estimate instead of
+// the raw worker count: fn(shard, lo, hi) runs over [0, n) split into
+// ShardsForWork(work, n) contiguous shards, inline when that is 1. The
+// same determinism contract as For applies: shards must write disjoint
+// outputs, and results are bit-identical at any worker count.
+func ForWork(work, n int, fn func(shard, lo, hi int)) {
+	ForWith(ShardsForWork(work, n), n, fn)
+}
+
 // sumChunk is the fixed reduction granularity of SumChunks. It never
 // changes with the worker count, so the addition order — chunk-internal
 // sums first, then chunk sums in ascending order — is an invariant of the

@@ -168,3 +168,50 @@ func TestSetWorkersClampsToOne(t *testing.T) {
 		t.Fatalf("Workers() = %d after SetWorkers(-5)", w)
 	}
 }
+
+func TestShardsForWork(t *testing.T) {
+	prevW := Workers()
+	prevMin := SetMinShardWork(100)
+	defer func() {
+		SetWorkers(prevW)
+		SetMinShardWork(prevMin)
+	}()
+	SetWorkers(8)
+
+	cases := []struct {
+		work, n, want int
+	}{
+		{work: 50, n: 8, want: 1},     // under the floor: inline serial
+		{work: 199, n: 8, want: 1},    // under 2x the floor: still serial
+		{work: 200, n: 8, want: 2},    // exactly 2x: two full shards
+		{work: 450, n: 8, want: 4},    // work/min shards, below Workers()
+		{work: 10000, n: 8, want: 8},  // plenty of work: all workers
+		{work: 10000, n: 3, want: 3},  // capped by unit count
+		{work: 10000, n: 1, want: 1},  // a single unit cannot split
+		{work: 10000, n: 0, want: 1},  // nothing to do
+	}
+	for _, c := range cases {
+		if got := ShardsForWork(c.work, c.n); got != c.want {
+			t.Errorf("ShardsForWork(%d, %d) = %d, want %d", c.work, c.n, got, c.want)
+		}
+	}
+
+	SetWorkers(1)
+	if got := ShardsForWork(1<<30, 1<<20); got != 1 {
+		t.Errorf("ShardsForWork with 1 worker = %d, want 1", got)
+	}
+}
+
+func TestSetMinShardWork(t *testing.T) {
+	prev := SetMinShardWork(42)
+	defer SetMinShardWork(prev)
+	if got := MinShardWork(); got != 42 {
+		t.Fatalf("MinShardWork() = %d after SetMinShardWork(42)", got)
+	}
+	if p := SetMinShardWork(0); p != 42 {
+		t.Fatalf("SetMinShardWork returned prev %d, want 42", p)
+	}
+	if got := MinShardWork(); got != defaultMinShardWork {
+		t.Fatalf("MinShardWork() = %d after reset, want default %d", got, defaultMinShardWork)
+	}
+}

@@ -23,13 +23,37 @@ import (
 // pin, obstacle, right/left/up/down edge cost, via cost (paper Fig 3).
 const NumFeatures = 7
 
-// Selector wraps the U-Net agent.
+// Selector wraps the U-Net agent. A selector is single-goroutine: its
+// network caches activations (and, via the attached tensor.Arena, reuses
+// their storage) between calls. Parallel episode loops give every worker
+// its own Clone.
 type Selector struct {
 	Net *nn.UNet3D
+
+	// useF32 switches inference to the float32 storage mode
+	// (EnableFloat32); training entry points keep using Net directly and
+	// stay float64.
+	useF32 bool
+	// encBuf/encBuf32 are the reused feature-volume buffers; separate
+	// from the arena because Net.Forward resets the arena at entry, which
+	// must not recycle its own input.
+	encBuf   []float64
+	encBuf32 []float32
 }
 
-// New wraps an existing network.
-func New(net *nn.UNet3D) *Selector { return &Selector{Net: net} }
+// newSelector wraps a network and attaches a fresh activation arena: one
+// warmed-up inference performs near-zero heap allocations.
+func newSelector(net *nn.UNet3D) *Selector {
+	net.SetArena(tensor.NewArena())
+	return &Selector{Net: net}
+}
+
+// New wraps an existing network, attaching an activation arena to it: the
+// network's Forward outputs become valid only until its next forward
+// pass. Training through Net remains correct — every backward completes
+// before the next forward — but callers keeping raw Net.Forward outputs
+// across passes must copy them.
+func New(net *nn.UNet3D) *Selector { return newSelector(net) }
 
 // NewRandom creates a selector with freshly initialised weights.
 func NewRandom(r *rand.Rand, cfg nn.UNetConfig) (*Selector, error) {
@@ -41,8 +65,24 @@ func NewRandom(r *rand.Rand, cfg nn.UNetConfig) (*Selector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Selector{Net: net}, nil
+	return newSelector(net), nil
 }
+
+// EnableFloat32 switches this selector's inference to float32 storage:
+// all weights are converted once, and Logits/FSP/PolicySoftmax run the
+// float32 forward pass (about half the memory traffic). Results differ
+// from float64 in the last bits — validated against float64 within
+// tolerance by the package tests — so routing outcomes may differ on
+// near-ties; the float64 path stays the deterministic reference. Enable
+// only on frozen inference selectors: training a float32-enabled selector
+// leaves the converted weights stale.
+func (s *Selector) EnableFloat32() {
+	s.Net.Precompute32()
+	s.useF32 = true
+}
+
+// Float32Enabled reports whether the float32 inference mode is active.
+func (s *Selector) Float32Enabled() bool { return s.useF32 }
 
 // Encode builds the [7, H, V, M] feature volume of a state: the layout's
 // grid graph with the given pins, where previously selected Steiner points
@@ -51,6 +91,13 @@ func NewRandom(r *rand.Rand, cfg nn.UNetConfig) (*Selector, error) {
 // so each lies in (0, 1]; absent neighbours (grid border) encode cost 0.
 func Encode(g *grid.Graph, pins []grid.VertexID) *tensor.Tensor {
 	x := tensor.New(NumFeatures, g.H, g.V, g.M)
+	encodeInto(x.Data, g, pins)
+	return x
+}
+
+// encodeInto fills an already-zeroed feature buffer of length
+// NumFeatures*H*V*M with the Encode features.
+func encodeInto(data []float64, g *grid.Graph, pins []grid.VertexID) {
 	plane := g.H * g.V * g.M
 	norm := g.MaxEdgeCost()
 	if norm <= 0 {
@@ -58,7 +105,7 @@ func Encode(g *grid.Graph, pins []grid.VertexID) *tensor.Tensor {
 	}
 
 	for _, p := range pins {
-		x.Data[0*plane+int(p)] = 1
+		data[0*plane+int(p)] = 1
 	}
 	viaFeat := g.ViaCost / norm
 	scaleAt := func(s []float64, m int) float64 {
@@ -87,32 +134,74 @@ func Encode(g *grid.Graph, pins []grid.VertexID) *tensor.Tensor {
 			for m := 0; m < g.M; m++ {
 				hs, vs := scaleAt(g.HScale, m), scaleAt(g.VScale, m)
 				if g.Blocked(grid.VertexID(idx)) {
-					x.Data[1*plane+idx] = 1
+					data[1*plane+idx] = 1
 				}
-				x.Data[2*plane+idx] = right * hs
-				x.Data[3*plane+idx] = left * hs
-				x.Data[4*plane+idx] = up * vs
-				x.Data[5*plane+idx] = down * vs
-				x.Data[6*plane+idx] = viaFeat
+				data[2*plane+idx] = right * hs
+				data[3*plane+idx] = left * hs
+				data[4*plane+idx] = up * vs
+				data[5*plane+idx] = down * vs
+				data[6*plane+idx] = viaFeat
 				idx++
 			}
 		}
 	}
-	return x
+}
+
+// encode builds the feature volume into the selector's persistent scratch
+// buffer. The returned tensor aliases s.encBuf and is valid until the next
+// encode call.
+func (s *Selector) encode(g *grid.Graph, pins []grid.VertexID) *tensor.Tensor {
+	n := NumFeatures * g.H * g.V * g.M
+	if cap(s.encBuf) < n {
+		s.encBuf = make([]float64, n)
+	}
+	buf := s.encBuf[:n]
+	clear(buf)
+	s.encBuf = buf
+	encodeInto(buf, g, pins)
+	return tensor.FromSlice(buf, NumFeatures, g.H, g.V, g.M)
+}
+
+// logits runs one inference and returns the network's raw logits buffer,
+// valid until the selector's next forward pass. The float32 mode converts
+// the result back to float64 so every consumer sees one element type.
+func (s *Selector) logits(g *grid.Graph, pins []grid.VertexID) []float64 {
+	x := s.encode(g, pins)
+	if !s.useF32 {
+		return s.Net.Forward(x).Data
+	}
+	if cap(s.encBuf32) < x.Len() {
+		s.encBuf32 = make([]float32, x.Len())
+	}
+	x32 := s.encBuf32[:x.Len()]
+	s.encBuf32 = x32
+	for i, v := range x.Data {
+		x32[i] = float32(v)
+	}
+	out32 := s.Net.Forward32(&tensor.T32{Shape: x.Shape, Data: x32})
+	// Reuse the float64 encode buffer for the widened logits: the forward
+	// pass is done with its input.
+	out := s.encBuf[:len(out32.Data)]
+	for i, v := range out32.Data {
+		out[i] = float64(v)
+	}
+	return out
 }
 
 // Logits runs one network inference and returns the raw per-vertex logits
-// as a flat slice indexed by VertexID.
+// as a flat slice indexed by VertexID. The caller owns the returned slice.
 func (s *Selector) Logits(g *grid.Graph, pins []grid.VertexID) []float64 {
-	out := s.Net.Forward(Encode(g, pins))
-	return out.Data
+	raw := s.logits(g, pins)
+	out := make([]float64, len(raw))
+	copy(out, raw)
+	return out
 }
 
 // FSP runs one network inference and returns the final selected
 // probability of every vertex (sigmoid of the logits), indexed by
 // VertexID. This is the fsp(v) of paper Fig 5.
 func (s *Selector) FSP(g *grid.Graph, pins []grid.VertexID) []float64 {
-	logits := s.Logits(g, pins)
+	logits := s.logits(g, pins)
 	out := make([]float64, len(logits))
 	for i, z := range logits {
 		out[i] = nn.Sigmoid(z)
@@ -208,7 +297,7 @@ func (s *Selector) SelectSteinerPoints(g *grid.Graph, pins []grid.VertexID) []gr
 // the AlphaGo-like and PPO baselines: a masked softmax of the logits over
 // the valid vertices.
 func (s *Selector) PolicySoftmax(g *grid.Graph, pins []grid.VertexID) []float64 {
-	logits := s.Logits(g, pins)
+	logits := s.logits(g, pins)
 	return nn.MaskedSoftmax(logits, ValidMask(g, pins))
 }
 
@@ -220,6 +309,9 @@ func (s *Selector) Save(w io.Writer) error { return s.Net.Save(w) }
 // and must never be shared across goroutines; the parallel episode loops
 // give every worker its own clone. Weights survive the gob round trip
 // bit-exactly, so a clone's inferences are identical to the original's.
+// The float32 inference mode is not part of the serialised form: clones
+// (and reloaded models) start in float64 mode and need their own
+// EnableFloat32 call.
 func (s *Selector) Clone() (*Selector, error) {
 	var buf bytes.Buffer
 	if err := s.Save(&buf); err != nil {
@@ -240,5 +332,5 @@ func Load(r io.Reader) (*Selector, error) {
 		return nil, fmt.Errorf("%w: model has %d input channels, selector encoding has %d",
 			errs.ErrInvalidModel, net.Config.InChannels, NumFeatures)
 	}
-	return &Selector{Net: net}, nil
+	return newSelector(net), nil
 }

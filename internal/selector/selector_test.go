@@ -270,3 +270,82 @@ func TestNewRandomRejectsWrongChannels(t *testing.T) {
 		t.Error("wrong channel count should be rejected")
 	}
 }
+
+// TestFloat32LogitsCloseToFloat64 validates the float32 inference mode
+// end to end: same network, same state, logits within single-precision
+// tolerance of the float64 reference, and FSP/PolicySoftmax stay valid
+// distributions.
+func TestFloat32LogitsCloseToFloat64(t *testing.T) {
+	s := tinySelector(t)
+	g := grid.MustNew(6, 5, 2, []float64{1, 2, 3, 4, 5}, []float64{2, 2, 2, 2}, 3)
+	g.Block(g.Index(2, 2, 0))
+	pins := []grid.VertexID{g.Index(0, 0, 0), g.Index(5, 4, 1), g.Index(3, 1, 0)}
+
+	ref := s.Logits(g, pins)
+
+	s32, err := s.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s32.Float32Enabled() {
+		t.Fatal("fresh clone reports float32 mode")
+	}
+	s32.EnableFloat32()
+	if !s32.Float32Enabled() {
+		t.Fatal("EnableFloat32 did not stick")
+	}
+
+	got := s32.Logits(g, pins)
+	if len(got) != len(ref) {
+		t.Fatalf("f32 logits length %d, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		scale := math.Max(1, math.Abs(ref[i]))
+		if d := math.Abs(got[i] - ref[i]); d > 1e-4*scale {
+			t.Fatalf("logit[%d]: f32 %v vs f64 %v (diff %v)", i, got[i], ref[i], d)
+		}
+	}
+
+	// Repeat on the same selector: the reused buffers must not leak state
+	// between calls.
+	again := s32.Logits(g, pins)
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("second f32 inference differs at %d: %v vs %v", i, again[i], got[i])
+		}
+	}
+
+	fsp := s32.FSP(g, pins)
+	for i, p := range fsp {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("f32 fsp[%d] = %v out of [0,1]", i, p)
+		}
+	}
+	pol := s32.PolicySoftmax(g, pins)
+	sum := 0.0
+	for _, p := range pol {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("f32 policy sums to %v", sum)
+	}
+}
+
+// TestLogitsCallerOwned pins that Logits returns a private copy: mutating
+// it and re-running inference must not corrupt later answers.
+func TestLogitsCallerOwned(t *testing.T) {
+	s := tinySelector(t)
+	g := grid.MustNew(4, 4, 1, []float64{1, 1, 1}, []float64{1, 1, 1}, 2)
+	pins := []grid.VertexID{g.Index(0, 0, 0), g.Index(3, 3, 0)}
+
+	first := s.Logits(g, pins)
+	for i := range first {
+		first[i] = math.Inf(1)
+	}
+	second := s.Logits(g, pins)
+	for i, v := range second {
+		if math.IsInf(v, 1) {
+			t.Fatalf("logit[%d] aliases the previously returned slice", i)
+		}
+	}
+}

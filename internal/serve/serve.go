@@ -79,6 +79,12 @@ type Config struct {
 	RetracePasses       int
 	NoGuard             bool
 	SequentialInference bool
+	// Float32 switches the selector to float32 inference storage
+	// (selector.EnableFloat32): roughly half the inference memory traffic
+	// in exchange for last-bit differences from the float64 reference,
+	// which can flip near-tie Steiner-point choices. Leave false when
+	// served routes must match offline float64 evaluation bit-for-bit.
+	Float32 bool
 	// MaxRetries is how many times a transient selector-inference failure
 	// (an error matching oarsmt.ErrTransient) is retried before the
 	// request degrades to the plain-OARMST fallback; 0 means 2, negative
@@ -201,6 +207,9 @@ func NewService(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("serve: Config.Selector is required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Float32 {
+		cfg.Selector.EnableFloat32()
+	}
 	r := core.NewRouter(cfg.Selector)
 	r.RetracePasses = cfg.RetracePasses
 	if cfg.RetracePasses < 0 {

@@ -6,447 +6,215 @@ import (
 	"oarsmt/internal/parallel"
 )
 
-// convParallelMinWork is the minimum number of kernel multiply-adds below
-// which a convolution stays on the serial path: sharding overhead would
-// dominate smaller calls. The threshold only affects wall-clock, never
-// results — the sharded paths are bit-identical to serial. A var so the
-// equality tests can force the parallel path on tiny shapes.
-var convParallelMinWork = 1 << 16
-
 // Conv3D computes a "same" 3-D convolution. x has shape [InC, H, V, M],
 // w has shape [OutC, InC, K, K, K] with K odd, b has shape [OutC] (or is
 // nil for no bias). The result has shape [OutC, H, V, M]; the input is
 // implicitly zero-padded by K/2 on every side.
 //
-// The implementation is a direct convolution with the contiguous M axis in
-// the inner loop, which is the sweet spot for the small channel counts the
-// selector uses. Large calls shard the (independent) output channels over
-// the parallel worker pool; every shard runs the identical per-channel
-// code on disjoint output slabs, so the result is bit-identical to the
-// serial path at any worker count.
-func Conv3D(x, w, b *Tensor) *Tensor {
-	inC, h, v, m := convDims(x)
-	outC, k := convKernelDims(w, inC)
-	if b != nil && (b.Rank() != 1 || b.Dim(0) != outC) {
-		panic(fmt.Sprintf("tensor: bias shape %v for %d output channels", b.Shape, outC))
+// The implementation is the im2col + blocked-GEMM engine of gemm.go:
+// results are bit-identical to the textbook direct convolution and to
+// themselves at any worker count.
+func Conv3D(x, w, b *Tensor) *Tensor { return Conv3DIn(nil, x, w, b) }
+
+// Conv3DIn is Conv3D with the output allocated from the arena (heap when
+// a is nil).
+func Conv3DIn(a *Arena, x, w, b *Tensor) *Tensor {
+	sh := convCheck(x.Shape, w.Shape, b)
+	out := a.New(sh.outC, sh.h, sh.v, sh.m)
+	var bias []float64
+	if b != nil {
+		bias = b.Data
 	}
-	out := New(outC, h, v, m)
-	work := outC * inC * k * k * k * h * v * m
-	if outC > 1 && work >= convParallelMinWork {
-		parallel.For(outC, func(_, lo, hi int) {
-			convForwardRange(out, x, w, b, lo, hi)
-		})
-	} else {
-		convForwardRange(out, x, w, b, 0, outC)
-	}
+	convForward(out.Data, x.Data, w.Data, bias, sh)
 	return out
 }
 
-// convForwardRange computes output channels [ocLo, ocHi) of a Conv3D call.
-// Each output channel touches only its own slab of out, so disjoint ranges
-// may run concurrently.
-func convForwardRange(out, x, w, b *Tensor, ocLo, ocHi int) {
-	inC, h, v, m := convDims(x)
-	_, k := convKernelDims(w, inC)
-	p := k / 2
-
-	planeIn := h * v * m
-	planeOut := h * v * m
-	rowLen := m
-	for oc := ocLo; oc < ocHi; oc++ {
-		outBase := oc * planeOut
-		if b != nil {
-			bias := b.Data[oc]
-			for i := outBase; i < outBase+planeOut; i++ {
-				out.Data[i] = bias
-			}
-		}
-		for ic := 0; ic < inC; ic++ {
-			inBase := ic * planeIn
-			for kh := 0; kh < k; kh++ {
-				dh := kh - p
-				h0, h1 := clipRange(dh, h)
-				if k == 3 {
-					// Fast path for the ubiquitous 3x3x3 kernel: each
-					// (kv, km) tap is one long axpy over the contiguous
-					// V*M plane of a layer-column slab, followed by a
-					// cheap fix-up of the M-boundary elements that the
-					// flat shift contaminated across row ends.
-					wbase := (((oc*inC+ic)*k + kh) * k) * k
-					for hh := h0; hh < h1; hh++ {
-						src := x.Data[inBase+(hh+dh)*v*rowLen : inBase+(hh+dh+1)*v*rowLen]
-						dst := out.Data[outBase+hh*v*rowLen : outBase+(hh+1)*v*rowLen]
-						convPlane3(dst, src, w.Data[wbase:wbase+9], v, rowLen)
-					}
-					continue
-				}
-				for kv := 0; kv < k; kv++ {
-					dv := kv - p
-					v0, v1 := clipRange(dv, v)
-					for km := 0; km < k; km++ {
-						dm := km - p
-						m0, m1 := clipRange(dm, m)
-						wv := w.Data[(((oc*inC+ic)*k+kh)*k+kv)*k+km]
-						if wv == 0 || m0 >= m1 {
-							continue
-						}
-						for hh := h0; hh < h1; hh++ {
-							srcRowBase := inBase + ((hh+dh)*v)*rowLen
-							dstRowBase := outBase + (hh*v)*rowLen
-							for vv := v0; vv < v1; vv++ {
-								src := srcRowBase + (vv+dv)*rowLen + dm
-								dst := dstRowBase + vv*rowLen
-								xs := x.Data[src+m0 : src+m1]
-								os := out.Data[dst+m0 : dst+m1]
-								for i, xv := range xs {
-									os[i] += wv * xv
-								}
-							}
-						}
-					}
-				}
-			}
-		}
+// Conv3D32 is the float32 inference-mode convolution: same shapes and
+// tap order as Conv3D, computed in float32 throughout. w and b are the
+// once-converted weights (Convert32).
+func Conv3D32(a *Arena, x, w, b *T32) *T32 {
+	sh := convCheck32(x.Shape, w.Shape, b)
+	out := a.New32(sh.outC, sh.h, sh.v, sh.m)
+	var bias []float32
+	if b != nil {
+		bias = b.Data
 	}
-}
-
-// convPlane3 accumulates the 3x3 (kv, km) taps of one kernel slice into a
-// contiguous [V x M] destination plane. ws holds the 9 tap weights in
-// (kv, km) row-major order. Each tap is a single flat axpy over the plane
-// with offset dv*M+dm; the flat shift wrongly carries values across M-row
-// ends when dm != 0, so those boundary elements are corrected afterwards
-// (zero padding means the correct contribution there is none).
-func convPlane3(dst, src []float64, ws []float64, v, m int) {
-	vm := v * m
-	for kv := 0; kv < 3; kv++ {
-		dv := kv - 1
-		rowOff := dv * m
-		w0, w1, w2 := ws[kv*3], ws[kv*3+1], ws[kv*3+2]
-
-		// Output span where the source row (pos+rowOff) exists.
-		lo, hi := 0, vm
-		if rowOff > 0 {
-			hi = vm - rowOff
-		} else if rowOff < 0 {
-			lo = -rowOff
-		}
-		if lo >= hi {
-			continue
-		}
-		// Interior positions additionally need pos+rowOff-1 and
-		// pos+rowOff+1 in bounds; the at most two clipped end positions
-		// get the middle tap only (their side taps are fixed up below
-		// together with the M-boundary corrections, or are padding).
-		iLo, iHi := lo, hi
-		if iLo+rowOff-1 < 0 {
-			dst[iLo] += w1 * src[iLo+rowOff]
-			if iLo+rowOff+1 < vm {
-				dst[iLo] += w2 * src[iLo+rowOff+1]
-			}
-			iLo++
-		}
-		if iHi-1+rowOff+1 > vm-1 && iHi > iLo {
-			p := iHi - 1
-			dst[p] += w1 * src[p+rowOff]
-			if p+rowOff-1 >= 0 {
-				dst[p] += w0 * src[p+rowOff-1]
-			}
-			iHi--
-		}
-		if iLo < iHi {
-			ds := dst[iLo:iHi]
-			s0 := src[iLo+rowOff-1 : iHi+rowOff-1]
-			s1 := src[iLo+rowOff : iHi+rowOff]
-			s2 := src[iLo+rowOff+1 : iHi+rowOff+1]
-			for i := range ds {
-				ds[i] += w0*s0[i] + w1*s1[i] + w2*s2[i]
-			}
-		}
-		// Fix up the M-row boundary contamination of the side taps: an
-		// output at m == 0 must not receive the w0 tap (its true source
-		// is padding), and an output at m == M-1 must not receive w2.
-		if w0 != 0 {
-			for pos := ((lo + m - 1) / m) * m; pos < hi; pos += m {
-				if pos+rowOff-1 >= 0 {
-					dst[pos] -= w0 * src[pos+rowOff-1]
-				}
-			}
-		}
-		if w2 != 0 {
-			start := (lo/m)*m + m - 1
-			if start < lo {
-				start += m
-			}
-			for pos := start; pos < hi; pos += m {
-				if pos+rowOff+1 < vm {
-					dst[pos] -= w2 * src[pos+rowOff+1]
-				}
-			}
-		}
-	}
+	convForward(out.Data, x.Data, w.Data, bias, sh)
+	return out
 }
 
 // Conv3DBackward computes the gradients of a Conv3D call: gradX wrt the
 // input, gradW wrt the kernel and gradB wrt the bias, given gradOut, the
-// gradient wrt the output.
-//
-// The parallel path shards gradB over output channels and gradX/gradW over
-// input channels. An input-channel shard walks the output channels in
-// ascending order, which reproduces the serial loop's per-element
-// floating-point accumulation sequence exactly: results are bit-identical
-// to the serial path at any worker count.
+// gradient wrt the output. Results are bit-identical at any worker count.
 func Conv3DBackward(x, w, gradOut *Tensor) (gradX, gradW, gradB *Tensor) {
-	inC, h, v, m := convDims(x)
-	outC, k := convKernelDims(w, inC)
-	if gradOut.Rank() != 4 || gradOut.Dim(0) != outC || gradOut.Dim(1) != h ||
-		gradOut.Dim(2) != v || gradOut.Dim(3) != m {
+	return Conv3DBackwardIn(nil, x, w, gradOut)
+}
+
+// Conv3DBackwardIn is Conv3DBackward with the three gradients allocated
+// from the arena. On the heap path they share one backing allocation.
+func Conv3DBackwardIn(a *Arena, x, w, gradOut *Tensor) (gradX, gradW, gradB *Tensor) {
+	sh := convCheck(x.Shape, w.Shape, nil)
+	if gradOut.Rank() != 4 || gradOut.Dim(0) != sh.outC || gradOut.Dim(1) != sh.h ||
+		gradOut.Dim(2) != sh.v || gradOut.Dim(3) != sh.m {
 		panic(fmt.Sprintf("tensor: gradOut shape %v for input %v", gradOut.Shape, x.Shape))
 	}
-	gradX = New(inC, h, v, m)
-	gradW = New(outC, inC, k, k, k)
-	gradB = New(outC)
-
-	work := outC * inC * k * k * k * h * v * m
-	if inC > 1 && work >= convParallelMinWork {
-		plane := h * v * m
-		parallel.For(outC, func(_, lo, hi int) {
-			for oc := lo; oc < hi; oc++ {
-				goBase := oc * plane
-				sum := 0.0
-				for i := goBase; i < goBase+plane; i++ {
-					sum += gradOut.Data[i]
-				}
-				gradB.Data[oc] = sum
-			}
-		})
-		parallel.For(inC, func(_, lo, hi int) {
-			convBackwardInputRange(gradX, gradW, x, w, gradOut, lo, hi)
-		})
-		return gradX, gradW, gradB
+	if a != nil {
+		gradX = a.New(sh.inC, sh.h, sh.v, sh.m)
+		gradW = a.New(sh.outC, sh.inC, sh.k, sh.k, sh.k)
+		gradB = a.New(sh.outC)
+	} else {
+		nx, nw := sh.inC*sh.n(), sh.outC*sh.j()
+		backing := make([]float64, nx+nw+sh.outC)
+		gradX = &Tensor{Shape: []int{sh.inC, sh.h, sh.v, sh.m}, Data: backing[:nx:nx]}
+		gradW = &Tensor{Shape: []int{sh.outC, sh.inC, sh.k, sh.k, sh.k}, Data: backing[nx : nx+nw : nx+nw]}
+		gradB = &Tensor{Shape: []int{sh.outC}, Data: backing[nx+nw:]}
 	}
-	convBackwardSerial(gradX, gradW, gradB, x, w, gradOut)
+	convBackward(gradX.Data, gradW.Data, gradB.Data, x.Data, w.Data, gradOut.Data, sh)
 	return gradX, gradW, gradB
 }
 
-// convBackwardSerial is the reference single-pass backward: output-channel
-// major, with the gradB reduction and the gradX/gradW taps fused.
-func convBackwardSerial(gradX, gradW, gradB, x, w, gradOut *Tensor) {
-	inC, h, v, m := convDims(x)
-	outC, k := convKernelDims(w, inC)
-	p := k / 2
+// convCheck validates forward/backward shapes and returns the call's
+// dimensions.
+func convCheck(xShape, wShape []int, b *Tensor) convShape {
+	inC, h, v, m := convDims4(xShape)
+	outC, k := convKernelDims5(wShape, inC)
+	if b != nil && (b.Rank() != 1 || b.Dim(0) != outC) {
+		panic(fmt.Sprintf("tensor: bias shape %v for %d output channels", b.Shape, outC))
+	}
+	return convShape{inC: inC, outC: outC, h: h, v: v, m: m, k: k}
+}
 
-	plane := h * v * m
-	rowLen := m
-	for oc := 0; oc < outC; oc++ {
-		goBase := oc * plane
-		sum := 0.0
-		for i := goBase; i < goBase+plane; i++ {
-			sum += gradOut.Data[i]
-		}
-		gradB.Data[oc] = sum
+// convCheck32 is convCheck for the float32 types.
+func convCheck32(xShape, wShape []int, b *T32) convShape {
+	inC, h, v, m := convDims4(xShape)
+	outC, k := convKernelDims5(wShape, inC)
+	if b != nil && (len(b.Shape) != 1 || b.Shape[0] != outC) {
+		panic(fmt.Sprintf("tensor: bias shape %v for %d output channels", b.Shape, outC))
+	}
+	return convShape{inC: inC, outC: outC, h: h, v: v, m: m, k: k}
+}
 
-		for ic := 0; ic < inC; ic++ {
-			inBase := ic * plane
-			for kh := 0; kh < k; kh++ {
-				dh := kh - p
-				h0, h1 := clipRange(dh, h)
-				for kv := 0; kv < k; kv++ {
-					dv := kv - p
-					v0, v1 := clipRange(dv, v)
-					for km := 0; km < k; km++ {
-						dm := km - p
-						m0, m1 := clipRange(dm, m)
-						if m0 >= m1 {
-							continue
-						}
-						widx := (((oc*inC+ic)*k+kh)*k+kv)*k + km
-						wv := w.Data[widx]
-						wacc := 0.0
-						for hh := h0; hh < h1; hh++ {
-							srcRowBase := inBase + ((hh+dh)*v)*rowLen
-							dstRowBase := goBase + (hh*v)*rowLen
-							for vv := v0; vv < v1; vv++ {
-								src := srcRowBase + (vv+dv)*rowLen + dm
-								dst := dstRowBase + vv*rowLen
-								xs := x.Data[src+m0 : src+m1]
-								gs := gradOut.Data[dst+m0 : dst+m1]
-								gxs := gradX.Data[src+m0 : src+m1]
-								for i, gv := range gs {
-									wacc += xs[i] * gv
-									gxs[i] += wv * gv
+func convDims(x *Tensor) (c, h, v, m int) { return convDims4(x.Shape) }
+
+func convKernelDims(w *Tensor, inC int) (outC, k int) { return convKernelDims5(w.Shape, inC) }
+
+func convDims4(shape []int) (c, h, v, m int) {
+	if len(shape) != 4 {
+		panic(fmt.Sprintf("tensor: conv input rank %d, want 4 [C,H,V,M]", len(shape)))
+	}
+	return shape[0], shape[1], shape[2], shape[3]
+}
+
+func convKernelDims5(shape []int, inC int) (outC, k int) {
+	if len(shape) != 5 {
+		panic(fmt.Sprintf("tensor: kernel rank %d, want 5 [OutC,InC,K,K,K]", len(shape)))
+	}
+	if shape[1] != inC {
+		panic(fmt.Sprintf("tensor: kernel expects %d input channels, input has %d", shape[1], inC))
+	}
+	k = shape[2]
+	if shape[3] != k || shape[4] != k || k%2 == 0 {
+		panic(fmt.Sprintf("tensor: kernel dims %v, want odd cubic", shape))
+	}
+	return shape[0], k
+}
+
+// avgPool2Core downsamples by 2 with ceil semantics: per output cell the
+// covered inputs are summed in ascending (dh, dv, dm) order and divided by
+// the window size. Channels shard over the pool; a channel never splits,
+// so results are worker-count independent.
+func avgPool2Core[F num](out, x []F, c, h, v, m int) {
+	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
+	parallel.ForWork(c*h*v*m, c, func(_, lo, hi int) {
+		for cc := lo; cc < hi; cc++ {
+			src := x[cc*h*v*m : (cc+1)*h*v*m]
+			dst := out[cc*oh*ov*om : (cc+1)*oh*ov*om]
+			di := 0
+			for hh := 0; hh < oh; hh++ {
+				h0 := 2 * hh
+				hn := min(2, h-h0)
+				for vv := 0; vv < ov; vv++ {
+					v0 := 2 * vv
+					vn := min(2, v-v0)
+					for mm := 0; mm < om; mm++ {
+						m0 := 2 * mm
+						mn := min(2, m-m0)
+						var sum F
+						for dh := 0; dh < hn; dh++ {
+							rowBase := ((h0+dh)*v + v0) * m
+							for dv := 0; dv < vn; dv++ {
+								row := src[rowBase+dv*m+m0 : rowBase+dv*m+m0+mn]
+								for _, xv := range row {
+									sum += xv
 								}
 							}
 						}
-						gradW.Data[widx] = wacc
+						dst[di] = sum / F(hn*vn*mn)
+						di++
 					}
 				}
 			}
 		}
-	}
-}
-
-// convBackwardInputRange computes gradX and gradW for input channels
-// [icLo, icHi). Both outputs are disjoint across input channels, so
-// distinct ranges may run concurrently. For every gradX element the
-// contributions arrive in ascending output-channel order with the same
-// tap order as convBackwardSerial, making the accumulation bit-identical.
-func convBackwardInputRange(gradX, gradW, x, w, gradOut *Tensor, icLo, icHi int) {
-	inC, h, v, m := convDims(x)
-	outC, k := convKernelDims(w, inC)
-	p := k / 2
-
-	plane := h * v * m
-	rowLen := m
-	for ic := icLo; ic < icHi; ic++ {
-		inBase := ic * plane
-		for oc := 0; oc < outC; oc++ {
-			goBase := oc * plane
-			for kh := 0; kh < k; kh++ {
-				dh := kh - p
-				h0, h1 := clipRange(dh, h)
-				for kv := 0; kv < k; kv++ {
-					dv := kv - p
-					v0, v1 := clipRange(dv, v)
-					for km := 0; km < k; km++ {
-						dm := km - p
-						m0, m1 := clipRange(dm, m)
-						if m0 >= m1 {
-							continue
-						}
-						widx := (((oc*inC+ic)*k+kh)*k+kv)*k + km
-						wv := w.Data[widx]
-						wacc := 0.0
-						for hh := h0; hh < h1; hh++ {
-							srcRowBase := inBase + ((hh+dh)*v)*rowLen
-							dstRowBase := goBase + (hh*v)*rowLen
-							for vv := v0; vv < v1; vv++ {
-								src := srcRowBase + (vv+dv)*rowLen + dm
-								dst := dstRowBase + vv*rowLen
-								xs := x.Data[src+m0 : src+m1]
-								gs := gradOut.Data[dst+m0 : dst+m1]
-								gxs := gradX.Data[src+m0 : src+m1]
-								for i, gv := range gs {
-									wacc += xs[i] * gv
-									gxs[i] += wv * gv
-								}
-							}
-						}
-						gradW.Data[widx] = wacc
-					}
-				}
-			}
-		}
-	}
-}
-
-func convDims(x *Tensor) (c, h, v, m int) {
-	if x.Rank() != 4 {
-		panic(fmt.Sprintf("tensor: conv input rank %d, want 4 [C,H,V,M]", x.Rank()))
-	}
-	return x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-}
-
-func convKernelDims(w *Tensor, inC int) (outC, k int) {
-	if w.Rank() != 5 {
-		panic(fmt.Sprintf("tensor: kernel rank %d, want 5 [OutC,InC,K,K,K]", w.Rank()))
-	}
-	if w.Dim(1) != inC {
-		panic(fmt.Sprintf("tensor: kernel expects %d input channels, input has %d", w.Dim(1), inC))
-	}
-	k = w.Dim(2)
-	if w.Dim(3) != k || w.Dim(4) != k || k%2 == 0 {
-		panic(fmt.Sprintf("tensor: kernel dims %v, want odd cubic", w.Shape))
-	}
-	return w.Dim(0), k
-}
-
-// clipRange returns the output index range [lo, hi) for which out+d is a
-// valid input index in [0, n).
-func clipRange(d, n int) (lo, hi int) {
-	lo, hi = 0, n
-	if d < 0 {
-		lo = -d
-	}
-	if d > 0 {
-		hi = n - d
-	}
-	if hi < lo {
-		hi = lo
-	}
-	return lo, hi
-}
-
-// poolParallelMinWork is the minimum element count below which the
-// pooling/upsampling kernels stay serial.
-var poolParallelMinWork = 1 << 14
-
-// forChannels shards the (independent) channel loop [0, c) over the worker
-// pool when the volume is worth it; body(cc) must only touch channel cc.
-func forChannels(c, work int, body func(cc int)) {
-	if c > 1 && work >= poolParallelMinWork {
-		parallel.For(c, func(_, lo, hi int) {
-			for cc := lo; cc < hi; cc++ {
-				body(cc)
-			}
-		})
-		return
-	}
-	for cc := 0; cc < c; cc++ {
-		body(cc)
-	}
+	})
 }
 
 // AvgPool2 downsamples [C, H, V, M] by a factor of 2 in each spatial
 // dimension with ceil semantics: output dims are ceil(d/2) and border
 // cells average only the inputs they cover.
-func AvgPool2(x *Tensor) *Tensor {
+func AvgPool2(x *Tensor) *Tensor { return AvgPool2In(nil, x) }
+
+// AvgPool2In is AvgPool2 with the output allocated from the arena.
+func AvgPool2In(a *Arena, x *Tensor) *Tensor {
 	c, h, v, m := convDims(x)
-	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
-	out := New(c, oh, ov, om)
-	forChannels(c, x.Len(), func(cc int) {
-		for hh := 0; hh < oh; hh++ {
-			for vv := 0; vv < ov; vv++ {
-				for mm := 0; mm < om; mm++ {
-					sum, cnt := 0.0, 0
-					for dh := 0; dh < 2 && 2*hh+dh < h; dh++ {
-						for dv := 0; dv < 2 && 2*vv+dv < v; dv++ {
-							for dm := 0; dm < 2 && 2*mm+dm < m; dm++ {
-								sum += x.At(cc, 2*hh+dh, 2*vv+dv, 2*mm+dm)
-								cnt++
-							}
-						}
-					}
-					out.Set(sum/float64(cnt), cc, hh, vv, mm)
-				}
-			}
-		}
-	})
+	out := a.New(c, (h+1)/2, (v+1)/2, (m+1)/2)
+	avgPool2Core(out.Data, x.Data, c, h, v, m)
+	return out
+}
+
+// AvgPool232 is the float32 AvgPool2.
+func AvgPool232(a *Arena, x *T32) *T32 {
+	c, h, v, m := convDims4(x.Shape)
+	out := a.New32(c, (h+1)/2, (v+1)/2, (m+1)/2)
+	avgPool2Core(out.Data, x.Data, c, h, v, m)
 	return out
 }
 
 // AvgPool2Backward distributes gradOut of an AvgPool2 call back onto the
-// input shape.
+// input shape. Every input cell belongs to exactly one window, so each
+// element is written once.
 func AvgPool2Backward(inShape []int, gradOut *Tensor) *Tensor {
+	return AvgPool2BackwardIn(nil, inShape, gradOut)
+}
+
+// AvgPool2BackwardIn is AvgPool2Backward with the output allocated from
+// the arena.
+func AvgPool2BackwardIn(a *Arena, inShape []int, gradOut *Tensor) *Tensor {
 	c, h, v, m := inShape[0], inShape[1], inShape[2], inShape[3]
-	gx := New(c, h, v, m)
+	gx := a.New(c, h, v, m)
 	oh, ov, om := (h+1)/2, (v+1)/2, (m+1)/2
-	forChannels(c, gx.Len(), func(cc int) {
-		for hh := 0; hh < oh; hh++ {
-			for vv := 0; vv < ov; vv++ {
-				for mm := 0; mm < om; mm++ {
-					cnt := 0
-					for dh := 0; dh < 2 && 2*hh+dh < h; dh++ {
-						for dv := 0; dv < 2 && 2*vv+dv < v; dv++ {
-							for dm := 0; dm < 2 && 2*mm+dm < m; dm++ {
-								cnt++
-							}
-						}
-					}
-					g := gradOut.At(cc, hh, vv, mm) / float64(cnt)
-					for dh := 0; dh < 2 && 2*hh+dh < h; dh++ {
-						for dv := 0; dv < 2 && 2*vv+dv < v; dv++ {
-							for dm := 0; dm < 2 && 2*mm+dm < m; dm++ {
-								gx.Data[((cc*h+2*hh+dh)*v+2*vv+dv)*m+2*mm+dm] += g
+	parallel.ForWork(c*h*v*m, c, func(_, lo, hi int) {
+		for cc := lo; cc < hi; cc++ {
+			src := gradOut.Data[cc*oh*ov*om : (cc+1)*oh*ov*om]
+			dst := gx.Data[cc*h*v*m : (cc+1)*h*v*m]
+			si := 0
+			for hh := 0; hh < oh; hh++ {
+				h0 := 2 * hh
+				hn := min(2, h-h0)
+				for vv := 0; vv < ov; vv++ {
+					v0 := 2 * vv
+					vn := min(2, v-v0)
+					for mm := 0; mm < om; mm++ {
+						m0 := 2 * mm
+						mn := min(2, m-m0)
+						g := src[si] / float64(hn*vn*mn)
+						si++
+						for dh := 0; dh < hn; dh++ {
+							rowBase := ((h0+dh)*v + v0) * m
+							for dv := 0; dv < vn; dv++ {
+								row := dst[rowBase+dv*m+m0 : rowBase+dv*m+m0+mn]
+								for i := range row {
+									row[i] = g
+								}
 							}
 						}
 					}
@@ -457,42 +225,79 @@ func AvgPool2Backward(inShape []int, gradOut *Tensor) *Tensor {
 	return gx
 }
 
-// UpsampleNearest resizes [C, h, v, m] to [C, H, V, M] by nearest-neighbour
-// sampling (source index = floor(out * src / dst)). It is the exact inverse
-// pairing of AvgPool2's ceil-mode dims, so U-Net skip connections always
-// line up regardless of odd input sizes.
-func UpsampleNearest(x *Tensor, h, v, m int) *Tensor {
-	c, sh, sv, sm := convDims(x)
-	out := New(c, h, v, m)
-	forChannels(c, out.Len(), func(cc int) {
-		for hh := 0; hh < h; hh++ {
-			shh := hh * sh / h
-			for vv := 0; vv < v; vv++ {
-				svv := vv * sv / v
-				for mm := 0; mm < m; mm++ {
-					smm := mm * sm / m
-					out.Data[((cc*h+hh)*v+vv)*m+mm] = x.Data[((cc*sh+shh)*sv+svv)*sm+smm]
+// upsampleCore resizes [C, sh, sv, sm] to [C, h, v, m] by nearest
+// neighbour (source index = floor(out · src / dst)).
+func upsampleCore[F num](out, x []F, c, sh, sv, sm, h, v, m int) {
+	parallel.ForWork(c*h*v*m, c, func(_, lo, hi int) {
+		for cc := lo; cc < hi; cc++ {
+			src := x[cc*sh*sv*sm : (cc+1)*sh*sv*sm]
+			dst := out[cc*h*v*m : (cc+1)*h*v*m]
+			di := 0
+			for hh := 0; hh < h; hh++ {
+				shh := hh * sh / h
+				for vv := 0; vv < v; vv++ {
+					svv := vv * sv / v
+					srcRow := src[(shh*sv+svv)*sm:]
+					for mm := 0; mm < m; mm++ {
+						dst[di] = srcRow[mm*sm/m]
+						di++
+					}
 				}
 			}
 		}
 	})
+}
+
+// UpsampleNearest resizes [C, h, v, m] to [C, H, V, M] by nearest-neighbour
+// sampling. It is the exact inverse pairing of AvgPool2's ceil-mode dims,
+// so U-Net skip connections always line up regardless of odd input sizes.
+func UpsampleNearest(x *Tensor, h, v, m int) *Tensor {
+	return UpsampleNearestIn(nil, x, h, v, m)
+}
+
+// UpsampleNearestIn is UpsampleNearest with the output allocated from the
+// arena.
+func UpsampleNearestIn(a *Arena, x *Tensor, h, v, m int) *Tensor {
+	c, sh, sv, sm := convDims(x)
+	out := a.New(c, h, v, m)
+	upsampleCore(out.Data, x.Data, c, sh, sv, sm, h, v, m)
+	return out
+}
+
+// UpsampleNearest32 is the float32 UpsampleNearest.
+func UpsampleNearest32(a *Arena, x *T32, h, v, m int) *T32 {
+	c, sh, sv, sm := convDims4(x.Shape)
+	out := a.New32(c, h, v, m)
+	upsampleCore(out.Data, x.Data, c, sh, sv, sm, h, v, m)
 	return out
 }
 
 // UpsampleNearestBackward accumulates gradOut of an UpsampleNearest call
-// back onto the source shape.
+// back onto the source shape, in ascending output order per source cell.
 func UpsampleNearestBackward(inShape []int, gradOut *Tensor) *Tensor {
+	return UpsampleNearestBackwardIn(nil, inShape, gradOut)
+}
+
+// UpsampleNearestBackwardIn is UpsampleNearestBackward with the output
+// allocated from the arena.
+func UpsampleNearestBackwardIn(a *Arena, inShape []int, gradOut *Tensor) *Tensor {
 	c, sh, sv, sm := inShape[0], inShape[1], inShape[2], inShape[3]
 	_, h, v, m := convDims(gradOut)
-	gx := New(c, sh, sv, sm)
-	forChannels(c, gradOut.Len(), func(cc int) {
-		for hh := 0; hh < h; hh++ {
-			shh := hh * sh / h
-			for vv := 0; vv < v; vv++ {
-				svv := vv * sv / v
-				for mm := 0; mm < m; mm++ {
-					smm := mm * sm / m
-					gx.Data[((cc*sh+shh)*sv+svv)*sm+smm] += gradOut.Data[((cc*h+hh)*v+vv)*m+mm]
+	gx := a.New(c, sh, sv, sm)
+	parallel.ForWork(c*h*v*m, c, func(_, lo, hi int) {
+		for cc := lo; cc < hi; cc++ {
+			src := gradOut.Data[cc*h*v*m:]
+			dst := gx.Data[cc*sh*sv*sm:]
+			si := 0
+			for hh := 0; hh < h; hh++ {
+				shh := hh * sh / h
+				for vv := 0; vv < v; vv++ {
+					svv := vv * sv / v
+					dstRow := dst[(shh*sv+svv)*sm:]
+					for mm := 0; mm < m; mm++ {
+						dstRow[mm*sm/m] += src[si]
+						si++
+					}
 				}
 			}
 		}
@@ -502,13 +307,29 @@ func UpsampleNearestBackward(inShape []int, gradOut *Tensor) *Tensor {
 
 // ConcatC concatenates two [C,H,V,M] tensors along the channel dimension;
 // spatial dims must match.
-func ConcatC(a, b *Tensor) *Tensor {
+func ConcatC(a, b *Tensor) *Tensor { return ConcatCIn(nil, a, b) }
+
+// ConcatCIn is ConcatC with the output allocated from the arena.
+func ConcatCIn(ar *Arena, a, b *Tensor) *Tensor {
 	ca, h, v, m := convDims(a)
 	cb, h2, v2, m2 := convDims(b)
 	if h != h2 || v != v2 || m != m2 {
 		panic(fmt.Sprintf("tensor: ConcatC spatial mismatch %v vs %v", a.Shape, b.Shape))
 	}
-	out := New(ca+cb, h, v, m)
+	out := ar.New(ca+cb, h, v, m)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// ConcatC32 is the float32 ConcatC.
+func ConcatC32(ar *Arena, a, b *T32) *T32 {
+	ca, h, v, m := convDims4(a.Shape)
+	cb, h2, v2, m2 := convDims4(b.Shape)
+	if h != h2 || v != v2 || m != m2 {
+		panic(fmt.Sprintf("tensor: ConcatC spatial mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := ar.New32(ca+cb, h, v, m)
 	copy(out.Data[:len(a.Data)], a.Data)
 	copy(out.Data[len(a.Data):], b.Data)
 	return out
@@ -517,11 +338,18 @@ func ConcatC(a, b *Tensor) *Tensor {
 // SplitC splits the channel-dimension gradient of a ConcatC call back into
 // the two operands' gradients, the first having ca channels.
 func SplitC(gradOut *Tensor, ca int) (ga, gb *Tensor) {
+	return SplitCIn(nil, gradOut, ca)
+}
+
+// SplitCIn is SplitC with the outputs allocated from the arena.
+func SplitCIn(a *Arena, gradOut *Tensor, ca int) (ga, gb *Tensor) {
 	c, h, v, m := convDims(gradOut)
 	if ca <= 0 || ca >= c {
 		panic(fmt.Sprintf("tensor: SplitC at %d of %d channels", ca, c))
 	}
-	ga = FromSlice(append([]float64(nil), gradOut.Data[:ca*h*v*m]...), ca, h, v, m)
-	gb = FromSlice(append([]float64(nil), gradOut.Data[ca*h*v*m:]...), c-ca, h, v, m)
+	ga = a.New(ca, h, v, m)
+	gb = a.New(c-ca, h, v, m)
+	copy(ga.Data, gradOut.Data[:ca*h*v*m])
+	copy(gb.Data, gradOut.Data[ca*h*v*m:])
 	return ga, gb
 }

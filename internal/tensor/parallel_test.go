@@ -7,16 +7,15 @@ import (
 	"oarsmt/internal/parallel"
 )
 
-// forceParallel drops the work thresholds so even tiny shapes take the
-// sharded paths, runs fn, and restores everything.
+// forceParallel drops the per-shard work floor so even tiny shapes take
+// the sharded paths, runs fn, and restores everything.
 func forceParallel(t *testing.T, workers int, fn func()) {
 	t.Helper()
-	prevConv, prevPool := convParallelMinWork, poolParallelMinWork
+	prevMin := parallel.SetMinShardWork(1)
 	prevW := parallel.Workers()
-	convParallelMinWork, poolParallelMinWork = 0, 0
 	parallel.SetWorkers(workers)
 	defer func() {
-		convParallelMinWork, poolParallelMinWork = prevConv, prevPool
+		parallel.SetMinShardWork(prevMin)
 		parallel.SetWorkers(prevW)
 	}()
 	fn()
