@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-gate bench-all bench-fault check check-fast crash-test lint fuzz vet experiments examples train train-resume serve serve-smoke clean
+.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test lint fuzz vet experiments examples train train-resume serve serve-smoke store-smoke clean
 
 all: build test
 
@@ -26,7 +26,7 @@ lint:
 # surface the worker pool reaches, plus the kernel speedup regression
 # gate. The second tier runs -short so check stays minutes-scale.
 check: vet lint
-	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault
+	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/store ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault
 	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
 	$(MAKE) bench-gate
 
@@ -56,6 +56,17 @@ bench:
 	go test -run='^$$' -bench=. -benchmem -count=3 $(BENCH_PKGS) | tee bench_parallel.txt
 	go run ./cmd/oarsmt-benchjson -serial bench_serial.txt -parallel bench_parallel.txt -o BENCH_tensor.json
 	go run ./cmd/oarsmt-bench -exp obs -obs-out BENCH_obs.json
+	$(MAKE) bench-store
+
+# Route-store latency/throughput report: cold vs warm route latency (serve)
+# plus segment write, compaction and warm-open throughput (store), folded
+# into BENCH_store.json through the same serial/parallel benchjson flow.
+STORE_BENCH_PKGS = ./internal/store ./internal/serve
+
+bench-store:
+	OARSMT_WORKERS=0 go test -run='^$$' -bench='^BenchmarkStore' -benchmem -count=3 $(STORE_BENCH_PKGS) | tee bench_store_serial.txt
+	go test -run='^$$' -bench='^BenchmarkStore' -benchmem -count=3 $(STORE_BENCH_PKGS) | tee bench_store_parallel.txt
+	go run ./cmd/oarsmt-benchjson -serial bench_store_serial.txt -parallel bench_store_parallel.txt -o BENCH_store.json
 
 # Speedup regression gate (run by `make check`): re-measure the kernel
 # suite quickly and fail if any benchmark's speedup fell below the floor
@@ -83,6 +94,7 @@ bench-all:
 fuzz:
 	go test -fuzz=FuzzDecode -fuzztime=30s ./internal/layout/
 	go test -fuzz=FuzzTextFmt -fuzztime=30s ./internal/layout/
+	go test -fuzz=FuzzSegmentDecode -fuzztime=30s ./internal/store/
 
 # Regenerate every paper table and figure at CPU scale.
 experiments:
@@ -98,6 +110,15 @@ serve:
 serve-smoke:
 	go build -o bin/oarsmt-serve ./cmd/oarsmt-serve
 	go run ./cmd/oarsmt-smoke -bin bin/oarsmt-serve
+
+# End-to-end warm-restart smoke test: route through a store-backed daemon,
+# SIGKILL it, restart it over the same -store-dir, and verify the layout is
+# served from disk bit-identically with zero selector inferences.
+store-smoke:
+	go build -o bin/oarsmt-serve ./cmd/oarsmt-serve
+	rm -rf bin/store-smoke-dir
+	go run ./cmd/oarsmt-smoke -bin bin/oarsmt-serve -store-dir bin/store-smoke-dir
+	rm -rf bin/store-smoke-dir
 
 examples:
 	go run ./examples/quickstart
@@ -121,5 +142,6 @@ train-resume:
 clean:
 	rm -f test_output.txt bench_output.txt train-metrics.csv \
 		bench_serial.txt bench_parallel.txt BENCH_tensor.json BENCH_obs.json \
-		bench_fault_serial.txt bench_fault_parallel.txt BENCH_fault.json
-	rm -rf train-ckpts
+		bench_fault_serial.txt bench_fault_parallel.txt BENCH_fault.json \
+		bench_store_serial.txt bench_store_parallel.txt BENCH_store.json
+	rm -rf train-ckpts bin/store-smoke-dir

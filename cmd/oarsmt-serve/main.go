@@ -46,6 +46,9 @@ func main() {
 		maxBatch    = flag.Int("batch", 8, "max layouts per scheduler batch")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long a batch waits for more requests")
 		cacheSize   = flag.Int("cache", 256, "routed-layout LRU capacity (negative disables)")
+		storeDir    = flag.String("store-dir", "", "persistent route store directory (empty disables; restarts serve previously-routed layouts warm)")
+		storeMax    = flag.Int("store-entries", 4096, "persistent route store live-record bound")
+		storeFlush  = flag.Int("store-flush", 0, "routes per background store segment write (0 = store default)")
 		maxVolume   = flag.Int("max-volume", 1<<20, "max Hanan-graph vertices per layout")
 		timeout     = flag.Duration("timeout", 60*time.Second, "default per-request deadline (0 = none)")
 		seq         = flag.Bool("sequential", false, "sequential (n-2 inference) selection mode")
@@ -66,6 +69,9 @@ func main() {
 		MaxBatch:            *maxBatch,
 		BatchWindow:         *batchWindow,
 		CacheSize:           *cacheSize,
+		StoreDir:            *storeDir,
+		StoreMaxEntries:     *storeMax,
+		StoreFlushEvery:     *storeFlush,
 		MaxVolume:           *maxVolume,
 		DefaultTimeout:      *timeout,
 		NoGuard:             *noGuard,
@@ -96,6 +102,9 @@ func main() {
 	serveErr := make(chan error, 1)
 	//oarsmt:allow rawgo(daemon plumbing: ListenAndServe blocks until shutdown and never touches routing state)
 	go func() { serveErr <- srv.ListenAndServe() }()
+	if *storeDir != "" {
+		log.Printf("route store: %s (max %d entries)", *storeDir, *storeMax)
+	}
 	log.Printf("listening on %s (queue %d, batch %d, cache %d)",
 		*addr, *queueSize, *maxBatch, *cacheSize)
 

@@ -3,9 +3,16 @@
 // one layout (twice — the repeat must be a cache hit), reads /stats, then
 // sends SIGTERM and verifies the daemon drains and exits 0.
 //
+// With -store-dir it instead runs the warm-restart smoke driven by
+// `make store-smoke`: route through a store-backed daemon, SIGKILL it (no
+// drain — the segments on disk are all that survives), restart it over the
+// same directory, and verify the same layout comes back as a store hit with
+// a bit-identical tree and zero selector inferences.
+//
 // Usage:
 //
 //	oarsmt-smoke -bin bin/oarsmt-serve
+//	oarsmt-smoke -bin bin/oarsmt-serve -store-dir /tmp/routes
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"reflect"
 	"strings"
 	"syscall"
 	"time"
@@ -31,35 +39,99 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oarsmt-smoke: ")
 	bin := flag.String("bin", "bin/oarsmt-serve", "oarsmt-serve binary to exercise")
+	storeDir := flag.String("store-dir", "", "run the warm-restart smoke over this route-store directory")
 	flag.Parse()
-	if err := run(*bin); err != nil {
+	err := run(*bin)
+	if err == nil && *storeDir != "" {
+		err = runStore(*bin, *storeDir)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	log.Print("PASS")
 }
 
-func run(bin string) error {
+// daemon is one child oarsmt-serve process.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	exited chan error
+}
+
+// startDaemon launches the binary on a free port with the extra args and
+// waits for /healthz.
+func startDaemon(bin string, extra ...string) (*daemon, error) {
 	addr, err := freeAddr()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	cmd := exec.Command(bin, "-addr", addr, "-queue", "16", "-timeout", "30s")
+	args := append([]string{"-addr", addr, "-queue", "16", "-timeout", "30s"}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("start %s: %w", bin, err)
+		return nil, fmt.Errorf("start %s: %w", bin, err)
 	}
-	exited := make(chan error, 1)
+	d := &daemon{cmd: cmd, base: "http://" + addr, exited: make(chan error, 1)}
 	//oarsmt:allow rawgo(smoke-test plumbing: waits on the child daemon process, no routing state involved)
-	go func() { exited <- cmd.Wait() }()
-	defer cmd.Process.Kill()
+	go func() { d.exited <- cmd.Wait() }()
+	if err := waitHealthy(d.base, d.exited); err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	return d, nil
+}
 
-	base := "http://" + addr
-	if err := waitHealthy(base, exited); err != nil {
+// drain SIGTERMs the daemon and requires a clean exit.
+func (d *daemon) drain() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	select {
+	case err := <-d.exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("daemon did not exit within 60s of SIGTERM")
+	}
+	return nil
+}
+
+// kill SIGKILLs the daemon — the crash half of the warm-restart smoke.
+func (d *daemon) kill() error {
+	if err := d.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	select {
+	case <-d.exited:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("daemon survived SIGKILL for 60s")
+	}
+	return nil
+}
+
+func (d *daemon) stats() (*serve.Stats, error) {
+	res, err := http.Get(d.base + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("GET /stats: %w", err)
+	}
+	defer res.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decode /stats: %w", err)
+	}
+	return &st, nil
+}
+
+func run(bin string) error {
+	d, err := startDaemon(bin)
+	if err != nil {
 		return err
 	}
+	defer d.cmd.Process.Kill()
 
-	first, err := routeOnce(base)
+	first, err := routeOnce(d.base)
 	if err != nil {
 		return err
 	}
@@ -68,7 +140,7 @@ func run(bin string) error {
 	}
 	log.Printf("routed %q: cost %v, %d edges", first.Name, first.Cost, first.NumEdges)
 
-	second, err := routeOnce(base)
+	second, err := routeOnce(d.base)
 	if err != nil {
 		return err
 	}
@@ -79,15 +151,9 @@ func run(bin string) error {
 		return fmt.Errorf("cached cost %v differs from first %v", second.Cost, first.Cost)
 	}
 
-	res, err := http.Get(base + "/stats")
+	st, err := d.stats()
 	if err != nil {
-		return fmt.Errorf("GET /stats: %w", err)
-	}
-	var st serve.Stats
-	err = json.NewDecoder(res.Body).Decode(&st)
-	res.Body.Close()
-	if err != nil {
-		return fmt.Errorf("decode /stats: %w", err)
+		return err
 	}
 	if st.Completed < 2 || st.CacheHits < 1 {
 		return fmt.Errorf("implausible stats after two routes: %+v", st)
@@ -95,18 +161,89 @@ func run(bin string) error {
 	log.Printf("stats: %d completed, %d cache hits, %d inferences", st.Completed, st.CacheHits, st.Inferences)
 
 	// Graceful drain: SIGTERM must make the daemon exit 0.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		return fmt.Errorf("SIGTERM: %w", err)
+	return d.drain()
+}
+
+// runStore is the warm-restart smoke: route → SIGKILL → restart over the
+// same -store-dir → the same layout is a store hit, bit-identical, with
+// zero selector inferences.
+func runStore(bin, dir string) error {
+	cold, err := startDaemon(bin, "-store-dir", dir, "-store-flush", "1")
+	if err != nil {
+		return err
 	}
-	select {
-	case err := <-exited:
+	defer cold.cmd.Process.Kill()
+
+	first, err := routeOnce(cold.base)
+	if err != nil {
+		return err
+	}
+	if first.StoreHit {
+		return fmt.Errorf("first routing reported a store hit")
+	}
+	// A SIGKILL gives the daemon no chance to flush, so wait for the
+	// background flusher to land the route in a segment before pulling the
+	// plug — the write is what the restart serves from.
+	if err := waitStoreWrites(cold); err != nil {
+		return err
+	}
+	log.Printf("cold route: cost %v, %d edges; SIGKILL", first.Cost, first.NumEdges)
+	if err := cold.kill(); err != nil {
+		return err
+	}
+
+	warm, err := startDaemon(bin, "-store-dir", dir)
+	if err != nil {
+		return err
+	}
+	defer warm.cmd.Process.Kill()
+
+	second, err := routeOnce(warm.base)
+	if err != nil {
+		return err
+	}
+	if !second.StoreHit || !second.CacheHit {
+		return fmt.Errorf("post-restart route missed the store: %+v", second)
+	}
+	if second.Cost != first.Cost {
+		return fmt.Errorf("warm cost %v differs from cold cost %v", second.Cost, first.Cost)
+	}
+	if !reflect.DeepEqual(second.Edges, first.Edges) {
+		return fmt.Errorf("warm tree differs from cold tree")
+	}
+	st, err := warm.stats()
+	if err != nil {
+		return err
+	}
+	if st.Inferences != 0 {
+		return fmt.Errorf("warm restart spent %d selector inferences, want 0", st.Inferences)
+	}
+	if st.StoreServed < 1 || st.StoreEntries < 1 {
+		return fmt.Errorf("implausible warm stats: %+v", st)
+	}
+	log.Printf("warm route: store hit, bit-identical, 0 inferences (%d entries, %d segments)",
+		st.StoreEntries, st.StoreSegments)
+	return warm.drain()
+}
+
+// waitStoreWrites polls /stats until the background flusher has landed at
+// least one segment write (same bounded backoff as waitHealthy).
+func waitStoreWrites(d *daemon) error {
+	delay := 10 * time.Millisecond
+	for i := 0; i < 40; i++ {
+		st, err := d.stats()
 		if err != nil {
-			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+			return err
 		}
-	case <-time.After(60 * time.Second):
-		return fmt.Errorf("daemon did not exit within 60s of SIGTERM")
+		if st.StoreWrites > 0 {
+			return nil
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 640*time.Millisecond {
+			delay = 640 * time.Millisecond
+		}
 	}
-	return nil
+	return fmt.Errorf("store write did not land before the kill")
 }
 
 // freeAddr reserves then releases a loopback port; the tiny reuse race is
@@ -160,7 +297,7 @@ func waitHealthy(base string, exited <-chan error) error {
 }
 
 func routeOnce(base string) (*serve.Response, error) {
-	res, err := http.Post(base+"/route", "application/json", strings.NewReader(smokeLayout))
+	res, err := http.Post(base+"/route?edges=1", "application/json", strings.NewReader(smokeLayout))
 	if err != nil {
 		return nil, fmt.Errorf("POST /route: %w", err)
 	}

@@ -183,6 +183,10 @@ var detPackages = []string{
 	"internal/nn",
 	"internal/tensor",
 	"internal/rl",
+	// The route store's segment bytes must be reproducible (compaction
+	// rewrites are compared bit-for-bit across machines), so the whole
+	// package is held to collect-then-sort iteration.
+	"internal/store",
 }
 
 // isDeterministicFile reports whether detmap applies to the file: every

@@ -19,8 +19,22 @@ var AnalyzerNoWallClock = &Analyzer{
 
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// wallClockPackages are the module-relative packages allowed to read the
+// wall clock wholesale: the serving layer (request latency is the product)
+// and the experiment/baseline harnesses (elapsed time is the measurement).
+// Everything else gets per-site exemptions via //oarsmt:allow
+// nowallclock(reason) — internal/store's compaction timestamps are the
+// canonical example: two annotated reads feeding metrics only, while the
+// rest of the package stays clock-free so segment bytes are a pure function
+// of the records. Package main (cmd/ daemons, examples) is always exempt.
+var wallClockPackages = []string{
+	"internal/serve",
+	"internal/experiments",
+	"internal/baseline",
+}
+
 func runNoWallClock(p *Package, report func(pos token.Pos, format string, args ...any)) {
-	if p.Name == "main" || pathIsAny(p.Path, "internal/serve", "internal/experiments", "internal/baseline") {
+	if p.Name == "main" || pathIsAny(p.Path, wallClockPackages...) {
 		return
 	}
 	for _, f := range p.Files {

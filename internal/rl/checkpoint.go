@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"oarsmt/internal/ckpt"
 	"oarsmt/internal/nn"
@@ -56,9 +58,35 @@ type trainerSnapshot struct {
 }
 
 // configFingerprint canonicalises a Config for checkpoint compatibility
-// checks. %+v over the defaulted struct covers every field, including the
-// nested MCTS config and the size schedule.
-func configFingerprint(cfg Config) string { return fmt.Sprintf("%+v", cfg) }
+// checks by encoding every field explicitly, in declaration order. An
+// earlier revision used fmt's %+v over the struct, which silently ties the
+// checkpoint format to Go's struct printing: adding a field, reordering
+// fields, or a fmt formatting change across Go versions would invalidate
+// (or worse, alias) every existing checkpoint. The explicit encoding is
+// versioned — extend it *and* bump the prefix when Config grows a field —
+// and pinned byte-for-byte by TestConfigFingerprintPinned. Floats encode
+// with strconv's shortest round-trippable form, so distinct values can
+// never collide.
+func configFingerprint(cfg Config) string {
+	var b strings.Builder
+	b.WriteString("rl-config-v2")
+	b.WriteString(";sizes=")
+	for i, s := range cfg.Sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%dx%d", s.HV, s.M)
+	}
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&b, ";layoutsPerSize=%d;minPins=%d;maxPins=%d;curriculumStages=%d",
+		cfg.LayoutsPerSize, cfg.MinPins, cfg.MaxPins, cfg.CurriculumStages)
+	fmt.Fprintf(&b, ";mcts={iterations=%d,scaleIterations=%t,useCritic=%t,cPuct=%s,maxNoChange=%d}",
+		cfg.MCTS.Iterations, cfg.MCTS.ScaleIterations, cfg.MCTS.UseCritic,
+		f64(cfg.MCTS.CPuct), cfg.MCTS.MaxNoChange)
+	fmt.Fprintf(&b, ";augment=%t;batchSize=%d;epochsPerStage=%d;lr=%s;seed=%d",
+		cfg.Augment, cfg.BatchSize, cfg.EpochsPerStage, f64(cfg.LR), cfg.Seed)
+	return b.String()
+}
 
 // EnableCheckpoints makes every completed stage write an atomic,
 // checksummed checkpoint into dir, retaining the newest keep files

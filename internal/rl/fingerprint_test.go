@@ -1,0 +1,62 @@
+package rl
+
+import (
+	"testing"
+
+	"oarsmt/internal/layout"
+	"oarsmt/internal/mcts"
+)
+
+// TestConfigFingerprintPinned pins the canonical fingerprint string
+// byte-for-byte for the defaulted DefaultConfig. If this test fails you
+// changed the encoding (or Config itself): bump the version prefix and
+// update the expectation, knowing that every existing checkpoint stops
+// resuming under the new string — which is the safe direction, never the
+// silent one.
+func TestConfigFingerprintPinned(t *testing.T) {
+	got := configFingerprint(DefaultConfig().withDefaults())
+	const want = "rl-config-v2;sizes=8x2,10x2;layoutsPerSize=4;minPins=3;maxPins=6;curriculumStages=4;" +
+		"mcts={iterations=24,scaleIterations=false,useCritic=true,cPuct=1,maxNoChange=3};" +
+		"augment=true;batchSize=32;epochsPerStage=4;lr=0.003;seed=1"
+	if got != want {
+		t.Fatalf("fingerprint drifted:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestConfigFingerprintSeparatesFields: every field participates, and
+// near-miss values (the float cases %+v would have rendered ambiguously)
+// stay distinct.
+func TestConfigFingerprintSeparatesFields(t *testing.T) {
+	base := DefaultConfig().withDefaults()
+	mutations := map[string]func(*Config){
+		"sizes":            func(c *Config) { c.Sizes = []layout.TrainingSize{{HV: 8, M: 2}} },
+		"layoutsPerSize":   func(c *Config) { c.LayoutsPerSize++ },
+		"minPins":          func(c *Config) { c.MinPins++ },
+		"maxPins":          func(c *Config) { c.MaxPins++ },
+		"curriculumStages": func(c *Config) { c.CurriculumStages++ },
+		"mcts.iterations":  func(c *Config) { c.MCTS.Iterations++ },
+		"mcts.scaleIters":  func(c *Config) { c.MCTS.ScaleIterations = true },
+		"mcts.useCritic":   func(c *Config) { c.MCTS.UseCritic = false },
+		"mcts.cPuct":       func(c *Config) { c.MCTS.CPuct += 1e-12 },
+		"mcts.maxNoChange": func(c *Config) { c.MCTS.MaxNoChange++ },
+		"augment":          func(c *Config) { c.Augment = false },
+		"batchSize":        func(c *Config) { c.BatchSize++ },
+		"epochsPerStage":   func(c *Config) { c.EpochsPerStage++ },
+		"lr":               func(c *Config) { c.LR += 1e-15 },
+		"seed":             func(c *Config) { c.Seed++ },
+	}
+	// Deterministic iteration is irrelevant here: each case is independent.
+	for name, mutate := range mutations {
+		cfg := base
+		cfg.Sizes = append([]layout.TrainingSize(nil), base.Sizes...)
+		mutate(&cfg)
+		if configFingerprint(cfg) == configFingerprint(base) {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+	// Sanity: the MCTS sub-config really is part of base (guards against a
+	// future refactor that drops the nested struct from the encoding).
+	if base.MCTS == (mcts.Config{}) {
+		t.Fatal("defaulted config has a zero MCTS sub-config")
+	}
+}

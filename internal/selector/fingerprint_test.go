@@ -1,0 +1,68 @@
+package selector
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"oarsmt/internal/nn"
+)
+
+func fpSelector(t *testing.T, seed int64) *Selector {
+	t.Helper()
+	s, err := NewRandom(rand.New(rand.NewSource(seed)),
+		nn.UNetConfig{InChannels: NumFeatures, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFingerprintIdentifiesWeights pins the properties the route store
+// depends on: the fingerprint is a pure function of the weights (same seed
+// twice, and a gob round trip, fingerprint identically), and any weight
+// change — a retrained model — changes it.
+func TestFingerprintIdentifiesWeights(t *testing.T) {
+	a, b := fpSelector(t, 1), fpSelector(t, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical weights produced different fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic across calls")
+	}
+	if a.Fingerprint() == fpSelector(t, 2).Fingerprint() {
+		t.Fatal("different weights produced the same fingerprint")
+	}
+
+	// Save/Load round trip (a daemon restart loading the model file).
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint changed across a save/load round trip")
+	}
+
+	// A single-weight nudge — the smallest possible retrain — must change it.
+	mutated := fpSelector(t, 1)
+	mutated.Net.Params()[0].W.Data[0] += 1e-9
+	if mutated.Fingerprint() == a.Fingerprint() {
+		t.Fatal("weight change did not change the fingerprint")
+	}
+}
+
+// TestFingerprintUnchangedByFloat32Mode: float32 inference storage is
+// derived state of the same weights, so it must not look like a retrain to
+// the route store.
+func TestFingerprintUnchangedByFloat32Mode(t *testing.T) {
+	a := fpSelector(t, 3)
+	before := a.Fingerprint()
+	a.EnableFloat32()
+	if a.Fingerprint() != before {
+		t.Fatal("EnableFloat32 changed the fingerprint")
+	}
+}

@@ -8,8 +8,11 @@ package selector
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -299,6 +302,38 @@ func (s *Selector) SelectSteinerPoints(g *grid.Graph, pins []grid.VertexID) []gr
 func (s *Selector) PolicySoftmax(g *grid.Graph, pins []grid.VertexID) []float64 {
 	logits := s.logits(g, pins)
 	return nn.MaskedSoftmax(logits, ValidMask(g, pins))
+}
+
+// Fingerprint returns the SHA-256 over the network's weights in canonical
+// Params() order: for each parameter, its name, shape and float64 weight
+// bits. Two selectors fingerprint equal exactly when every weight is
+// bit-identical, and the Params() order is itself deterministic (it
+// follows the network's layer structure), so the fingerprint is stable
+// across processes and save/load round trips. The persistent route store
+// versions its records by this hash, so loading a retrained model cleanly
+// invalidates every stale route. The float32 inference mode does not
+// change the fingerprint: it is derived state of the same weights.
+func (s *Selector) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("oarsmt-selector-fp-v1"))
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, p := range s.Net.Params() {
+		h.Write([]byte(p.Name))
+		putU64(uint64(len(p.W.Shape)))
+		for _, d := range p.W.Shape {
+			putU64(uint64(d))
+		}
+		for _, v := range p.W.Data {
+			putU64(math.Float64bits(v))
+		}
+	}
+	var fp [sha256.Size]byte
+	h.Sum(fp[:0])
+	return fp
 }
 
 // Save writes the selector's network to w.

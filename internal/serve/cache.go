@@ -6,6 +6,7 @@ import (
 
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
 	"oarsmt/internal/route"
 )
 
@@ -24,12 +25,15 @@ type cacheEntry struct {
 }
 
 // lruCache is a mutex-guarded LRU map from canonical layout hash to routed
-// result.
+// result. Evictions are counted on the provided counter (the
+// serve.cache.evictions metric) so cache pressure is visible on /metrics
+// instead of silently recycling entries.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[cacheKey]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[cacheKey]*list.Element
+	evictions *obs.Counter
 }
 
 type lruItem struct {
@@ -37,8 +41,8 @@ type lruItem struct {
 	entry *cacheEntry
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+func newLRUCache(capacity int, evictions *obs.Counter) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element), evictions: evictions}
 }
 
 func (c *lruCache) get(k cacheKey) (*cacheEntry, bool) {
@@ -65,6 +69,7 @@ func (c *lruCache) add(k cacheKey, e *cacheEntry) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*lruItem).key)
+		c.evictions.Inc()
 	}
 }
 

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"time"
+
+	"oarsmt/internal/grid"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/store"
+)
+
+// This file is the adapter between the service's in-memory cache tier and
+// the persistent route store (internal/store). The two tiers share one
+// canonical-space representation: cacheEntry in memory, store.Record on
+// disk, both keyed by the augmentation-normalized canonical layout hash,
+// so promotion between tiers is a field-by-field copy and never re-routes.
+
+// recordFromEntry shapes a canonical-space cache entry into its stored
+// form. The slices are shared, not copied: entries are immutable once
+// built.
+func recordFromEntry(key cacheKey, e *cacheEntry) *store.Record {
+	return &store.Record{
+		Key:         store.Key(key),
+		H:           e.h,
+		V:           e.v,
+		M:           e.m,
+		Root:        e.root,
+		Edges:       e.edges,
+		Steiner:     e.steiner,
+		UsedSteiner: e.usedSteiner,
+		Proposed:    e.proposed,
+		Cost:        e.cost,
+	}
+}
+
+// entryFromRecord is the inverse mapping, for records loaded from disk.
+func entryFromRecord(r *store.Record) *cacheEntry {
+	return &cacheEntry{
+		h:           r.H,
+		v:           r.V,
+		m:           r.M,
+		root:        r.Root,
+		edges:       r.Edges,
+		steiner:     r.Steiner,
+		usedSteiner: r.UsedSteiner,
+		proposed:    r.Proposed,
+		cost:        r.Cost,
+	}
+}
+
+// lookupStore serves a request from the disk tier: the record is replayed
+// through the same treeFromEntry Validate path as a memory hit, so a
+// corrupt or hash-colliding record degrades to a miss (and is dropped from
+// the store) rather than ever answering with a wrong tree. A validated hit
+// is promoted into the memory LRU so the segment is only replayed once per
+// process lifetime.
+func (s *Service) lookupStore(in *layout.Instance, key cacheKey, toCanon grid.Aug, start time.Time) (*Response, bool) {
+	rec, ok := s.store.Get(store.Key(key))
+	if !ok {
+		return nil, false
+	}
+	e := entryFromRecord(rec)
+	tree, steiner, ok := treeFromEntry(in, toCanon, e)
+	if !ok {
+		s.store.Drop(store.Key(key))
+		return nil, false
+	}
+	if s.cache != nil {
+		s.cache.add(key, e)
+	}
+	s.m.storeServed.Inc()
+	s.m.submitted.Inc()
+	s.m.completed.Inc()
+	resp := s.buildResponse(in, tree, steiner, e.usedSteiner, e.proposed, start)
+	resp.CacheHit = true
+	resp.StoreHit = true
+	s.m.latency.Observe(time.Since(start))
+	return resp, true
+}
+
+// storePut persists a freshly routed canonical entry; a nil store or a
+// degraded result is a no-op (degraded trees must never be cached, in
+// memory or on disk).
+func (s *Service) storePut(key cacheKey, e *cacheEntry) {
+	if s.store == nil {
+		return
+	}
+	s.store.Put(recordFromEntry(key, e))
+}

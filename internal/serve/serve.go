@@ -35,6 +35,7 @@ import (
 	"oarsmt/internal/parallel"
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
+	"oarsmt/internal/store"
 )
 
 // Sentinel errors of the service surface.
@@ -85,6 +86,23 @@ type Config struct {
 	// which can flip near-tie Steiner-point choices. Leave false when
 	// served routes must match offline float64 evaluation bit-for-bit.
 	Float32 bool
+	// StoreDir enables the persistent route store (internal/store): routed
+	// layouts are written through to checksummed segment files under this
+	// directory and reloaded on the next start, so a restarted daemon
+	// serves previously-routed layouts from disk without touching the
+	// selector. Records are versioned by the selector's weight fingerprint;
+	// starting with a retrained model invalidates every stored route.
+	// Empty disables the disk tier.
+	StoreDir string
+	// StoreMaxEntries bounds the disk tier's live records (and, after
+	// compaction, its disk use); <= 0 means 4096. Only read when StoreDir
+	// is set.
+	StoreMaxEntries int
+	// StoreFlushEvery is how many freshly routed layouts trigger a
+	// background segment write; <= 0 means the store's default (32). Lower
+	// it when routes must survive a crash quickly (the kill/restart smoke
+	// runs at 1); Close always lands the partial batch regardless.
+	StoreFlushEvery int
 	// MaxRetries is how many times a transient selector-inference failure
 	// (an error matching oarsmt.ErrTransient) is retried before the
 	// request degrades to the plain-OARMST fallback; 0 means 2, negative
@@ -165,6 +183,9 @@ type Response struct {
 	// service returns to normal answers as soon as inference recovers.
 	Degraded bool `json:"degraded"`
 	CacheHit bool `json:"cacheHit"`
+	// StoreHit reports that the answer came from the persistent disk tier
+	// (and was promoted into the memory cache); CacheHit is also set.
+	StoreHit bool `json:"storeHit,omitempty"`
 	BatchSize     int      `json:"batchSize"`
 	ElapsedMillis float64  `json:"elapsedMillis"`
 	// Edges is the full routed tree; populated only when requested.
@@ -190,7 +211,8 @@ type Service struct {
 	cfg    Config
 	router *core.Router
 	queue  chan *job
-	cache  *lruCache // nil when caching is disabled
+	cache  *lruCache    // nil when caching is disabled
+	store  *store.Store // nil when the disk tier is disabled
 
 	mu     sync.RWMutex // serializes enqueue against Close
 	closed bool
@@ -228,7 +250,24 @@ func NewService(cfg Config) (*Service, error) {
 		m:      newMetrics(),
 	}
 	if cfg.CacheSize > 0 {
-		s.cache = newLRUCache(cfg.CacheSize)
+		s.cache = newLRUCache(cfg.CacheSize, s.m.cacheEvictions)
+	}
+	if cfg.StoreDir != "" {
+		maxEntries := cfg.StoreMaxEntries
+		if maxEntries <= 0 {
+			maxEntries = 4096
+		}
+		st, err := store.Open(store.Options{
+			Dir:         cfg.StoreDir,
+			Fingerprint: store.Fingerprint(cfg.Selector.Fingerprint()),
+			MaxEntries:  maxEntries,
+			FlushEvery:  cfg.StoreFlushEvery,
+			Registry:    s.m.reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: open route store: %w", err)
+		}
+		s.store = st
 	}
 	// Instantaneous state exports as on-demand gauges: evaluated at
 	// snapshot/scrape time, so they are never stale the way a periodically
@@ -236,6 +275,15 @@ func NewService(cfg Config) (*Service, error) {
 	s.m.reg.GaugeFunc("serve.queue_depth", func() float64 { return float64(len(s.queue)) })
 	s.m.reg.GaugeFunc("serve.queue_capacity", func() float64 { return float64(cfg.QueueSize) })
 	s.m.reg.GaugeFunc("serve.cache_entries", func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.len())
+	})
+	// serve.cache.size is the canonical name for the memory tier's entry
+	// count (serve.cache_entries predates it and is kept for dashboards);
+	// the disk tier's size is store.entries, registered by the store.
+	s.m.reg.GaugeFunc("serve.cache.size", func() float64 {
 		if s.cache == nil {
 			return 0
 		}
@@ -268,6 +316,11 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 	<-s.done
+	if s.store != nil {
+		// The scheduler has exited, so no Put can race the final flush;
+		// pending routes land in one last segment for the next start.
+		s.store.Close()
+	}
 }
 
 // Submit routes one instance through the service: cache lookup, then the
@@ -332,26 +385,28 @@ func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, e
 	}
 }
 
-// lookup serves a request straight from the cache when possible.
+// lookup serves a request straight from a cache tier when possible: the
+// memory LRU first, then the persistent store (which promotes its hit into
+// the LRU). Both tiers replay through treeFromEntry's Validate path, so a
+// collision or stale record is a miss, never a wrong tree.
 func (s *Service) lookup(in *layout.Instance, key cacheKey, toCanon grid.Aug, start time.Time) (*Response, bool) {
-	if s.cache == nil {
-		return nil, false
+	if s.cache != nil {
+		if e, ok := s.cache.get(key); ok {
+			if tree, steiner, ok := treeFromEntry(in, toCanon, e); ok {
+				s.m.cacheHits.Inc()
+				s.m.submitted.Inc()
+				s.m.completed.Inc()
+				resp := s.buildResponse(in, tree, steiner, e.usedSteiner, e.proposed, start)
+				resp.CacheHit = true
+				s.m.latency.Observe(time.Since(start))
+				return resp, true
+			}
+		}
 	}
-	e, ok := s.cache.get(key)
-	if !ok {
-		return nil, false
+	if s.store != nil {
+		return s.lookupStore(in, key, toCanon, start)
 	}
-	tree, steiner, ok := treeFromEntry(in, toCanon, e)
-	if !ok {
-		return nil, false
-	}
-	s.m.cacheHits.Inc()
-	s.m.submitted.Inc()
-	s.m.completed.Inc()
-	resp := s.buildResponse(in, tree, steiner, e.usedSteiner, e.proposed, start)
-	resp.CacheHit = true
-	s.m.latency.Observe(time.Since(start))
-	return resp, true
+	return nil, false
 }
 
 // buildResponse shapes a routed tree into the wire response.
@@ -557,10 +612,15 @@ func (s *Service) processGroup(group []*job) {
 				continue
 			}
 			e := entryFromTree(lead.in, lead.toCanon, res.Tree, res.SteinerPoints, res.UsedSteiner, res.Proposed)
-			if s.cache != nil && !r.degraded {
+			if !r.degraded {
 				// Never cache a degraded result: a poisoned cache would keep
 				// answering without Steiner points after the fault clears.
-				s.cache.add(lead.key, e)
+				// The disk tier gets the same write-through, so a restart
+				// starts warm.
+				if s.cache != nil {
+					s.cache.add(lead.key, e)
+				}
+				s.storePut(lead.key, e)
 			}
 			fallback[i] = s.answerFromEntry(r, e, batchSize, false, r.degraded)
 		}

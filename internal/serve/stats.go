@@ -20,6 +20,13 @@ type metrics struct {
 	rejected    *obs.Counter // submissions shed with ErrQueueFull (HTTP 429)
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	// cacheEvictions counts memory-LRU evictions (serve.cache.evictions):
+	// previously the cache recycled entries silently, leaving cache
+	// pressure invisible on /metrics.
+	cacheEvictions *obs.Counter
+	// storeServed counts requests answered from the persistent disk tier
+	// after validation (the store's own store.hits counts index lookups).
+	storeServed *obs.Counter
 	batches     *obs.Counter // same-size groups processed
 	batchedJobs *obs.Counter // jobs carried by those groups
 	inferences  *obs.Counter // selector network inferences spent
@@ -40,8 +47,10 @@ func newMetrics() *metrics {
 		completed:   reg.Counter("serve.completed"),
 		failed:      reg.Counter("serve.failed"),
 		rejected:    reg.Counter("serve.rejected"),
-		cacheHits:   reg.Counter("serve.cache_hits"),
-		cacheMisses: reg.Counter("serve.cache_misses"),
+		cacheHits:      reg.Counter("serve.cache_hits"),
+		cacheMisses:    reg.Counter("serve.cache_misses"),
+		cacheEvictions: reg.Counter("serve.cache.evictions"),
+		storeServed:    reg.Counter("serve.store_served"),
 		batches:     reg.Counter("serve.batches"),
 		batchedJobs: reg.Counter("serve.batched_jobs"),
 		inferences:  reg.Counter("serve.inferences"),
@@ -64,7 +73,21 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	QueueDepth    int     `json:"queueDepth"`
 	QueueCapacity int     `json:"queueCapacity"`
-	CacheEntries  int     `json:"cacheEntries"`
+	// CacheEntries / CacheEvictions describe the memory tier; the Store*
+	// fields mirror the persistent disk tier (zero when -store-dir is
+	// unset), so /stats shows both tiers' sizes side by side.
+	CacheEntries   int   `json:"cacheEntries"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+
+	StoreEntries       int   `json:"storeEntries,omitempty"`
+	StoreSegments      int   `json:"storeSegments,omitempty"`
+	StoreHits          int64 `json:"storeHits,omitempty"`
+	StoreMisses        int64 `json:"storeMisses,omitempty"`
+	StoreServed        int64 `json:"storeServed,omitempty"`
+	StoreWrites        int64 `json:"storeWrites,omitempty"`
+	StoreCompactions   int64 `json:"storeCompactions,omitempty"`
+	StoreInvalidations int64 `json:"storeInvalidations,omitempty"`
+	StoreEvictions     int64 `json:"storeEvictions,omitempty"`
 
 	Submitted   int64 `json:"submitted"`
 	Completed   int64 `json:"completed"`
@@ -108,8 +131,21 @@ func (s *Service) Stats() Stats {
 		P50Millis:     float64(m.latency.Percentile(0.50).Microseconds()) / 1000,
 		P99Millis:     float64(m.latency.Percentile(0.99).Microseconds()) / 1000,
 	}
+	st.CacheEvictions = m.cacheEvictions.Load()
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.StoreEntries = ss.Entries
+		st.StoreSegments = ss.Segments
+		st.StoreHits = ss.Hits
+		st.StoreMisses = ss.Misses
+		st.StoreServed = m.storeServed.Load()
+		st.StoreWrites = ss.Writes
+		st.StoreCompactions = ss.Compactions
+		st.StoreInvalidations = ss.Invalidations
+		st.StoreEvictions = ss.Evictions
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(st.BatchedJobs) / float64(st.Batches)
