@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test lint fuzz vet experiments examples train train-resume serve serve-smoke store-smoke clean
+.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test lint lint-cold fuzz vet experiments examples train train-resume serve serve-smoke store-smoke clean
 
 all: build test
 
@@ -18,9 +18,17 @@ test-short:
 
 # The project-specific determinism & concurrency analyzers (internal/lint):
 # detmap, nowallclock, seededrand, rawgo, floatreduce, ctxhygiene,
-# obsnames. Exits nonzero on any finding; see DESIGN.md "Static analysis".
+# obsnames, goroleak, spanend, plus the interprocedural dettaint and
+# errwrap. Exits nonzero on any finding; results are served from the
+# .lintcache content-hash cache when the tree is unchanged. See DESIGN.md
+# "Static analysis".
 lint:
-	go run ./cmd/oarsmt-lint ./...
+	go run ./cmd/oarsmt-lint -timing ./...
+
+# Same suite with the result cache bypassed: the full typecheck-and-analyze
+# cost, for timing comparisons and for validating the cache itself.
+lint-cold:
+	go run ./cmd/oarsmt-lint -cache=off -timing ./...
 
 # Static checks (vet + oarsmt-lint) plus the race detector over every
 # surface the worker pool reaches, plus the kernel speedup regression
@@ -95,6 +103,7 @@ fuzz:
 	go test -fuzz=FuzzDecode -fuzztime=30s ./internal/layout/
 	go test -fuzz=FuzzTextFmt -fuzztime=30s ./internal/layout/
 	go test -fuzz=FuzzSegmentDecode -fuzztime=30s ./internal/store/
+	go test -fuzz=FuzzAllowAnnotation -fuzztime=30s ./internal/lint/
 
 # Regenerate every paper table and figure at CPU scale.
 experiments:
@@ -144,4 +153,4 @@ clean:
 		bench_serial.txt bench_parallel.txt BENCH_tensor.json BENCH_obs.json \
 		bench_fault_serial.txt bench_fault_parallel.txt BENCH_fault.json \
 		bench_store_serial.txt bench_store_parallel.txt BENCH_store.json
-	rm -rf train-ckpts bin/store-smoke-dir
+	rm -rf train-ckpts bin/store-smoke-dir .lintcache

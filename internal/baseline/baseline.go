@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/route"
@@ -109,7 +110,7 @@ func (b *Router) Route(in *layout.Instance) (*Result, error) {
 			tree, improved = r.Retrace(tree, in.Pins, passes)
 		}
 	default:
-		return nil, fmt.Errorf("baseline: unknown algorithm %v", b.Alg)
+		return nil, fmt.Errorf("%w: baseline: unknown algorithm %v", errs.ErrInvalidConfig, b.Alg)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("baseline %v: %w", b.Alg, err)
@@ -125,12 +126,12 @@ func (b *Router) Route(in *layout.Instance) (*Result, error) {
 func terminalSpanningTree(r *route.Router, terminals []grid.VertexID) (*route.Tree, error) {
 	terms := sortedUniqueIDs(terminals)
 	if len(terms) == 0 {
-		return nil, fmt.Errorf("baseline: no terminals")
+		return nil, fmt.Errorf("%w: baseline: no terminals", errs.ErrInvalidLayout)
 	}
 	g := r.Graph()
 	for _, t := range terms {
 		if g.Blocked(t) {
-			return nil, fmt.Errorf("baseline: terminal %v blocked", g.CoordOf(t))
+			return nil, fmt.Errorf("%w: baseline: terminal %v blocked", errs.ErrInvalidLayout, g.CoordOf(t))
 		}
 	}
 	tree := route.NewTreeAt(terms[0])

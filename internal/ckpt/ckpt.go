@@ -41,6 +41,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/fault"
 )
 
@@ -138,7 +139,7 @@ func Name(seq int) string { return fmt.Sprintf("ckpt-%08d.ckpt", seq) }
 // a truncated frame to exercise recovery.
 func Save(dir string, seq int, payload []byte) (string, error) {
 	if seq < 0 {
-		return "", fmt.Errorf("ckpt: negative sequence number %d", seq)
+		return "", fmt.Errorf("%w: ckpt: negative sequence number %d", errs.ErrInvalidConfig, seq)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
@@ -188,7 +189,7 @@ func Save(dir string, seq int, payload []byte) (string, error) {
 	}
 	syncDir(dir)
 	if torn {
-		return "", fmt.Errorf("ckpt: write %s: injected torn write", final)
+		return "", fmt.Errorf("%w: ckpt: write %s: injected torn write", fault.ErrInjected, final)
 	}
 	return final, nil
 }

@@ -54,6 +54,18 @@ var (
 	// retries operations whose error matches it with capped exponential
 	// backoff before giving up. Injected faults (internal/fault) wrap it.
 	ErrTransient = errors.New("oarsmt: transient failure")
+
+	// ErrInvalidTree reports that a routed tree violates its structural
+	// invariants (unspanned terminal, cycle, blocked vertex, cost
+	// mismatch, overlapping nets). Validation entry points wrap it so
+	// callers can distinguish "the router produced a bad tree" from "the
+	// input was bad".
+	ErrInvalidTree = errors.New("oarsmt: invalid tree")
+
+	// ErrInvalidConfig reports an invalid or incomplete configuration
+	// passed to a constructor or stage runner (missing selector, empty
+	// store directory, checkpoints not enabled, no samples to fit).
+	ErrInvalidConfig = errors.New("oarsmt: invalid configuration")
 )
 
 // Classify wraps context cancellation errors with the module's sentinels:

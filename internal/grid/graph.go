@@ -23,6 +23,8 @@ package grid
 import (
 	"fmt"
 	"math"
+
+	"oarsmt/internal/errs"
 )
 
 // VertexID is the linear index of a grid vertex. IDs are assigned so that
@@ -88,33 +90,33 @@ type Graph struct {
 // costs. DX must have length H-1 and DY length V-1; costs must be positive.
 func New(h, v, m int, dx, dy []float64, viaCost float64) (*Graph, error) {
 	if h < 1 || v < 1 || m < 1 {
-		return nil, fmt.Errorf("grid: dimensions must be >= 1, got %dx%dx%d", h, v, m)
+		return nil, fmt.Errorf("%w: grid: dimensions must be >= 1, got %dx%dx%d", errs.ErrInvalidLayout, h, v, m)
 	}
 	// VertexID is an int32; reject grids whose linear index space would
 	// overflow it (also guards the h*v*m allocations below against
 	// attacker-controlled dimensions).
 	if int64(h)*int64(v)*int64(m) > math.MaxInt32 {
-		return nil, fmt.Errorf("grid: %dx%dx%d = %d vertices exceeds the %d-vertex limit",
-			h, v, m, int64(h)*int64(v)*int64(m), math.MaxInt32)
+		return nil, fmt.Errorf("%w: grid: %dx%dx%d = %d vertices exceeds the %d-vertex limit",
+			errs.ErrInvalidLayout, h, v, m, int64(h)*int64(v)*int64(m), math.MaxInt32)
 	}
 	if len(dx) != h-1 {
-		return nil, fmt.Errorf("grid: len(dx) = %d, want H-1 = %d", len(dx), h-1)
+		return nil, fmt.Errorf("%w: grid: len(dx) = %d, want H-1 = %d", errs.ErrInvalidLayout, len(dx), h-1)
 	}
 	if len(dy) != v-1 {
-		return nil, fmt.Errorf("grid: len(dy) = %d, want V-1 = %d", len(dy), v-1)
+		return nil, fmt.Errorf("%w: grid: len(dy) = %d, want V-1 = %d", errs.ErrInvalidLayout, len(dy), v-1)
 	}
 	for i, c := range dx {
 		if !(c > 0) || math.IsInf(c, 1) {
-			return nil, fmt.Errorf("grid: dx[%d] = %v, want finite > 0", i, c)
+			return nil, fmt.Errorf("%w: grid: dx[%d] = %v, want finite > 0", errs.ErrInvalidLayout, i, c)
 		}
 	}
 	for i, c := range dy {
 		if !(c > 0) || math.IsInf(c, 1) {
-			return nil, fmt.Errorf("grid: dy[%d] = %v, want finite > 0", i, c)
+			return nil, fmt.Errorf("%w: grid: dy[%d] = %v, want finite > 0", errs.ErrInvalidLayout, i, c)
 		}
 	}
 	if !(viaCost > 0) || math.IsInf(viaCost, 1) {
-		return nil, fmt.Errorf("grid: via cost = %v, want finite > 0", viaCost)
+		return nil, fmt.Errorf("%w: grid: via cost = %v, want finite > 0", errs.ErrInvalidLayout, viaCost)
 	}
 	return &Graph{
 		H: h, V: v, M: m,
@@ -250,11 +252,11 @@ func (g *Graph) SetLayerScales(hScale, vScale []float64) error {
 			return nil
 		}
 		if len(s) != g.M {
-			return fmt.Errorf("grid: %s has %d entries for %d layers", name, len(s), g.M)
+			return fmt.Errorf("%w: grid: %s has %d entries for %d layers", errs.ErrInvalidLayout, name, len(s), g.M)
 		}
 		for i, v := range s {
 			if !(v > 0) || math.IsInf(v, 1) {
-				return fmt.Errorf("grid: %s[%d] = %v, want finite > 0", name, i, v)
+				return fmt.Errorf("%w: grid: %s[%d] = %v, want finite > 0", errs.ErrInvalidLayout, name, i, v)
 			}
 		}
 		return nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+
+	"oarsmt/internal/errs"
 )
 
 // BenchmarkSpec describes one public benchmark layout of the paper's
@@ -54,7 +56,7 @@ func BenchmarkByName(name string) (BenchmarkSpec, bool) {
 // published pin count. The same name always yields the same layout.
 func (b BenchmarkSpec) Generate() (*Instance, error) {
 	if b.H < 2 || b.V < 2 || b.M < 1 || b.Pins < 2 {
-		return nil, fmt.Errorf("layout: benchmark %q has invalid spec", b.Name)
+		return nil, fmt.Errorf("%w: benchmark %q has invalid spec", errs.ErrInvalidLayout, b.Name)
 	}
 	r := rand.New(rand.NewSource(int64(nameSeed(b.Name))))
 
@@ -82,7 +84,7 @@ func (b BenchmarkSpec) Generate() (*Instance, error) {
 			return in, nil
 		}
 	}
-	return nil, fmt.Errorf("layout: benchmark %q unroutable after %d attempts", b.Name, maxAttempts)
+	return nil, fmt.Errorf("%w: benchmark %q unroutable after %d attempts", errs.ErrInvalidLayout, b.Name, maxAttempts)
 }
 
 // placeObstacleClusters blocks b.Obstacles rectangular clusters of

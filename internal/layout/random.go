@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 )
 
@@ -61,17 +62,17 @@ func (s RandomSpec) withDefaults() RandomSpec {
 func (s RandomSpec) validate() error {
 	switch {
 	case s.H < 2 || s.V < 2:
-		return fmt.Errorf("layout: spec dims %dx%d too small", s.H, s.V)
+		return fmt.Errorf("%w: spec dims %dx%d too small", errs.ErrInvalidLayout, s.H, s.V)
 	case s.MinM < 1 || s.MaxM < s.MinM:
-		return fmt.Errorf("layout: spec layer range [%d,%d]", s.MinM, s.MaxM)
+		return fmt.Errorf("%w: spec layer range [%d,%d]", errs.ErrInvalidLayout, s.MinM, s.MaxM)
 	case s.MinPins < 2 || s.MaxPins < s.MinPins:
-		return fmt.Errorf("layout: spec pin range [%d,%d]", s.MinPins, s.MaxPins)
+		return fmt.Errorf("%w: spec pin range [%d,%d]", errs.ErrInvalidLayout, s.MinPins, s.MaxPins)
 	case s.MinObstacles < 0 || s.MaxObstacles < s.MinObstacles:
-		return fmt.Errorf("layout: spec obstacle range [%d,%d]", s.MinObstacles, s.MaxObstacles)
+		return fmt.Errorf("%w: spec obstacle range [%d,%d]", errs.ErrInvalidLayout, s.MinObstacles, s.MaxObstacles)
 	case s.MinEdgeCost < 1 || s.MaxEdgeCost < s.MinEdgeCost:
-		return fmt.Errorf("layout: spec edge cost range [%d,%d]", s.MinEdgeCost, s.MaxEdgeCost)
+		return fmt.Errorf("%w: spec edge cost range [%d,%d]", errs.ErrInvalidLayout, s.MinEdgeCost, s.MaxEdgeCost)
 	case s.MinViaCost < 1 || s.MaxViaCost < s.MinViaCost:
-		return fmt.Errorf("layout: spec via cost range [%d,%d]", s.MinViaCost, s.MaxViaCost)
+		return fmt.Errorf("%w: spec via cost range [%d,%d]", errs.ErrInvalidLayout, s.MinViaCost, s.MaxViaCost)
 	}
 	return nil
 }
@@ -102,7 +103,7 @@ func Random(r *rand.Rand, spec RandomSpec) (*Instance, error) {
 			return in, nil
 		}
 	}
-	return nil, fmt.Errorf("layout: no routable layout after %d attempts for spec %+v", maxAttempts, spec)
+	return nil, fmt.Errorf("%w: no routable layout after %d attempts for spec %+v", errs.ErrInvalidLayout, maxAttempts, spec)
 }
 
 func randomOnce(r *rand.Rand, spec RandomSpec) (*Instance, error) {
@@ -177,7 +178,7 @@ func placePins(r *rand.Rand, g *grid.Graph, n int) ([]grid.VertexID, error) {
 		}
 	}
 	if free < n {
-		return nil, fmt.Errorf("layout: %d free vertices for %d pins", free, n)
+		return nil, fmt.Errorf("%w: %d free vertices for %d pins", errs.ErrInvalidLayout, free, n)
 	}
 	pins := make([]grid.VertexID, 0, n)
 	used := make(map[grid.VertexID]bool, n)

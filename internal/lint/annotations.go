@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/token"
 	"strings"
@@ -16,52 +17,88 @@ type annotation struct {
 
 const allowPrefix = "//oarsmt:allow"
 
-// collectAnnotations parses every //oarsmt:allow comment in the package.
-// Grammar (one annotation per comment, no space before the parenthesis):
+// Annotation grammar errors, distinguished so collectAnnotations can word
+// its diagnostics and the fuzz target can assert that every malformed
+// input maps to exactly one of them.
+var (
+	errAllowNotAnnotation = errors.New("not an //oarsmt:allow annotation")
+	errAllowMalformed     = errors.New("malformed annotation")
+	errAllowEmptyReason   = errors.New("empty reason")
+)
+
+// parseAllow parses the raw text of one comment against the annotation
+// grammar
 //
 //	//oarsmt:allow <analyzer>(<non-empty reason>)
 //
+// It is a pure function of the text: analyzer-name validity is the
+// caller's concern (the registry is not part of the grammar). Returns
+// errAllowNotAnnotation when the comment is not an allow annotation at
+// all, errAllowMalformed / errAllowEmptyReason when it is one but breaks
+// the grammar. Content after the closing parenthesis is tolerated so
+// prose can follow an annotation on the same comment line.
+func parseAllow(text string) (analyzer, reason string, err error) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", errAllowNotAnnotation
+	}
+	rest := text[len(allowPrefix):]
+	if rest == "" || rest[0] != ' ' {
+		return "", "", errAllowMalformed
+	}
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.IndexByte(rest, ')')
+	if open <= 0 || closeIdx < open {
+		return "", "", errAllowMalformed
+	}
+	analyzer = rest[:open]
+	reason = strings.TrimSpace(rest[open+1 : closeIdx])
+	if reason == "" {
+		return analyzer, "", errAllowEmptyReason
+	}
+	return analyzer, reason, nil
+}
+
+// formatAllow renders an annotation in canonical form. For every text
+// that parseAllow accepts, parseAllow(formatAllow(analyzer, reason))
+// yields the same (analyzer, reason) — the round-trip property the fuzz
+// target FuzzAllowAnnotation pins down.
+func formatAllow(analyzer, reason string) string {
+	return fmt.Sprintf("%s %s(%s)", allowPrefix, analyzer, reason)
+}
+
+// collectAnnotations parses every //oarsmt:allow comment in the package.
 // Malformed annotations and annotations naming an unknown analyzer are
 // returned as diagnostics — a typo in a suppression must not silently
 // disable it.
 func collectAnnotations(p *Package) ([]*annotation, []Diagnostic) {
 	var anns []*annotation
-	var errs []Diagnostic
+	var errsOut []Diagnostic
 	bad := func(pos token.Position, format string, args ...any) {
-		errs = append(errs, Diagnostic{Pos: pos, Analyzer: "allow", Message: fmt.Sprintf(format, args...)})
+		errsOut = append(errsOut, Diagnostic{Pos: pos, Analyzer: "allow", Message: fmt.Sprintf(format, args...)})
 	}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
-					continue
-				}
+				name, reason, err := parseAllow(c.Text)
 				pos := p.Fset.Position(c.Pos())
-				rest := c.Text[len(allowPrefix):]
-				if rest == "" || rest[0] != ' ' {
+				switch {
+				case errors.Is(err, errAllowNotAnnotation):
+					continue
+				case errors.Is(err, errAllowMalformed):
 					bad(pos, "malformed annotation %q: want //oarsmt:allow <analyzer>(<reason>)", c.Text)
 					continue
-				}
-				rest = strings.TrimSpace(rest)
-				open := strings.IndexByte(rest, '(')
-				closeIdx := strings.IndexByte(rest, ')')
-				if open <= 0 || closeIdx < open {
-					bad(pos, "malformed annotation %q: want //oarsmt:allow <analyzer>(<reason>)", c.Text)
+				case errors.Is(err, errAllowEmptyReason):
+					bad(pos, "annotation for %q has an empty reason: say why the finding is safe", name)
 					continue
 				}
-				name := rest[:open]
-				reason := strings.TrimSpace(rest[open+1 : closeIdx])
 				if ByName(name) == nil {
 					bad(pos, "annotation names unknown analyzer %q", name)
-					continue
-				}
-				if reason == "" {
-					bad(pos, "annotation for %q has an empty reason: say why the finding is safe", name)
 					continue
 				}
 				anns = append(anns, &annotation{pos: pos, analyzer: name, reason: reason})
 			}
 		}
 	}
-	return anns, errs
+	return anns, errsOut
 }

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeScratchModule lays out a tiny two-package module (b imports a, a
+// has one nowallclock violation) and returns its root.
+func writeScratchModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"b/b.go": `package b
+
+import "scratchmod/a"
+
+func Twice() int64 { return a.Stamp() * 2 }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runScratch(t *testing.T, root string, cache *Cache) ([]Diagnostic, CacheStats) {
+	t.Helper()
+	// A fresh loader per run, so a cache hit is provably served from disk
+	// rather than from the loader's in-memory memoisation.
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, cs, err := RunCached(loader, cache, []string{"./..."}, Analyzers(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, cs
+}
+
+func renderAll(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// TestCacheRoundTrip pins the cache contract: a cold run populates it, a
+// warm run over the unchanged tree serves every entry from disk with
+// identical diagnostics, and an edit invalidates exactly the packages
+// whose dependency closure contains the edited file.
+func TestCacheRoundTrip(t *testing.T) {
+	root := writeScratchModule(t)
+	cache, err := OpenCache(filepath.Join(root, ".lintcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, cs := runScratch(t, root, cache)
+	if cs.LocalHits != 0 || cs.LocalMisses != 2 || cs.ProgramHit || !cs.ProgramRan {
+		t.Fatalf("cold run stats = %+v, want 2 local misses and a program run", cs)
+	}
+	if len(cold) == 0 {
+		t.Fatal("scratch module produced no diagnostics; the corpus violation is gone")
+	}
+
+	warm, cs := runScratch(t, root, cache)
+	if cs.LocalHits != 2 || cs.LocalMisses != 0 || !cs.ProgramHit || cs.ProgramRan {
+		t.Fatalf("warm run stats = %+v, want all hits", cs)
+	}
+	coldS, warmS := renderAll(cold), renderAll(warm)
+	if len(coldS) != len(warmS) {
+		t.Fatalf("warm run returned %d diagnostics, cold returned %d", len(warmS), len(coldS))
+	}
+	for i := range coldS {
+		if coldS[i] != warmS[i] {
+			t.Errorf("diagnostic %d differs:\n  cold: %s\n  warm: %s", i, coldS[i], warmS[i])
+		}
+	}
+
+	// Editing only b invalidates b but leaves a's entry valid.
+	bPath := filepath.Join(root, "b", "b.go")
+	data, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, cs = runScratch(t, root, cache)
+	if cs.LocalHits != 1 || cs.LocalMisses != 1 || cs.ProgramHit || !cs.ProgramRan {
+		t.Fatalf("post-edit stats = %+v, want exactly b invalidated and the program re-run", cs)
+	}
+
+	// Editing a (the dependency) invalidates both closures.
+	aPath := filepath.Join(root, "a", "a.go")
+	data, err = os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, cs = runScratch(t, root, cache)
+	if cs.LocalHits != 0 || cs.LocalMisses != 2 {
+		t.Fatalf("post-dep-edit stats = %+v, want both packages invalidated", cs)
+	}
+}
+
+// TestCacheOff pins the degraded path: RunCached with a nil cache is
+// plain load-and-run.
+func TestCacheOff(t *testing.T) {
+	root := writeScratchModule(t)
+	diags, cs := runScratch(t, root, nil)
+	if cs.LocalHits != 0 || cs.ProgramHit {
+		t.Fatalf("nil cache reported hits: %+v", cs)
+	}
+	if len(diags) == 0 {
+		t.Fatal("nil-cache run produced no diagnostics")
+	}
+}

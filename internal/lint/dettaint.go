@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDettaint is the interprocedural determinism-taint check: it
+// walks the call graph from the deterministic roots — the functions whose
+// outputs the reproduction guarantees bit-for-bit (core routing, MCTS
+// search, RL label generation) — and reports every nondeterminism source
+// (wall-clock read, global math/rand call, order-escaping map range)
+// transitively reachable from one, with the call path in the message.
+//
+// This subsumes the package-allowlist blind spot of nowallclock and
+// seededrand: those flag *direct* reads per package, which goes blind the
+// moment a clock read hides one package boundary away from a reward
+// computation. Sources carrying a reviewed //oarsmt:allow annotation for
+// nowallclock/seededrand/detmap are sanctioned (the obs span clocks, the
+// store compaction timestamps); a taint-specific exception is written as
+// //oarsmt:allow dettaint(reason) on the source line.
+//
+// Roots are matched by the table below plus any function whose doc
+// comment carries an //oarsmt:detroot directive (used by the golden
+// corpus and available to future packages that introduce new
+// deterministic surfaces).
+var AnalyzerDettaint = &Analyzer{
+	Name:       "dettaint",
+	Doc:        "nondeterminism sources reachable from deterministic roots (interprocedural)",
+	RunProgram: runDettaint,
+}
+
+// detRootMarker marks additional deterministic roots in doc comments.
+const detRootMarker = "//oarsmt:detroot"
+
+// detRoots are the functions whose transitive call trees must be free of
+// unsanctioned nondeterminism: the routing core, the searcher that
+// generates training labels, and the trainer stages that consume them.
+var detRoots = []struct {
+	pkgSuffix string // module-relative package suffix
+	recv      string // receiver type name, "" for plain functions
+	name      string
+}{
+	{"internal/core", "Router", "Route"},
+	{"internal/core", "", "PlainOARMST"},
+	{"internal/mcts", "", "Search"},
+	{"internal/mcts", "", "SearchCtx"},
+	{"internal/mcts", "Searcher", "Run"},
+	{"internal/mcts", "Searcher", "RunCtx"},
+	{"internal/rl", "Trainer", "GenerateSamples"},
+	{"internal/rl", "Trainer", "GenerateSamplesCtx"},
+	{"internal/rl", "Trainer", "RunStage"},
+	{"internal/rl", "Trainer", "RunStageCtx"},
+	{"internal/rl", "Trainer", "Fit"},
+}
+
+// isDetRoot reports whether the function is a deterministic root.
+func isDetRoot(fi *FuncInfo) bool {
+	if docContains(fi.Decl, detRootMarker) {
+		return true
+	}
+	fn := fi.Fn
+	if fn.Pkg() == nil {
+		return false
+	}
+	recv := receiverTypeName(fn)
+	for _, r := range detRoots {
+		if fn.Name() == r.name && recv == r.recv && pathIsAny(fn.Pkg().Path(), r.pkgSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverTypeName returns the bare receiver type name ("Router" for
+// *Router), or "".
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func runDettaint(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	reported := make(map[token.Pos]bool)
+	for _, root := range prog.Functions() {
+		if !isDetRoot(root) {
+			continue
+		}
+		// Breadth-first from the root so the reported call path is a
+		// shortest chain; neighbor order follows source order, so the
+		// output is deterministic.
+		parent := map[*FuncInfo]*FuncInfo{root: nil}
+		queue := []*FuncInfo{root}
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			for _, src := range fi.Summary.Sources {
+				if reported[src.Pos] {
+					continue
+				}
+				reported[src.Pos] = true
+				report(src.Pos, "%s (%s) reaches deterministic root %s via %s; results must be bit-reproducible — plumb the value in from outside the root, or annotate //oarsmt:allow dettaint(reason)",
+					src.Kind, src.Desc, FuncDisplayName(root.Fn), pathString(fi, parent))
+			}
+			for _, call := range fi.Calls {
+				callee, ok := prog.Funcs[call.Callee]
+				if !ok {
+					continue
+				}
+				if _, seen := parent[callee]; seen {
+					continue
+				}
+				if !callee.Summary.ReachesAny() {
+					continue // prune: nothing to find below
+				}
+				parent[callee] = fi
+				queue = append(queue, callee)
+			}
+		}
+	}
+}
+
+// pathString renders the BFS chain root → … → fi.
+func pathString(fi *FuncInfo, parent map[*FuncInfo]*FuncInfo) string {
+	var names []string
+	for n := fi; n != nil; n = parent[n] {
+		names = append(names, FuncDisplayName(n.Fn))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}

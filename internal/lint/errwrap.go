@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrwrap enforces the module's error contract interprocedurally:
+// every error that can cross the root API (exported functions of package
+// oarsmt) or the serving boundary (exported functions and methods of
+// internal/serve, whose errors the HTTP layer maps to status codes with
+// errors.Is) must wrap a declared sentinel so callers can match it.
+//
+// The walk starts at each boundary function and descends the call graph.
+// A function that wraps a package-level sentinel with %w (fmt.Errorf("%w:
+// ...", errs.ErrInvalidLayout, ...)) sanitizes the subtree below it — the
+// sentinel is attached there — so the walk stops. Any other reachable
+// function that creates a fresh, unclassifiable error (errors.New or
+// fmt.Errorf without %w) escaping through its returns is a finding: that
+// anonymous error can surface to an API caller or an HTTP status mapper
+// that has nothing to match it against.
+//
+// Additional boundaries are marked with an //oarsmt:errboundary doc
+// directive. Pass-through wraps (fmt.Errorf("ctx: %w", err) without a
+// sentinel) neither sanitize nor trip the check: the sentinel is presumed
+// to come from below, and if it does not, the creation site below is the
+// finding.
+var AnalyzerErrwrap = &Analyzer{
+	Name:       "errwrap",
+	Doc:        "bare errors crossing the root API or serve boundary without a sentinel (interprocedural)",
+	RunProgram: runErrwrap,
+}
+
+// errBoundaryMarker marks additional error-contract boundaries.
+const errBoundaryMarker = "//oarsmt:errboundary"
+
+// isErrBoundary reports whether the function is an error-contract
+// boundary: an exported error-returning function of the module root
+// package or of internal/serve, or one carrying the doc marker.
+func isErrBoundary(prog *Program, fi *FuncInfo) bool {
+	if docContains(fi.Decl, errBoundaryMarker) {
+		return true
+	}
+	fn := fi.Fn
+	if fn.Pkg() == nil || !fn.Exported() || !returnsError(fi) {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if pathIsAny(path, "internal/serve") {
+		return true
+	}
+	// The module root package: its path contains no slash beyond the
+	// module path itself — every loaded package path is either the module
+	// path or modulePath/sub/dir, so "no internal/" and "no /" suffice
+	// for both real loads ("oarsmt") and corpus loads.
+	return !strings.Contains(path, "/")
+}
+
+// returnsError reports whether the function's last result is an error.
+func returnsError(fi *FuncInfo) bool {
+	sig, ok := fi.Fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return isErrorType(res.At(res.Len() - 1).Type())
+}
+
+func runErrwrap(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	reported := make(map[token.Pos]bool)
+	for _, root := range prog.Functions() {
+		if !isErrBoundary(prog, root) {
+			continue
+		}
+		parent := map[*FuncInfo]*FuncInfo{root: nil}
+		queue := []*FuncInfo{root}
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			for _, bare := range fi.Summary.Bares {
+				if reported[bare.Pos] {
+					continue
+				}
+				reported[bare.Pos] = true
+				report(bare.Pos, "%s creates an error that can cross the %s boundary without wrapping a sentinel (path %s); wrap a declared sentinel with %%w (errs.ErrInvalidLayout, errs.ErrInternal, ...) so callers can errors.Is it, or annotate //oarsmt:allow errwrap(reason)",
+					bare.Desc, FuncDisplayName(root.Fn), pathString(fi, parent))
+			}
+			if fi.Summary.Sanitizes {
+				// Only the root can be in the queue while sanitizing
+				// (non-roots are filtered before enqueue): a sanitizing
+				// boundary classifies its own subtree, so don't descend.
+				continue
+			}
+			for _, call := range fi.Calls {
+				callee, ok := prog.Funcs[call.Callee]
+				if !ok {
+					continue
+				}
+				if _, seen := parent[callee]; seen {
+					continue
+				}
+				if callee.Summary.Sanitizes {
+					continue // subtree classified at this frontier
+				}
+				if !returnsError(callee) {
+					continue // its errors cannot flow back out
+				}
+				parent[callee] = fi
+				queue = append(queue, callee)
+			}
+		}
+	}
+}

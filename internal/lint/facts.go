@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared fact-extraction layer: the syntactic patterns
+// that identify nondeterminism sources and error-contract facts are
+// recognised in exactly one place, used both by the package-local
+// analyzers (nowallclock, seededrand are thin wrappers over it) and by
+// the interprocedural summary computation (callgraph.go / summary.go).
+
+// SourceKind classifies one nondeterminism source.
+type SourceKind uint8
+
+const (
+	// SrcWallClock is a time.Now/Since/Until read.
+	SrcWallClock SourceKind = iota
+	// SrcGlobalRand is a math/rand (or rand/v2) package-level function
+	// drawing from the shared global source.
+	SrcGlobalRand
+	// SrcMapOrder is a range over a map that is not collect-then-sorted,
+	// so its iteration order can escape into results.
+	SrcMapOrder
+)
+
+func (k SourceKind) String() string {
+	switch k {
+	case SrcWallClock:
+		return "wall-clock read"
+	case SrcGlobalRand:
+		return "global math/rand call"
+	case SrcMapOrder:
+		return "map iteration order"
+	}
+	return "unknown source"
+}
+
+// Source is one nondeterminism source site.
+type Source struct {
+	Kind SourceKind
+	Pos  token.Pos
+	// Desc names the offending expression ("time.Now", "rand.Intn",
+	// "range over m").
+	Desc string
+}
+
+// sanctioningAnalyzers are the legacy per-site analyzers whose
+// //oarsmt:allow annotations also sanction a source for the taint engine:
+// an annotated clock read (obs span timing, store compaction timestamps)
+// is a reviewed, reasoned exception and must not re-surface as a dettaint
+// finding at every deterministic root that reaches it.
+var sanctioningAnalyzers = []string{"nowallclock", "seededrand", "detmap"}
+
+// sourceIndex answers "is this position covered by a sanctioning
+// annotation" for one package.
+type sourceIndex struct {
+	p *Package
+	// sanctionedLines is keyed by file:line of the line *covered* by a
+	// sanctioning annotation (the annotation's own line and the line
+	// below it, matching the suppression rule in lint.go).
+	sanctionedLines map[string]bool
+}
+
+func newSourceIndex(p *Package) *sourceIndex {
+	idx := &sourceIndex{p: p, sanctionedLines: make(map[string]bool)}
+	anns, _ := collectAnnotations(p)
+	for _, an := range anns {
+		for _, name := range sanctioningAnalyzers {
+			if an.analyzer == name {
+				idx.sanctionedLines[fmt.Sprintf("%s:%d", an.pos.Filename, an.pos.Line)] = true
+				idx.sanctionedLines[fmt.Sprintf("%s:%d", an.pos.Filename, an.pos.Line+1)] = true
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *sourceIndex) sanctioned(pos token.Pos) bool {
+	p := idx.p.Fset.Position(pos)
+	return idx.sanctionedLines[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+}
+
+// wallClockSources appends every time.Now/Since/Until read under n.
+func wallClockSources(p *Package, n ast.Node, into []Source) []Source {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		sel, ok := nd.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := selTo(p, sel, "time"); ok && wallClockFuncs[name] {
+			into = append(into, Source{Kind: SrcWallClock, Pos: sel.Pos(), Desc: "time." + name})
+		}
+		return true
+	})
+	return into
+}
+
+// globalRandSources appends every math/rand package-level function use
+// under n (the seeded constructor family is exempt, as in seededrand).
+func globalRandSources(p *Package, n ast.Node, into []Source) []Source {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		sel, ok := nd.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgOf(p, sel.X)
+		if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+			return true
+		}
+		obj := p.Info.Uses[sel.Sel]
+		if _, isFunc := obj.(*types.Func); !isFunc || randConstructors[sel.Sel.Name] {
+			return true
+		}
+		into = append(into, Source{Kind: SrcGlobalRand, Pos: sel.Pos(), Desc: "rand." + sel.Sel.Name})
+		return true
+	})
+	return into
+}
+
+// mapOrderSources appends every map range in the function body that is not
+// collect-then-sorted. The caller decides whether map order matters for
+// the function (detmap restricts to deterministic packages; the taint
+// engine counts them everywhere outside det packages, where detmap already
+// enforces the contract directly).
+func mapOrderSources(p *Package, body *ast.BlockStmt, into []Source) []Source {
+	sorts := sortCalls(p, body)
+	ast.Inspect(body, func(nd ast.Node) bool {
+		rng, ok := nd.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectThenSorted(p, rng, sorts) {
+			return true
+		}
+		into = append(into, Source{Kind: SrcMapOrder, Pos: rng.For, Desc: "range over map " + types.ExprString(rng.X)})
+		return true
+	})
+	return into
+}
+
+// BareError is one error value created inside a function body without
+// wrapping any declared sentinel, escaping through a return statement.
+type BareError struct {
+	Pos  token.Pos
+	Desc string // "errors.New(...)" or `fmt.Errorf("...")` without %w
+}
+
+// isErrsSentinelRef reports whether the expression references a
+// package-level error variable (a sentinel that callers can match with
+// errors.Is): internal/errs sentinels, route.ErrUnreachable,
+// serve.ErrClosed, and their like.
+func isSentinelRef(p *Package, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			return false
+		}
+	}
+	obj := p.Info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	// Package-level scope, error-typed.
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return isErrorType(v.Type())
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	// Anything implementing error counts (sentinel types like
+	// errs.ErrTimeout's timeoutError).
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+		return true
+	}
+	return types.Implements(t, errorIface)
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// errorFacts extracts the error-contract facts of one function body:
+// whether it sanitizes (wraps a declared sentinel with %w, so everything
+// below it is presumed classified), and the bare error creations that can
+// escape through its returns.
+func errorFacts(p *Package, fd *ast.FuncDecl) (sanitizes bool, bares []BareError) {
+	if fd.Body == nil {
+		return false, nil
+	}
+	// Objects that appear inside return statements: a bare error assigned
+	// to one of these escapes.
+	returned := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(rn ast.Node) bool {
+				if id, ok := rn.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	// Named error results escape by definition (a bare assignment to one
+	// reaches every bare `return`).
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+
+	// Walk with parents so we know whether a creation sits in a return or
+	// feeds a returned variable.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, wraps, sentinel := classifyErrorCreation(p, call)
+		if kind == "" {
+			return true
+		}
+		if wraps && sentinel {
+			sanitizes = true
+			return true
+		}
+		if wraps {
+			return true // pass-through wrap: the sentinel comes from below
+		}
+		if bareEscapes(p, call, stack, returned) {
+			bares = append(bares, BareError{Pos: call.Pos(), Desc: kind})
+		}
+		return true
+	})
+	return sanitizes, bares
+}
+
+// classifyErrorCreation recognises errors.New and fmt.Errorf calls:
+// kind is "" for anything else; wraps reports a %w verb in a constant
+// format; sentinel reports that an argument references a package-level
+// error variable (or the call is errs.Classify, the module's boundary
+// classifier).
+func classifyErrorCreation(p *Package, call *ast.CallExpr) (kind string, wraps, sentinel bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false, false
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return "errors.New", false, false
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		wraps = false
+		if len(call.Args) > 0 {
+			if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+				wraps = strings.Contains(tv.Value.String(), "%w")
+			} else {
+				// Dynamic format string: assume it wraps rather than
+				// flooding call sites the analyzer cannot see through.
+				wraps = true
+			}
+		}
+		for _, arg := range call.Args[1:] {
+			if isSentinelRef(p, arg) {
+				sentinel = true
+			}
+		}
+		return "fmt.Errorf without %w", wraps, sentinel
+	case strings.HasSuffix(fn.Pkg().Path(), "internal/errs") && fn.Name() == "Classify":
+		// Classify only reclassifies deadline errors; it is a pass-through
+		// for everything else, so it neither creates nor sanitizes.
+		return "", false, false
+	}
+	return "", false, false
+}
+
+// bareEscapes reports whether the creation call's value can flow to a
+// return: the call is (transitively) inside a ReturnStmt, or it is the
+// RHS of an assignment to an object that appears in some return.
+func bareEscapes(p *Package, call *ast.CallExpr, stack []ast.Node, returned map[types.Object]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.AssignStmt:
+			// Find which LHS corresponds (single-RHS covers the idiom).
+			for _, lhs := range parent.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := p.Info.Uses[id]
+					if obj == nil {
+						obj = p.Info.Defs[id]
+					}
+					if obj != nil && returned[obj] && isErrorType(obj.Type()) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			// Created inside a nested literal: its returns are the
+			// literal's, not the function's; the literal's enclosing
+			// analysis would need its own pass. Treat returns inside the
+			// literal as escapes too (conservative for deferred error
+			// setters), which the ReturnStmt case above already caught.
+			return false
+		}
+	}
+	return false
+}

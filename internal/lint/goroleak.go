@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoroleak checks that every goroutine launched outside the two
+// sanctioned concurrency homes (internal/parallel, internal/serve) has a
+// shutdown path: a context.Context or a channel plumbed into it — as an
+// argument, a captured variable, or (for method calls) channel/context
+// use inside the method body. rawgo already bans raw go statements in
+// compute code wholesale; goroleak covers the sites rawgo exempts or that
+// carry a rawgo annotation (daemon plumbing in cmd/, background loops in
+// store), where "allowed to exist" must not mean "allowed to leak": a
+// goroutine nothing can stop outlives Close, keeps file handles and
+// buffers alive, and turns graceful drains into hangs.
+var AnalyzerGoroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines with neither a context nor a done channel plumbed in",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if pathIsAny(p.Path, "internal/parallel", "internal/serve") {
+		return
+	}
+	// Bodies of same-package functions, so `go s.loop()` can be vetted by
+	// looking inside loop for its select/ctx machinery.
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	eachFunc(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+			bodies[fn] = fd
+		}
+	})
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineHasStopPath(p, g.Call, bodies) {
+				return true
+			}
+			report(g.Pos(), "goroutine has neither a context nor a done channel plumbed to it: nothing can stop it, so Close/drain can hang and resources leak; pass a ctx or channel, or annotate //oarsmt:allow goroleak(reason)")
+			return true
+		})
+	}
+}
+
+// goroutineHasStopPath reports whether the spawned call can be stopped:
+// an argument of context/channel type, a function literal whose body uses
+// a context, performs channel operations, or waits on a WaitGroup-free
+// select; or a named callee whose signature or (same-package) body does.
+func goroutineHasStopPath(p *Package, call *ast.CallExpr, bodies map[*types.Func]*ast.FuncDecl) bool {
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isCtxOrChan(tv.Type) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return nodeUsesCtxOrChan(p, fun.Body)
+	default:
+		callee := calleeOf(p, call)
+		if callee == nil {
+			return false
+		}
+		if fd, ok := bodies[callee]; ok && fd.Body != nil {
+			return nodeUsesCtxOrChan(p, fd.Body)
+		}
+		// Cross-package callee: judge by signature alone.
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isCtxOrChan(sig.Params().At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCtxOrChan reports whether the type is a context.Context or a channel.
+func isCtxOrChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+	}
+	return false
+}
+
+// nodeUsesCtxOrChan reports whether the body mentions any context- or
+// channel-typed value, or performs a channel operation (select, receive,
+// close, range over channel).
+func nodeUsesCtxOrChan(p *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nd := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.Ident:
+			if obj := p.Info.Uses[nd]; obj != nil && isCtxOrChan(obj.Type()) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[nd]; ok && isCtxOrChan(sel.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -8,8 +8,18 @@
 //
 // The engine is built exclusively on the standard library (go/parser,
 // go/ast, go/types with the source importer) because the module has zero
-// dependencies and the build environment is offline. See DESIGN.md
-// "Static analysis" for the analyzer catalogue and the annotation grammar.
+// dependencies and the build environment is offline.
+//
+// # Architecture
+//
+// Analyzers come in two shapes. Package-local analyzers (detmap, rawgo,
+// spanend, ...) check one package's AST at a time. Interprocedural
+// analyzers (dettaint, errwrap) run over a Program: a cross-package call
+// graph with per-function summaries — nondeterminism sources reached,
+// sentinel errors wrapped — propagated to a fixpoint, so a clock read two
+// package boundaries below a deterministic root is still found. See
+// DESIGN.md "Static analysis" for the analyzer catalogue, the summary
+// machinery, and the annotation grammar.
 //
 // # Suppressions
 //
@@ -30,6 +40,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -61,15 +72,24 @@ type Package struct {
 	TypeErrors []error
 }
 
-// An Analyzer checks one invariant over a package and reports findings
-// through the report callback.
+// An Analyzer checks one invariant. Exactly one of Run (package-local)
+// and RunProgram (interprocedural, needs the whole-program call graph and
+// summaries) is set.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Package, report func(pos token.Pos, format string, args ...any))
+	// Run checks one package in isolation.
+	Run func(p *Package, report func(pos token.Pos, format string, args ...any))
+	// RunProgram checks the whole program; findings may land in any
+	// package (the engine resolves suppressions by position).
+	RunProgram func(prog *Program, report func(pos token.Pos, format string, args ...any))
 }
 
-// Analyzers returns the full suite in stable order.
+// Interprocedural reports whether the analyzer needs a whole-program view.
+func (a *Analyzer) Interprocedural() bool { return a.RunProgram != nil }
+
+// Analyzers returns the full suite in stable order: the package-local
+// analyzers first, then the interprocedural ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerDetmap,
@@ -79,6 +99,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerFloatReduce,
 		AnalyzerCtxHygiene,
 		AnalyzerObsNames,
+		AnalyzerGoroleak,
+		AnalyzerSpanend,
+		AnalyzerDettaint,
+		AnalyzerErrwrap,
 	}
 }
 
@@ -92,21 +116,77 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// SplitAnalyzers partitions the set into package-local and
+// interprocedural analyzers, preserving order.
+func SplitAnalyzers(analyzers []*Analyzer) (local, program []*Analyzer) {
+	for _, a := range analyzers {
+		if a.Interprocedural() {
+			program = append(program, a)
+		} else {
+			local = append(local, a)
+		}
+	}
+	return local, program
+}
+
+// Stats accumulates per-analyzer wall time across a run; pass nil to skip
+// timing entirely.
+type Stats struct {
+	ByAnalyzer map[string]time.Duration
+}
+
+// NewStats returns an empty timing collector.
+func NewStats() *Stats { return &Stats{ByAnalyzer: make(map[string]time.Duration)} }
+
+func (s *Stats) add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.ByAnalyzer[name] += d
+}
+
+// timed runs f, attributing its wall time to name. Timing is measurement
+// of the linter itself, never an input to any analyzed result.
+func (s *Stats) timed(name string, f func()) {
+	if s == nil {
+		f()
+		return
+	}
+	start := time.Now() //oarsmt:allow nowallclock(analyzer self-timing for make lint -timing; measurement only, never analysis input)
+	f()
+	s.add(name, time.Since(start)) //oarsmt:allow nowallclock(analyzer self-timing for make lint -timing; measurement only, never analysis input)
+}
+
 // Run executes the given analyzers over the packages, applies the
 // //oarsmt:allow suppressions, and returns the surviving diagnostics
 // sorted by position. Unused annotations and annotation grammar errors are
-// appended as findings of the pseudo-analyzer "allow".
+// appended as findings of the pseudo-analyzer "allow". Interprocedural
+// analyzers run over a Program built from exactly the given packages.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	local, program := SplitAnalyzers(analyzers)
 	var diags []Diagnostic
-	enabled := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		enabled[a.Name] = true
-	}
 	for _, p := range pkgs {
-		anns, annErrs := collectAnnotations(p)
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			a := a
+		diags = append(diags, RunLocal(p, local, true, nil)...)
+	}
+	if len(program) > 0 {
+		prog := BuildProgram(pkgs)
+		diags = append(diags, RunProgram(prog, program, false, nil)...)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// RunLocal executes package-local analyzers over one package and applies
+// suppressions. When withGrammar is set, malformed //oarsmt:allow
+// annotations are reported here (exactly one of the local/program passes
+// should claim them, or they double-report). The result is the package's
+// complete, cache-ready local diagnostic set, sorted.
+func RunLocal(p *Package, analyzers []*Analyzer, withGrammar bool, stats *Stats) []Diagnostic {
+	anns, annErrs := collectAnnotations(p)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		stats.timed(a.Name, func() {
 			a.Run(p, func(pos token.Pos, format string, args ...any) {
 				raw = append(raw, Diagnostic{
 					Pos:      p.Fset.Position(pos),
@@ -114,30 +194,97 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					Message:  fmt.Sprintf(format, args...),
 				})
 			})
-		}
-		for _, d := range raw {
-			if !suppress(anns, d) {
-				diags = append(diags, d)
-			}
-		}
-		for _, e := range annErrs {
-			diags = append(diags, e)
-		}
-		// An annotation must earn its keep: if it suppressed nothing, the
-		// code it excused has been fixed (or the annotation is wrong) and
-		// it must be deleted. Annotations for analyzers that were not run
-		// this invocation are exempt rather than falsely "unused".
-		for _, an := range anns {
-			if !an.used && enabled[an.analyzer] {
-				diags = append(diags, Diagnostic{
-					Pos:      an.pos,
-					Analyzer: "allow",
-					Message: fmt.Sprintf(
-						"unused //oarsmt:allow %s annotation: it suppresses no finding; delete it", an.analyzer),
+		})
+	}
+	diags := applySuppressions(anns, raw)
+	if withGrammar {
+		diags = append(diags, annErrs...)
+	}
+	diags = append(diags, unusedAnnotations(anns, analyzers)...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// RunProgram executes interprocedural analyzers over the program and
+// applies suppressions from whichever package each finding lands in. The
+// result is the program-wide, cache-ready diagnostic set, sorted.
+func RunProgram(prog *Program, analyzers []*Analyzer, withGrammar bool, stats *Stats) []Diagnostic {
+	var anns []*annotation
+	var annErrs []Diagnostic
+	for _, p := range prog.Pkgs {
+		a, e := collectAnnotations(p)
+		anns = append(anns, a...)
+		annErrs = append(annErrs, e...)
+	}
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		stats.timed(a.Name, func() {
+			a.RunProgram(prog, func(pos token.Pos, format string, args ...any) {
+				raw = append(raw, Diagnostic{
+					Pos:      prog.Fset().Position(pos),
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf(format, args...),
 				})
-			}
+			})
+		})
+	}
+	diags := applySuppressions(anns, raw)
+	if withGrammar {
+		diags = append(diags, annErrs...)
+	}
+	diags = append(diags, unusedAnnotations(anns, analyzers)...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// Fset returns the shared file set of the program's packages.
+func (prog *Program) Fset() *token.FileSet {
+	if len(prog.Pkgs) > 0 {
+		return prog.Pkgs[0].Fset
+	}
+	return token.NewFileSet()
+}
+
+// applySuppressions drops diagnostics covered by a matching annotation,
+// marking those annotations used.
+func applySuppressions(anns []*annotation, raw []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppress(anns, d) {
+			out = append(out, d)
 		}
 	}
+	return out
+}
+
+// unusedAnnotations reports annotations for enabled analyzers that
+// suppressed nothing: the code they excused has been fixed (or the
+// annotation is wrong) and they must be deleted. Annotations for
+// analyzers outside the enabled set are exempt rather than falsely
+// "unused".
+func unusedAnnotations(anns []*annotation, enabled []*Analyzer) []Diagnostic {
+	names := make(map[string]bool, len(enabled))
+	for _, a := range enabled {
+		names[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, an := range anns {
+		if !an.used && names[an.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      an.pos,
+				Analyzer: "allow",
+				Message: fmt.Sprintf(
+					"unused //oarsmt:allow %s annotation: it suppresses no finding; delete it", an.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order the -json schema documents.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -149,9 +296,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 // suppress consumes a matching annotation for the diagnostic, if any.
@@ -172,7 +321,10 @@ func suppress(anns []*annotation, d Diagnostic) bool {
 
 // detPackages are the import-path suffixes of the packages whose outputs
 // must be bit-reproducible: anything feeding tree construction,
-// serialization, training labels, or the serving cache key.
+// serialization, training labels, or the serving cache key. detmap
+// enforces map-range hygiene per site inside them; dettaint picks up
+// where the list ends, following actual call paths out of the
+// deterministic roots into any package.
 var detPackages = []string{
 	"internal/geom",
 	"internal/grid",

@@ -8,21 +8,54 @@ import (
 	"testing"
 )
 
-// corpusCases maps each golden-corpus directory to the analyzers run over
-// it. The annotations corpus uses detmap as its carrier analyzer because
-// the //oarsmt:allow machinery itself is analyzer-agnostic.
+// corpusCases maps each golden corpus to the analyzers run over it. The
+// annotations corpus uses detmap as its carrier analyzer because the
+// //oarsmt:allow machinery itself is analyzer-agnostic. Single-dir
+// corpora load under the synthetic "testdata/<name>" import path;
+// multi-dir corpora (the interprocedural analyzers need a cross-package
+// call graph) load under their real module import paths so the corpus
+// packages can import each other.
 var corpusCases = []struct {
-	dir       string
+	name      string
+	dirs      []string // corpus dirs under testdata/src; first is primary
 	analyzers []string
 }{
-	{"detmap", []string{"detmap"}},
-	{"nowallclock", []string{"nowallclock"}},
-	{"seededrand", []string{"seededrand"}},
-	{"rawgo", []string{"rawgo"}},
-	{"floatreduce", []string{"floatreduce"}},
-	{"ctxhygiene", []string{"ctxhygiene"}},
-	{"obsnames", []string{"obsnames"}},
-	{"annotations", []string{"detmap"}},
+	{"detmap", []string{"detmap"}, []string{"detmap"}},
+	{"nowallclock", []string{"nowallclock"}, []string{"nowallclock"}},
+	{"seededrand", []string{"seededrand"}, []string{"seededrand"}},
+	{"rawgo", []string{"rawgo"}, []string{"rawgo"}},
+	{"floatreduce", []string{"floatreduce"}, []string{"floatreduce"}},
+	{"ctxhygiene", []string{"ctxhygiene"}, []string{"ctxhygiene"}},
+	{"obsnames", []string{"obsnames"}, []string{"obsnames"}},
+	{"annotations", []string{"annotations"}, []string{"detmap"}},
+	{"goroleak", []string{"goroleak"}, []string{"goroleak"}},
+	{"spanend", []string{"spanend"}, []string{"spanend"}},
+	{"dettaint", []string{"dettaint", "dettaintdep"}, []string{"dettaint"}},
+	{"errwrap", []string{"errwrap", "errwrapdep"}, []string{"errwrap"}},
+}
+
+// loadCorpus loads one corpus case: a single directory keeps the legacy
+// synthetic import path, while multi-directory corpora go through the
+// module loader so cross-corpus imports resolve.
+func loadCorpus(t *testing.T, loader *Loader, dirs []string) []*Package {
+	t.Helper()
+	if len(dirs) == 1 {
+		rel := filepath.Join("internal", "lint", "testdata", "src", dirs[0])
+		pkg, err := loader.LoadCorpus(rel, dirs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*Package{pkg}
+	}
+	var pats []string
+	for _, d := range dirs {
+		pats = append(pats, filepath.Join("internal", "lint", "testdata", "src", d))
+	}
+	pkgs, err := loader.Load(pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
@@ -66,14 +99,12 @@ func TestGoldenCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tc := range corpusCases {
-		t.Run(tc.dir, func(t *testing.T) {
-			rel := filepath.Join("internal", "lint", "testdata", "src", tc.dir)
-			pkg, err := loader.LoadCorpus(rel, tc.dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(pkg.TypeErrors) > 0 {
-				t.Fatalf("corpus must type-check cleanly, got: %v", pkg.TypeErrors)
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs := loadCorpus(t, loader, tc.dirs)
+			for _, pkg := range pkgs {
+				if len(pkg.TypeErrors) > 0 {
+					t.Fatalf("corpus must type-check cleanly, got: %v", pkg.TypeErrors)
+				}
 			}
 			var analyzers []*Analyzer
 			for _, name := range tc.analyzers {
@@ -83,9 +114,15 @@ func TestGoldenCorpus(t *testing.T) {
 				}
 				analyzers = append(analyzers, a)
 			}
-			diags := Run([]*Package{pkg}, analyzers)
+			diags := Run(pkgs, analyzers)
 
-			wants := parseWants(t, filepath.Join(loader.ModuleRoot, rel))
+			wants := make(map[string]map[int][]*regexp.Regexp)
+			for _, d := range tc.dirs {
+				rel := filepath.Join("internal", "lint", "testdata", "src", d)
+				for file, perLine := range parseWants(t, filepath.Join(loader.ModuleRoot, rel)) {
+					wants[file] = perLine
+				}
+			}
 			matched := make(map[*regexp.Regexp]bool)
 			for _, d := range diags {
 				res := "unexpected"
@@ -122,25 +159,27 @@ func TestCorpusPositions(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tc := range corpusCases {
-		if tc.dir == "annotations" {
+		if tc.name == "annotations" {
 			continue
 		}
-		rel := filepath.Join("internal", "lint", "testdata", "src", tc.dir)
-		pkg, err := loader.LoadCorpus(rel, tc.dir)
-		if err != nil {
-			t.Fatal(err)
-		}
-		diags := Run([]*Package{pkg}, []*Analyzer{ByName(tc.dir)})
+		pkgs := loadCorpus(t, loader, tc.dirs)
+		diags := Run(pkgs, []*Analyzer{ByName(tc.name)})
 		if len(diags) == 0 {
-			t.Errorf("%s: corpus produced no diagnostics", tc.dir)
+			t.Errorf("%s: corpus produced no diagnostics", tc.name)
 			continue
 		}
 		for _, d := range diags {
-			if d.Analyzer != tc.dir {
-				t.Errorf("%s: diagnostic from wrong analyzer: %s", tc.dir, d)
+			if d.Analyzer != tc.name {
+				t.Errorf("%s: diagnostic from wrong analyzer: %s", tc.name, d)
 			}
-			if d.Pos.Line <= 0 || d.Pos.Column <= 0 || !strings.HasSuffix(filepath.Dir(d.Pos.Filename), tc.dir) {
-				t.Errorf("%s: diagnostic with bad position: %s", tc.dir, d)
+			inCorpus := false
+			for _, dir := range tc.dirs {
+				if strings.HasSuffix(filepath.Dir(d.Pos.Filename), dir) {
+					inCorpus = true
+				}
+			}
+			if d.Pos.Line <= 0 || d.Pos.Column <= 0 || !inCorpus {
+				t.Errorf("%s: diagnostic with bad position: %s", tc.name, d)
 			}
 		}
 	}
@@ -170,7 +209,10 @@ func TestRepoLintClean(t *testing.T) {
 // TestAnalyzerNames guards the driver's -enable/-disable contract: every
 // analyzer resolves by its documented name and the suite order is stable.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"detmap", "nowallclock", "seededrand", "rawgo", "floatreduce", "ctxhygiene", "obsnames"}
+	want := []string{
+		"detmap", "nowallclock", "seededrand", "rawgo", "floatreduce",
+		"ctxhygiene", "obsnames", "goroleak", "spanend", "dettaint", "errwrap",
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

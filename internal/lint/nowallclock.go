@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"go/ast"
 	"go/token"
 )
 
@@ -11,6 +10,12 @@ import (
 // (package main — cmd/ daemons and examples). Everywhere else a wall-clock
 // read is either dead weight or, far worse, an input to a reward or cost
 // that silently varies run to run.
+//
+// Since the interprocedural engine landed, this is a thin wrapper over the
+// shared source extraction in facts.go: the same pattern match feeds the
+// per-function summaries that dettaint propagates, so a clock read is
+// flagged here at its site and additionally traced to any deterministic
+// root that can reach it.
 var AnalyzerNoWallClock = &Analyzer{
 	Name: "nowallclock",
 	Doc:  "wall-clock reads outside serve/experiments/baseline/main packages",
@@ -38,15 +43,8 @@ func runNoWallClock(p *Package, report func(pos token.Pos, format string, args .
 		return
 	}
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			if name, ok := selTo(p, sel, "time"); ok && wallClockFuncs[name] {
-				report(sel.Pos(), "time.%s outside timing code: wall-clock reads make results vary run to run; plumb durations in from the caller or annotate //oarsmt:allow nowallclock(reason)", name)
-			}
-			return true
-		})
+		for _, src := range wallClockSources(p, f, nil) {
+			report(src.Pos, "%s outside timing code: wall-clock reads make results vary run to run; plumb durations in from the caller or annotate //oarsmt:allow nowallclock(reason)", src.Desc)
+		}
 	}
 }

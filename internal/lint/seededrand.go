@@ -1,9 +1,7 @@
 package lint
 
 import (
-	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // AnalyzerSeededRand flags every use of a math/rand (or math/rand/v2)
@@ -14,6 +12,10 @@ import (
 // so the constructor family (New, NewSource, NewPCG, NewChaCha8, NewZipf)
 // is exempt. Types (rand.Rand, rand.Source) and methods on instances are
 // untouched.
+//
+// Like nowallclock, this is a thin wrapper over the shared extraction in
+// facts.go; the same match feeds the summaries dettaint propagates across
+// packages.
 var AnalyzerSeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc:  "math/rand top-level functions (unseeded shared source)",
@@ -26,21 +28,8 @@ var randConstructors = map[string]bool{
 
 func runSeededRand(p *Package, report func(pos token.Pos, format string, args ...any)) {
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pkg := pkgOf(p, sel.X)
-			if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
-				return true
-			}
-			obj := p.Info.Uses[sel.Sel]
-			if _, isFunc := obj.(*types.Func); !isFunc || randConstructors[sel.Sel.Name] {
-				return true
-			}
-			report(sel.Pos(), "rand.%s uses the shared global source: results depend on call interleaving; use a seeded rand.New(rand.NewSource(seed)) instance", sel.Sel.Name)
-			return true
-		})
+		for _, src := range globalRandSources(p, f, nil) {
+			report(src.Pos, "%s uses the shared global source: results depend on call interleaving; use a seeded rand.New(rand.NewSource(seed)) instance", src.Desc)
+		}
 	}
 }

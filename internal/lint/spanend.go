@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSpanend verifies that every obs.Span open is paired with its
+// end on every return path. A span whose end function is dropped or
+// skipped on an early return serialises with a zero duration — the trace
+// silently lies about exactly the operation that errored, which is when
+// the trace is being read. The robust idiom is
+//
+//	ctx, end := obs.Span(ctx, "core.route")
+//	defer end()
+//
+// Mid-function spans (bracketing one phase, not the whole call) may call
+// end() directly, but the analyzer then walks the statement structure and
+// reports any return that can fire between the open and the end.
+var AnalyzerSpanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs spans not ended on every return path",
+	Run:  runSpanend,
+}
+
+func runSpanend(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	eachFunc(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !isObsSpanCall(p, call) {
+				return true
+			}
+			name := spanName(p, call)
+			if len(assign.Lhs) != 2 {
+				return true
+			}
+			endIdent, ok := assign.Lhs[1].(*ast.Ident)
+			if !ok || endIdent.Name == "_" {
+				report(call.Pos(), "obs span %s opened but its end function is discarded: the span will serialise with zero duration; keep it and defer it", name)
+				return true
+			}
+			endObj := p.Info.Defs[endIdent]
+			if endObj == nil {
+				endObj = p.Info.Uses[endIdent]
+			}
+			if endObj == nil {
+				return true
+			}
+			checkSpanEnded(p, fd, assign, call, name, endObj, report)
+			return true
+		})
+		// A span opened as a bare expression discards both results.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			expr, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			if call, ok := expr.X.(*ast.CallExpr); ok && isObsSpanCall(p, call) {
+				report(call.Pos(), "obs span %s opened and immediately discarded: bind the end function and defer it", spanName(p, call))
+			}
+			return true
+		})
+	})
+}
+
+// isObsSpanCall matches obs.Span(ctx, name) calls.
+func isObsSpanCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Span" && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/obs")
+}
+
+// spanName extracts the constant span name for the message, or "".
+func spanName(p *Package, call *ast.CallExpr) string {
+	if len(call.Args) < 2 {
+		return "(unknown)"
+	}
+	if tv, ok := p.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+		return tv.Value.String()
+	}
+	return "(dynamic)"
+}
+
+// checkSpanEnded verifies the end function is either deferred or called
+// before every return that follows the open. The walk is a structured
+// must-have-ended analysis over the statement tree: branch bodies are
+// analysed with the state at the branch, and a return while the span is
+// open is a finding. If the end function escapes (stored, passed along),
+// the analyzer trusts the caller and stays silent.
+func checkSpanEnded(p *Package, fd *ast.FuncDecl, open *ast.AssignStmt, call *ast.CallExpr, name string, endObj types.Object, report func(pos token.Pos, format string, args ...any)) {
+	isEndCall := func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		c, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+		return ok && p.Info.Uses[id] == endObj
+	}
+	// If the end function escapes (passed as an argument, reassigned),
+	// ownership moved and the analyzer trusts the new owner.
+	escapes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if ok {
+			for _, arg := range c.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.Uses[id] == endObj {
+					escapes = true
+				}
+			}
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && as != open {
+			for _, rhs := range as.Rhs {
+				ast.Inspect(rhs, func(rn ast.Node) bool {
+					if id, ok := rn.(*ast.Ident); ok && p.Info.Uses[id] == endObj {
+						escapes = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(d.Call.Fun).(*ast.Ident); ok && p.Info.Uses[id] == endObj {
+			deferred = true
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+
+	// Structured walk: find the block containing the open, then verify no
+	// return can fire before an end() on that path.
+	var walk func(stmts []ast.Stmt, ended bool, active bool) (bool, bool)
+	// walk returns (ended-after, active-after); active becomes true once
+	// the open statement is passed.
+	walk = func(stmts []ast.Stmt, ended bool, active bool) (bool, bool) {
+		for _, st := range stmts {
+			if st == ast.Stmt(open) {
+				active, ended = true, false
+				continue
+			}
+			if !active {
+				// The open may sit inside this statement (nested block).
+				if containsNode(st, open) {
+					switch s := st.(type) {
+					case *ast.BlockStmt:
+						ended, active = walk(s.List, ended, active)
+					case *ast.IfStmt:
+						ended, active = walkIf(walk, s, ended, active)
+					case *ast.ForStmt:
+						ended, active = walk(s.Body.List, ended, active)
+						// A span opened inside a loop must end inside it.
+						if active && !ended {
+							report(call.Pos(), "obs span %s opened in a loop is not ended before the iteration ends", name)
+							active = false
+						}
+					case *ast.RangeStmt:
+						ended, active = walk(s.Body.List, ended, active)
+						if active && !ended {
+							report(call.Pos(), "obs span %s opened in a loop is not ended before the iteration ends", name)
+							active = false
+						}
+					default:
+						// Switch/select/etc. hosting the open: too exotic,
+						// trust it.
+						active = false
+					}
+				}
+				continue
+			}
+			// Active: the span is open on this path.
+			if isEndCall(st) {
+				ended = true
+				continue
+			}
+			switch s := st.(type) {
+			case *ast.ReturnStmt:
+				if !ended {
+					report(s.Pos(), "return while obs span %s (opened at line %d) is still open: end it on this path or defer the end function", name, p.Fset.Position(call.Pos()).Line)
+				}
+			case *ast.IfStmt:
+				ended, active = walkIf(walk, s, ended, active)
+			case *ast.BlockStmt:
+				ended, active = walk(s.List, ended, active)
+			case *ast.ForStmt:
+				walk(s.Body.List, ended, active)
+			case *ast.RangeStmt:
+				walk(s.Body.List, ended, active)
+			case *ast.SwitchStmt:
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						walk(c.Body, ended, active)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						walk(c.Body, ended, active)
+					}
+				}
+			}
+		}
+		return ended, active
+	}
+	walk(fd.Body.List, false, false)
+}
+
+// walkIf analyses an if/else with the walk function: both branches start
+// from the current state; the state after the if is the conjunction
+// (ended only if every branch ends or exits).
+func walkIf(walk func([]ast.Stmt, bool, bool) (bool, bool), s *ast.IfStmt, ended, active bool) (bool, bool) {
+	thenEnded, _ := walk(s.Body.List, ended, active)
+	elseEnded := ended
+	if s.Else != nil {
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseEnded, _ = walk(e.List, ended, active)
+		case *ast.IfStmt:
+			elseEnded, _ = walkIf(walk, e, ended, active)
+		}
+	}
+	// A branch that unconditionally returns has been checked inside walk;
+	// the fall-through state is the weakest of the branches that can fall
+	// through. Without full CFG reasoning, take the conservative meet.
+	return thenEnded && elseEnded, active
+}
+
+// containsNode reports whether needle is within the subtree of hay.
+func containsNode(hay ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(hay, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Summary is the per-function fact set the fixpoint engine propagates
+// over the call graph. Direct facts are extracted once from the AST;
+// Reaches is the transitive closure (direct facts plus everything any
+// statically resolved callee reaches), computed by iterating to a
+// fixpoint so cycles and any call-graph shape converge.
+type Summary struct {
+	// Sources are the function's own unsanctioned nondeterminism sources:
+	// wall-clock reads, global math/rand calls, and (outside the
+	// deterministic packages, where detmap enforces the contract per
+	// site) map ranges whose order is not re-canonicalised by sorting.
+	// Sources carrying a reviewed //oarsmt:allow annotation for a
+	// sanctioning analyzer are excluded here.
+	Sources []Source
+	// Reaches[kind] reports whether the function transitively reaches a
+	// source of that kind (including its own).
+	Reaches [3]bool
+	// Sanitizes reports that the function wraps a declared sentinel error
+	// with %w: errors flowing through it are presumed classified, so
+	// errwrap's boundary walk stops here.
+	Sanitizes bool
+	// Bares are fresh errors (errors.New, fmt.Errorf without %w) created
+	// in the body that can escape through a return statement.
+	Bares []BareError
+}
+
+// ReachesAny reports whether the function reaches any nondeterminism
+// source at all.
+func (s *Summary) ReachesAny() bool {
+	return s.Reaches[SrcWallClock] || s.Reaches[SrcGlobalRand] || s.Reaches[SrcMapOrder]
+}
+
+// computeSummaries fills every FuncInfo.Summary: one AST pass for direct
+// facts, then a worklist-free round-robin fixpoint for reachability (the
+// graph is small — the whole module is a few hundred functions — so
+// iterate-until-stable beats maintaining SCC machinery).
+func computeSummaries(prog *Program) {
+	idxByPkg := make(map[*Package]*sourceIndex)
+	for _, p := range prog.Pkgs {
+		idxByPkg[p] = newSourceIndex(p)
+	}
+	for _, fi := range prog.order {
+		idx := idxByPkg[fi.Pkg]
+		sum := &Summary{}
+		var raw []Source
+		raw = wallClockSources(fi.Pkg, fi.Decl.Body, raw)
+		raw = globalRandSources(fi.Pkg, fi.Decl.Body, raw)
+		// Map-order sources inside the deterministic packages are detmap's
+		// jurisdiction (reported per site there); counting them here too
+		// would double-report every finding at each reachable root.
+		file := fi.Pkg.Fset.Position(fi.Decl.Pos()).Filename
+		if !isDeterministicFile(fi.Pkg, file) {
+			raw = mapOrderSources(fi.Pkg, fi.Decl.Body, raw)
+		}
+		for _, src := range raw {
+			if !idx.sanctioned(src.Pos) {
+				sum.Sources = append(sum.Sources, src)
+				sum.Reaches[src.Kind] = true
+			}
+		}
+		sum.Sanitizes, sum.Bares = errorFacts(fi.Pkg, fi.Decl)
+		fi.Summary = sum
+	}
+	// Fixpoint: propagate reachability up the call graph until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.order {
+			for _, call := range fi.Calls {
+				callee, ok := prog.Funcs[call.Callee]
+				if !ok {
+					continue // stdlib or unresolved: direct facts cover it
+				}
+				for k := range fi.Summary.Reaches {
+					if callee.Summary.Reaches[k] && !fi.Summary.Reaches[k] {
+						fi.Summary.Reaches[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// docContains reports whether the function's doc comment contains the
+// given marker directive (e.g. //oarsmt:detroot).
+func docContains(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == marker || len(c.Text) > len(marker) && c.Text[:len(marker)] == marker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Package cga is the main half of the call-graph unit-test corpus:
+// cross-package edges into cgb, a clean function, and a mutual recursion
+// whose taint must converge under the fixpoint.
+package cga
+
+import dep "oarsmt/internal/lint/testdata/src/cgb"
+
+// A reaches the clock through one cross-package edge.
+func A() int64 { return dep.Clock() }
+
+// B reaches only pure code.
+func B(x int) int { return dep.Pure(x) }
+
+// Rec1 and Rec2 are mutually recursive; both reach the clock through
+// taint, exercising cycle convergence.
+func Rec1(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Rec2(n - 1)
+}
+
+func Rec2(n int) int { return Rec1(n) + taint() }
+
+func taint() int { return int(dep.Clock()) }

@@ -1,0 +1,10 @@
+// Package cgb is the dependency half of the call-graph unit-test corpus.
+package cgb
+
+import "time"
+
+// Clock is a wall-clock source.
+func Clock() int64 { return time.Now().UnixNano() }
+
+// Pure reaches nothing.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,50 @@
+// Golden corpus for the dettaint analyzer: deterministic roots are
+// declared with the //oarsmt:detroot marker; sources are direct, one
+// package away (dettaintdep), sanctioned by a legacy allow annotation, or
+// suppressed by a dettaint-specific one.
+package dettaint
+
+import (
+	"math/rand"
+	"time"
+
+	dep "oarsmt/internal/lint/testdata/src/dettaintdep"
+)
+
+// Root reaches a cross-package clock read, a global rand call, and an
+// order-escaping map range.
+//
+//oarsmt:detroot
+func Root(xs map[int]int) int {
+	s := dep.Stamp()
+	r := rand.Int() // want "global math/rand call .rand.Int. reaches deterministic root"
+	t := 0
+	for k := range xs { // want "map iteration order .range over map xs. reaches deterministic root"
+		t += k
+	}
+	return int(s) + r + t
+}
+
+// NotRoot also reaches Stamp, but nothing marks it deterministic, so it
+// contributes no findings.
+func NotRoot() int64 { return dep.Stamp() }
+
+// CleanRoot only reaches pure code.
+//
+//oarsmt:detroot
+func CleanRoot(x int) int { return dep.Pure(x) }
+
+// SanctionedRoot's clock read carries a reviewed legacy annotation, which
+// sanctions the source for the taint engine too.
+//
+//oarsmt:detroot
+func SanctionedRoot() int64 {
+	return time.Now().UnixNano() //oarsmt:allow nowallclock(corpus: reviewed timing exception)
+}
+
+// SuppressedRoot's source is excused with a dettaint-specific annotation.
+//
+//oarsmt:detroot
+func SuppressedRoot() int {
+	return rand.Int() //oarsmt:allow dettaint(corpus: reviewed randomness)
+}

@@ -1,0 +1,16 @@
+// Package dettaintdep is the dependency half of the dettaint golden
+// corpus: it holds nondeterminism sources one package boundary away from
+// the deterministic roots declared in the dettaint package, which is
+// exactly the blind spot the interprocedural analyzer exists to cover.
+package dettaintdep
+
+import "time"
+
+// Stamp reads the wall clock; reached from a det root it is a finding at
+// this site, with the cross-package call path in the message.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read .time.Now. reaches deterministic root"
+}
+
+// Pure is reachable from roots but has nothing to report.
+func Pure(x int) int { return x + 1 }

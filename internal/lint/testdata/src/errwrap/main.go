@@ -1,0 +1,46 @@
+// Golden corpus for the errwrap analyzer: boundaries are declared with
+// the //oarsmt:errboundary marker (the corpus package path is neither the
+// module root nor internal/serve, so no function is a boundary by
+// accident).
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+
+	dep "oarsmt/internal/lint/testdata/src/errwrapdep"
+)
+
+// Boundary reaches dep.Bare through the pass-through wrapper; the finding
+// lands at the creation site in errwrapdep.
+//
+//oarsmt:errboundary
+func Boundary() error {
+	return dep.PassThrough()
+}
+
+// CleanBoundary's subtree is sanitized at dep.Wrapped, so the walk never
+// reaches anything bare.
+//
+//oarsmt:errboundary
+func CleanBoundary() error {
+	return dep.Wrapped()
+}
+
+// OwnBare creates the bare error directly in the boundary function.
+//
+//oarsmt:errboundary
+func OwnBare() (int, error) {
+	return 0, fmt.Errorf("own bare") // want "fmt.Errorf without %w creates an error that can cross the errwrap.OwnBare boundary"
+}
+
+// SuppressedBoundary carries a reviewed errwrap annotation at the
+// creation site.
+//
+//oarsmt:errboundary
+func SuppressedBoundary() error {
+	return errors.New("reviewed") //oarsmt:allow errwrap(corpus: reviewed bare error)
+}
+
+// helper is bare but unreachable from any boundary.
+func helper() error { return fmt.Errorf("helper bare") }

@@ -1,0 +1,31 @@
+// Package errwrapdep is the dependency half of the errwrap golden corpus:
+// bare, sanitized, and pass-through error creators one package below the
+// declared boundaries.
+package errwrapdep
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDep is the corpus's declared sentinel.
+var ErrDep = errors.New("dep: boom")
+
+// Bare creates an unclassifiable error that escapes to a boundary.
+func Bare() error {
+	return errors.New("dep: bare") // want "errors.New creates an error that can cross the errwrap.Boundary boundary"
+}
+
+// Wrapped sanitizes with the sentinel; the walk stops here.
+func Wrapped() error {
+	return fmt.Errorf("%w: context", ErrDep)
+}
+
+// PassThrough wraps without a sentinel: the wrap neither sanitizes nor
+// trips the check — the bare creation below it is the finding.
+func PassThrough() error {
+	if err := Bare(); err != nil {
+		return fmt.Errorf("passthrough: %w", err)
+	}
+	return nil
+}

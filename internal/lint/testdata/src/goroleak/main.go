@@ -1,0 +1,64 @@
+// Golden corpus for the goroleak analyzer: goroutines must have a
+// context or channel plumbed in — as an argument, captured in the
+// literal's body, or used inside a same-package named callee.
+package goroleak
+
+import "context"
+
+// leakyLit spawns a literal nothing can stop.
+func leakyLit() {
+	go func() { // want "goroutine has neither a context nor a done channel"
+		for {
+		}
+	}()
+}
+
+// ctxLit captures a context: stoppable.
+func ctxLit(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// chanArg passes a done channel as an argument: stoppable.
+func chanArg(done chan struct{}) {
+	go worker(done)
+}
+
+func worker(done chan struct{}) {
+	<-done
+}
+
+// S's loop method selects on its stop channel, so go s.loop() is vetted
+// by looking inside the same-package body.
+type S struct {
+	stop chan struct{}
+}
+
+func (s *S) Start() {
+	go s.loop()
+}
+
+func (s *S) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// leakyNamed spawns a named function with no stop machinery at all.
+func leakyNamed() {
+	go spin() // want "goroutine has neither a context nor a done channel"
+}
+
+func spin() {
+	for {
+	}
+}
+
+// suppressed carries a reviewed annotation.
+func suppressed() {
+	go spin() //oarsmt:allow goroleak(corpus: reviewed fire-and-forget)
+}

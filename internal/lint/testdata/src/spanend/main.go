@@ -1,0 +1,80 @@
+// Golden corpus for the spanend analyzer: every obs.Span open must be
+// deferred, ended on all return paths, or handed off.
+package spanend
+
+import (
+	"context"
+
+	"oarsmt/internal/obs"
+)
+
+func work() {}
+
+// deferred is the canonical idiom.
+func deferred(ctx context.Context) {
+	ctx, end := obs.Span(ctx, "corpus.ok")
+	defer end()
+	_ = ctx
+	work()
+}
+
+// discarded drops the end function outright.
+func discarded(ctx context.Context) {
+	_, _ = obs.Span(ctx, "corpus.discarded") // want "end function is discarded"
+}
+
+// bare discards both results.
+func bare(ctx context.Context) {
+	obs.Span(ctx, "corpus.bare") // want "opened and immediately discarded"
+}
+
+// earlyReturn ends the span on the fall-through path only.
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, end := obs.Span(ctx, "corpus.early")
+	if fail {
+		return nil // want "still open"
+	}
+	end()
+	return nil
+}
+
+// inlineOK brackets one phase and ends before returning.
+func inlineOK(ctx context.Context) {
+	_, end := obs.Span(ctx, "corpus.inline")
+	work()
+	end()
+}
+
+// bothBranches ends the span in every branch before the final return.
+func bothBranches(ctx context.Context, fail bool) error {
+	_, end := obs.Span(ctx, "corpus.branches")
+	if fail {
+		end()
+		return nil
+	}
+	end()
+	return nil
+}
+
+// loopOpen opens a span per iteration but only ends it sometimes.
+func loopOpen(ctx context.Context) {
+	for i := 0; i < 3; i++ {
+		_, end := obs.Span(ctx, "corpus.loop") // want "not ended before the iteration ends"
+		if i == 0 {
+			end()
+		}
+	}
+}
+
+// handoff passes the end function along: ownership moved, trusted.
+func handoff(ctx context.Context) {
+	_, end := obs.Span(ctx, "corpus.handoff")
+	finishLater(end)
+}
+
+func finishLater(end func()) { end() }
+
+// suppressed carries a reviewed annotation.
+func suppressed(ctx context.Context) {
+	obs.Span(ctx, "corpus.suppressed") //oarsmt:allow spanend(corpus: reviewed)
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/obs"
@@ -184,7 +185,7 @@ type Searcher struct {
 // at least 3 pins (a 2-pin layout needs no Steiner points).
 func NewSearcher(sel *selector.Selector, in *layout.Instance, cfg Config) (*Searcher, error) {
 	if in.NumPins() < 3 {
-		return nil, fmt.Errorf("mcts: layout %q has %d pins; need >= 3", in.Name, in.NumPins())
+		return nil, fmt.Errorf("%w: mcts: layout %q has %d pins; need >= 3", errs.ErrInvalidLayout, in.Name, in.NumPins())
 	}
 	cfg = cfg.withDefaults()
 	s := &Searcher{

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/route"
@@ -61,15 +62,15 @@ type Result struct {
 // loop moves the stuck net earlier and retries.
 func Route(base *grid.Graph, nets []Net, router TreeRouter, cfg Config) (*Result, error) {
 	if len(nets) == 0 {
-		return nil, fmt.Errorf("multinet: no nets")
+		return nil, fmt.Errorf("%w: multinet: no nets", errs.ErrInvalidLayout)
 	}
 	for i, n := range nets {
 		if len(n.Pins) < 2 {
-			return nil, fmt.Errorf("multinet: net %d (%s) has %d pins", i, n.Name, len(n.Pins))
+			return nil, fmt.Errorf("%w: multinet: net %d (%s) has %d pins", errs.ErrInvalidLayout, i, n.Name, len(n.Pins))
 		}
 		for _, p := range n.Pins {
 			if base.Blocked(p) {
-				return nil, fmt.Errorf("multinet: net %s pin at %v is blocked", n.Name, base.CoordOf(p))
+				return nil, fmt.Errorf("%w: multinet: net %s pin at %v is blocked", errs.ErrInvalidLayout, n.Name, base.CoordOf(p))
 			}
 		}
 	}
@@ -83,8 +84,8 @@ func Route(base *grid.Graph, nets []Net, router TreeRouter, cfg Config) (*Result
 			return res, nil
 		}
 		if rounds >= cfg.MaxRipupRounds {
-			return nil, fmt.Errorf("multinet: net %s unroutable after %d rip-up rounds",
-				nets[order[stuck]].Name, rounds)
+			return nil, fmt.Errorf("%w: multinet: net %s unroutable after %d rip-up rounds",
+				errs.ErrNoPath, nets[order[stuck]].Name, rounds)
 		}
 		rounds++
 		// Negotiation: promote the stuck net to the front of the order so
@@ -167,15 +168,15 @@ func Validate(base *grid.Graph, nets []Net, res *Result) error {
 	used := map[grid.VertexID]int{}
 	for i, tree := range res.Trees {
 		if tree == nil {
-			return fmt.Errorf("multinet: net %d has no tree", i)
+			return fmt.Errorf("%w: multinet: net %d has no tree", errs.ErrInvalidTree, i)
 		}
 		if err := tree.Validate(base, nets[i].Pins); err != nil {
 			return fmt.Errorf("multinet: net %s: %w", nets[i].Name, err)
 		}
 		for _, v := range tree.Vertices() {
 			if other, clash := used[v]; clash {
-				return fmt.Errorf("multinet: nets %s and %s share vertex %v",
-					nets[other].Name, nets[i].Name, base.CoordOf(v))
+				return fmt.Errorf("%w: multinet: nets %s and %s share vertex %v",
+					errs.ErrInvalidTree, nets[other].Name, nets[i].Name, base.CoordOf(v))
 			}
 			used[v] = i
 		}

@@ -32,7 +32,7 @@ func (u *UNet3D) Save(w io.Writer) error {
 	}
 	for _, p := range u.Params() {
 		if _, dup := snap.Params[p.Name]; dup {
-			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+			return fmt.Errorf("%w: nn: duplicate parameter name %q", errs.ErrInvalidModel, p.Name)
 		}
 		snap.Params[p.Name] = p.W.Data
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/tensor"
 )
 
@@ -37,15 +38,15 @@ func DefaultUNetConfig() UNetConfig {
 func (c UNetConfig) validate() error {
 	switch {
 	case c.InChannels < 1:
-		return fmt.Errorf("nn: InChannels = %d", c.InChannels)
+		return fmt.Errorf("%w: nn: InChannels = %d", errs.ErrInvalidModel, c.InChannels)
 	case c.Base < 1:
-		return fmt.Errorf("nn: Base = %d", c.Base)
+		return fmt.Errorf("%w: nn: Base = %d", errs.ErrInvalidModel, c.Base)
 	case c.Depth < 1:
-		return fmt.Errorf("nn: Depth = %d", c.Depth)
+		return fmt.Errorf("%w: nn: Depth = %d", errs.ErrInvalidModel, c.Depth)
 	case c.Kernel < 1 || c.Kernel%2 == 0:
-		return fmt.Errorf("nn: Kernel = %d must be odd", c.Kernel)
+		return fmt.Errorf("%w: nn: Kernel = %d must be odd", errs.ErrInvalidModel, c.Kernel)
 	case c.Norm < 0 || (c.Norm > 0 && c.Base%c.Norm != 0):
-		return fmt.Errorf("nn: Norm = %d must be 0 or divide Base = %d", c.Norm, c.Base)
+		return fmt.Errorf("%w: nn: Norm = %d must be 0 or divide Base = %d", errs.ErrInvalidModel, c.Norm, c.Base)
 	}
 	return nil
 }

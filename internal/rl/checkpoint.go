@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"oarsmt/internal/ckpt"
+	"oarsmt/internal/errs"
 	"oarsmt/internal/nn"
 	"oarsmt/internal/selector"
 )
@@ -125,7 +126,7 @@ func (t *Trainer) snapshot() ([]byte, error) {
 // called directly for ad-hoc snapshots.
 func (t *Trainer) SaveCheckpoint() (string, error) {
 	if t.ckptDir == "" {
-		return "", fmt.Errorf("rl: checkpoints not enabled (call EnableCheckpoints)")
+		return "", fmt.Errorf("%w: rl: checkpoints not enabled (call EnableCheckpoints)", errs.ErrInvalidConfig)
 	}
 	payload, err := t.snapshot()
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/mcts"
 	"oarsmt/internal/nn"
@@ -311,7 +312,7 @@ func (t *Trainer) fit(ctx context.Context, samples []mcts.Sample) (float64, []fl
 	ctx, end := obs.Span(ctx, "rl.fit")
 	defer end()
 	if len(samples) == 0 {
-		return 0, nil, fmt.Errorf("rl: no samples to fit")
+		return 0, nil, fmt.Errorf("%w: rl: no samples to fit", errs.ErrInvalidConfig)
 	}
 	// Group by layout dimensions so every batch has a single size.
 	groups := map[[3]int][]int{}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 )
 
@@ -22,11 +23,11 @@ func (r *Router) OARMST(terminals []grid.VertexID) (*Tree, error) {
 	mOARMSTBuilds.Inc()
 	terms := dedupSorted(terminals)
 	if len(terms) == 0 {
-		return nil, fmt.Errorf("route: OARMST needs at least one terminal")
+		return nil, fmt.Errorf("%w: route: OARMST needs at least one terminal", errs.ErrInvalidLayout)
 	}
 	for _, t := range terms {
 		if r.g.Blocked(t) {
-			return nil, fmt.Errorf("route: terminal %v is blocked", r.g.CoordOf(t))
+			return nil, fmt.Errorf("%w: route: terminal %v is blocked", errs.ErrInvalidLayout, r.g.CoordOf(t))
 		}
 	}
 
@@ -117,7 +118,7 @@ type SteinerResult struct {
 func (r *Router) SteinerTree(pins, steiner []grid.VertexID) (*SteinerResult, error) {
 	ps := dedupSorted(pins)
 	if len(ps) == 0 {
-		return nil, fmt.Errorf("route: SteinerTree needs at least one pin")
+		return nil, fmt.Errorf("%w: route: SteinerTree needs at least one pin", errs.ErrInvalidLayout)
 	}
 	pinSet := make(map[grid.VertexID]struct{}, len(ps))
 	for _, p := range ps {

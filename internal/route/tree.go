@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/grid"
 )
 
@@ -122,13 +123,13 @@ func (t *Tree) Degrees() map[grid.VertexID]int {
 func (t *Tree) Validate(g *grid.Graph, terminals []grid.VertexID) error {
 	for _, term := range terminals {
 		if !t.Contains(term) {
-			return fmt.Errorf("route: terminal %v not spanned", g.CoordOf(term))
+			return fmt.Errorf("%w: route: terminal %v not spanned", errs.ErrInvalidTree, g.CoordOf(term))
 		}
 	}
 	// Acyclic + connected: |E| == |V| - 1 and a BFS from Root reaches all.
 	if len(t.Edges) != len(t.vertexSet)-1 {
-		return fmt.Errorf("route: tree has %d edges for %d vertices (cycle or forest)",
-			len(t.Edges), len(t.vertexSet))
+		return fmt.Errorf("%w: route: tree has %d edges for %d vertices (cycle or forest)",
+			errs.ErrInvalidTree, len(t.Edges), len(t.vertexSet))
 	}
 	adj := make(map[grid.VertexID][]grid.VertexID, len(t.vertexSet))
 	var cost float64
@@ -137,25 +138,25 @@ func (t *Tree) Validate(g *grid.Graph, terminals []grid.VertexID) error {
 		switch {
 		case ca.V == cb.V && ca.M == cb.M && cb.H-ca.H == 1:
 			if g.EdgeXBlocked(ca.H, ca.V, ca.M) {
-				return fmt.Errorf("route: edge %v-%v is blocked", ca, cb)
+				return fmt.Errorf("%w: route: edge %v-%v is blocked", errs.ErrInvalidTree, ca, cb)
 			}
 		case ca.H == cb.H && ca.M == cb.M && cb.V-ca.V == 1:
 			if g.EdgeYBlocked(ca.H, ca.V, ca.M) {
-				return fmt.Errorf("route: edge %v-%v is blocked", ca, cb)
+				return fmt.Errorf("%w: route: edge %v-%v is blocked", errs.ErrInvalidTree, ca, cb)
 			}
 		case ca.H == cb.H && ca.V == cb.V && cb.M-ca.M == 1:
 			if g.EdgeZBlocked(ca.H, ca.V, ca.M) {
-				return fmt.Errorf("route: via %v-%v is blocked", ca, cb)
+				return fmt.Errorf("%w: route: via %v-%v is blocked", errs.ErrInvalidTree, ca, cb)
 			}
 		default:
-			return fmt.Errorf("route: edge %v-%v joins non-adjacent vertices", ca, cb)
+			return fmt.Errorf("%w: route: edge %v-%v joins non-adjacent vertices", errs.ErrInvalidTree, ca, cb)
 		}
 		cost += g.EdgeCost(e.A, e.B)
 		adj[e.A] = append(adj[e.A], e.B)
 		adj[e.B] = append(adj[e.B], e.A)
 	}
 	if diff := cost - t.Cost; diff > 1e-6 || diff < -1e-6 {
-		return fmt.Errorf("route: recorded cost %v != edge sum %v", t.Cost, cost)
+		return fmt.Errorf("%w: route: recorded cost %v != edge sum %v", errs.ErrInvalidTree, t.Cost, cost)
 	}
 	reached := map[grid.VertexID]bool{t.Root: true}
 	queue := []grid.VertexID{t.Root}
@@ -170,8 +171,8 @@ func (t *Tree) Validate(g *grid.Graph, terminals []grid.VertexID) error {
 		}
 	}
 	if len(reached) != len(t.vertexSet) {
-		return fmt.Errorf("route: tree is disconnected (%d of %d reachable)",
-			len(reached), len(t.vertexSet))
+		return fmt.Errorf("%w: route: tree is disconnected (%d of %d reachable)",
+			errs.ErrInvalidTree, len(reached), len(t.vertexSet))
 	}
 	return nil
 }

@@ -61,8 +61,8 @@ func New(net *nn.UNet3D) *Selector { return newSelector(net) }
 // NewRandom creates a selector with freshly initialised weights.
 func NewRandom(r *rand.Rand, cfg nn.UNetConfig) (*Selector, error) {
 	if cfg.InChannels != NumFeatures {
-		return nil, fmt.Errorf("selector: config wants %d input channels, encoding has %d",
-			cfg.InChannels, NumFeatures)
+		return nil, fmt.Errorf("%w: selector: config wants %d input channels, encoding has %d",
+			errs.ErrInvalidModel, cfg.InChannels, NumFeatures)
 	}
 	net, err := nn.NewUNet3D(r, cfg)
 	if err != nil {

@@ -226,7 +226,7 @@ type Service struct {
 // configuration.
 func NewService(cfg Config) (*Service, error) {
 	if cfg.Selector == nil {
-		return nil, fmt.Errorf("serve: Config.Selector is required")
+		return nil, fmt.Errorf("%w: serve: Config.Selector is required", errs.ErrInvalidConfig)
 	}
 	cfg = cfg.withDefaults()
 	if cfg.Float32 {
@@ -328,7 +328,7 @@ func (s *Service) Close() {
 // rejects the job, or ctx is cancelled.
 func (s *Service) Submit(ctx context.Context, in *layout.Instance) (*Response, error) {
 	if in == nil || in.Graph == nil {
-		return nil, fmt.Errorf("serve: nil instance")
+		return nil, fmt.Errorf("%w: serve: nil instance", errs.ErrInvalidLayout)
 	}
 	if in.Graph.NumVertices() > s.cfg.MaxVolume {
 		return nil, fmt.Errorf("%w: %d vertices, budget %d",

@@ -360,7 +360,7 @@ func writeSegmentFile(dir string, seq int, payload []byte) (string, error) {
 	}
 	syncDir(dir)
 	if torn {
-		return "", fmt.Errorf("store: write %s: injected torn write", final)
+		return "", fmt.Errorf("%w: store: write %s: injected torn write", fault.ErrInjected, final)
 	}
 	return final, nil
 }

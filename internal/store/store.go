@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"oarsmt/internal/errs"
 	"oarsmt/internal/obs"
 )
 
@@ -129,7 +130,7 @@ type Store struct {
 // before Open returns, so a model swap immediately reclaims the disk.
 func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
-		return nil, fmt.Errorf("store: Options.Dir is required")
+		return nil, fmt.Errorf("%w: store: Options.Dir is required", errs.ErrInvalidConfig)
 	}
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {

@@ -66,6 +66,13 @@ var (
 	// ErrTransient marks a retryable failure; the serving scheduler
 	// retries matching errors with capped deterministic backoff.
 	ErrTransient = errs.ErrTransient
+	// ErrInvalidTree reports a routed tree that violates its structural
+	// invariants (unspanned terminal, cycle, blocked vertex, cost
+	// mismatch, overlapping nets); returned by ValidateNets.
+	ErrInvalidTree = errs.ErrInvalidTree
+	// ErrInvalidConfig reports an invalid or incomplete configuration
+	// passed to a constructor or stage runner.
+	ErrInvalidConfig = errs.ErrInvalidConfig
 )
 
 // Observability re-exports (see internal/obs): Router.Route and the other
