@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test lint lint-cold fuzz vet experiments examples train train-resume serve serve-smoke store-smoke clean
+.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test lint lint-cold fuzz vet experiments examples train train-resume serve serve-smoke store-smoke cluster-smoke clean
 
 all: build test
 
@@ -34,7 +34,7 @@ lint-cold:
 # surface the worker pool reaches, plus the kernel speedup regression
 # gate. The second tier runs -short so check stays minutes-scale.
 check: vet lint
-	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/store ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault
+	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/store ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault ./internal/cluster ./client ./wire
 	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
 	$(MAKE) bench-gate
 
@@ -119,6 +119,17 @@ serve:
 serve-smoke:
 	go build -o bin/oarsmt-serve ./cmd/oarsmt-serve
 	go run ./cmd/oarsmt-smoke -bin bin/oarsmt-serve
+
+# End-to-end cluster smoke test: coordinator + 3 registered workers;
+# verifies shard affinity (the repeat of a layout is its shard's cache
+# hit), spread across workers, a SIGTERM'd worker draining with zero
+# dropped requests while requests are in flight, and writes the
+# throughput/latency curve from oarsmt-loadgen to BENCH_cluster.json.
+cluster-smoke:
+	go build -o bin/oarsmt-serve ./cmd/oarsmt-serve
+	go build -o bin/oarsmt-loadgen ./cmd/oarsmt-loadgen
+	go run ./cmd/oarsmt-smoke -bin bin/oarsmt-serve -cluster 3 \
+		-loadgen bin/oarsmt-loadgen -bench BENCH_cluster.json
 
 # End-to-end warm-restart smoke test: route through a store-backed daemon,
 # SIGKILL it, restart it over the same -store-dir, and verify the layout is

@@ -1,0 +1,223 @@
+package client
+
+// Legacy wire compatibility: the unversioned paths and query parameters
+// predate the typed protocol and survive as deprecated aliases. These
+// tests speak raw HTTP on purpose — they impersonate pre-protocol
+// clients — and are the one sanctioned home for it: all other in-repo
+// callers go through the client package.
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"oarsmt/internal/errs"
+	"oarsmt/internal/nn"
+	"oarsmt/internal/selector"
+	"oarsmt/internal/serve"
+	"oarsmt/wire"
+)
+
+const compatLayout = `{"name":"t","grid":{"h":3,"v":3,"m":2,"viaCost":2,` +
+	`"dx":[1,1],"dy":[1,1],"pins":[0,8]}}`
+
+func newServeBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	sel, err := selector.NewRandom(rand.New(rand.NewSource(1)),
+		nn.UNetConfig{InChannels: selector.NumFeatures, Base: 2, Depth: 1, Kernel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.NewService(serve.Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestLegacyRouteBareBody: the pre-protocol convention — bare layout
+// body, options as query parameters — still works, and the response
+// carries the deprecation header naming the /v1 replacement.
+func TestLegacyRouteBareBody(t *testing.T) {
+	srv := newServeBackend(t)
+
+	res, err := http.Post(srv.URL+"/route?edges=1", "application/json", strings.NewReader(compatLayout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST /route = %d, want 200", res.StatusCode)
+	}
+	if dep := res.Header.Get(wire.DeprecationHeader); dep != wire.PathRoute {
+		t.Errorf("deprecation header = %q, want %q", dep, wire.PathRoute)
+	}
+	var resp wire.RouteResponse
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost <= 0 || len(resp.Edges) != resp.NumEdges {
+		t.Errorf("legacy response degenerate: %+v", resp)
+	}
+}
+
+// TestLegacyQueryParamsOnV1: a half-migrated client posting the typed
+// envelope but still passing ?timeout=/?edges= query parameters gets
+// them honoured when the envelope leaves the fields unset.
+func TestLegacyQueryParamsOnV1(t *testing.T) {
+	srv := newServeBackend(t)
+	body := `{"layout":` + compatLayout + `}`
+
+	res, err := http.Post(srv.URL+wire.PathRoute+"?edges=1&timeout=30s", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d, want 200", wire.PathRoute, res.StatusCode)
+	}
+	var resp wire.RouteResponse
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Edges) != resp.NumEdges {
+		t.Errorf("legacy edges param ignored on /v1: %+v", resp)
+	}
+}
+
+// TestLegacyTimeoutParamRejected: a malformed legacy ?timeout= is a 400
+// on both generations of the route path.
+func TestLegacyTimeoutParamRejected(t *testing.T) {
+	srv := newServeBackend(t)
+	for _, path := range []string{"/route", wire.PathRoute} {
+		body := compatLayout
+		if path == wire.PathRoute {
+			body = `{"layout":` + compatLayout + `}`
+		}
+		res, err := http.Post(srv.URL+path+"?timeout=banana", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s?timeout=banana = %d, want 400", path, res.StatusCode)
+		}
+	}
+}
+
+// TestLegacyStatusCodes: the HTTP statuses pre-protocol clients switch
+// on are unchanged — 405 on a GET of the route path, 429 + Retry-After
+// on queue overflow is covered by the serve tests, and the error body
+// still carries the legacy "error" field.
+func TestLegacyStatusCodes(t *testing.T) {
+	srv := newServeBackend(t)
+
+	res, err := http.Get(srv.URL + "/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /route = %d, want 405", res.StatusCode)
+	}
+
+	bad, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(`{"grid":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed layout = %d, want 400", bad.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.NewDecoder(bad.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error == "" {
+		t.Error("error body lost the legacy \"error\" field")
+	}
+	if e.Code != "invalid_layout" {
+		t.Errorf("error code = %q, want invalid_layout", e.Code)
+	}
+}
+
+// TestLegacyAliasesForGETs: /healthz, /stats and /metrics still answer
+// and carry the deprecation header; their /v1 twins answer without it.
+func TestLegacyAliasesForGETs(t *testing.T) {
+	srv := newServeBackend(t)
+	pairs := []struct{ legacy, v1 string }{
+		{"/healthz", wire.PathHealthz},
+		{"/stats", wire.PathStats},
+		{"/metrics", wire.PathMetrics},
+	}
+	for _, p := range pairs {
+		res, err := http.Get(srv.URL + p.legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", p.legacy, res.StatusCode)
+		}
+		if dep := res.Header.Get(wire.DeprecationHeader); dep != p.v1 {
+			t.Errorf("GET %s deprecation header = %q, want %q", p.legacy, dep, p.v1)
+		}
+		vres, err := http.Get(srv.URL + p.v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vres.Body.Close()
+		if vres.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", p.v1, vres.StatusCode)
+		}
+		if dep := vres.Header.Get(wire.DeprecationHeader); dep != "" {
+			t.Errorf("GET %s carries a deprecation header %q", p.v1, dep)
+		}
+		if proto := vres.Header.Get(wire.ProtoHeader); proto == "" {
+			t.Errorf("GET %s response missing the proto header", p.v1)
+		}
+	}
+}
+
+// TestProtoNegotiation: a request advertising an unsupported protocol
+// version is refused with the unsupported_proto code; the client-side
+// sentinel matches.
+func TestProtoNegotiation(t *testing.T) {
+	srv := newServeBackend(t)
+	body := `{"layout":` + compatLayout + `}`
+	req, err := http.NewRequest(http.MethodPost, srv.URL+wire.PathRoute, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(wire.ProtoHeader, "99")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("proto 99 = %d, want 400", res.StatusCode)
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "unsupported_proto" {
+		t.Errorf("code = %q, want unsupported_proto", e.Code)
+	}
+	if s := wire.Sentinel(e.Code); !errors.Is(s, errs.ErrUnsupportedProto) {
+		t.Errorf("sentinel for %q = %v", e.Code, s)
+	}
+}

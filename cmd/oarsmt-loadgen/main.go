@@ -1,0 +1,290 @@
+// oarsmt-loadgen drives load at an oarsmt serving endpoint — a single
+// worker or a cluster coordinator — through the public client package,
+// and reports a throughput/latency curve.
+//
+// Two loops are supported. The closed loop (-sweep) holds N workers
+// each issuing the next request as soon as the last answers, sweeping N
+// over the given levels: the classic saturation curve. The open loop
+// (-rate) fires requests on a fixed schedule regardless of completions,
+// measuring latency under a set arrival rate.
+//
+// Usage:
+//
+//	oarsmt-loadgen -url http://127.0.0.1:8930 -duration 5s -sweep 1,2,4,8
+//	oarsmt-loadgen -url http://127.0.0.1:8931 -duration 10s -rate 200
+//	oarsmt-loadgen ... -json BENCH_cluster.json
+//
+// The workload is a deterministic pool of -layouts random layouts
+// (seeded by -seed) cycled round-robin, so runs are reproducible and a
+// cache-affine cluster shows its hit rate once the pool has been seen.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"oarsmt/client"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
+)
+
+// point is one measured load level in the report's curve.
+type point struct {
+	Concurrency int     `json:"concurrency,omitempty"`
+	RateRPS     float64 `json:"rateRps,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Throughput  float64 `json:"throughputRps"`
+	P50Millis   float64 `json:"p50Millis"`
+	P90Millis   float64 `json:"p90Millis"`
+	P99Millis   float64 `json:"p99Millis"`
+}
+
+// report is the JSON document written by -json (BENCH_cluster.json in
+// the cluster smoke run).
+type report struct {
+	URL      string  `json:"url"`
+	Mode     string  `json:"mode"`
+	Layouts  int     `json:"layouts"`
+	Seed     int64   `json:"seed"`
+	Curve    []point `json:"curve"`
+	CacheHot bool    `json:"cacheHot"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oarsmt-loadgen: ")
+
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8931", "serving endpoint base URL")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window per load level")
+		sweep    = flag.String("sweep", "1,2,4", "closed-loop concurrency levels, comma-separated")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (overrides -sweep)")
+		layouts  = flag.Int("layouts", 16, "distinct layouts in the workload pool")
+		seed     = flag.Int64("seed", 1, "layout pool seed")
+		size     = flag.Int("size", 8, "layout grid side (H=V)")
+		lays     = flag.Int("metal", 2, "layout metal layers")
+		pins     = flag.Int("pins", 5, "pins per layout")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		warm     = flag.Bool("warm", false, "route the whole pool once before measuring (cache-hot curve)")
+		jsonOut  = flag.String("json", "", "write the JSON report here")
+	)
+	flag.Parse()
+
+	cl, err := client.New(client.Config{BaseURL: *url, Timeout: *timeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := buildPool(*seed, *layouts, *size, *lays, *pins)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cl.Healthz(ctx); err != nil {
+		log.Fatalf("endpoint %s not healthy: %v", *url, err)
+	}
+	if *warm {
+		for i, lj := range pool {
+			if _, err := cl.RouteJSON(ctx, lj, nil); err != nil {
+				log.Fatalf("warming layout %d: %v", i, err)
+			}
+		}
+	}
+
+	rep := report{URL: *url, Layouts: *layouts, Seed: *seed, CacheHot: *warm}
+	if *rate > 0 {
+		rep.Mode = "open"
+		p, err := runOpen(ctx, cl, pool, *rate, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Curve = append(rep.Curve, p)
+		printPoint(p)
+	} else {
+		rep.Mode = "closed"
+		levels, err := parseLevels(*sweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range levels {
+			p := runClosed(ctx, cl, pool, n, *duration)
+			rep.Curve = append(rep.Curve, p)
+			printPoint(p)
+			if ctx.Err() != nil {
+				break
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *jsonOut)
+	}
+}
+
+// buildPool pre-encodes the deterministic layout pool.
+func buildPool(seed int64, n, size, metal, pins int) ([][]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][]byte, n)
+	for i := range pool {
+		in, err := layout.Random(rng, layout.RandomSpec{
+			H: size, V: size, MinM: metal, MaxM: metal,
+			MinPins: pins, MaxPins: pins,
+			MinObstacles: 2, MaxObstacles: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf strings.Builder
+		if err := layout.EncodeInstance(&buf, in); err != nil {
+			return nil, err
+		}
+		pool[i] = []byte(buf.String())
+	}
+	return pool, nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-sweep: %q: want positive integers", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runClosed measures one closed-loop level: n workers, each request
+// issued the moment the previous one answers.
+func runClosed(ctx context.Context, cl *client.Client, pool [][]byte, n int, d time.Duration) point {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("loadgen.latency")
+	var requests, errors atomic.Int64
+	var next atomic.Int64
+
+	lctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		//oarsmt:allow rawgo(load driver: one closed-loop worker per concurrency slot, stopped by lctx)
+		go func() {
+			defer wg.Done()
+			for lctx.Err() == nil {
+				lj := pool[int(next.Add(1)-1)%len(pool)]
+				t0 := time.Now()
+				_, err := cl.RouteJSON(lctx, lj, nil)
+				if lctx.Err() != nil && err != nil {
+					return // the window closed mid-request; don't count it
+				}
+				hist.Observe(time.Since(t0))
+				requests.Add(1)
+				if err != nil {
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return point{
+		Concurrency: n,
+		Seconds:     elapsed,
+		Requests:    requests.Load(),
+		Errors:      errors.Load(),
+		Throughput:  float64(requests.Load()) / elapsed,
+		P50Millis:   float64(hist.Percentile(0.50).Microseconds()) / 1000,
+		P90Millis:   float64(hist.Percentile(0.90).Microseconds()) / 1000,
+		P99Millis:   float64(hist.Percentile(0.99).Microseconds()) / 1000,
+	}
+}
+
+// runOpen fires requests at a fixed arrival rate, regardless of how
+// fast they complete; latency under a known offered load.
+func runOpen(ctx context.Context, cl *client.Client, pool [][]byte, rate float64, d time.Duration) (point, error) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		return point{}, fmt.Errorf("-rate %v too high: sub-nanosecond interval", rate)
+	}
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("loadgen.latency")
+	var requests, errors atomic.Int64
+
+	lctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	var i int
+loop:
+	for {
+		select {
+		case <-lctx.Done():
+			break loop
+		case <-tick.C:
+			lj := pool[i%len(pool)]
+			i++
+			wg.Add(1)
+			//oarsmt:allow rawgo(load driver: open-loop arrivals must not wait for completions; stopped by lctx)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				_, err := cl.RouteJSON(lctx, lj, nil)
+				if lctx.Err() != nil && err != nil {
+					return
+				}
+				hist.Observe(time.Since(t0))
+				requests.Add(1)
+				if err != nil {
+					errors.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return point{
+		RateRPS:    rate,
+		Seconds:    elapsed,
+		Requests:   requests.Load(),
+		Errors:     errors.Load(),
+		Throughput: float64(requests.Load()) / elapsed,
+		P50Millis:  float64(hist.Percentile(0.50).Microseconds()) / 1000,
+		P90Millis:  float64(hist.Percentile(0.90).Microseconds()) / 1000,
+		P99Millis:  float64(hist.Percentile(0.99).Microseconds()) / 1000,
+	}, nil
+}
+
+func printPoint(p point) {
+	label := fmt.Sprintf("c=%d", p.Concurrency)
+	if p.RateRPS > 0 {
+		label = fmt.Sprintf("rate=%g/s", p.RateRPS)
+	}
+	log.Printf("%s: %d reqs (%d errors) in %.1fs — %.1f req/s, p50 %.2fms p90 %.2fms p99 %.2fms",
+		label, p.Requests, p.Errors, p.Seconds, p.Throughput, p.P50Millis, p.P90Millis, p.P99Millis)
+}

@@ -1,21 +1,29 @@
-// oarsmt-serve is the routing daemon: an HTTP JSON front end over the
-// embeddable batch-inference service of internal/serve.
+// oarsmt-serve is the routing daemon: an HTTP front end speaking the
+// versioned wire protocol over the embeddable batch-inference service
+// of internal/serve — or, with -coordinator, the cluster coordinator
+// that shards requests across a fleet of such workers.
 //
 // Usage:
 //
-//	oarsmt-serve                          # embedded model, :8931
+//	oarsmt-serve                          # single worker, embedded model, :8931
 //	oarsmt-serve -addr :9000 -model selector.gob -queue 128 -batch 16
+//	oarsmt-serve -coordinator -addr :8930 # cluster coordinator
+//	oarsmt-serve -addr :9001 -register http://127.0.0.1:8930 -worker-id w1
 //
-// Endpoints:
+// Endpoints (worker and coordinator are interchangeable to clients):
 //
-//	POST /route    route a layout (layout JSON body; ?timeout=250ms, ?edges=1)
-//	GET  /healthz  liveness (503 once draining)
-//	GET  /stats    counters: queue depth, batch sizes, cache hit rate, p50/p99
-//	GET  /metrics  Prometheus text exposition (service + process registries)
-//	/debug/pprof/  Go profiling endpoints (with -pprof)
+//	POST /v1/route    route a layout (wire.RouteRequest envelope)
+//	GET  /v1/healthz  liveness (503 once draining)
+//	GET  /v1/stats    counters (wire.Stats / wire.ClusterStats)
+//	GET  /v1/metrics  Prometheus text exposition
+//	POST /route, GET /healthz /stats /metrics   deprecated unversioned aliases
+//	POST /v1/cluster/{register,lease,drain}     cluster plane (coordinator only)
+//	/debug/pprof/     Go profiling endpoints (with -pprof)
 //
-// SIGINT/SIGTERM triggers a graceful drain: in-flight and queued requests
-// are answered, new ones are refused, then the process exits 0.
+// SIGINT/SIGTERM triggers a graceful drain: a registered worker first
+// tells its coordinator to stop routing to it, then in-flight and
+// queued requests are answered, new ones are refused, and the process
+// exits 0.
 package main
 
 import (
@@ -23,13 +31,16 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"oarsmt/internal/cluster"
 	"oarsmt/internal/models"
 	"oarsmt/internal/selector"
 	"oarsmt/internal/serve"
@@ -41,6 +52,7 @@ func main() {
 
 	var (
 		addr        = flag.String("addr", ":8931", "listen address")
+		coordMode   = flag.Bool("coordinator", false, "run the cluster coordinator instead of a worker")
 		modelPath   = flag.String("model", "", "trained selector model (default: embedded)")
 		queueSize   = flag.Int("queue", 64, "job queue capacity (overflow returns 429)")
 		maxBatch    = flag.Int("batch", 8, "max layouts per scheduler batch")
@@ -56,33 +68,102 @@ func main() {
 		f32         = flag.Bool("f32", false, "float32 inference storage (faster, last-bit off the float64 reference)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "max graceful-shutdown wait")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		// Worker-mode cluster membership.
+		register  = flag.String("register", "", "coordinator base URL to join (empty: standalone worker)")
+		workerID  = flag.String("worker-id", "", "stable ring identity (default: the advertise address)")
+		advertise = flag.String("advertise", "", "base URL the coordinator reaches this worker at (default: http://127.0.0.1:<port>)")
+
+		// Coordinator-mode knobs.
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "coordinator: worker lease duration")
+		hedgeDelay = flag.Duration("hedge-delay", 100*time.Millisecond, "coordinator: hedge a slow shard after this delay (negative disables)")
 	)
 	flag.Parse()
 
-	sel, err := loadSelector(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	svc, err := serve.NewService(serve.Config{
-		Selector:            sel,
-		QueueSize:           *queueSize,
-		MaxBatch:            *maxBatch,
-		BatchWindow:         *batchWindow,
-		CacheSize:           *cacheSize,
-		StoreDir:            *storeDir,
-		StoreMaxEntries:     *storeMax,
-		StoreFlushEvery:     *storeFlush,
-		MaxVolume:           *maxVolume,
-		DefaultTimeout:      *timeout,
-		NoGuard:             *noGuard,
-		SequentialInference: *seq,
-		Float32:             *f32,
-	})
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	handler := svc.Handler()
+	// preShutdown runs before the HTTP listener drains (cluster drain
+	// notices); postShutdown runs after in-flight handlers finished
+	// (closing the service itself).
+	var handler http.Handler
+	preShutdown := func(context.Context) {}
+	postShutdown := func() {}
+	if *coordMode {
+		coord, err := cluster.New(cluster.Config{
+			LeaseTTL:       *leaseTTL,
+			HedgeDelay:     *hedgeDelay,
+			ForwardTimeout: *timeout,
+			MaxVolume:      *maxVolume,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = coord.Handler()
+		postShutdown = coord.Close
+		log.Printf("coordinator listening on %s (lease %s, hedge %s)", ln.Addr(), *leaseTTL, *hedgeDelay)
+	} else {
+		sel, err := loadSelector(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := serve.NewService(serve.Config{
+			Selector:            sel,
+			QueueSize:           *queueSize,
+			MaxBatch:            *maxBatch,
+			BatchWindow:         *batchWindow,
+			CacheSize:           *cacheSize,
+			StoreDir:            *storeDir,
+			StoreMaxEntries:     *storeMax,
+			StoreFlushEvery:     *storeFlush,
+			MaxVolume:           *maxVolume,
+			DefaultTimeout:      *timeout,
+			NoGuard:             *noGuard,
+			SequentialInference: *seq,
+			Float32:             *f32,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = svc.Handler()
+		postShutdown = svc.Close
+
+		if *register != "" {
+			adv := *advertise
+			if adv == "" {
+				port := ln.Addr().(*net.TCPAddr).Port
+				adv = "http://127.0.0.1:" + strconv.Itoa(port)
+			}
+			id := *workerID
+			if id == "" {
+				id = adv
+			}
+			agent, err := cluster.StartAgent(context.Background(), cluster.AgentConfig{
+				Coordinator: *register,
+				ID:          id,
+				Advertise:   adv,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("registered with %s as %q (advertising %s)", *register, id, adv)
+			preShutdown = func(ctx context.Context) {
+				// Tell the coordinator first so new requests stop
+				// arriving before the local queue drains.
+				if err := agent.Drain(ctx); err != nil {
+					log.Printf("drain notice: %v", err)
+				}
+			}
+		}
+		if *storeDir != "" {
+			log.Printf("route store: %s (max %d entries)", *storeDir, *storeMax)
+		}
+		log.Printf("listening on %s (queue %d, batch %d, cache %d)",
+			ln.Addr(), *queueSize, *maxBatch, *cacheSize)
+	}
+
 	if *pprofOn {
 		// The service handler owns everything else; pprof mounts beside it
 		// on an explicit mux (the binary never touches http.DefaultServeMux).
@@ -95,18 +176,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	serveErr := make(chan error, 1)
-	//oarsmt:allow rawgo(daemon plumbing: ListenAndServe blocks until shutdown and never touches routing state)
-	go func() { serveErr <- srv.ListenAndServe() }()
-	if *storeDir != "" {
-		log.Printf("route store: %s (max %d entries)", *storeDir, *storeMax)
-	}
-	log.Printf("listening on %s (queue %d, batch %d, cache %d)",
-		*addr, *queueSize, *maxBatch, *cacheSize)
+	//oarsmt:allow rawgo(daemon plumbing: Serve blocks until shutdown and never touches routing state)
+	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
@@ -118,10 +194,11 @@ func main() {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
+	preShutdown(shutdownCtx)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	svc.Close()
+	postShutdown()
 	log.Print("drained, bye")
 }
 

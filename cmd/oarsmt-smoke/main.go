@@ -1,7 +1,9 @@
 // oarsmt-smoke is the serving smoke test driven by `make serve-smoke`: it
-// starts an oarsmt-serve daemon on a free port, waits for /healthz, routes
-// one layout (twice — the repeat must be a cache hit), reads /stats, then
-// sends SIGTERM and verifies the daemon drains and exits 0.
+// starts an oarsmt-serve daemon on a free port, waits for health, routes
+// one layout (twice — the repeat must be a cache hit), reads the stats,
+// then sends SIGTERM and verifies the daemon drains and exits 0. All
+// traffic goes through the public client package; the smoke is also the
+// end-to-end proof that the typed wire protocol round-trips.
 //
 // With -store-dir it instead runs the warm-restart smoke driven by
 // `make store-smoke`: route through a store-backed daemon, SIGKILL it (no
@@ -9,27 +11,35 @@
 // same directory, and verify the same layout comes back as a store hit with
 // a bit-identical tree and zero selector inferences.
 //
+// With -cluster N it runs the cluster smoke driven by `make cluster-smoke`:
+// a coordinator plus N registered workers, verifying shard affinity (a
+// repeated layout hits the same worker's cache), spread (distinct layouts
+// reach more than one worker), graceful drain (a SIGTERM'd worker exits
+// cleanly while concurrent requests all succeed), and — when -loadgen is
+// given — a throughput/latency curve written by oarsmt-loadgen.
+//
 // Usage:
 //
 //	oarsmt-smoke -bin bin/oarsmt-serve
 //	oarsmt-smoke -bin bin/oarsmt-serve -store-dir /tmp/routes
+//	oarsmt-smoke -bin bin/oarsmt-serve -cluster 3 -loadgen bin/oarsmt-loadgen -bench BENCH_cluster.json
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/exec"
 	"reflect"
-	"strings"
+	"sync"
 	"syscall"
 	"time"
 
-	"oarsmt/internal/serve"
+	"oarsmt/client"
+	"oarsmt/wire"
 )
 
 const smokeLayout = `{"name":"smoke","grid":{"h":6,"v":6,"m":2,"viaCost":2,` +
@@ -40,10 +50,19 @@ func main() {
 	log.SetPrefix("oarsmt-smoke: ")
 	bin := flag.String("bin", "bin/oarsmt-serve", "oarsmt-serve binary to exercise")
 	storeDir := flag.String("store-dir", "", "run the warm-restart smoke over this route-store directory")
+	clusterN := flag.Int("cluster", 0, "run the cluster smoke with this many workers")
+	loadgen := flag.String("loadgen", "", "oarsmt-loadgen binary for the cluster throughput curve")
+	bench := flag.String("bench", "", "throughput/latency report path (cluster smoke)")
 	flag.Parse()
-	err := run(*bin)
-	if err == nil && *storeDir != "" {
-		err = runStore(*bin, *storeDir)
+	var err error
+	switch {
+	case *clusterN > 0:
+		err = runCluster(*bin, *clusterN, *loadgen, *bench)
+	default:
+		err = run(*bin)
+		if err == nil && *storeDir != "" {
+			err = runStore(*bin, *storeDir)
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -51,15 +70,16 @@ func main() {
 	log.Print("PASS")
 }
 
-// daemon is one child oarsmt-serve process.
+// daemon is one child oarsmt-serve process and the client bound to it.
 type daemon struct {
 	cmd    *exec.Cmd
 	base   string // http://host:port
+	cl     *client.Client
 	exited chan error
 }
 
 // startDaemon launches the binary on a free port with the extra args and
-// waits for /healthz.
+// waits for health.
 func startDaemon(bin string, extra ...string) (*daemon, error) {
 	addr, err := freeAddr()
 	if err != nil {
@@ -72,10 +92,15 @@ func startDaemon(bin string, extra ...string) (*daemon, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("start %s: %w", bin, err)
 	}
-	d := &daemon{cmd: cmd, base: "http://" + addr, exited: make(chan error, 1)}
+	cl, err := client.New(client.Config{BaseURL: "http://" + addr, Timeout: 60 * time.Second})
+	if err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr, cl: cl, exited: make(chan error, 1)}
 	//oarsmt:allow rawgo(smoke-test plumbing: waits on the child daemon process, no routing state involved)
 	go func() { d.exited <- cmd.Wait() }()
-	if err := waitHealthy(d.base, d.exited); err != nil {
+	if err := waitHealthy(d.cl, d.exited); err != nil {
 		cmd.Process.Kill()
 		return nil, err
 	}
@@ -111,19 +136,6 @@ func (d *daemon) kill() error {
 	return nil
 }
 
-func (d *daemon) stats() (*serve.Stats, error) {
-	res, err := http.Get(d.base + "/stats")
-	if err != nil {
-		return nil, fmt.Errorf("GET /stats: %w", err)
-	}
-	defer res.Body.Close()
-	var st serve.Stats
-	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
-		return nil, fmt.Errorf("decode /stats: %w", err)
-	}
-	return &st, nil
-}
-
 func run(bin string) error {
 	d, err := startDaemon(bin)
 	if err != nil {
@@ -131,7 +143,7 @@ func run(bin string) error {
 	}
 	defer d.cmd.Process.Kill()
 
-	first, err := routeOnce(d.base)
+	first, err := routeOnce(d.cl)
 	if err != nil {
 		return err
 	}
@@ -140,7 +152,7 @@ func run(bin string) error {
 	}
 	log.Printf("routed %q: cost %v, %d edges", first.Name, first.Cost, first.NumEdges)
 
-	second, err := routeOnce(d.base)
+	second, err := routeOnce(d.cl)
 	if err != nil {
 		return err
 	}
@@ -151,7 +163,7 @@ func run(bin string) error {
 		return fmt.Errorf("cached cost %v differs from first %v", second.Cost, first.Cost)
 	}
 
-	st, err := d.stats()
+	st, err := d.cl.Stats(context.Background())
 	if err != nil {
 		return err
 	}
@@ -174,7 +186,7 @@ func runStore(bin, dir string) error {
 	}
 	defer cold.cmd.Process.Kill()
 
-	first, err := routeOnce(cold.base)
+	first, err := routeOnce(cold.cl)
 	if err != nil {
 		return err
 	}
@@ -198,7 +210,7 @@ func runStore(bin, dir string) error {
 	}
 	defer warm.cmd.Process.Kill()
 
-	second, err := routeOnce(warm.base)
+	second, err := routeOnce(warm.cl)
 	if err != nil {
 		return err
 	}
@@ -211,7 +223,7 @@ func runStore(bin, dir string) error {
 	if !reflect.DeepEqual(second.Edges, first.Edges) {
 		return fmt.Errorf("warm tree differs from cold tree")
 	}
-	st, err := warm.stats()
+	st, err := warm.cl.Stats(context.Background())
 	if err != nil {
 		return err
 	}
@@ -226,12 +238,173 @@ func runStore(bin, dir string) error {
 	return warm.drain()
 }
 
-// waitStoreWrites polls /stats until the background flusher has landed at
-// least one segment write (same bounded backoff as waitHealthy).
+// runCluster is the cluster smoke: coordinator + n workers, shard
+// affinity, spread, graceful worker drain under fire, and (optionally)
+// the loadgen throughput curve.
+func runCluster(bin string, n int, loadgenBin, benchPath string) error {
+	ctx := context.Background()
+	coord, err := startDaemon(bin, "-coordinator", "-lease-ttl", "5s", "-hedge-delay", "150ms")
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	defer coord.cmd.Process.Kill()
+
+	workers := make(map[string]*daemon, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%d", i)
+		w, err := startDaemon(bin, "-register", coord.base, "-worker-id", id)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", id, err)
+		}
+		defer w.cmd.Process.Kill()
+		workers[id] = w
+	}
+	if err := waitWorkers(coord.cl, n); err != nil {
+		return err
+	}
+	log.Printf("cluster up: coordinator %s, %d workers", coord.base, n)
+
+	// Shard affinity: the same layout must route to the same worker and
+	// the repeat must be that worker's cache hit.
+	first, err := routeOnce(coord.cl)
+	if err != nil {
+		return err
+	}
+	if first.Worker == "" {
+		return fmt.Errorf("coordinator response carries no worker id: %+v", first)
+	}
+	second, err := routeOnce(coord.cl)
+	if err != nil {
+		return err
+	}
+	if second.Worker != first.Worker {
+		return fmt.Errorf("repeat request moved shards: %q then %q", first.Worker, second.Worker)
+	}
+	if !second.CacheHit {
+		return fmt.Errorf("repeat request on shard %q was not a cache hit", second.Worker)
+	}
+	if second.Cost != first.Cost {
+		return fmt.Errorf("cached cost %v differs from first %v", second.Cost, first.Cost)
+	}
+	log.Printf("affinity: layout pinned to %q, repeat was its cache hit", first.Worker)
+
+	// Spread: distinct layouts must reach more than one worker. With 64
+	// virtual nodes per worker, twelve distinct keys all landing on one
+	// of three shards is vanishingly unlikely.
+	served := map[string]bool{first.Worker: true}
+	for i := 0; i < 12 && len(served) < 2; i++ {
+		resp, err := coord.cl.RouteJSON(ctx, []byte(variantLayout(i)), nil)
+		if err != nil {
+			return fmt.Errorf("spread layout %d: %w", i, err)
+		}
+		served[resp.Worker] = true
+	}
+	if len(served) < 2 {
+		return fmt.Errorf("12 distinct layouts all routed to one worker")
+	}
+	log.Printf("spread: distinct layouts reached %d workers", len(served))
+
+	// Graceful drain under fire: SIGTERM the shard that owns the smoke
+	// layout while concurrent requests are in flight through the
+	// coordinator; every request must succeed (the drained shard
+	// finishes its in-flight work, later ones move shards).
+	victim := workers[first.Worker]
+	if victim == nil {
+		return fmt.Errorf("response worker %q is not one of ours", first.Worker)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		//oarsmt:allow rawgo(smoke-test plumbing: concurrent requests during the drain, joined below)
+		go func() {
+			defer wg.Done()
+			if _, err := routeOnce(coord.cl); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	if err := victim.drain(); err != nil {
+		return fmt.Errorf("draining worker %q: %w", first.Worker, err)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return fmt.Errorf("request dropped during drain of %q: %w", first.Worker, err)
+	}
+	moved, err := routeOnce(coord.cl)
+	if err != nil {
+		return err
+	}
+	if moved.Worker == first.Worker {
+		return fmt.Errorf("layout still routed to drained worker %q", first.Worker)
+	}
+	log.Printf("drain: %q exited 0 with no dropped requests; layout moved to %q", first.Worker, moved.Worker)
+
+	cst, err := coord.cl.ClusterStats(ctx)
+	if err != nil {
+		return err
+	}
+	if cst.Drained < 1 || cst.Completed < 10 {
+		return fmt.Errorf("implausible cluster stats: %+v", cst)
+	}
+	log.Printf("cluster stats: %d forwards, %d completed, %d hedges (%d wins), %d drained",
+		cst.Forwards, cst.Completed, cst.Hedges, cst.HedgeWins, cst.Drained)
+
+	if loadgenBin != "" {
+		args := []string{"-url", coord.base, "-duration", "3s", "-sweep", "1,2,4", "-layouts", "8", "-warm"}
+		if benchPath != "" {
+			args = append(args, "-json", benchPath)
+		}
+		lg := exec.Command(loadgenBin, args...)
+		lg.Stdout = os.Stderr
+		lg.Stderr = os.Stderr
+		if err := lg.Run(); err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+	}
+
+	// Tear down the rest of the fleet gracefully.
+	for id, w := range workers {
+		if id == first.Worker {
+			continue
+		}
+		if err := w.drain(); err != nil {
+			return fmt.Errorf("draining worker %q: %w", id, err)
+		}
+	}
+	return coord.drain()
+}
+
+// variantLayout perturbs the smoke layout's pins so each variant has a
+// distinct canonical hash (and therefore its own shard placement).
+func variantLayout(i int) string {
+	return fmt.Sprintf(`{"name":"v%d","grid":{"h":6,"v":6,"m":2,"viaCost":2,`+
+		`"dx":[1,1,1,1,1],"dy":[1,1,1,1,1],"blocked":[14,15,50],"pins":[%d,5,35,70]}}`, i, i+20)
+}
+
+// waitWorkers polls the coordinator until n workers are registered.
+func waitWorkers(cl *client.Client, n int) error {
+	delay := 10 * time.Millisecond
+	for i := 0; i < 40; i++ {
+		st, err := cl.ClusterStats(context.Background())
+		if err == nil && len(st.Workers) >= n {
+			return nil
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 640*time.Millisecond {
+			delay = 640 * time.Millisecond
+		}
+	}
+	return fmt.Errorf("%d workers did not register", n)
+}
+
+// waitStoreWrites polls the stats until the background flusher has landed
+// at least one segment write (same bounded backoff as waitHealthy).
 func waitStoreWrites(d *daemon) error {
 	delay := 10 * time.Millisecond
 	for i := 0; i < 40; i++ {
-		st, err := d.stats()
+		st, err := d.cl.Stats(context.Background())
 		if err != nil {
 			return err
 		}
@@ -258,14 +431,14 @@ func freeAddr() (string, error) {
 	return addr, nil
 }
 
-// waitHealthy polls /healthz with a bounded, deterministic exponential
+// waitHealthy polls health with a bounded, deterministic exponential
 // backoff (10ms doubling to a 640ms cap, 40 attempts ≈ 24s worst case)
 // instead of a wall-clock deadline, so the startup race between the child
 // daemon binding its port and the first probe resolves the same way on a
 // loaded CI box as on a fast laptop. A connection refused while the child
 // is still booting is expected; the last error is reported if the budget
 // runs out, and the whole smoke test exits non-zero.
-func waitHealthy(base string, exited <-chan error) error {
+func waitHealthy(cl *client.Client, exited <-chan error) error {
 	const (
 		attempts   = 40
 		backoff0   = 10 * time.Millisecond
@@ -279,37 +452,23 @@ func waitHealthy(base string, exited <-chan error) error {
 			return fmt.Errorf("daemon exited before becoming healthy: %v", err)
 		default:
 		}
-		res, err := http.Get(base + "/healthz")
-		if err == nil {
-			res.Body.Close()
-			if res.StatusCode == http.StatusOK {
-				return nil
-			}
-			err = fmt.Errorf("/healthz = %d", res.StatusCode)
+		if err := cl.Healthz(context.Background()); err == nil {
+			return nil
+		} else {
+			lastErr = err
 		}
-		lastErr = err
 		time.Sleep(delay)
 		if delay *= 2; delay > backoffCap {
 			delay = backoffCap
 		}
 	}
-	return fmt.Errorf("/healthz not ready after %d probes (last err: %v)", attempts, lastErr)
+	return fmt.Errorf("health not ready after %d probes (last err: %v)", attempts, lastErr)
 }
 
-func routeOnce(base string) (*serve.Response, error) {
-	res, err := http.Post(base+"/route?edges=1", "application/json", strings.NewReader(smokeLayout))
+func routeOnce(cl *client.Client) (*wire.RouteResponse, error) {
+	resp, err := cl.RouteJSON(context.Background(), []byte(smokeLayout), &client.RouteOptions{Edges: true})
 	if err != nil {
-		return nil, fmt.Errorf("POST /route: %w", err)
+		return nil, fmt.Errorf("route: %w", err)
 	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		var e map[string]string
-		json.NewDecoder(res.Body).Decode(&e)
-		return nil, fmt.Errorf("POST /route = %d: %s", res.StatusCode, e["error"])
-	}
-	var resp serve.Response
-	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return resp, nil
 }

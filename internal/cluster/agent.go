@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"oarsmt/client"
+	"oarsmt/internal/errs"
+	"oarsmt/wire"
+)
+
+// AgentConfig configures a worker's membership in a cluster.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL. Required unless Client
+	// is set.
+	Coordinator string
+	// ID is the worker's stable ring identity. Required; reusing the
+	// same ID across restarts preserves the shard's store affinity.
+	ID string
+	// Advertise is the worker's own base URL as reachable from the
+	// coordinator. Required.
+	Advertise string
+	// Client overrides the coordinator client (tests inject one bound
+	// to an httptest server).
+	Client *client.Client
+	// sleep is the renewal clock, injectable by tests.
+	sleep func(context.Context, time.Duration) error
+}
+
+// Agent keeps one worker registered with a coordinator: it registers,
+// renews the lease on a third of its TTL, re-registers when a renewal
+// is rejected (a sweep collected the lease), and announces a graceful
+// drain on shutdown.
+type Agent struct {
+	cfg AgentConfig
+	cl  *client.Client
+	ttl time.Duration
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// StartAgent registers the worker and starts the renewal loop. The
+// first registration is synchronous so a worker that cannot join the
+// cluster fails its startup instead of serving unreachable.
+func StartAgent(ctx context.Context, cfg AgentConfig) (*Agent, error) {
+	if cfg.ID == "" || cfg.Advertise == "" {
+		return nil, fmt.Errorf("%w: agent: ID and Advertise are required", errs.ErrInvalidConfig)
+	}
+	cl := cfg.Client
+	if cl == nil {
+		var err error
+		cl, err = client.New(client.Config{
+			BaseURL: cfg.Coordinator,
+			Timeout: 10 * time.Second,
+			Retries: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = ctxSleep
+	}
+	a := &Agent{cfg: cfg, cl: cl}
+	resp, err := a.register(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("agent: registering with coordinator: %w", err)
+	}
+	a.ttl = time.Duration(resp.TTLMillis) * time.Millisecond
+	// The renewal loop outlives the registration call's ctx: it runs
+	// until Drain/Close, not until the caller's startup deadline.
+	loopCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	a.cancel = cancel
+	a.wg.Add(1)
+	go a.renewLoop(loopCtx)
+	return a, nil
+}
+
+func (a *Agent) register(ctx context.Context) (*wire.RegisterResponse, error) {
+	return a.cl.Register(ctx, wire.RegisterRequest{
+		ID:    a.cfg.ID,
+		Addr:  a.cfg.Advertise,
+		Proto: wire.Version,
+	})
+}
+
+// renewLoop renews on TTL/3 so two renewals can fail before the lease
+// lapses. A rejected renewal (unknown worker: the sweep collected us
+// during a partition) falls back to a full re-registration.
+func (a *Agent) renewLoop(ctx context.Context) {
+	defer a.wg.Done()
+	interval := a.ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		if err := a.cfg.sleep(ctx, interval); err != nil {
+			return
+		}
+		if _, err := a.cl.RenewLease(ctx, a.cfg.ID); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if resp, rerr := a.register(ctx); rerr == nil {
+				if ttl := time.Duration(resp.TTLMillis) * time.Millisecond; ttl > 0 {
+					interval = ttl / 3
+				}
+			}
+		}
+	}
+}
+
+// Drain stops renewing and tells the coordinator the worker is
+// shutting down, so new requests stop arriving before the worker's own
+// HTTP drain begins. Safe to call once; Close without Drain just lets
+// the lease lapse.
+func (a *Agent) Drain(ctx context.Context) error {
+	a.stop()
+	return a.cl.Drain(ctx, a.cfg.ID)
+}
+
+// Close stops the renewal loop without announcing a drain.
+func (a *Agent) Close() { a.stop() }
+
+func (a *Agent) stop() {
+	if a.cancel != nil {
+		a.cancel()
+		a.wg.Wait()
+		a.cancel = nil
+	}
+}
+
+// ctxSleep waits d or until the context is done.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

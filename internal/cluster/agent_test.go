@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"oarsmt/client"
+	"oarsmt/internal/errs"
+)
+
+// agentHarness wires an Agent to a coordinator over real HTTP with a
+// step-driven renewal clock: each send on step releases exactly one
+// renewal tick.
+type agentHarness struct {
+	coord *Coordinator
+	clock *fakeClock
+	agent *Agent
+	step  chan struct{}
+}
+
+func startAgentHarness(t *testing.T, ttl time.Duration) *agentHarness {
+	t.Helper()
+	clock := newFakeClock()
+	coord := newTestCoord(t, Config{LeaseTTL: ttl, now: clock.now})
+	front := httptest.NewServer(coord.Handler())
+	t.Cleanup(front.Close)
+	cl, err := client.New(client.Config{BaseURL: front.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &agentHarness{coord: coord, clock: clock, step: make(chan struct{})}
+	h.agent, err = StartAgent(context.Background(), AgentConfig{
+		ID:        "w1",
+		Advertise: "http://worker.invalid:1",
+		Client:    cl,
+		sleep: func(ctx context.Context, _ time.Duration) error {
+			select {
+			case <-h.step:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.agent.Close)
+	return h
+}
+
+// leaseMillis polls the coordinator until cond holds for the single
+// registered worker's remaining lease.
+func (h *agentHarness) waitLease(t *testing.T, cond func(int64) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws := h.coord.Workers()
+		if len(ws) == 1 && cond(ws[0].LeaseMillis) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease condition never held; workers = %+v", ws)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAgentRegistersAndRenews: startup registration is synchronous, and
+// each renewal tick restores the full TTL.
+func TestAgentRegistersAndRenews(t *testing.T) {
+	h := startAgentHarness(t, 10*time.Second)
+	ws := h.coord.Workers()
+	if len(ws) != 1 || ws[0].ID != "w1" || ws[0].LeaseMillis != 10_000 {
+		t.Fatalf("after StartAgent workers = %+v", ws)
+	}
+
+	h.clock.advance(6 * time.Second) // lease down to 4s
+	h.waitLease(t, func(ms int64) bool { return ms == 4_000 })
+	h.step <- struct{}{} // one renewal tick
+	h.waitLease(t, func(ms int64) bool { return ms == 10_000 })
+}
+
+// TestAgentReRegistersAfterSweep: when a sweep collected the lease (the
+// agent was partitioned away), the next renewal is rejected and the
+// agent falls back to a full re-registration.
+func TestAgentReRegistersAfterSweep(t *testing.T) {
+	h := startAgentHarness(t, 10*time.Second)
+
+	h.clock.advance(11 * time.Second)
+	h.coord.collectExpired()
+	if ws := h.coord.Workers(); len(ws) != 0 {
+		t.Fatalf("expired agent still registered: %+v", ws)
+	}
+
+	h.step <- struct{}{} // renewal is rejected; the agent re-registers
+	h.waitLease(t, func(ms int64) bool { return ms == 10_000 })
+}
+
+// TestAgentDrainAnnounces: Drain stops the renewal loop and marks the
+// worker draining on the coordinator before the worker's own HTTP
+// shutdown begins.
+func TestAgentDrainAnnounces(t *testing.T) {
+	h := startAgentHarness(t, 10*time.Second)
+	if err := h.agent.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ws := h.coord.Workers()
+	if len(ws) != 1 || !ws[0].Draining {
+		t.Fatalf("after Drain workers = %+v, want one draining worker", ws)
+	}
+	// The renewal loop is stopped: Drain again is safe and the lease is
+	// left to lapse.
+	if err := h.agent.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgentValidation: missing identity fails fast, and a coordinator
+// that cannot be reached fails StartAgent synchronously.
+func TestAgentValidation(t *testing.T) {
+	if _, err := StartAgent(context.Background(), AgentConfig{Advertise: "http://x"}); !errors.Is(err, errs.ErrInvalidConfig) {
+		t.Errorf("StartAgent without ID = %v, want ErrInvalidConfig", err)
+	}
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	_, err := StartAgent(context.Background(), AgentConfig{
+		ID:          "w1",
+		Advertise:   "http://x",
+		Coordinator: dead.URL,
+	})
+	if !errors.Is(err, errs.ErrTransient) {
+		t.Errorf("StartAgent against dead coordinator = %v, want ErrTransient", err)
+	}
+}

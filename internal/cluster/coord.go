@@ -1,0 +1,652 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oarsmt/client"
+	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
+	"oarsmt/internal/layout"
+	"oarsmt/internal/obs"
+	"oarsmt/internal/serve"
+	"oarsmt/wire"
+)
+
+// maxBodyBytes bounds a forwarded request body, matching the worker's
+// own limit so the coordinator rejects oversized layouts before
+// spending a forward on them.
+const maxBodyBytes = 8 << 20
+
+// Config configures a Coordinator. The zero value of every field is
+// usable; defaults favour small test clusters.
+type Config struct {
+	// LeaseTTL is how long a worker registration lives without renewal;
+	// default 10s. Workers conventionally renew every TTL/3.
+	LeaseTTL time.Duration
+	// SweepEvery is how often expired leases are collected; default
+	// LeaseTTL/2. Expired workers stop receiving requests immediately
+	// regardless — the sweep only reclaims their bookkeeping.
+	SweepEvery time.Duration
+	// HedgeDelay is how long the primary shard may stay silent before
+	// an identical request is hedged to the next replica; 0 defaults to
+	// 100ms. Negative disables hedging.
+	HedgeDelay time.Duration
+	// ForwardTimeout bounds each forwarded request; default 60s.
+	ForwardTimeout time.Duration
+	// VirtualNodes is the points-per-worker on the hash ring; default
+	// 64.
+	VirtualNodes int
+	// MaxVolume rejects layouts with more Hanan-graph vertices, the
+	// same guard the workers apply; default 1<<20.
+	MaxVolume int
+
+	// now is the lease clock, injectable by tests.
+	now func() time.Time
+	// newClient builds the per-worker client, injectable by tests.
+	newClient func(addr string) (*client.Client, error)
+}
+
+func (c *Config) fill() {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.LeaseTTL / 2
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 100 * time.Millisecond
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 60 * time.Second
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.MaxVolume <= 0 {
+		c.MaxVolume = 1 << 20
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// worker is the coordinator's view of one registered shard.
+type worker struct {
+	id   string
+	addr string
+	cl   *client.Client
+
+	mu         sync.Mutex
+	leaseUntil time.Time
+	draining   bool
+
+	forwards atomic.Int64
+	errors   atomic.Int64
+}
+
+func (w *worker) eligible(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.draining && now.Before(w.leaseUntil)
+}
+
+// cmetrics are the coordinator's instruments, a per-Coordinator
+// obs.Registry exported on /v1/metrics.
+type cmetrics struct {
+	reg *obs.Registry
+
+	forwards  *obs.Counter // requests forwarded to a shard
+	completed *obs.Counter // requests answered successfully
+	failed    *obs.Counter // requests answered with an error
+	hedges    *obs.Counter // hedged second attempts launched
+	hedgeWins *obs.Counter // hedged attempts that answered first
+	retries   *obs.Counter // failed primaries retried on the fallback shard
+	expired   *obs.Counter // worker leases collected by the sweep
+	drained   *obs.Counter // workers that drained gracefully
+	latency   *obs.Histogram
+}
+
+func newCMetrics() *cmetrics {
+	reg := obs.NewRegistry()
+	return &cmetrics{
+		reg:       reg,
+		forwards:  reg.Counter("cluster.forwards"),
+		completed: reg.Counter("cluster.completed"),
+		failed:    reg.Counter("cluster.failed"),
+		hedges:    reg.Counter("cluster.hedges"),
+		hedgeWins: reg.Counter("cluster.hedge_wins"),
+		retries:   reg.Counter("cluster.retries"),
+		expired:   reg.Counter("cluster.expired"),
+		drained:   reg.Counter("cluster.drained"),
+		latency:   reg.Histogram("cluster.latency"),
+	}
+}
+
+// Coordinator shards routing requests across registered workers by
+// canonical layout hash. It is itself served over the same wire
+// protocol as a worker, so clients cannot tell the difference.
+type Coordinator struct {
+	cfg   Config
+	start time.Time
+	m     *cmetrics
+
+	mu      sync.Mutex
+	workers map[string]*worker
+	ring    *ring
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a coordinator and its lease sweeper.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fill()
+	if cfg.newClient == nil {
+		timeout := cfg.ForwardTimeout
+		cfg.newClient = func(addr string) (*client.Client, error) {
+			return client.New(client.Config{BaseURL: addr, Timeout: timeout})
+		}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		start:   cfg.now(),
+		m:       newCMetrics(),
+		workers: map[string]*worker{},
+		ring:    newRing(cfg.VirtualNodes),
+		done:    make(chan struct{}),
+	}
+	c.m.reg.GaugeFunc("cluster.workers", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.workers))
+	})
+	c.m.reg.GaugeFunc("cluster.uptime_seconds", func() float64 {
+		return c.cfg.now().Sub(c.start).Seconds()
+	})
+	c.wg.Add(1)
+	go c.sweep()
+	return c, nil
+}
+
+// Close stops the lease sweeper. In-flight forwards finish on their own
+// contexts.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+}
+
+// sweep periodically collects workers whose lease lapsed without
+// renewal. Eligibility checks already exclude them from routing the
+// moment the lease expires; the sweep reclaims the bookkeeping and
+// counts the loss.
+func (c *Coordinator) sweep() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.collectExpired()
+		}
+	}
+}
+
+func (c *Coordinator) collectExpired() {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		w.mu.Lock()
+		expired := now.After(w.leaseUntil)
+		draining := w.draining
+		w.mu.Unlock()
+		if expired {
+			delete(c.workers, id)
+			c.ring.remove(id)
+			if !draining {
+				c.m.expired.Inc()
+			}
+		}
+	}
+}
+
+// register adds or refreshes a worker.
+func (c *Coordinator) register(req wire.RegisterRequest) (wire.RegisterResponse, error) {
+	if req.ID == "" || req.Addr == "" {
+		return wire.RegisterResponse{}, fmt.Errorf("%w: register: id and addr are required", errs.ErrInvalidConfig)
+	}
+	if req.Proto != 0 && (req.Proto < wire.MinVersion || req.Proto > wire.Version) {
+		return wire.RegisterResponse{}, fmt.Errorf("%w: register: worker speaks version %d, coordinator accepts [%d, %d]",
+			errs.ErrUnsupportedProto, req.Proto, wire.MinVersion, wire.Version)
+	}
+	until := c.cfg.now().Add(c.cfg.LeaseTTL)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[req.ID]; ok {
+		w.mu.Lock()
+		w.leaseUntil = until
+		w.draining = false
+		sameAddr := w.addr == req.Addr
+		w.mu.Unlock()
+		if sameAddr {
+			return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+		}
+		// The worker moved: rebuild its client, keep its ring points
+		// (identity, not address, owns the shard).
+		delete(c.workers, req.ID)
+		c.ring.remove(req.ID)
+	}
+	cl, err := c.cfg.newClient(req.Addr)
+	if err != nil {
+		return wire.RegisterResponse{}, err
+	}
+	w := &worker{id: req.ID, addr: req.Addr, cl: cl}
+	w.leaseUntil = until
+	c.workers[req.ID] = w
+	c.ring.add(req.ID)
+	return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+}
+
+// renew extends a known worker's lease; an unknown ID is an error so
+// the worker knows to re-register.
+func (c *Coordinator) renew(id string) (wire.LeaseResponse, error) {
+	c.mu.Lock()
+	w := c.workers[id]
+	c.mu.Unlock()
+	if w == nil {
+		return wire.LeaseResponse{}, fmt.Errorf("%w: lease: unknown worker %q (re-register)", errs.ErrInvalidConfig, id)
+	}
+	w.mu.Lock()
+	w.leaseUntil = c.cfg.now().Add(c.cfg.LeaseTTL)
+	w.mu.Unlock()
+	return wire.LeaseResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+}
+
+// drain marks a worker as shutting down: no new work routes to it, its
+// in-flight requests finish on the worker's own drain path, and the
+// sweep reclaims it once the lease lapses.
+func (c *Coordinator) drain(id string) error {
+	c.mu.Lock()
+	w := c.workers[id]
+	c.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("%w: drain: unknown worker %q", errs.ErrInvalidConfig, id)
+	}
+	w.mu.Lock()
+	already := w.draining
+	w.draining = true
+	w.mu.Unlock()
+	if !already {
+		c.m.drained.Inc()
+	}
+	return nil
+}
+
+// pick returns the key's home shard and its fallback: the first two
+// eligible workers in ring order from the key's position.
+func (c *Coordinator) pick(key string) (primary, secondary *worker) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.ring.pick(key, len(c.workers)) {
+		w := c.workers[id]
+		if w == nil || !w.eligible(now) {
+			continue
+		}
+		if primary == nil {
+			primary = w
+			continue
+		}
+		return primary, w
+	}
+	return primary, nil
+}
+
+// Workers returns the current membership, sorted by id.
+func (c *Coordinator) Workers() []wire.WorkerInfo {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		w.mu.Lock()
+		info := wire.WorkerInfo{
+			ID:          w.id,
+			Addr:        w.addr,
+			Draining:    w.draining,
+			LeaseMillis: w.leaseUntil.Sub(now).Milliseconds(),
+			Forwards:    w.forwards.Load(),
+			Errors:      w.errors.Load(),
+		}
+		w.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns the coordinator's snapshot.
+func (c *Coordinator) Stats() wire.ClusterStats {
+	m := c.m
+	return wire.ClusterStats{
+		UptimeSeconds: c.cfg.now().Sub(c.start).Seconds(),
+		Workers:       c.Workers(),
+		Forwards:      m.forwards.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		Hedges:        m.hedges.Load(),
+		HedgeWins:     m.hedgeWins.Load(),
+		Retries:       m.retries.Load(),
+		Expired:       m.expired.Load(),
+		Drained:       m.drained.Load(),
+		P50Millis:     float64(m.latency.Percentile(0.50).Microseconds()) / 1000,
+		P99Millis:     float64(m.latency.Percentile(0.99).Microseconds()) / 1000,
+	}
+}
+
+// forward routes one request to its shard, hedging to the fallback when
+// the primary is slow and retrying on it when the primary fails with a
+// retryable error. The winning worker's id is stamped on the response.
+func (c *Coordinator) forward(ctx context.Context, key string, req *wire.RouteRequest) (*wire.RouteResponse, error) {
+	primary, secondary := c.pick(key)
+	if primary == nil {
+		return nil, fmt.Errorf("%w: cluster has no live workers", errs.ErrTransient)
+	}
+	c.m.forwards.Inc()
+	start := c.cfg.now()
+	resp, err := c.race(ctx, req, primary, secondary)
+	c.m.latency.Observe(c.cfg.now().Sub(start))
+	if err != nil {
+		c.m.failed.Inc()
+		return nil, err
+	}
+	c.m.completed.Inc()
+	return resp, nil
+}
+
+// attemptResult is one shard attempt's outcome.
+type attemptResult struct {
+	resp   *wire.RouteResponse
+	err    error
+	w      *worker
+	hedged bool
+}
+
+// race runs the primary attempt, arming a hedge to the fallback shard
+// on the configured delay. fault point "cluster.forward" fires once per
+// attempt, before the request leaves the coordinator: Delay mode makes
+// a shard look slow (driving a hedge), Error mode makes it fail
+// (driving a retry).
+func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary, secondary *worker) (*wire.RouteResponse, error) {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, 2)
+	attempt := func(ctx context.Context, w *worker, hedged bool) {
+		w.forwards.Add(1)
+		var resp *wire.RouteResponse
+		err := fault.Inject("cluster.forward")
+		if err == nil {
+			resp, err = w.cl.RouteJSON(ctx, req.Layout, &client.RouteOptions{
+				Timeout: time.Duration(req.TimeoutMillis) * time.Millisecond,
+				Edges:   req.Edges,
+			})
+		}
+		if err != nil {
+			w.errors.Add(1)
+		} else {
+			resp.Worker = w.id
+			resp.Hedged = hedged
+		}
+		results <- attemptResult{resp, err, w, hedged}
+	}
+	go attempt(fctx, primary, false)
+
+	hedge := func() bool {
+		if secondary == nil {
+			return false
+		}
+		s := secondary
+		secondary = nil
+		go attempt(fctx, s, true)
+		return true
+	}
+
+	var firstErr error
+	outstanding := 1
+	armed := c.cfg.HedgeDelay > 0 && secondary != nil
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if armed {
+		hedgeTimer = time.NewTimer(c.cfg.HedgeDelay)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	for outstanding > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			c.m.hedges.Inc()
+			hedge()
+			outstanding++
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.hedged {
+					c.m.hedgeWins.Inc()
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			// A failed attempt frees the fallback for an immediate
+			// retry — no point waiting out the hedge timer on a shard
+			// that already answered with an error.
+			if client.Retryable(r.err) && hedge() {
+				c.m.retries.Inc()
+				outstanding++
+			}
+		case <-fctx.Done():
+			return nil, errs.Classify(fctx.Err())
+		}
+	}
+	return nil, firstErr
+}
+
+// CanonicalKeyJSON decodes a layout and returns its canonical shard
+// key; the decode also validates the layout before any forward.
+func (c *Coordinator) canonicalKey(layoutJSON []byte) (string, error) {
+	in, err := layout.DecodeWithLimit(bytes.NewReader(layoutJSON), c.cfg.MaxVolume)
+	if err != nil {
+		return "", err
+	}
+	return serve.CanonicalKey(in), nil
+}
+
+// Handler returns the coordinator's HTTP surface: the same data-plane
+// paths a worker serves (versioned and legacy), plus the cluster plane.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+wire.PathRoute, c.handleRouteV1)
+	mux.HandleFunc("GET "+wire.PathHealthz, c.handleHealthz)
+	mux.HandleFunc("GET "+wire.PathStats, c.handleStats)
+	mux.HandleFunc("GET "+wire.PathMetrics, c.handleMetrics)
+
+	mux.HandleFunc("POST "+wire.PathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+wire.PathLease, c.handleLease)
+	mux.HandleFunc("POST "+wire.PathDrain, c.handleDrain)
+
+	mux.HandleFunc("POST "+wire.LegacyPathRoute, c.handleRouteLegacy)
+	mux.HandleFunc("GET "+wire.LegacyPathHealthz, c.deprecated(wire.PathHealthz, c.handleHealthz))
+	mux.HandleFunc("GET "+wire.LegacyPathStats, c.deprecated(wire.PathStats, c.handleStats))
+	mux.HandleFunc("GET "+wire.LegacyPathMetrics, c.deprecated(wire.PathMetrics, c.handleMetrics))
+	return mux
+}
+
+func (c *Coordinator) deprecated(replacement string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.DeprecationHeader, replacement)
+		h(w, r)
+	}
+}
+
+func (c *Coordinator) handleRouteV1(w http.ResponseWriter, r *http.Request) {
+	if err := wire.CheckProto(r); err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		wire.WriteError(w, fmt.Errorf("%w: request body", errs.ErrTooLarge))
+		return
+	}
+	var req wire.RouteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		wire.WriteError(w, fmt.Errorf("%w: request envelope: %v", errs.ErrInvalidLayout, err))
+		return
+	}
+	if len(req.Layout) == 0 {
+		wire.WriteError(w, fmt.Errorf("%w: request envelope has no layout", errs.ErrInvalidLayout))
+		return
+	}
+	c.serveForward(w, r, &req)
+}
+
+func (c *Coordinator) handleRouteLegacy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(wire.DeprecationHeader, wire.PathRoute)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		wire.WriteError(w, fmt.Errorf("%w: request body", errs.ErrTooLarge))
+		return
+	}
+	req := wire.RouteRequest{Layout: body, Edges: r.URL.Query().Get("edges") != ""}
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			wire.WriteErrorStatus(w, http.StatusBadRequest, "invalid_layout", "timeout: want a positive duration like 250ms")
+			return
+		}
+		req.TimeoutMillis = d.Milliseconds()
+		if req.TimeoutMillis == 0 {
+			req.TimeoutMillis = 1
+		}
+	}
+	c.serveForward(w, r, &req)
+}
+
+func (c *Coordinator) serveForward(w http.ResponseWriter, r *http.Request, req *wire.RouteRequest) {
+	key, err := c.canonicalKey(req.Layout)
+	if err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	resp, err := c.forward(r.Context(), key, req)
+	if err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	wire.SetProto(w.Header())
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		wire.WriteError(w, fmt.Errorf("%w: draining", errs.ErrClosed))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Stats())
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	wire.SetProto(w.Header())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.m.reg.WritePrometheus(w)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := c.register(req)
+	if err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req wire.LeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := c.renew(req.ID)
+	if err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req wire.DrainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := c.drain(req.ID); err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := wire.CheckProto(r); err != nil {
+		wire.WriteError(w, err)
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		wire.WriteError(w, fmt.Errorf("%w: request body: %v", errs.ErrInvalidConfig, err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	wire.SetProto(w.Header())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,96 @@
+// Package cluster turns a fleet of serving workers into one endpoint: a
+// coordinator that shards routing requests across workers by their
+// augmentation-normalized canonical layout hash, so every orientation
+// of a layout lands on the same worker and reuses its cache and store
+// tiers. Workers register with leases and renew them; the coordinator
+// hedges slow shards to a second replica and honours graceful drains.
+//
+// The data plane and the cluster plane both speak the versioned wire
+// protocol through the public client package; the coordinator's HTTP
+// surface is interchangeable with a single worker's.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Placing each
+// member at several pseudo-random points evens out the key space, and
+// consistent hashing keeps reshuffling minimal when membership changes:
+// adding or losing one worker moves only the keys adjacent to its
+// points, so the rest of the fleet keeps its cache affinity.
+type ring struct {
+	replicas int
+	keys     []uint64          // sorted virtual-node positions
+	owners   map[uint64]string // position -> member id
+}
+
+func newRing(replicas int) *ring {
+	return &ring{replicas: replicas, owners: map[uint64]string{}}
+}
+
+// hash64 is FNV-1a with a murmur-style finalizer. FNV alone has weak
+// avalanche on short, similar inputs — the "id#n" virtual-node labels
+// land clustered on the ring, starving some members — so the extra
+// mixing rounds are what make the point placement uniform. Stable
+// across processes, so every coordinator agrees on placement.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (r *ring) add(id string) {
+	for i := 0; i < r.replicas; i++ {
+		k := hash64(id + "#" + strconv.Itoa(i))
+		if _, taken := r.owners[k]; taken {
+			// A position collision between members would let add/remove
+			// orders disagree about the owner; keep the first claimant
+			// (removal re-checks ownership so the ring stays coherent).
+			continue
+		}
+		r.owners[k] = id
+		r.keys = append(r.keys, k)
+	}
+	sort.Slice(r.keys, func(i, j int) bool { return r.keys[i] < r.keys[j] })
+}
+
+func (r *ring) remove(id string) {
+	kept := r.keys[:0]
+	for _, k := range r.keys {
+		if r.owners[k] == id {
+			delete(r.owners, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	r.keys = kept
+}
+
+// pick returns up to n distinct member ids in ring order starting from
+// the key's position: the first is the key's home shard, the rest are
+// the successive fallbacks every member agrees on.
+func (r *ring) pick(key string, n int) []string {
+	if len(r.keys) == 0 || n <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= hash64(key) })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.keys) && len(out) < n; i++ {
+		id := r.owners[r.keys[(start+i)%len(r.keys)]]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(members ...string) *ring {
+	r := newRing(64)
+	for _, m := range members {
+		r.add(m)
+	}
+	return r
+}
+
+// TestRingPickStable: the same key always resolves to the same ordered
+// shard list, and the list never repeats a member.
+func TestRingPickStable(t *testing.T) {
+	r := ringWith("w1", "w2", "w3")
+	first := r.pick("somekey", 3)
+	if len(first) != 3 {
+		t.Fatalf("pick returned %v, want all 3 members", first)
+	}
+	seen := map[string]bool{}
+	for _, id := range first {
+		if seen[id] {
+			t.Fatalf("pick repeated member %q: %v", id, first)
+		}
+		seen[id] = true
+	}
+	for i := 0; i < 10; i++ {
+		got := r.pick("somekey", 3)
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("pick not stable: %v then %v", first, got)
+			}
+		}
+	}
+}
+
+// TestRingEmptyAndBounds: an empty ring and non-positive n return nil;
+// asking for more members than exist returns them all.
+func TestRingEmptyAndBounds(t *testing.T) {
+	if got := newRing(64).pick("k", 2); got != nil {
+		t.Errorf("empty ring pick = %v, want nil", got)
+	}
+	r := ringWith("w1", "w2")
+	if got := r.pick("k", 0); got != nil {
+		t.Errorf("pick(k, 0) = %v, want nil", got)
+	}
+	if got := r.pick("k", 99); len(got) != 2 {
+		t.Errorf("pick(k, 99) = %v, want both members", got)
+	}
+}
+
+// TestRingDistribution: virtual nodes spread the key space — with four
+// members, no shard owns less than a twentieth or more than half of a
+// large key sample.
+func TestRingDistribution(t *testing.T) {
+	r := ringWith("w1", "w2", "w3", "w4")
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.pick(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members received keys: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		if c < n/20 || c > n/2 {
+			t.Errorf("member %s owns %d/%d keys — distribution too skewed: %v", id, c, n, counts)
+		}
+	}
+}
+
+// TestRingMinimalReshuffle is the consistent-hashing property: removing
+// one member must not move any key that member did not own.
+func TestRingMinimalReshuffle(t *testing.T) {
+	r := ringWith("w1", "w2", "w3", "w4")
+	const n = 2000
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.pick(k, 1)[0]
+	}
+	r.remove("w2")
+	moved := 0
+	for k, owner := range before {
+		now := r.pick(k, 1)[0]
+		if owner == "w2" {
+			if now == "w2" {
+				t.Fatalf("key %s still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if now != owner {
+			t.Errorf("key %s moved %s -> %s though its owner stayed", k, owner, now)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed member owned no keys; distribution test should have caught this")
+	}
+}
+
+// TestRingReAddRestoresOwnership: adding a member back gives it exactly
+// its old points, so a worker rejoining under the same id recovers its
+// shard (and with it the store affinity).
+func TestRingReAddRestoresOwnership(t *testing.T) {
+	r := ringWith("w1", "w2", "w3")
+	const n = 500
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.pick(k, 1)[0]
+	}
+	r.remove("w2")
+	r.add("w2")
+	for k, owner := range before {
+		if now := r.pick(k, 1)[0]; now != owner {
+			t.Errorf("key %s owned by %s after re-add, want %s", k, now, owner)
+		}
+	}
+}

@@ -66,6 +66,20 @@ var (
 	// passed to a constructor or stage runner (missing selector, empty
 	// store directory, checkpoints not enabled, no samples to fit).
 	ErrInvalidConfig = errors.New("oarsmt: invalid configuration")
+
+	// ErrClosed reports a submission to a service that has begun
+	// draining; the request was not accepted and is safe to resubmit to
+	// another replica. The HTTP layer maps it to 503.
+	ErrClosed = errors.New("oarsmt: service closed")
+
+	// ErrTooLarge reports a layout above a service's volume budget. The
+	// HTTP layer maps it to 413.
+	ErrTooLarge = errors.New("oarsmt: layout too large")
+
+	// ErrUnsupportedProto reports a wire-protocol version outside the
+	// range a server accepts (see package wire). The HTTP layer maps it
+	// to 400.
+	ErrUnsupportedProto = errors.New("oarsmt: unsupported protocol version")
 )
 
 // Classify wraps context cancellation errors with the module's sentinels:

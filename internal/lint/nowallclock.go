@@ -34,6 +34,7 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 // of the records. Package main (cmd/ daemons, examples) is always exempt.
 var wallClockPackages = []string{
 	"internal/serve",
+	"internal/cluster",
 	"internal/experiments",
 	"internal/baseline",
 }

@@ -5,21 +5,25 @@ import (
 	"go/token"
 )
 
-// AnalyzerRawGo flags `go` statements outside internal/parallel (the
-// deterministic worker pool) and internal/serve (the request plumbing):
-// ad-hoc goroutines in compute code reintroduce schedule-dependent
-// execution order, which is exactly what the pool's contiguous sharding
-// and fixed-order reduction exist to prevent. Hot-path concurrency must go
+// AnalyzerRawGo flags `go` statements outside the sanctioned concurrency
+// homes — internal/parallel (the deterministic worker pool), internal/serve
+// (the request plumbing), internal/cluster (the coordinator's forwarding,
+// hedging, and lease loops), and client (hedged request racing): ad-hoc
+// goroutines in compute code reintroduce schedule-dependent execution
+// order, which is exactly what the pool's contiguous sharding and
+// fixed-order reduction exist to prevent. Hot-path concurrency must go
 // through parallel.For/SumChunks; daemon plumbing in cmd/ that genuinely
 // needs a goroutine carries an //oarsmt:allow rawgo(reason) annotation.
+// Note goroleak exempts only parallel and serve: every goroutine in
+// cluster and client must still carry a context or done channel.
 var AnalyzerRawGo = &Analyzer{
 	Name: "rawgo",
-	Doc:  "go statements outside internal/parallel and internal/serve",
+	Doc:  "go statements outside internal/parallel, internal/serve, internal/cluster and client",
 	Run:  runRawGo,
 }
 
 func runRawGo(p *Package, report func(pos token.Pos, format string, args ...any)) {
-	if pathIsAny(p.Path, "internal/parallel", "internal/serve") {
+	if pathIsAny(p.Path, "internal/parallel", "internal/serve", "internal/cluster", "client") {
 		return
 	}
 	for _, f := range p.Files {

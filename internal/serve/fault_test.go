@@ -2,10 +2,7 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"io"
-	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -135,66 +132,54 @@ func TestEnqueueFaultShedsRetryably(t *testing.T) {
 	}
 }
 
-// TestHTTPFaultStatusCodes covers the wire mapping of the failure modes:
-// injected panic → 500 with the daemon still answering, 100% inference
-// fault → 200 with degraded:true and serve.degraded visible in /metrics,
-// enqueue fault → 503 + Retry-After.
+// TestHTTPFaultStatusCodes covers the wire mapping of the failure modes
+// as the client package surfaces them: injected panic → ErrInternal with
+// the daemon still answering, 100% inference fault → a successful
+// response with Degraded:true and serve.degraded visible in the metrics,
+// enqueue fault → ErrTransient (503 + Retry-After on the wire).
 func TestHTTPFaultStatusCodes(t *testing.T) {
 	fault.Reset()
 	t.Cleanup(fault.Reset)
-	_, srv := newTestServer(t, Config{CacheSize: -1, sleep: func(time.Duration) {}})
+	_, cl := newTestServer(t, Config{CacheSize: -1, sleep: func(time.Duration) {}})
+	ctx := context.Background()
 
-	post := func() *http.Response {
+	post := func() (*Response, error) {
 		t.Helper()
-		res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { res.Body.Close() })
-		return res
+		return cl.RouteJSON(ctx, []byte(smallLayoutJSON), nil)
 	}
 
 	fault.Set("selector.infer", fault.Options{Mode: fault.Panic, Times: 1})
-	if res := post(); res.StatusCode != http.StatusInternalServerError {
-		t.Errorf("panic request = %d, want 500", res.StatusCode)
+	if _, err := post(); !errors.Is(err, errs.ErrInternal) {
+		t.Errorf("panic request err = %v, want ErrInternal", err)
 	}
 
-	// Daemon alive; now a persistent error fault degrades with 200.
+	// Daemon alive; now a persistent error fault degrades with success.
 	fault.Set("selector.infer", fault.Options{Mode: fault.Error})
-	res := post()
-	if res.StatusCode != http.StatusOK {
-		t.Fatalf("degraded request = %d, want 200", res.StatusCode)
-	}
-	var resp Response
-	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
-		t.Fatal(err)
+	resp, err := post()
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
 	}
 	if !resp.Degraded {
 		t.Error("degraded response not flagged on the wire")
 	}
 	fault.Clear("selector.infer")
 
-	mres, err := http.Get(srv.URL + "/metrics")
+	mtext, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mres.Body.Close()
-	mtext, err := io.ReadAll(mres.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(mtext), "oarsmt_serve_degraded") {
-		t.Error("/metrics does not expose serve.degraded")
+	if !strings.Contains(mtext, "oarsmt_serve_degraded") {
+		t.Error("metrics do not expose serve.degraded")
 	}
 
 	fault.Set("serve.enqueue", fault.Options{Mode: fault.Error, Times: 1})
-	if res := post(); res.StatusCode != http.StatusServiceUnavailable || res.Header.Get("Retry-After") == "" {
-		t.Errorf("enqueue fault = %d (Retry-After %q), want 503 with Retry-After", res.StatusCode, res.Header.Get("Retry-After"))
+	if _, err := post(); !errors.Is(err, errs.ErrTransient) {
+		t.Errorf("enqueue fault err = %v, want ErrTransient", err)
 	}
 
 	// Everything cleared: healthy again.
 	fault.Reset()
-	if res := post(); res.StatusCode != http.StatusOK {
-		t.Errorf("post-recovery request = %d, want 200", res.StatusCode)
+	if _, err := post(); err != nil {
+		t.Errorf("post-recovery request failed: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"math"
 	"sort"
 
@@ -17,6 +18,15 @@ import (
 // Z-mirror). Two layouts share a key exactly when one is an augmentation
 // of the other, so a cached route for any orientation serves all 16.
 type cacheKey [sha256.Size]byte
+
+// CanonicalKey returns the hex form of the instance's augmentation-
+// normalized cache key. The cluster coordinator shards requests by this
+// key, so all 16 orientations of a layout land on the same worker and
+// share its cache and store tiers.
+func CanonicalKey(in *layout.Instance) string {
+	key, _ := canonicalize(in)
+	return hex.EncodeToString(key[:])
+}
 
 // canonicalize returns the cache key of the instance together with the
 // augmentation that maps the instance onto its canonical (smallest-digest)

@@ -1,109 +1,181 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"oarsmt/internal/errs"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/obs"
+	"oarsmt/wire"
 )
 
 // maxBodyBytes bounds a /route request body; layouts are JSON and even
 // dense 256x256x4 obstacle grids fit comfortably.
 const maxBodyBytes = 8 << 20
 
-// Handler returns the service's HTTP surface:
+// Handler returns the service's HTTP surface — the versioned wire
+// protocol plus the legacy unversioned aliases:
 //
-//	POST /route    — route one layout (JSON body, layout.Decode format);
-//	                 query: timeout=250ms caps the request deadline,
-//	                 edges=1 includes the routed tree in the response
-//	GET  /healthz  — 200 "ok" while serving, 503 "draining" after Close
-//	GET  /stats    — JSON counters snapshot (Stats)
-//	GET  /metrics  — Prometheus text exposition: the service registry
-//	                 followed by the process-wide obs.Default registry
-//	                 (route/core search-volume counters)
+//	POST /v1/route    — route one layout (wire.RouteRequest envelope:
+//	                    the layout plus timeoutMillis / edges fields)
+//	GET  /v1/healthz  — 200 "ok" while serving, 503 "draining" after Close
+//	GET  /v1/stats    — JSON counters snapshot (wire.Stats)
+//	GET  /v1/metrics  — Prometheus text exposition: the service registry
+//	                    followed by the process-wide obs.Default registry
+//
+//	POST /route       — deprecated alias: bare layout body, options as
+//	                    ?timeout=250ms / ?edges=1 query parameters
+//	GET  /healthz, /stats, /metrics — deprecated aliases of the /v1 twins
 //
 // Queue overflow maps to 429 with Retry-After; oversized or malformed
-// layouts to 4xx; deadline expiry to 504. Error classes are matched with
-// errors.Is against the module sentinels (oarsmt.ErrQueueFull,
-// oarsmt.ErrTimeout, ...), so wrapped errors map correctly.
+// layouts to 4xx; deadline expiry to 504. Every error body is a
+// wire.Error carrying the sentinel code, so clients recover the exact
+// sentinel with errors.Is however the error was wrapped (see
+// wire.WriteError and the API.md table).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /route", s.handleRoute)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST "+wire.PathRoute, s.handleRouteV1)
+	mux.HandleFunc("GET "+wire.PathHealthz, s.handleHealthz)
+	mux.HandleFunc("GET "+wire.PathStats, s.handleStats)
+	mux.HandleFunc("GET "+wire.PathMetrics, s.handleMetrics)
+
+	mux.HandleFunc("POST "+wire.LegacyPathRoute, s.handleRouteLegacy)
+	mux.HandleFunc("GET "+wire.LegacyPathHealthz, deprecated(wire.PathHealthz, s.handleHealthz))
+	mux.HandleFunc("GET "+wire.LegacyPathStats, deprecated(wire.PathStats, s.handleStats))
+	mux.HandleFunc("GET "+wire.LegacyPathMetrics, deprecated(wire.PathMetrics, s.handleMetrics))
 	return mux
 }
 
-func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	in, err := layout.DecodeWithLimit(body, s.cfg.MaxVolume)
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "request body too large")
-			return
-		}
-		httpError(w, http.StatusBadRequest, err.Error())
+// deprecated wraps a legacy alias handler: same behaviour, plus the
+// deprecation header naming the versioned replacement.
+func deprecated(replacement string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.DeprecationHeader, replacement)
+		h(w, r)
+	}
+}
+
+// handleRouteV1 serves the typed protocol: a wire.RouteRequest envelope,
+// with the per-request options as message fields. The legacy query
+// parameters are still honoured when the envelope leaves them unset, so
+// a half-migrated client can move the body and the options separately.
+func (s *Service) handleRouteV1(w http.ResponseWriter, r *http.Request) {
+	if err := wire.CheckProto(r); err != nil {
+		wire.WriteError(w, err)
 		return
 	}
-
-	ctx := r.Context()
-	if tq := r.URL.Query().Get("timeout"); tq != "" {
-		d, err := time.ParseDuration(tq)
-		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, "timeout: want a positive duration like 250ms")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	var req wire.RouteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		wire.WriteError(w, fmt.Errorf("%w: request envelope: %v", errs.ErrInvalidLayout, err))
+		return
+	}
+	if len(req.Layout) == 0 {
+		wire.WriteError(w, fmt.Errorf("%w: request envelope has no layout", errs.ErrInvalidLayout))
+		return
+	}
+	in, err := layout.DecodeWithLimit(bytes.NewReader(req.Layout), s.cfg.MaxVolume)
+	if err != nil {
+		wire.WriteError(w, err)
+		return
+	}
+	timeout := time.Duration(req.TimeoutMillis) * time.Millisecond
+	if req.TimeoutMillis < 0 {
+		wire.WriteErrorStatus(w, http.StatusBadRequest, "invalid_layout", "timeoutMillis: want >= 0")
+		return
+	}
+	if timeout == 0 {
+		if d, ok, qerr := legacyTimeout(r); qerr != nil {
+			wire.WriteErrorStatus(w, http.StatusBadRequest, "invalid_layout", qerr.Error())
 			return
+		} else if ok {
+			timeout = d
 		}
+	}
+	edges := req.Edges || r.URL.Query().Get("edges") != ""
+	s.serveRoute(w, r, in, timeout, edges)
+}
+
+// handleRouteLegacy serves the pre-protocol convention: the body is the
+// bare layout, options are query parameters.
+func (s *Service) handleRouteLegacy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(wire.DeprecationHeader, wire.PathRoute)
+	in, err := layout.DecodeWithLimit(http.MaxBytesReader(w, r.Body, maxBodyBytes), s.cfg.MaxVolume)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	var timeout time.Duration
+	if d, ok, qerr := legacyTimeout(r); qerr != nil {
+		wire.WriteErrorStatus(w, http.StatusBadRequest, "invalid_layout", qerr.Error())
+		return
+	} else if ok {
+		timeout = d
+	}
+	s.serveRoute(w, r, in, timeout, r.URL.Query().Get("edges") != "")
+}
+
+// legacyTimeout parses the deprecated ?timeout= query parameter.
+func legacyTimeout(r *http.Request) (time.Duration, bool, error) {
+	tq := r.URL.Query().Get("timeout")
+	if tq == "" {
+		return 0, false, nil
+	}
+	d, err := time.ParseDuration(tq)
+	if err != nil || d <= 0 {
+		return 0, false, errors.New("timeout: want a positive duration like 250ms")
+	}
+	return d, true, nil
+}
+
+// writeBodyError maps a body-read or layout-decode failure, keeping the
+// 413 for oversized bodies distinct from a 400 for malformed ones.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		wire.WriteError(w, fmt.Errorf("%w: request body too large", errs.ErrTooLarge))
+		return
+	}
+	if !errors.Is(err, errs.ErrInvalidLayout) {
+		err = fmt.Errorf("%w: %v", errs.ErrInvalidLayout, err)
+	}
+	wire.WriteError(w, err)
+}
+
+// serveRoute runs the shared submit path for both protocol generations.
+func (s *Service) serveRoute(w http.ResponseWriter, r *http.Request, in *layout.Instance, timeout time.Duration, edges bool) {
+	ctx := r.Context()
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-
 	resp, err := s.Submit(ctx, in)
 	if err != nil {
-		switch {
-		case errors.Is(err, errs.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, err.Error())
-		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		case errors.Is(err, ErrTooLarge):
-			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
-		case errors.Is(err, errs.ErrInvalidLayout):
-			httpError(w, http.StatusBadRequest, err.Error())
-		case errors.Is(err, errs.ErrTimeout), errors.Is(err, context.Canceled):
-			httpError(w, http.StatusGatewayTimeout, err.Error())
-		case errors.Is(err, errs.ErrInternal):
-			// A contained panic or exhausted retry budget: the daemon
-			// itself is healthy, this request is not.
-			httpError(w, http.StatusInternalServerError, err.Error())
-		case errors.Is(err, errs.ErrTransient):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		case errors.Is(err, errs.ErrInvalidModel):
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
-		case errors.Is(err, errs.ErrNoPath):
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
-		default:
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
-		}
+		wire.WriteError(w, err)
 		return
 	}
-	if r.URL.Query().Get("edges") == "" {
+	if !edges {
 		resp.Edges = nil
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	wire.SetProto(w.Header())
 	if s.Closed() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		wire.WriteError(w, fmt.Errorf("%w: draining", errs.ErrClosed))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -120,6 +192,7 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 // format. Metric name sets are disjoint (serve.* vs route.*/core.*), so
 // concatenating the expositions is well-formed.
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	wire.SetProto(w.Header())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.m.reg.WritePrometheus(w); err != nil {
 		return
@@ -128,13 +201,10 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	wire.SetProto(w.Header())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
 }

@@ -1,13 +1,15 @@
 package serve
 
 import (
-	"encoding/json"
-	"io"
-	"net/http"
+	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"oarsmt/client"
+	"oarsmt/internal/errs"
 )
 
 // smallLayoutJSON is a 3x3x2 grid-form layout with two pins, tiny enough
@@ -15,47 +17,43 @@ import (
 const smallLayoutJSON = `{"name":"t","grid":{"h":3,"v":3,"m":2,"viaCost":2,` +
 	`"dx":[1,1],"dy":[1,1],"pins":[0,8]}}`
 
-func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+// newTestServer stands the service up behind a real HTTP listener and
+// returns a wire-protocol client bound to it. All HTTP-level tests talk
+// through the client package — the same path every in-repo caller uses —
+// so these tests also pin the client↔server contract.
+func newTestServer(t *testing.T, cfg Config) (*Service, *client.Client) {
 	t.Helper()
 	s := newTestService(t, cfg)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
-	return s, srv
-}
-
-func TestHTTPRoute(t *testing.T) {
-	_, srv := newTestServer(t, Config{})
-
-	res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
+	cl, err := client.New(client.Config{BaseURL: srv.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		t.Fatalf("POST /route = %d, want 200", res.StatusCode)
-	}
-	var resp Response
-	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+	return s, cl
+}
+
+func TestHTTPRoute(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	resp, err := cl.RouteJSON(ctx, []byte(smallLayoutJSON), nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Cost <= 0 || resp.NumEdges == 0 {
 		t.Errorf("degenerate response: %+v", resp)
 	}
 	if resp.Edges != nil {
-		t.Error("edges included without edges=1")
+		t.Error("edges included without Edges option")
 	}
 
-	res2, err := http.Post(srv.URL+"/route?edges=1", "application/json", strings.NewReader(smallLayoutJSON))
+	resp2, err := cl.RouteJSON(ctx, []byte(smallLayoutJSON), &client.RouteOptions{Edges: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res2.Body.Close()
-	var resp2 Response
-	if err := json.NewDecoder(res2.Body).Decode(&resp2); err != nil {
-		t.Fatal(err)
-	}
 	if len(resp2.Edges) != resp2.NumEdges {
-		t.Errorf("edges=1 returned %d edges, numEdges says %d", len(resp2.Edges), resp2.NumEdges)
+		t.Errorf("Edges option returned %d edges, numEdges says %d", len(resp2.Edges), resp2.NumEdges)
 	}
 	if !resp2.CacheHit {
 		t.Error("second identical request missed the cache")
@@ -63,41 +61,27 @@ func TestHTTPRoute(t *testing.T) {
 }
 
 func TestHTTPRouteRejectsMalformed(t *testing.T) {
-	_, srv := newTestServer(t, Config{})
+	_, cl := newTestServer(t, Config{})
 	cases := []struct {
 		name, body string
-		want       int
 	}{
-		{"bad json", `{"grid":`, http.StatusBadRequest},
-		{"one pin", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0]}}`, http.StatusBadRequest},
-		{"oversized grid", `{"name":"x","grid":{"h":9999,"v":9999,"m":99,"viaCost":1,"dx":[],"dy":[],"pins":[0,1]}}`, http.StatusBadRequest},
+		{"bad json", `{"grid":`},
+		{"one pin", `{"name":"x","grid":{"h":2,"v":2,"m":1,"viaCost":1,"dx":[1],"dy":[1],"pins":[0]}}`},
+		{"oversized grid", `{"name":"x","grid":{"h":9999,"v":9999,"m":99,"viaCost":1,"dx":[],"dy":[],"pins":[0,1]}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(tc.body))
-			if err != nil {
-				t.Fatal(err)
-			}
-			res.Body.Close()
-			if res.StatusCode != tc.want {
-				t.Errorf("status = %d, want %d", res.StatusCode, tc.want)
+			_, err := cl.RouteJSON(context.Background(), []byte(tc.body), nil)
+			if !errors.Is(err, errs.ErrInvalidLayout) {
+				t.Errorf("err = %v, want ErrInvalidLayout", err)
 			}
 		})
-	}
-
-	res, err := http.Get(srv.URL + "/route")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res.Body.Close()
-	if res.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /route = %d, want 405", res.StatusCode)
 	}
 }
 
 func TestHTTPQueueFull429(t *testing.T) {
 	gate := make(chan struct{})
-	s, srv := newTestServer(t, Config{QueueSize: 1, CacheSize: -1, gate: gate})
+	s, cl := newTestServer(t, Config{QueueSize: 1, CacheSize: -1, gate: gate})
 	gateOpen := false
 	defer func() {
 		if !gateOpen {
@@ -110,10 +94,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 	hold := make(chan struct{})
 	go func() {
 		defer close(hold)
-		res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
-		if err == nil {
-			res.Body.Close()
-		}
+		cl.RouteJSON(context.Background(), []byte(smallLayoutJSON), nil)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.Stats().QueueDepth == 0 {
@@ -124,16 +105,9 @@ func TestHTTPQueueFull429(t *testing.T) {
 	}
 
 	other := `{"name":"u","grid":{"h":3,"v":3,"m":2,"viaCost":2,"dx":[1,1],"dy":[1,1],"pins":[1,7]}}`
-	res, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(other))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("overflow request = %d, want 429", res.StatusCode)
-	}
-	if res.Header.Get("Retry-After") == "" {
-		t.Error("429 without a Retry-After header")
+	_, err := cl.RouteJSON(context.Background(), []byte(other), nil)
+	if !errors.Is(err, errs.ErrQueueFull) {
+		t.Fatalf("overflow request err = %v, want ErrQueueFull", err)
 	}
 	close(gate) // release the scheduler so the held request completes
 	gateOpen = true
@@ -142,54 +116,32 @@ func TestHTTPQueueFull429(t *testing.T) {
 
 func TestHTTPTimeout504(t *testing.T) {
 	gate := make(chan struct{})
-	_, srv := newTestServer(t, Config{gate: gate})
+	_, cl := newTestServer(t, Config{gate: gate})
 	defer close(gate)
 
-	// The scheduler is gated, so the 1ns deadline always expires queued.
-	res, err := http.Post(srv.URL+"/route?timeout=1ns", "application/json", strings.NewReader(smallLayoutJSON))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res.Body.Close()
-	if res.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("expired request = %d, want 504", res.StatusCode)
-	}
-
-	res2, err := http.Post(srv.URL+"/route?timeout=banana", "application/json", strings.NewReader(smallLayoutJSON))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res2.Body.Close()
-	if res2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad timeout = %d, want 400", res2.StatusCode)
+	// The scheduler is gated, so the 1ms server-side deadline always
+	// expires queued; the client must surface the server's 504 as
+	// ErrTimeout.
+	_, err := cl.RouteJSON(context.Background(), []byte(smallLayoutJSON), &client.RouteOptions{Timeout: time.Millisecond})
+	if !errors.Is(err, errs.ErrTimeout) {
+		t.Fatalf("expired request err = %v, want ErrTimeout", err)
 	}
 }
 
 func TestHTTPHealthAndStats(t *testing.T) {
-	s, srv := newTestServer(t, Config{})
+	s, cl := newTestServer(t, Config{})
+	ctx := context.Background()
 
-	res, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		t.Fatalf("/healthz = %d, want 200", res.StatusCode)
+	if err := cl.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
 
-	post, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
-	if err != nil {
+	if _, err := cl.RouteJSON(ctx, []byte(smallLayoutJSON), nil); err != nil {
 		t.Fatal(err)
 	}
-	post.Body.Close()
 
-	sres, err := http.Get(srv.URL + "/stats")
+	st, err := cl.Stats(ctx)
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer sres.Body.Close()
-	var st Stats
-	if err := json.NewDecoder(sres.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Completed < 1 || st.QueueCapacity == 0 || st.UptimeSeconds < 0 {
@@ -197,13 +149,8 @@ func TestHTTPHealthAndStats(t *testing.T) {
 	}
 
 	s.Close()
-	hres, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	hres.Body.Close()
-	if hres.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("post-close /healthz = %d, want 503", hres.StatusCode)
+	if err := cl.Healthz(ctx); !errors.Is(err, errs.ErrClosed) {
+		t.Fatalf("post-close healthz err = %v, want ErrClosed", err)
 	}
 }
 
@@ -211,30 +158,17 @@ func TestHTTPHealthAndStats(t *testing.T) {
 // request the service counters and the process-wide routing counters both
 // appear under their oarsmt_-prefixed names.
 func TestHTTPMetrics(t *testing.T) {
-	_, srv := newTestServer(t, Config{})
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
 
-	post, err := http.Post(srv.URL+"/route", "application/json", strings.NewReader(smallLayoutJSON))
-	if err != nil {
+	if _, err := cl.RouteJSON(ctx, []byte(smallLayoutJSON), nil); err != nil {
 		t.Fatal(err)
 	}
-	post.Body.Close()
 
-	res, err := http.Get(srv.URL + "/metrics")
+	text, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		t.Fatalf("/metrics = %d, want 200", res.StatusCode)
-	}
-	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
-	}
-	body, err := io.ReadAll(res.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := string(body)
 	for _, want := range []string{
 		"# TYPE oarsmt_serve_submitted counter",
 		"oarsmt_serve_completed 1",

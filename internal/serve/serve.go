@@ -36,19 +36,20 @@ import (
 	"oarsmt/internal/route"
 	"oarsmt/internal/selector"
 	"oarsmt/internal/store"
+	"oarsmt/wire"
 )
 
-// Sentinel errors of the service surface.
+// Sentinel errors of the service surface. All three are module-wide
+// identities from internal/errs (re-exported at the root and coded by
+// package wire), so errors.Is matches them across the HTTP boundary.
 var (
 	// ErrQueueFull is returned when the bounded job queue is at capacity;
-	// clients should back off and retry (HTTP 429). It is the module-wide
-	// backpressure sentinel, so errors.Is matches both this name and the
-	// root package's oarsmt.ErrQueueFull.
+	// clients should back off and retry (HTTP 429).
 	ErrQueueFull = errs.ErrQueueFull
 	// ErrClosed is returned once the service has begun draining.
-	ErrClosed = errors.New("serve: service closed")
+	ErrClosed = errs.ErrClosed
 	// ErrTooLarge is returned for layouts above Config.MaxVolume.
-	ErrTooLarge = errors.New("serve: layout exceeds the volume budget")
+	ErrTooLarge = errs.ErrTooLarge
 )
 
 // Config parameterises a Service.
@@ -159,38 +160,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Coord3 is a grid coordinate in a JSON-friendly shape.
-type Coord3 struct {
-	H int `json:"h"`
-	V int `json:"v"`
-	M int `json:"m"`
-}
+// Coord3 is a grid coordinate in a JSON-friendly shape. It is the wire
+// protocol's coordinate type; the alias keeps every in-repo call site
+// compiling while the authoritative definition lives in package wire.
+type Coord3 = wire.Coord3
 
-// Response is the answer to one routing request.
-type Response struct {
-	Name          string   `json:"name,omitempty"`
-	Cost          float64  `json:"cost"`
-	HorWirelength float64  `json:"horWirelength"`
-	VerWirelength float64  `json:"verWirelength"`
-	ViaWirelength float64  `json:"viaWirelength"`
-	NumEdges      int      `json:"numEdges"`
-	SteinerPoints []Coord3 `json:"steinerPoints"`
-	UsedSteiner   bool     `json:"usedSteiner"`
-	Proposed      int      `json:"proposed"`
-	// Degraded reports that selector inference failed (after retries) and
-	// the tree is the plain-OARMST fallback: a valid route without the
-	// learned Steiner points. Degraded results are never cached, so the
-	// service returns to normal answers as soon as inference recovers.
-	Degraded bool `json:"degraded"`
-	CacheHit bool `json:"cacheHit"`
-	// StoreHit reports that the answer came from the persistent disk tier
-	// (and was promoted into the memory cache); CacheHit is also set.
-	StoreHit bool `json:"storeHit,omitempty"`
-	BatchSize     int      `json:"batchSize"`
-	ElapsedMillis float64  `json:"elapsedMillis"`
-	// Edges is the full routed tree; populated only when requested.
-	Edges [][2]Coord3 `json:"edges,omitempty"`
-}
+// Response is the answer to one routing request; it is exactly the wire
+// protocol's route response (the coordinator-only Worker/Hedged fields
+// stay empty when a worker is addressed directly).
+type Response = wire.RouteResponse
 
 // job is one queued request.
 type job struct {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"oarsmt/internal/obs"
+	"oarsmt/wire"
 )
 
 // metrics are the service's instruments, resolved once from a per-Service
@@ -68,46 +69,10 @@ func (m *metrics) observeBatch(n int) {
 }
 
 // Stats is a point-in-time snapshot of the service's counters, shaped for
-// the /stats endpoint.
-type Stats struct {
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	QueueDepth    int     `json:"queueDepth"`
-	QueueCapacity int     `json:"queueCapacity"`
-	// CacheEntries / CacheEvictions describe the memory tier; the Store*
-	// fields mirror the persistent disk tier (zero when -store-dir is
-	// unset), so /stats shows both tiers' sizes side by side.
-	CacheEntries   int   `json:"cacheEntries"`
-	CacheEvictions int64 `json:"cacheEvictions"`
-
-	StoreEntries       int   `json:"storeEntries,omitempty"`
-	StoreSegments      int   `json:"storeSegments,omitempty"`
-	StoreHits          int64 `json:"storeHits,omitempty"`
-	StoreMisses        int64 `json:"storeMisses,omitempty"`
-	StoreServed        int64 `json:"storeServed,omitempty"`
-	StoreWrites        int64 `json:"storeWrites,omitempty"`
-	StoreCompactions   int64 `json:"storeCompactions,omitempty"`
-	StoreInvalidations int64 `json:"storeInvalidations,omitempty"`
-	StoreEvictions     int64 `json:"storeEvictions,omitempty"`
-
-	Submitted   int64 `json:"submitted"`
-	Completed   int64 `json:"completed"`
-	Failed      int64 `json:"failed"`
-	Rejected    int64 `json:"rejected"`
-	CacheHits   int64 `json:"cacheHits"`
-	CacheMisses int64 `json:"cacheMisses"`
-	Inferences  int64 `json:"inferences"`
-	Degraded    int64 `json:"degraded"`
-	Retries     int64 `json:"retries"`
-
-	Batches      int64   `json:"batches"`
-	BatchedJobs  int64   `json:"batchedJobs"`
-	MeanBatch    float64 `json:"meanBatch"`
-	MaxBatch     int64   `json:"maxBatch"`
-	CacheHitRate float64 `json:"cacheHitRate"`
-
-	P50Millis float64 `json:"p50Millis"`
-	P99Millis float64 `json:"p99Millis"`
-}
+// the /stats endpoint. It is the wire protocol's worker-stats message;
+// the alias keeps in-repo call sites compiling while the authoritative
+// definition lives in package wire.
+type Stats = wire.Stats
 
 // Stats returns a snapshot of the service's counters.
 func (s *Service) Stats() Stats {

@@ -73,6 +73,15 @@ var (
 	// ErrInvalidConfig reports an invalid or incomplete configuration
 	// passed to a constructor or stage runner.
 	ErrInvalidConfig = errs.ErrInvalidConfig
+	// ErrClosed reports a request submitted to a service that has begun
+	// draining or shut down.
+	ErrClosed = errs.ErrClosed
+	// ErrTooLarge reports a layout or request body above the server's
+	// configured limits.
+	ErrTooLarge = errs.ErrTooLarge
+	// ErrUnsupportedProto reports a wire-protocol version outside the
+	// server's supported range.
+	ErrUnsupportedProto = errs.ErrUnsupportedProto
 )
 
 // Observability re-exports (see internal/obs): Router.Route and the other

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"oarsmt/internal/errs"
+)
+
+// Error is the JSON body of every non-2xx response. Message keeps the
+// legacy "error" field name so pre-protocol clients still decode it; Code
+// is the machine-readable sentinel code new clients match on.
+type Error struct {
+	Code    string `json:"code,omitempty"`
+	Message string `json:"error"`
+}
+
+// codeEntry binds one sentinel to its wire code and HTTP status. The
+// table is ordered: Code walks it front to back with errors.Is, so more
+// specific sentinels (ErrQueueFull, ErrClosed) come before the broad
+// retryability marker ErrTransient that injected faults also wrap.
+type codeEntry struct {
+	code     string
+	sentinel error
+	status   int
+	// retryAfter marks backpressure answers that should carry a
+	// Retry-After header.
+	retryAfter bool
+}
+
+var codeTable = []codeEntry{
+	{"queue_full", errs.ErrQueueFull, http.StatusTooManyRequests, true},
+	{"closed", errs.ErrClosed, http.StatusServiceUnavailable, true},
+	{"too_large", errs.ErrTooLarge, http.StatusRequestEntityTooLarge, false},
+	{"unsupported_proto", errs.ErrUnsupportedProto, http.StatusBadRequest, false},
+	{"timeout", errs.ErrTimeout, http.StatusGatewayTimeout, false},
+	{"invalid_layout", errs.ErrInvalidLayout, http.StatusBadRequest, false},
+	{"invalid_model", errs.ErrInvalidModel, http.StatusUnprocessableEntity, false},
+	{"invalid_tree", errs.ErrInvalidTree, http.StatusUnprocessableEntity, false},
+	{"invalid_config", errs.ErrInvalidConfig, http.StatusBadRequest, false},
+	{"no_path", errs.ErrNoPath, http.StatusUnprocessableEntity, false},
+	{"internal", errs.ErrInternal, http.StatusInternalServerError, false},
+	{"transient", errs.ErrTransient, http.StatusServiceUnavailable, true},
+}
+
+// Code returns the wire code of the first sentinel the error matches, or
+// "" when it matches none (an unclassified error; servers send it as
+// "internal"-free plain message, clients surface it unwrapped).
+func Code(err error) string {
+	for _, e := range codeTable {
+		if errors.Is(err, e.sentinel) {
+			return e.code
+		}
+	}
+	// A bare context cancellation is the caller's own doing; report it as
+	// a timeout-class condition the way the legacy status mapping did.
+	if errors.Is(err, context.Canceled) {
+		return "timeout"
+	}
+	return ""
+}
+
+// Sentinel returns the canonical sentinel for a wire code, or nil for an
+// unknown code.
+func Sentinel(code string) error {
+	for _, e := range codeTable {
+		if e.code == code {
+			return e.sentinel
+		}
+	}
+	return nil
+}
+
+// HTTPStatus maps an error to its response status per the API.md table;
+// errors matching no sentinel are 422 (the request was understood but not
+// servable), matching the legacy behaviour.
+func HTTPStatus(err error) int {
+	for _, e := range codeTable {
+		if errors.Is(err, e.sentinel) {
+			return e.status
+		}
+	}
+	if errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// WriteError writes the error response for err: the mapped status, the
+// Retry-After header on backpressure classes, the protocol version
+// header, and the JSON Error body with the sentinel code.
+func WriteError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	retryAfter := false
+	code := ""
+	for _, e := range codeTable {
+		if errors.Is(err, e.sentinel) {
+			status, retryAfter, code = e.status, e.retryAfter, e.code
+			break
+		}
+	}
+	if code == "" && errors.Is(err, context.Canceled) {
+		status, code = http.StatusGatewayTimeout, "timeout"
+	}
+	if retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	WriteErrorStatus(w, status, code, err.Error())
+}
+
+// WriteErrorStatus writes an explicit status/code/message error body; the
+// handler-level helper for conditions that are not sentinel-backed (bad
+// query parameters, oversized bodies).
+func WriteErrorStatus(w http.ResponseWriter, status int, code, msg string) {
+	SetProto(w.Header())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(Error{Code: code, Message: msg})
+}
+
+// AsError reconstructs the client-side error for a non-2xx response: a
+// known code wraps its sentinel (so errors.Is round-trips across the
+// wire), an unknown or absent code falls back to a status-based guess for
+// pre-protocol servers, and anything else surfaces as a plain error.
+func AsError(status int, body []byte) error {
+	var e Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Message == "" {
+		e.Message = fmt.Sprintf("HTTP %d: %s", status, string(body))
+	}
+	code := e.Code
+	if code == "" {
+		code = codeForStatus(status)
+	}
+	if s := Sentinel(code); s != nil {
+		return fmt.Errorf("%w: %s", s, e.Message)
+	}
+	return fmt.Errorf("server error (HTTP %d): %s", status, e.Message)
+}
+
+// codeForStatus guesses the sentinel code for a legacy response carrying
+// no code field. The guess inverts the unambiguous half of the status
+// table; ambiguous statuses (400, 422, 503) map to their most common
+// cause.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusBadRequest:
+		return "invalid_layout"
+	case http.StatusInternalServerError:
+		return "internal"
+	case http.StatusServiceUnavailable:
+		return "transient"
+	default:
+		return ""
+	}
+}

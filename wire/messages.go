@@ -1,0 +1,172 @@
+package wire
+
+import "encoding/json"
+
+// Coord3 is a grid coordinate in the JSON wire shape.
+type Coord3 struct {
+	H int `json:"h"`
+	V int `json:"v"`
+	M int `json:"m"`
+}
+
+// RouteRequest is the typed body of POST /v1/route. It replaces the
+// legacy convention of a bare layout body plus ?timeout= / ?edges= query
+// parameters: the options are fields now, so they version with the
+// protocol.
+type RouteRequest struct {
+	// Layout is the layout to route, in the layout JSON format (grid or
+	// geometric form — exactly the bytes the legacy endpoint took as its
+	// whole body).
+	Layout json.RawMessage `json:"layout"`
+	// TimeoutMillis caps the server-side routing deadline for this
+	// request; 0 leaves the server default in force.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Edges asks for the full routed tree in the response.
+	Edges bool `json:"edges,omitempty"`
+}
+
+// RouteResponse is the answer to one routing request. It is the exact
+// shape internal/serve produces (the service aliases this type), plus the
+// coordinator-set Worker/Hedged fields.
+type RouteResponse struct {
+	Name          string   `json:"name,omitempty"`
+	Cost          float64  `json:"cost"`
+	HorWirelength float64  `json:"horWirelength"`
+	VerWirelength float64  `json:"verWirelength"`
+	ViaWirelength float64  `json:"viaWirelength"`
+	NumEdges      int      `json:"numEdges"`
+	SteinerPoints []Coord3 `json:"steinerPoints"`
+	UsedSteiner   bool     `json:"usedSteiner"`
+	Proposed      int      `json:"proposed"`
+	// Degraded reports that selector inference failed (after retries) and
+	// the tree is the plain-OARMST fallback: a valid route without the
+	// learned Steiner points. Degraded results are never cached, so the
+	// service returns to normal answers as soon as inference recovers.
+	Degraded bool `json:"degraded"`
+	CacheHit bool `json:"cacheHit"`
+	// StoreHit reports that the answer came from the persistent disk tier
+	// (and was promoted into the memory cache); CacheHit is also set.
+	StoreHit      bool    `json:"storeHit,omitempty"`
+	BatchSize     int     `json:"batchSize"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+	// Edges is the full routed tree; populated only when requested.
+	Edges [][2]Coord3 `json:"edges,omitempty"`
+
+	// Worker is the shard that served the request; set by the cluster
+	// coordinator, empty when talking to a worker directly.
+	Worker string `json:"worker,omitempty"`
+	// Hedged reports that the answer came from a hedged retry to a
+	// second replica after the primary shard was slow.
+	Hedged bool `json:"hedged,omitempty"`
+}
+
+// Stats is one worker's point-in-time counter snapshot (GET /v1/stats).
+type Stats struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCapacity int     `json:"queueCapacity"`
+	// CacheEntries / CacheEvictions describe the memory tier; the Store*
+	// fields mirror the persistent disk tier (zero when -store-dir is
+	// unset), so /stats shows both tiers' sizes side by side.
+	CacheEntries   int   `json:"cacheEntries"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+
+	StoreEntries       int   `json:"storeEntries,omitempty"`
+	StoreSegments      int   `json:"storeSegments,omitempty"`
+	StoreHits          int64 `json:"storeHits,omitempty"`
+	StoreMisses        int64 `json:"storeMisses,omitempty"`
+	StoreServed        int64 `json:"storeServed,omitempty"`
+	StoreWrites        int64 `json:"storeWrites,omitempty"`
+	StoreCompactions   int64 `json:"storeCompactions,omitempty"`
+	StoreInvalidations int64 `json:"storeInvalidations,omitempty"`
+	StoreEvictions     int64 `json:"storeEvictions,omitempty"`
+
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Inferences  int64 `json:"inferences"`
+	Degraded    int64 `json:"degraded"`
+	Retries     int64 `json:"retries"`
+
+	Batches      int64   `json:"batches"`
+	BatchedJobs  int64   `json:"batchedJobs"`
+	MeanBatch    float64 `json:"meanBatch"`
+	MaxBatch     int64   `json:"maxBatch"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+
+	P50Millis float64 `json:"p50Millis"`
+	P99Millis float64 `json:"p99Millis"`
+}
+
+// RegisterRequest announces a worker to the coordinator (POST
+// /v1/cluster/register). Re-registering an already-known ID renews its
+// lease and updates its address.
+type RegisterRequest struct {
+	// ID is the worker's stable identity on the hash ring; it must not
+	// change across re-registrations or the shard's cache affinity is
+	// lost.
+	ID string `json:"id"`
+	// Addr is the worker's base URL ("http://host:port") as reachable
+	// from the coordinator.
+	Addr string `json:"addr"`
+	// Proto is the protocol version the worker speaks.
+	Proto int `json:"proto"`
+}
+
+// RegisterResponse carries the lease the coordinator granted.
+type RegisterResponse struct {
+	// TTLMillis is the lease duration; the worker must renew within it
+	// (conventionally every TTL/3) or be dropped from the ring.
+	TTLMillis int64 `json:"ttlMillis"`
+}
+
+// LeaseRequest renews a worker's lease (POST /v1/cluster/lease).
+type LeaseRequest struct {
+	ID string `json:"id"`
+}
+
+// LeaseResponse acknowledges a renewal.
+type LeaseResponse struct {
+	TTLMillis int64 `json:"ttlMillis"`
+}
+
+// DrainRequest announces that a worker is shutting down gracefully (POST
+// /v1/cluster/drain): the coordinator stops routing new requests to it
+// immediately while in-flight ones finish on the worker's own drain
+// path.
+type DrainRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerInfo is one worker's row in the coordinator's stats.
+type WorkerInfo struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	Draining bool   `json:"draining,omitempty"`
+	// LeaseMillis is the time remaining on the worker's lease.
+	LeaseMillis int64 `json:"leaseMillis"`
+	Forwards    int64 `json:"forwards"`
+	Errors      int64 `json:"errors,omitempty"`
+}
+
+// ClusterStats is the coordinator's point-in-time snapshot (GET /v1/stats
+// on the coordinator).
+type ClusterStats struct {
+	UptimeSeconds float64      `json:"uptimeSeconds"`
+	Workers       []WorkerInfo `json:"workers"`
+
+	Forwards  int64 `json:"forwards"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedgeWins"`
+	Retries   int64 `json:"retries"`
+	Expired   int64 `json:"expired"`
+	Drained   int64 `json:"drained"`
+
+	P50Millis float64 `json:"p50Millis"`
+	P99Millis float64 `json:"p99Millis"`
+}
