@@ -38,8 +38,9 @@ type Agent struct {
 	cl  *client.Client
 	ttl time.Duration
 
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	cancel   context.CancelFunc
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // StartAgent registers the worker and starts the renewal loop. The
@@ -125,12 +126,12 @@ func (a *Agent) Drain(ctx context.Context) error {
 // Close stops the renewal loop without announcing a drain.
 func (a *Agent) Close() { a.stop() }
 
+// stop is safe under concurrent Drain/Close (signal handler vs defer).
 func (a *Agent) stop() {
-	if a.cancel != nil {
+	a.stopOnce.Do(func() {
 		a.cancel()
 		a.wg.Wait()
-		a.cancel = nil
-	}
+	})
 }
 
 // ctxSleep waits d or until the context is done.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -117,6 +118,25 @@ func TestAgentDrainAnnounces(t *testing.T) {
 	if err := h.agent.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestAgentConcurrentStop: a signal handler calling Drain while a defer
+// calls Close must not race on the renewal loop's shutdown.
+func TestAgentConcurrentStop(t *testing.T) {
+	h := startAgentHarness(t, 10*time.Second)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := h.agent.Drain(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		h.agent.Close()
+	}()
+	wg.Wait()
 }
 
 // TestAgentValidation: missing identity fails fast, and a coordinator

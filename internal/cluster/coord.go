@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -241,23 +242,28 @@ func (c *Coordinator) register(req wire.RegisterRequest) (wire.RegisterResponse,
 	until := c.cfg.now().Add(c.cfg.LeaseTTL)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if w, ok := c.workers[req.ID]; ok {
-		w.mu.Lock()
-		w.leaseUntil = until
-		w.draining = false
-		sameAddr := w.addr == req.Addr
-		w.mu.Unlock()
+	prev, existed := c.workers[req.ID]
+	if existed {
+		prev.mu.Lock()
+		prev.leaseUntil = until
+		prev.draining = false
+		sameAddr := prev.addr == req.Addr
+		prev.mu.Unlock()
 		if sameAddr {
 			return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
 		}
-		// The worker moved: rebuild its client, keep its ring points
-		// (identity, not address, owns the shard).
-		delete(c.workers, req.ID)
-		c.ring.remove(req.ID)
 	}
+	// Build the client before touching membership: a malformed advertised
+	// address must leave an existing healthy registration intact.
 	cl, err := c.cfg.newClient(req.Addr)
 	if err != nil {
 		return wire.RegisterResponse{}, err
+	}
+	if existed {
+		// The worker moved: swap in the new client, keep its ring points
+		// (identity, not address, owns the shard).
+		delete(c.workers, req.ID)
+		c.ring.remove(req.ID)
 	}
 	w := &worker{id: req.ID, addr: req.Addr, cl: cl}
 	w.leaseUntil = until
@@ -445,9 +451,13 @@ func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary,
 		select {
 		case <-hedgeC:
 			hedgeC = nil
-			c.m.hedges.Inc()
-			hedge()
-			outstanding++
+			// hedge() is a no-op when the fast-failure retry below already
+			// consumed the fallback; counting an attempt then would leave
+			// the loop waiting on a result that never comes.
+			if hedge() {
+				c.m.hedges.Inc()
+				outstanding++
+			}
 		case r := <-results:
 			outstanding--
 			if r.err == nil {
@@ -510,6 +520,18 @@ func (c *Coordinator) deprecated(replacement string, h http.HandlerFunc) http.Ha
 	}
 }
 
+// writeBodyError maps a body-read failure, keeping the 413 for
+// oversized bodies distinct from a 400 for anything else (client
+// aborts, malformed chunked encoding).
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		wire.WriteError(w, fmt.Errorf("%w: request body too large", errs.ErrTooLarge))
+		return
+	}
+	wire.WriteError(w, fmt.Errorf("%w: request body: %v", errs.ErrInvalidLayout, err))
+}
+
 func (c *Coordinator) handleRouteV1(w http.ResponseWriter, r *http.Request) {
 	if err := wire.CheckProto(r); err != nil {
 		wire.WriteError(w, err)
@@ -517,7 +539,7 @@ func (c *Coordinator) handleRouteV1(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		wire.WriteError(w, fmt.Errorf("%w: request body", errs.ErrTooLarge))
+		writeBodyError(w, err)
 		return
 	}
 	var req wire.RouteRequest
@@ -536,7 +558,7 @@ func (c *Coordinator) handleRouteLegacy(w http.ResponseWriter, r *http.Request) 
 	w.Header().Set(wire.DeprecationHeader, wire.PathRoute)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		wire.WriteError(w, fmt.Errorf("%w: request body", errs.ErrTooLarge))
+		writeBodyError(w, err)
 		return
 	}
 	req := wire.RouteRequest{Layout: body, Edges: r.URL.Query().Get("edges") != ""}

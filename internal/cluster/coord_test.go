@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -316,6 +317,76 @@ func TestReRegisterKeepsIdentity(t *testing.T) {
 	}
 }
 
+// TestHedgeTimerAfterRetryDoesNotHang: the primary fails retryably
+// before the hedge delay, so the fast-failure path consumes the
+// fallback for an immediate retry; when the hedge timer later fires it
+// must not count an attempt that was never launched. A regression here
+// left race() waiting forever once the retry also failed.
+func TestHedgeTimerAfterRetryDoesNotHang(t *testing.T) {
+	c := newTestCoord(t, Config{HedgeDelay: 20 * time.Millisecond})
+	probe := newRing(c.cfg.VirtualNodes)
+	probe.add("w1")
+	probe.add("w2")
+	order := probe.pick("k", 2)
+
+	arrived := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	fakeWorker(t, c, order[0], func(w http.ResponseWriter, r *http.Request) {
+		wire.WriteError(w, errs.ErrQueueFull) // fast retryable failure
+	})
+	fakeWorker(t, c, order[1], func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		arrived <- struct{}{}
+		select {
+		case <-gate:
+		case <-r.Context().Done():
+			return
+		}
+		wire.WriteError(w, errs.ErrQueueFull)
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.forward(context.Background(), "k", routeReq())
+		done <- err
+	}()
+	<-arrived                        // the retry is in flight on the fallback
+	time.Sleep(3 * c.cfg.HedgeDelay) // the hedge timer fires with no fallback left
+	close(gate)                      // now the retry fails too
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, errs.ErrQueueFull) {
+			t.Fatalf("forward = %v, want ErrQueueFull", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("race() hung after the hedge timer fired with the fallback already consumed")
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.Hedges != 0 {
+		t.Errorf("stats retries=%d hedges=%d, want 1/0 (no phantom hedge)", st.Retries, st.Hedges)
+	}
+}
+
+// TestReRegisterBadAddressKeepsOld: a re-registration advertising a
+// malformed address fails without dropping the existing healthy
+// registration.
+func TestReRegisterBadAddressKeepsOld(t *testing.T) {
+	c := newTestCoord(t, Config{HedgeDelay: -1})
+	srv := fakeWorker(t, c, "w1", instantWorker(1))
+
+	if _, err := c.register(wire.RegisterRequest{ID: "w1", Addr: "not-a-url"}); !errors.Is(err, errs.ErrInvalidConfig) {
+		t.Fatalf("register with malformed addr = %v, want ErrInvalidConfig", err)
+	}
+	ws := c.Workers()
+	if len(ws) != 1 || ws[0].Addr != srv.URL {
+		t.Fatalf("workers after failed re-register = %+v, want the original registration intact", ws)
+	}
+	if resp, err := c.forward(context.Background(), "k", routeReq()); err != nil || resp.Worker != "w1" {
+		t.Errorf("forward after failed re-register = %+v, %v; want answer from w1", resp, err)
+	}
+}
+
 // TestSweepSkipsDrainedFromExpiredCount: a drained worker whose lease
 // lapses is reclaimed without counting as an unexpected loss.
 func TestSweepSkipsDrainedFromExpiredCount(t *testing.T) {
@@ -336,6 +407,37 @@ func TestSweepSkipsDrainedFromExpiredCount(t *testing.T) {
 	}
 	if err := c.drain("w1"); !errors.Is(err, errs.ErrInvalidConfig) {
 		t.Errorf("drain of reclaimed worker = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// errReader fails every read, simulating a client abort mid-body.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("aborted") }
+
+// TestCoordinatorBodyErrorMapping: only an oversized body maps to the
+// 413 too_large code; any other body-read failure is a 400
+// invalid_layout, matching the worker-side mapping.
+func TestCoordinatorBodyErrorMapping(t *testing.T) {
+	c := newTestCoord(t, Config{})
+	h := c.Handler()
+	cases := []struct {
+		name string
+		body func() io.Reader
+		want int
+	}{
+		{"aborted read", func() io.Reader { return errReader{} }, http.StatusBadRequest},
+		{"oversized", func() io.Reader { return bytes.NewReader(make([]byte, maxBodyBytes+1)) }, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		for _, path := range []string{wire.PathRoute, wire.LegacyPathRoute} {
+			req := httptest.NewRequest(http.MethodPost, path, tc.body())
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != tc.want {
+				t.Errorf("%s on %s = %d, want %d", tc.name, path, rec.Code, tc.want)
+			}
+		}
 	}
 }
 
