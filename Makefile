@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test lint lint-cold fuzz vet experiments examples train train-resume serve serve-smoke store-smoke cluster-smoke clean
+.PHONY: all build test test-short bench bench-gate bench-all bench-fault bench-store check check-fast crash-test chaos-test chaos-test-short lint lint-cold fuzz vet experiments examples train train-resume serve serve-smoke store-smoke cluster-smoke clean
 
 all: build test
 
@@ -36,11 +36,37 @@ lint-cold:
 check: vet lint
 	go test -race ./internal/parallel ./internal/tensor ./internal/mcts ./internal/serve ./internal/store ./internal/obs ./internal/errs ./internal/ckpt ./internal/fault ./internal/cluster ./client ./wire
 	go test -race -short ./internal/route ./internal/rl ./internal/nn ./internal/selector
+	$(MAKE) chaos-test-short
 	$(MAKE) bench-gate
 
 # Static analysis only (no race detector): fast enough for a pre-commit
 # hook.
 check-fast: vet lint
+
+# Deterministic chaos suite. First the unit layer under the race detector
+# (breakers, coordinator state recovery, replication, agent backoff,
+# transport partitions), then the multi-process harness: a race-built
+# daemon is tortured through six scripted scenarios — worker SIGKILL
+# under load, coordinator crash + ckpt restore, agent partition, slow
+# shard hedging, store-segment corruption, and a flapping worker
+# tripping its breaker. Fault schedules ship to the children via
+# OARSMT_FAULTS, so every run is deterministic. Writes BENCH_chaos.json.
+chaos-test:
+	go test -race -count=1 ./internal/cluster \
+		-run 'Breaker|Admission|CrashRecovery|State|Replication|Backoff'
+	go test -race -count=1 ./internal/serve -run 'Replicate|Install'
+	go test -race -count=1 ./client -run 'TransportFault|ProtoDowngrade'
+	go test -race -count=1 ./internal/fault -run 'FormatSpec'
+	go build -race -o bin/oarsmt-serve-race ./cmd/oarsmt-serve
+	go build -o bin/oarsmt-chaos ./cmd/oarsmt-chaos
+	bin/oarsmt-chaos -bin bin/oarsmt-serve-race -json BENCH_chaos.json
+
+# Short chaos subset run by `make check`: one end-to-end scenario (the
+# worker kill with replica fan-out) against the race-built daemon.
+chaos-test-short:
+	go build -race -o bin/oarsmt-serve-race ./cmd/oarsmt-serve
+	go build -o bin/oarsmt-chaos ./cmd/oarsmt-chaos
+	bin/oarsmt-chaos -bin bin/oarsmt-serve-race -run worker-kill
 
 # Fault-tolerance suite under the race detector: checkpoint frame
 # corruption/torn-write recovery, kill-and-resume bit-identity, injected

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"oarsmt/internal/errs"
+	"oarsmt/internal/fault"
 	"oarsmt/wire"
 )
 
@@ -171,6 +172,12 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		req.Header.Set("Content-Type", "application/json")
 	}
 	wire.SetProto(req.Header)
+	// client.transport simulates a network partition: every attempt fails
+	// before touching the wire while the fault is armed. Injected errors
+	// classify as transient, so they exercise the real retry path.
+	if ferr := fault.Inject("client.transport"); ferr != nil {
+		return fmt.Errorf("client: transport: %w", ferr)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// The transport reports context expiry as a URL error; surface

@@ -32,6 +32,17 @@ func (c *Client) RenewLease(ctx context.Context, id string) (*wire.LeaseResponse
 	return &resp, nil
 }
 
+// Replicate installs a finished route into a worker's cache tiers; the
+// coordinator calls it against the next ring replica after a fresh
+// answer. The worker re-validates before installing.
+func (c *Client) Replicate(ctx context.Context, req wire.ReplicateRequest) (*wire.ReplicateResponse, error) {
+	var resp wire.ReplicateResponse
+	if err := c.do(ctx, http.MethodPost, wire.PathReplicate, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Drain tells the coordinator to stop routing new work to a worker that
 // is shutting down; in-flight requests finish on the worker's own drain
 // path.

@@ -38,6 +38,7 @@ import (
 	"oarsmt/client"
 	"oarsmt/internal/layout"
 	"oarsmt/internal/obs"
+	"oarsmt/wire"
 )
 
 // point is one measured load level in the report's curve.
@@ -47,21 +48,59 @@ type point struct {
 	Seconds     float64 `json:"seconds"`
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
-	Throughput  float64 `json:"throughputRps"`
-	P50Millis   float64 `json:"p50Millis"`
-	P90Millis   float64 `json:"p90Millis"`
-	P99Millis   float64 `json:"p99Millis"`
+	// ErrorClasses breaks Errors down by wire error code (queue_full,
+	// timeout, transient, ...); errors without a code count as "other".
+	ErrorClasses map[string]int64 `json:"errorClasses,omitempty"`
+	Throughput   float64          `json:"throughputRps"`
+	P50Millis    float64          `json:"p50Millis"`
+	P90Millis    float64          `json:"p90Millis"`
+	P99Millis    float64          `json:"p99Millis"`
 }
 
 // report is the JSON document written by -json (BENCH_cluster.json in
 // the cluster smoke run).
 type report struct {
-	URL      string  `json:"url"`
-	Mode     string  `json:"mode"`
-	Layouts  int     `json:"layouts"`
-	Seed     int64   `json:"seed"`
-	Curve    []point `json:"curve"`
-	CacheHot bool    `json:"cacheHot"`
+	URL     string `json:"url"`
+	Mode    string `json:"mode"`
+	Layouts int    `json:"layouts"`
+	Seed    int64  `json:"seed"`
+	// WarmupSeconds is the per-level warmup window whose requests were
+	// driven but not measured.
+	WarmupSeconds float64 `json:"warmupSeconds,omitempty"`
+	Curve         []point `json:"curve"`
+	CacheHot      bool    `json:"cacheHot"`
+}
+
+// errClasses tallies errors by wire code.
+type errClasses struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (e *errClasses) add(err error) {
+	code := wire.Code(err)
+	if code == "" {
+		code = "other"
+	}
+	e.mu.Lock()
+	if e.m == nil {
+		e.m = map[string]int64{}
+	}
+	e.m[code]++
+	e.mu.Unlock()
+}
+
+func (e *errClasses) snapshot() map[string]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(e.m))
+	for k, v := range e.m {
+		out[k] = v
+	}
+	return out
 }
 
 func main() {
@@ -80,6 +119,7 @@ func main() {
 		pins     = flag.Int("pins", 5, "pins per layout")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		warm     = flag.Bool("warm", false, "route the whole pool once before measuring (cache-hot curve)")
+		warmup   = flag.Duration("warmup", 0, "per-level warmup window driven at full load but excluded from measurement")
 		jsonOut  = flag.String("json", "", "write the JSON report here")
 	)
 	flag.Parse()
@@ -106,9 +146,14 @@ func main() {
 		}
 	}
 
-	rep := report{URL: *url, Layouts: *layouts, Seed: *seed, CacheHot: *warm}
+	rep := report{URL: *url, Layouts: *layouts, Seed: *seed, CacheHot: *warm, WarmupSeconds: warmup.Seconds()}
 	if *rate > 0 {
 		rep.Mode = "open"
+		if *warmup > 0 {
+			if _, err := runOpen(ctx, cl, pool, *rate, *warmup); err != nil {
+				log.Fatal(err)
+			}
+		}
 		p, err := runOpen(ctx, cl, pool, *rate, *duration)
 		if err != nil {
 			log.Fatal(err)
@@ -122,6 +167,9 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, n := range levels {
+			if *warmup > 0 {
+				runClosed(ctx, cl, pool, n, *warmup)
+			}
 			p := runClosed(ctx, cl, pool, n, *duration)
 			rep.Curve = append(rep.Curve, p)
 			printPoint(p)
@@ -184,6 +232,7 @@ func runClosed(ctx context.Context, cl *client.Client, pool [][]byte, n int, d t
 	hist := reg.Histogram("loadgen.latency")
 	var requests, errors atomic.Int64
 	var next atomic.Int64
+	var classes errClasses
 
 	lctx, cancel := context.WithTimeout(ctx, d)
 	defer cancel()
@@ -205,6 +254,7 @@ func runClosed(ctx context.Context, cl *client.Client, pool [][]byte, n int, d t
 				requests.Add(1)
 				if err != nil {
 					errors.Add(1)
+					classes.add(err)
 				}
 			}
 		}()
@@ -212,14 +262,15 @@ func runClosed(ctx context.Context, cl *client.Client, pool [][]byte, n int, d t
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 	return point{
-		Concurrency: n,
-		Seconds:     elapsed,
-		Requests:    requests.Load(),
-		Errors:      errors.Load(),
-		Throughput:  float64(requests.Load()) / elapsed,
-		P50Millis:   float64(hist.Percentile(0.50).Microseconds()) / 1000,
-		P90Millis:   float64(hist.Percentile(0.90).Microseconds()) / 1000,
-		P99Millis:   float64(hist.Percentile(0.99).Microseconds()) / 1000,
+		Concurrency:  n,
+		Seconds:      elapsed,
+		Requests:     requests.Load(),
+		Errors:       errors.Load(),
+		ErrorClasses: classes.snapshot(),
+		Throughput:   float64(requests.Load()) / elapsed,
+		P50Millis:    float64(hist.Percentile(0.50).Microseconds()) / 1000,
+		P90Millis:    float64(hist.Percentile(0.90).Microseconds()) / 1000,
+		P99Millis:    float64(hist.Percentile(0.99).Microseconds()) / 1000,
 	}
 }
 
@@ -233,6 +284,7 @@ func runOpen(ctx context.Context, cl *client.Client, pool [][]byte, rate float64
 	reg := obs.NewRegistry()
 	hist := reg.Histogram("loadgen.latency")
 	var requests, errors atomic.Int64
+	var classes errClasses
 
 	lctx, cancel := context.WithTimeout(ctx, d)
 	defer cancel()
@@ -262,6 +314,7 @@ loop:
 				requests.Add(1)
 				if err != nil {
 					errors.Add(1)
+					classes.add(err)
 				}
 			}()
 		}
@@ -269,14 +322,15 @@ loop:
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 	return point{
-		RateRPS:    rate,
-		Seconds:    elapsed,
-		Requests:   requests.Load(),
-		Errors:     errors.Load(),
-		Throughput: float64(requests.Load()) / elapsed,
-		P50Millis:  float64(hist.Percentile(0.50).Microseconds()) / 1000,
-		P90Millis:  float64(hist.Percentile(0.90).Microseconds()) / 1000,
-		P99Millis:  float64(hist.Percentile(0.99).Microseconds()) / 1000,
+		RateRPS:      rate,
+		Seconds:      elapsed,
+		Requests:     requests.Load(),
+		Errors:       errors.Load(),
+		ErrorClasses: classes.snapshot(),
+		Throughput:   float64(requests.Load()) / elapsed,
+		P50Millis:    float64(hist.Percentile(0.50).Microseconds()) / 1000,
+		P90Millis:    float64(hist.Percentile(0.90).Microseconds()) / 1000,
+		P99Millis:    float64(hist.Percentile(0.99).Microseconds()) / 1000,
 	}, nil
 }
 

@@ -75,8 +75,14 @@ func main() {
 		advertise = flag.String("advertise", "", "base URL the coordinator reaches this worker at (default: http://127.0.0.1:<port>)")
 
 		// Coordinator-mode knobs.
-		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "coordinator: worker lease duration")
-		hedgeDelay = flag.Duration("hedge-delay", 100*time.Millisecond, "coordinator: hedge a slow shard after this delay (negative disables)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "coordinator: worker lease duration")
+		hedgeDelay  = flag.Duration("hedge-delay", 100*time.Millisecond, "coordinator: hedge a slow shard after this delay (negative disables)")
+		stateDir    = flag.String("state-dir", "", "coordinator: persist membership here and restore it on restart (empty disables)")
+		maxInflight = flag.Int("max-inflight", 256, "coordinator: admitted-forward bound, excess sheds with 429 (negative disables)")
+		breakerN    = flag.Int("breaker-threshold", 5, "coordinator: consecutive failures tripping a worker's breaker (negative disables)")
+		breakerCool = flag.Duration("breaker-cooldown", 3*time.Second, "coordinator: open-breaker cooldown before the half-open probe")
+		replicate   = flag.Bool("replicate", false, "coordinator: install fresh routes on the key's next ring replica (warm failover)")
+		replicaQ    = flag.Int("replica-queue", 64, "coordinator: bounded replication queue capacity")
 	)
 	flag.Parse()
 
@@ -93,17 +99,26 @@ func main() {
 	postShutdown := func() {}
 	if *coordMode {
 		coord, err := cluster.New(cluster.Config{
-			LeaseTTL:       *leaseTTL,
-			HedgeDelay:     *hedgeDelay,
-			ForwardTimeout: *timeout,
-			MaxVolume:      *maxVolume,
+			LeaseTTL:         *leaseTTL,
+			HedgeDelay:       *hedgeDelay,
+			ForwardTimeout:   *timeout,
+			MaxVolume:        *maxVolume,
+			StateDir:         *stateDir,
+			MaxInflight:      *maxInflight,
+			BreakerThreshold: *breakerN,
+			BreakerCooldown:  *breakerCool,
+			Replicate:        *replicate,
+			ReplicaQueue:     *replicaQ,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		handler = coord.Handler()
 		postShutdown = coord.Close
-		log.Printf("coordinator listening on %s (lease %s, hedge %s)", ln.Addr(), *leaseTTL, *hedgeDelay)
+		if *stateDir != "" {
+			log.Printf("coordinator state: %s (%d workers restored)", *stateDir, coord.Stats().Restored)
+		}
+		log.Printf("coordinator listening on %s (lease %s, hedge %s, replicate %v)", ln.Addr(), *leaseTTL, *hedgeDelay, *replicate)
 	} else {
 		sel, err := loadSelector(*modelPath)
 		if err != nil {

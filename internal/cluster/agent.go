@@ -90,26 +90,44 @@ func (a *Agent) register(ctx context.Context) (*wire.RegisterResponse, error) {
 
 // renewLoop renews on TTL/3 so two renewals can fail before the lease
 // lapses. A rejected renewal (unknown worker: the sweep collected us
-// during a partition) falls back to a full re-registration.
+// during a partition) falls back to a full re-registration. While the
+// coordinator stays unreachable the loop backs off deterministically —
+// doubling from the renewal interval up to the full TTL — instead of
+// hammering a blacked-out coordinator at TTL/3; the first successful
+// renewal or re-registration snaps it back to the renewal cadence.
 func (a *Agent) renewLoop(ctx context.Context) {
 	defer a.wg.Done()
 	interval := a.ttl / 3
 	if interval <= 0 {
 		interval = time.Second
 	}
+	maxDelay := a.ttl
+	if maxDelay < interval {
+		maxDelay = 8 * interval
+	}
+	delay := interval
 	for {
-		if err := a.cfg.sleep(ctx, interval); err != nil {
+		if err := a.cfg.sleep(ctx, delay); err != nil {
 			return
 		}
-		if _, err := a.cl.RenewLease(ctx, a.cfg.ID); err != nil {
-			if ctx.Err() != nil {
-				return
+		if _, err := a.cl.RenewLease(ctx, a.cfg.ID); err == nil {
+			delay = interval
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if resp, rerr := a.register(ctx); rerr == nil {
+			if ttl := time.Duration(resp.TTLMillis) * time.Millisecond; ttl > 0 {
+				interval = ttl / 3
+				maxDelay = ttl
 			}
-			if resp, rerr := a.register(ctx); rerr == nil {
-				if ttl := time.Duration(resp.TTLMillis) * time.Millisecond; ttl > 0 {
-					interval = ttl / 3
-				}
-			}
+			delay = interval
+			continue
+		}
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
 		}
 	}
 }

@@ -3,13 +3,16 @@ package cluster
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"oarsmt/client"
 	"oarsmt/internal/errs"
+	"oarsmt/wire"
 )
 
 // agentHarness wires an Agent to a coordinator over real HTTP with a
@@ -137,6 +140,83 @@ func TestAgentConcurrentStop(t *testing.T) {
 		h.agent.Close()
 	}()
 	wg.Wait()
+}
+
+// TestAgentBackoffDuringBlackout is the re-registration storm
+// regression: while the coordinator is blacked out, the renewal loop
+// must back off deterministically — doubling from the renewal interval
+// up to the full TTL — instead of hammering at TTL/3, and the first
+// successful renewal snaps it back to the renewal cadence. The injected
+// sleep hands each chosen delay to the test, pacing the loop so every
+// renewal attempt completes before the next delay is observed.
+func TestAgentBackoffDuringBlackout(t *testing.T) {
+	coord := newTestCoord(t, Config{LeaseTTL: 9 * time.Second})
+	var down atomic.Bool
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			wire.WriteError(w, errs.ErrTransient)
+			return
+		}
+		coord.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(front.Close)
+	cl, err := client.New(client.Config{BaseURL: front.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delays := make(chan time.Duration)
+	agent, err := StartAgent(context.Background(), AgentConfig{
+		ID:        "w1",
+		Advertise: "http://worker.invalid:1",
+		Client:    cl,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			select {
+			case delays <- d:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+
+	next := func() time.Duration {
+		t.Helper()
+		select {
+		case d := <-delays:
+			return d
+		case <-time.After(5 * time.Second):
+			t.Fatal("renewal loop stopped sleeping")
+			return 0
+		}
+	}
+
+	down.Store(true) // blackout: renewals and re-registrations both fail
+	// TTL 9s renews on 3s; failures double 3 -> 6 -> 9 and cap at the TTL.
+	want := []time.Duration{3 * time.Second, 6 * time.Second, 9 * time.Second, 9 * time.Second}
+	for i, w := range want {
+		if d := next(); d != w {
+			t.Fatalf("blackout delay %d = %v, want %v", i, d, w)
+		}
+	}
+
+	down.Store(false) // the coordinator is back
+	// The attempt after the last observed delay may have raced the
+	// restore; within two more sleeps the loop must be back on cadence.
+	d := next()
+	if d != 3*time.Second {
+		if d != 9*time.Second {
+			t.Fatalf("post-restore delay = %v, want 3s (or one final 9s)", d)
+		}
+		d = next()
+	}
+	if d != 3*time.Second {
+		t.Fatalf("delay after recovery = %v, want the 3s renewal cadence", d)
+	}
 }
 
 // TestAgentValidation: missing identity fails fast, and a coordinator

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"oarsmt/client"
+	"oarsmt/internal/errs"
+)
+
+// breakerState is one circuit breaker's position.
+type breakerState uint8
+
+const (
+	// breakerClosed passes traffic and counts consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen rejects traffic until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen admits a single probe; its outcome decides
+	// between reclosing and reopening.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-worker circuit breaker on an injected clock: after
+// threshold consecutive health-indicating failures it opens and the
+// worker stops receiving traffic; once the cooldown elapses a single
+// probe request is admitted, and its outcome either recloses the
+// breaker or restarts the cooldown. All transitions are driven by the
+// timestamps the coordinator passes in, never by the wall clock, so
+// fault-injection tests step the breaker deterministically.
+type breaker struct {
+	threshold int // consecutive failures to trip; <= 0 disables
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // half-open probe outstanding
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+func (b *breaker) enabled() bool { return b.threshold > 0 }
+
+// admit reports whether the worker may receive a request now. In the
+// open state it transitions to half-open once the cooldown has elapsed
+// and grants the caller the single probe slot (probe=true); the caller
+// must report the attempt's outcome through record with the same flag,
+// or the slot would leak and the breaker stay half-open forever.
+func (b *breaker) admit(now time.Time) (ok, probe bool) {
+	if !b.enabled() {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// closedNow reports whether the breaker is fully closed; only such
+// workers serve hedges and retries, so a recovering shard's probe slot
+// is never consumed by a speculative attempt that might not be awaited.
+func (b *breaker) closedNow() bool {
+	if !b.enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
+// record reports one attempt's outcome. It returns true when the
+// outcome tripped the breaker open (for the trip counter). Outcomes of
+// attempts launched before a trip arrive in the open or half-open state
+// without the probe flag and are ignored — only the probe's verdict
+// moves an open breaker.
+func (b *breaker) record(now time.Time, failed, probe bool) (opened bool) {
+	if !b.enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !failed {
+			b.fails = 0
+			return false
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.fails = 0
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		if !probe {
+			return false
+		}
+		b.probing = false
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+		b.state = breakerClosed
+		b.fails = 0
+		return false
+	default: // open: stale outcomes (including a probe's, after a re-open)
+		return false
+	}
+}
+
+// stateAt names the breaker's effective state for stats: an open
+// breaker whose cooldown has elapsed reads as half-open (a probe would
+// be admitted), without mutating anything.
+func (b *breaker) stateAt(now time.Time) string {
+	if !b.enabled() {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && now.Sub(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen.String()
+	}
+	return b.state.String()
+}
+
+// breakerFailure classifies which errors count against a worker's
+// breaker: failures that indicate worker health (unreachable, shedding,
+// draining, timing out, crashing), not request defects like an invalid
+// layout, which would fail identically on every shard.
+func breakerFailure(err error) bool {
+	return client.Retryable(err) ||
+		errors.Is(err, errs.ErrTimeout) ||
+		errors.Is(err, errs.ErrInternal)
+}

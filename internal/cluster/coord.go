@@ -50,6 +50,37 @@ type Config struct {
 	// same guard the workers apply; default 1<<20.
 	MaxVolume int
 
+	// StateDir, when set, persists the coordinator's membership as
+	// internal/ckpt frames so a restarted coordinator rebuilds its ring
+	// instead of blacking out until every agent re-registers. Empty
+	// keeps membership in memory only.
+	StateDir string
+	// RecoveryGrace is the lease granted to workers restored from
+	// StateDir at startup; default (and floor) LeaseTTL. It gives
+	// agents a full window to renew before the sweep collects them.
+	RecoveryGrace time.Duration
+
+	// MaxInflight bounds concurrently admitted forwards; excess
+	// requests are shed with ErrQueueFull (HTTP 429 + Retry-After).
+	// Default 256; negative disables the bound.
+	MaxInflight int
+
+	// BreakerThreshold is how many consecutive health-indicating
+	// failures trip a worker's circuit breaker open; default 5,
+	// negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects traffic
+	// before admitting a half-open probe; default 3s.
+	BreakerCooldown time.Duration
+
+	// Replicate enables the replica fan-out: fresh non-degraded routes
+	// are asynchronously installed on the key's next distinct ring
+	// replica, so a dead worker's shard serves warm from its successor.
+	Replicate bool
+	// ReplicaQueue bounds the replication queue; default 64. A full
+	// queue drops (and counts) instead of blocking the routing path.
+	ReplicaQueue int
+
 	// now is the lease clock, injectable by tests.
 	now func() time.Time
 	// newClient builds the per-worker client, injectable by tests.
@@ -75,6 +106,21 @@ func (c *Config) fill() {
 	if c.MaxVolume <= 0 {
 		c.MaxVolume = 1 << 20
 	}
+	if c.RecoveryGrace < c.LeaseTTL {
+		c.RecoveryGrace = c.LeaseTTL
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.ReplicaQueue <= 0 {
+		c.ReplicaQueue = 64
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -82,9 +128,10 @@ func (c *Config) fill() {
 
 // worker is the coordinator's view of one registered shard.
 type worker struct {
-	id   string
-	addr string
-	cl   *client.Client
+	id      string
+	addr    string
+	cl      *client.Client
+	breaker *breaker
 
 	mu         sync.Mutex
 	leaseUntil time.Time
@@ -92,6 +139,17 @@ type worker struct {
 
 	forwards atomic.Int64
 	errors   atomic.Int64
+	inflight atomic.Int64 // attempts currently outstanding
+	hedges   atomic.Int64 // hedged attempts this worker has served
+}
+
+// newWorker builds a shard handle with a fresh breaker; a re-registered
+// worker starts closed (it just proved it is back).
+func (c *Coordinator) newWorker(id, addr string, cl *client.Client) *worker {
+	return &worker{
+		id: id, addr: addr, cl: cl,
+		breaker: newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown),
+	}
 }
 
 func (w *worker) eligible(now time.Time) bool {
@@ -114,6 +172,15 @@ type cmetrics struct {
 	expired   *obs.Counter // worker leases collected by the sweep
 	drained   *obs.Counter // workers that drained gracefully
 	latency   *obs.Histogram
+
+	shed         *obs.Counter // requests rejected at the admission bound
+	breakerOpens *obs.Counter // breaker trips (closed/half-open -> open)
+
+	replicated         *obs.Counter // replica installs delivered
+	replicationErrors  *obs.Counter // replica installs that failed
+	replicationDropped *obs.Counter // replica jobs dropped (queue full)
+
+	stateErrors *obs.Counter // coordinator-state persist failures
 }
 
 func newCMetrics() *cmetrics {
@@ -129,6 +196,15 @@ func newCMetrics() *cmetrics {
 		expired:   reg.Counter("cluster.expired"),
 		drained:   reg.Counter("cluster.drained"),
 		latency:   reg.Histogram("cluster.latency"),
+
+		shed:         reg.Counter("cluster.shed"),
+		breakerOpens: reg.Counter("cluster.breaker_opens"),
+
+		replicated:         reg.Counter("cluster.replicated"),
+		replicationErrors:  reg.Counter("cluster.replication_errors"),
+		replicationDropped: reg.Counter("cluster.replication_dropped"),
+
+		stateErrors: reg.Counter("cluster.state_errors"),
 	}
 }
 
@@ -144,6 +220,19 @@ type Coordinator struct {
 	workers map[string]*worker
 	ring    *ring
 	closed  bool
+
+	// inflight is the admission counter of the load-shedding bound.
+	inflight atomic.Int64
+
+	// replq is the bounded replication queue; nil when Replicate is off.
+	replq chan replJob
+
+	// persistMu serializes state writes so a slow fsync never holds the
+	// membership lock; stateSeq numbers the ckpt frames.
+	persistMu sync.Mutex
+	stateSeq  int
+	// restored counts workers rebuilt from StateDir at startup.
+	restored int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -166,6 +255,16 @@ func New(cfg Config) (*Coordinator, error) {
 		ring:    newRing(cfg.VirtualNodes),
 		done:    make(chan struct{}),
 	}
+	// Rebuild membership from the persisted state before anything can
+	// route or sweep; restored workers carry a recovery-grace lease.
+	if err := c.restoreState(); err != nil {
+		return nil, err
+	}
+	if cfg.Replicate {
+		c.replq = make(chan replJob, cfg.ReplicaQueue)
+		c.wg.Add(1)
+		go c.replicate()
+	}
 	c.m.reg.GaugeFunc("cluster.workers", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -173,6 +272,12 @@ func New(cfg Config) (*Coordinator, error) {
 	})
 	c.m.reg.GaugeFunc("cluster.uptime_seconds", func() float64 {
 		return c.cfg.now().Sub(c.start).Seconds()
+	})
+	c.m.reg.GaugeFunc("cluster.inflight", func() float64 {
+		return float64(c.inflight.Load())
+	})
+	c.m.reg.GaugeFunc("cluster.restored", func() float64 {
+		return float64(c.restored)
 	})
 	c.wg.Add(1)
 	go c.sweep()
@@ -213,8 +318,8 @@ func (c *Coordinator) sweep() {
 
 func (c *Coordinator) collectExpired() {
 	now := c.cfg.now()
+	removed := 0
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for id, w := range c.workers {
 		w.mu.Lock()
 		expired := now.After(w.leaseUntil)
@@ -223,20 +328,34 @@ func (c *Coordinator) collectExpired() {
 		if expired {
 			delete(c.workers, id)
 			c.ring.remove(id)
+			removed++
 			if !draining {
 				c.m.expired.Inc()
 			}
 		}
 	}
+	c.mu.Unlock()
+	if removed > 0 {
+		c.persistState()
+	}
 }
 
-// register adds or refreshes a worker.
+// register adds or refreshes a worker, persisting the membership when
+// it changed (a plain lease refresh does not touch the state file).
 func (c *Coordinator) register(req wire.RegisterRequest) (wire.RegisterResponse, error) {
+	resp, changed, err := c.registerMember(req)
+	if err == nil && changed {
+		c.persistState()
+	}
+	return resp, err
+}
+
+func (c *Coordinator) registerMember(req wire.RegisterRequest) (wire.RegisterResponse, bool, error) {
 	if req.ID == "" || req.Addr == "" {
-		return wire.RegisterResponse{}, fmt.Errorf("%w: register: id and addr are required", errs.ErrInvalidConfig)
+		return wire.RegisterResponse{}, false, fmt.Errorf("%w: register: id and addr are required", errs.ErrInvalidConfig)
 	}
 	if req.Proto != 0 && (req.Proto < wire.MinVersion || req.Proto > wire.Version) {
-		return wire.RegisterResponse{}, fmt.Errorf("%w: register: worker speaks version %d, coordinator accepts [%d, %d]",
+		return wire.RegisterResponse{}, false, fmt.Errorf("%w: register: worker speaks version %d, coordinator accepts [%d, %d]",
 			errs.ErrUnsupportedProto, req.Proto, wire.MinVersion, wire.Version)
 	}
 	until := c.cfg.now().Add(c.cfg.LeaseTTL)
@@ -246,18 +365,21 @@ func (c *Coordinator) register(req wire.RegisterRequest) (wire.RegisterResponse,
 	if existed {
 		prev.mu.Lock()
 		prev.leaseUntil = until
+		wasDraining := prev.draining
 		prev.draining = false
 		sameAddr := prev.addr == req.Addr
 		prev.mu.Unlock()
 		if sameAddr {
-			return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+			// Un-draining is a membership change (the state file omits
+			// draining workers); a plain refresh is not.
+			return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, wasDraining, nil
 		}
 	}
 	// Build the client before touching membership: a malformed advertised
 	// address must leave an existing healthy registration intact.
 	cl, err := c.cfg.newClient(req.Addr)
 	if err != nil {
-		return wire.RegisterResponse{}, err
+		return wire.RegisterResponse{}, false, err
 	}
 	if existed {
 		// The worker moved: swap in the new client, keep its ring points
@@ -265,11 +387,11 @@ func (c *Coordinator) register(req wire.RegisterRequest) (wire.RegisterResponse,
 		delete(c.workers, req.ID)
 		c.ring.remove(req.ID)
 	}
-	w := &worker{id: req.ID, addr: req.Addr, cl: cl}
+	w := c.newWorker(req.ID, req.Addr, cl)
 	w.leaseUntil = until
 	c.workers[req.ID] = w
 	c.ring.add(req.ID)
-	return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+	return wire.RegisterResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, true, nil
 }
 
 // renew extends a known worker's lease; an unknown ID is an error so
@@ -303,13 +425,19 @@ func (c *Coordinator) drain(id string) error {
 	w.mu.Unlock()
 	if !already {
 		c.m.drained.Inc()
+		c.persistState()
 	}
 	return nil
 }
 
 // pick returns the key's home shard and its fallback: the first two
-// eligible workers in ring order from the key's position.
-func (c *Coordinator) pick(key string) (primary, secondary *worker) {
+// eligible workers in ring order from the key's position. Breakers
+// filter the choice: a worker whose breaker is open is skipped, a
+// half-open one may serve as primary (consuming its single probe slot —
+// probe reports that), and only fully closed workers serve as the
+// fallback, so a recovering shard's probe is never a speculative hedge
+// that might go unawaited.
+func (c *Coordinator) pick(key string) (primary *worker, probe bool, secondary *worker) {
 	now := c.cfg.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -319,12 +447,17 @@ func (c *Coordinator) pick(key string) (primary, secondary *worker) {
 			continue
 		}
 		if primary == nil {
-			primary = w
+			if ok, p := w.breaker.admit(now); ok {
+				primary, probe = w, p
+			}
 			continue
 		}
-		return primary, w
+		if !w.breaker.closedNow() {
+			continue
+		}
+		return primary, probe, w
 	}
-	return primary, nil
+	return primary, probe, nil
 }
 
 // Workers returns the current membership, sorted by id.
@@ -342,6 +475,9 @@ func (c *Coordinator) Workers() []wire.WorkerInfo {
 			LeaseMillis: w.leaseUntil.Sub(now).Milliseconds(),
 			Forwards:    w.forwards.Load(),
 			Errors:      w.errors.Load(),
+			Breaker:     w.breaker.stateAt(now),
+			InFlight:    w.inflight.Load(),
+			Hedges:      w.hedges.Load(),
 		}
 		w.mu.Unlock()
 		out = append(out, info)
@@ -364,28 +500,65 @@ func (c *Coordinator) Stats() wire.ClusterStats {
 		Retries:       m.retries.Load(),
 		Expired:       m.expired.Load(),
 		Drained:       m.drained.Load(),
-		P50Millis:     float64(m.latency.Percentile(0.50).Microseconds()) / 1000,
-		P99Millis:     float64(m.latency.Percentile(0.99).Microseconds()) / 1000,
+
+		InFlight:           c.inflight.Load(),
+		Shed:               m.shed.Load(),
+		BreakerOpens:       m.breakerOpens.Load(),
+		Replicated:         m.replicated.Load(),
+		ReplicationErrors:  m.replicationErrors.Load(),
+		ReplicationDropped: m.replicationDropped.Load(),
+		Restored:           c.restored,
+
+		P50Millis: float64(m.latency.Percentile(0.50).Microseconds()) / 1000,
+		P99Millis: float64(m.latency.Percentile(0.99).Microseconds()) / 1000,
 	}
 }
 
 // forward routes one request to its shard, hedging to the fallback when
 // the primary is slow and retrying on it when the primary fails with a
 // retryable error. The winning worker's id is stamped on the response.
+// Admission is bounded first: past MaxInflight the request is shed with
+// ErrQueueFull (HTTP 429 + Retry-After) without spending a forward.
 func (c *Coordinator) forward(ctx context.Context, key string, req *wire.RouteRequest) (*wire.RouteResponse, error) {
-	primary, secondary := c.pick(key)
+	n := c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	if limit := c.cfg.MaxInflight; limit > 0 && n > int64(limit) {
+		c.m.shed.Inc()
+		return nil, fmt.Errorf("%w: coordinator at admission limit (%d in flight)", errs.ErrQueueFull, limit)
+	}
+	primary, probe, secondary := c.pick(key)
 	if primary == nil {
-		return nil, fmt.Errorf("%w: cluster has no live workers", errs.ErrTransient)
+		return nil, fmt.Errorf("%w: cluster has no admitting workers", errs.ErrTransient)
+	}
+	// Replication needs the routed tree: ask the worker for edges even
+	// when the client did not, and strip them from the client's copy.
+	fwd := req
+	if c.replq != nil && !req.Edges {
+		r2 := *req
+		r2.Edges = true
+		fwd = &r2
 	}
 	c.m.forwards.Inc()
 	start := c.cfg.now()
-	resp, err := c.race(ctx, req, primary, secondary)
+	resp, err := c.race(ctx, fwd, primary, probe, secondary)
 	c.m.latency.Observe(c.cfg.now().Sub(start))
 	if err != nil {
 		c.m.failed.Inc()
 		return nil, err
 	}
 	c.m.completed.Inc()
+	if c.replq != nil {
+		if !resp.CacheHit {
+			// Fresh answer: warm the key's successor. Cache hits are not
+			// re-replicated — their first serve already was.
+			c.enqueueReplication(key, req.Layout, resp)
+		}
+		if !req.Edges {
+			out := *resp
+			out.Edges = nil
+			resp = &out
+		}
+	}
 	return resp, nil
 }
 
@@ -402,13 +575,17 @@ type attemptResult struct {
 // attempt, before the request leaves the coordinator: Delay mode makes
 // a shard look slow (driving a hedge), Error mode makes it fail
 // (driving a retry).
-func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary, secondary *worker) (*wire.RouteResponse, error) {
+func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary *worker, probe bool, secondary *worker) (*wire.RouteResponse, error) {
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	results := make(chan attemptResult, 2)
-	attempt := func(ctx context.Context, w *worker, hedged bool) {
+	attempt := func(ctx context.Context, w *worker, hedged, probe bool) {
 		w.forwards.Add(1)
+		w.inflight.Add(1)
+		if hedged {
+			w.hedges.Add(1)
+		}
 		var resp *wire.RouteResponse
 		err := fault.Inject("cluster.forward")
 		if err == nil {
@@ -416,6 +593,16 @@ func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary,
 				Timeout: time.Duration(req.TimeoutMillis) * time.Millisecond,
 				Edges:   req.Edges,
 			})
+		}
+		w.inflight.Add(-1)
+		// The breaker only hears health verdicts: successes and failures
+		// that indict the worker. Neutral errors (invalid layout) would
+		// trip it on every shard identically — except a probe's, which
+		// must always resolve or the half-open slot would leak.
+		if failed := err != nil && breakerFailure(err); probe || err == nil || failed {
+			if w.breaker.record(c.cfg.now(), failed, probe) {
+				c.m.breakerOpens.Inc()
+			}
 		}
 		if err != nil {
 			w.errors.Add(1)
@@ -425,7 +612,7 @@ func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary,
 		}
 		results <- attemptResult{resp, err, w, hedged}
 	}
-	go attempt(fctx, primary, false)
+	go attempt(fctx, primary, false, probe)
 
 	hedge := func() bool {
 		if secondary == nil {
@@ -433,7 +620,7 @@ func (c *Coordinator) race(ctx context.Context, req *wire.RouteRequest, primary,
 		}
 		s := secondary
 		secondary = nil
-		go attempt(fctx, s, true)
+		go attempt(fctx, s, true, false)
 		return true
 	}
 

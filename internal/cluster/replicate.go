@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+
+	"oarsmt/internal/fault"
+	"oarsmt/wire"
+)
+
+// This file is the sending half of the replica fan-out: after a fresh
+// (non-cached, non-degraded) route completes, the coordinator
+// asynchronously installs the answer on the key's next distinct ring
+// replica via POST /v1/replicate. Killing a worker then leaves its
+// shard warm on the successor — the worker every coordinator would pick
+// next for those keys — instead of a thundering herd of re-inference.
+//
+// Replication is strictly best-effort: the queue is bounded and drops
+// (counted) under pressure, a failed install is counted and forgotten,
+// and the receiving worker re-validates the tree before installing, so
+// replication can never make a shard wrong, only warm.
+
+// replJob is one queued replication: the shard key, the layout bytes,
+// and the full response (with edges) to install.
+type replJob struct {
+	key    string
+	layout json.RawMessage
+	resp   *wire.RouteResponse
+}
+
+// enqueueReplication offers a finished route to the replicator; a full
+// queue drops the job and counts the loss.
+func (c *Coordinator) enqueueReplication(key string, layoutJSON json.RawMessage, resp *wire.RouteResponse) {
+	if c.replq == nil || resp.Degraded || len(resp.Edges) == 0 {
+		return
+	}
+	select {
+	case c.replq <- replJob{key: key, layout: layoutJSON, resp: resp}:
+	default:
+		c.m.replicationDropped.Inc()
+	}
+}
+
+// replicate drains the replication queue until Close.
+func (c *Coordinator) replicate() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case j := <-c.replq:
+			c.replicateOne(j)
+		}
+	}
+}
+
+// replicateOne installs one finished route on the key's successor: the
+// first eligible, breaker-closed worker in ring order that is not the
+// one that served the answer. No such worker (single-worker cluster,
+// successor tripped) skips the job silently — the next fresh route will
+// try again. fault point "cluster.replicate" fires before the send.
+func (c *Coordinator) replicateOne(j replJob) {
+	target := c.successor(j.key, j.resp.Worker)
+	if target == nil {
+		return
+	}
+	if err := fault.Inject("cluster.replicate"); err != nil {
+		c.m.replicationErrors.Inc()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ForwardTimeout)
+	defer cancel()
+	_, err := target.cl.Replicate(ctx, wire.ReplicateRequest{Layout: j.layout, Response: *j.resp})
+	if err != nil {
+		c.m.replicationErrors.Inc()
+		return
+	}
+	c.m.replicated.Inc()
+}
+
+// successor picks the replication target for a key: the first eligible
+// worker in ring order whose id differs from the one that served the
+// request.
+func (c *Coordinator) successor(key, servedBy string) *worker {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.ring.pick(key, len(c.workers)) {
+		if id == servedBy {
+			continue
+		}
+		w := c.workers[id]
+		if w == nil || !w.eligible(now) || !w.breaker.closedNow() {
+			continue
+		}
+		return w
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"oarsmt/internal/fault"
+	"oarsmt/wire"
+)
+
+func registerReq(id, addr string) wire.RegisterRequest {
+	return wire.RegisterRequest{ID: id, Addr: addr}
+}
+
+// waitStat polls a coordinator stat until cond holds or the deadline
+// lapses — replication is asynchronous by design.
+func waitStat(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never held", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicationWarmsSuccessor is the warm-failover story end to end:
+// a fresh route is asynchronously installed on the key's next ring
+// replica, so when the serving worker dies the successor answers the
+// same layout from its cache — same cost, no re-inference.
+func TestReplicationWarmsSuccessor(t *testing.T) {
+	c := newTestCoord(t, Config{HedgeDelay: -1, Replicate: true})
+	w1, w2 := newServeWorker(t), newServeWorker(t)
+	if _, err := c.register(registerReq("w1", w1.URL)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.register(registerReq("w2", w2.URL)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	key, err := c.canonicalKey([]byte(clusterLayout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.forward(ctx, key, routeReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first route claims a cache hit")
+	}
+	// The client did not ask for edges, so the response must not carry
+	// the copy replication requested internally.
+	if first.Edges != nil {
+		t.Errorf("response leaked %d replication edges to the client", len(first.Edges))
+	}
+	waitStat(t, "replicated >= 1", func() bool { return c.Stats().Replicated >= 1 })
+
+	// The serving worker dies; the successor answers the shard warm.
+	if err := c.drain(first.Worker); err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.forward(ctx, key, routeReq())
+	if err != nil {
+		t.Fatalf("forward after losing the serving worker: %v", err)
+	}
+	if second.Worker == first.Worker {
+		t.Fatalf("drained worker %s still serving", first.Worker)
+	}
+	if !second.CacheHit {
+		t.Error("successor served cold — the replicated route was not installed")
+	}
+	if second.Cost != first.Cost {
+		t.Errorf("successor cost %v, want the replicated %v", second.Cost, first.Cost)
+	}
+
+	// A cache hit is not re-replicated: its first serve already was.
+	repl := c.Stats().Replicated
+	if _, err := c.forward(ctx, key, routeReq()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Stats().Replicated; got != repl {
+		t.Errorf("cache hit re-replicated: %d -> %d", repl, got)
+	}
+}
+
+// TestReplicationFailureCounted: a failed install is counted and
+// forgotten — the routing path never notices.
+func TestReplicationFailureCounted(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	c := newTestCoord(t, Config{HedgeDelay: -1, Replicate: true})
+	w1, w2 := newServeWorker(t), newServeWorker(t)
+	if _, err := c.register(registerReq("w1", w1.URL)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.register(registerReq("w2", w2.URL)); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Set("cluster.replicate", fault.Options{Mode: fault.Error, Times: 1})
+	key, err := c.canonicalKey([]byte(clusterLayout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.forward(context.Background(), key, routeReq()); err != nil {
+		t.Fatalf("forward with failing replication: %v", err)
+	}
+	waitStat(t, "replicationErrors == 1", func() bool { return c.Stats().ReplicationErrors == 1 })
+	if got := c.Stats().Replicated; got != 0 {
+		t.Errorf("replicated = %d after an injected failure, want 0", got)
+	}
+}
+
+// TestReplicationSingleWorkerSkips: with no distinct successor the job
+// is skipped silently — never installed back onto the serving worker.
+func TestReplicationSingleWorkerSkips(t *testing.T) {
+	c := newTestCoord(t, Config{HedgeDelay: -1, Replicate: true})
+	w1 := newServeWorker(t)
+	if _, err := c.register(registerReq("w1", w1.URL)); err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.canonicalKey([]byte(clusterLayout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.forward(context.Background(), key, routeReq()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	st := c.Stats()
+	if st.Replicated != 0 || st.ReplicationErrors != 0 {
+		t.Errorf("single-worker cluster replicated: %+v", st)
+	}
+}

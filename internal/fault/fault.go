@@ -272,6 +272,46 @@ func ParseSpec(spec string) error {
 	return nil
 }
 
+// FormatSpec renders a set of point schedules back into the OARSMT_FAULTS
+// grammar, the inverse of ParseSpec: chaos drivers build a spec
+// programmatically and hand it to a child process through the
+// environment. Points are emitted in sorted order so the output is
+// deterministic; ParseSpec(FormatSpec(m)) arms exactly m.
+func FormatSpec(specs map[string]Options) string {
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, name+"="+formatOptions(specs[name]))
+	}
+	return strings.Join(parts, ";")
+}
+
+// formatOptions renders one schedule as "mode[:opt]...".
+func formatOptions(o Options) string {
+	var b strings.Builder
+	b.WriteString(o.Mode.String())
+	if o.Mode == Delay && o.Delay > 0 {
+		b.WriteString(":" + o.Delay.String())
+	}
+	if o.Times > 0 {
+		fmt.Fprintf(&b, ":times=%d", o.Times)
+	}
+	if o.After > 0 {
+		fmt.Fprintf(&b, ":after=%d", o.After)
+	}
+	if o.Every > 1 {
+		fmt.Fprintf(&b, ":every=%d", o.Every)
+	}
+	if o.P > 0 && o.P < 1 {
+		fmt.Fprintf(&b, ":p=%g:seed=%d", o.P, o.Seed)
+	}
+	return b.String()
+}
+
 // parseOptions parses "mode[:opt]..." where opts are times=N, after=N,
 // every=N, p=F, seed=N, or (for delay) a bare duration.
 func parseOptions(s string) (Options, error) {

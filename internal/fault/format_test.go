@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFormatSpecRoundTrip: FormatSpec is the exact inverse of ParseSpec
+// — the chaos driver builds schedules programmatically and ships them to
+// child processes through OARSMT_FAULTS, so a lossy rendering would arm
+// the wrong faults.
+func TestFormatSpecRoundTrip(t *testing.T) {
+	defer Reset()
+	specs := map[string]Options{
+		"client.transport": {Mode: Error, Times: 3, After: 2},
+		"serve.enqueue":    {Mode: Error, Every: 4},
+		"cluster.forward":  {Mode: Delay, Delay: 250 * time.Millisecond, Times: 1},
+		"ckpt.write":       {Mode: Partial, Times: 1},
+		"selector.infer":   {Mode: Error, P: 0.25, Seed: 7},
+		"route.dijkstra":   {Mode: Panic},
+	}
+	rendered := FormatSpec(specs)
+
+	Reset()
+	if err := ParseSpec(rendered); err != nil {
+		t.Fatalf("ParseSpec(%q): %v", rendered, err)
+	}
+	mu.Lock()
+	got := make(map[string]Options, len(points))
+	for name, p := range points {
+		got[name] = p.opts
+	}
+	mu.Unlock()
+	if len(got) != len(specs) {
+		t.Fatalf("round trip armed %d points, want %d (%q)", len(got), len(specs), rendered)
+	}
+	for name, want := range specs {
+		if got[name] != want {
+			t.Errorf("point %s round-tripped to %+v, want %+v (%q)", name, got[name], want, rendered)
+		}
+	}
+
+	// Determinism: the rendering is stable across map iteration orders.
+	if again := FormatSpec(specs); again != rendered {
+		t.Errorf("FormatSpec not deterministic: %q then %q", rendered, again)
+	}
+}
+
+// TestFormatSpecSingle: the common single-point renderings match the
+// documented grammar exactly.
+func TestFormatSpecSingle(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Mode: Error}, "p=error"},
+		{Options{Mode: Error, Times: 2}, "p=error:times=2"},
+		{Options{Mode: Delay, Delay: 5 * time.Millisecond}, "p=delay:5ms"},
+		{Options{Mode: Error, After: 1, Every: 2}, "p=error:after=1:every=2"},
+	}
+	for _, tc := range cases {
+		if got := FormatSpec(map[string]Options{"p": tc.opts}); got != tc.want {
+			t.Errorf("FormatSpec(%+v) = %q, want %q", tc.opts, got, tc.want)
+		}
+	}
+}

@@ -42,6 +42,7 @@ const maxBodyBytes = 8 << 20
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+wire.PathRoute, s.handleRouteV1)
+	mux.HandleFunc("POST "+wire.PathReplicate, s.handleReplicate)
 	mux.HandleFunc("GET "+wire.PathHealthz, s.handleHealthz)
 	mux.HandleFunc("GET "+wire.PathStats, s.handleStats)
 	mux.HandleFunc("GET "+wire.PathMetrics, s.handleMetrics)

@@ -33,6 +33,10 @@ type metrics struct {
 	inferences  *obs.Counter // selector network inferences spent
 	degraded    *obs.Counter // responses answered by the plain-OARMST fallback
 	retries     *obs.Counter // transient-inference retries spent
+	// replicated / replicateRejected count /v1/replicate installs accepted
+	// and refused (validation failure, degraded payload, draining).
+	replicated        *obs.Counter
+	replicateRejected *obs.Counter
 	maxBatch    *obs.Gauge   // high-watermark of jobs per group
 	latency     *obs.Histogram
 }
@@ -57,6 +61,8 @@ func newMetrics() *metrics {
 		inferences:  reg.Counter("serve.inferences"),
 		degraded:    reg.Counter("serve.degraded"),
 		retries:     reg.Counter("serve.retries"),
+		replicated:        reg.Counter("serve.replicated"),
+		replicateRejected: reg.Counter("serve.replicate_rejected"),
 		maxBatch:    reg.Gauge("serve.max_batch"),
 		latency:     reg.Histogram("serve.latency"),
 	}
@@ -90,6 +96,8 @@ func (s *Service) Stats() Stats {
 		Inferences:    m.inferences.Load(),
 		Degraded:      m.degraded.Load(),
 		Retries:       m.retries.Load(),
+		Replicated:        m.replicated.Load(),
+		ReplicateRejected: m.replicateRejected.Load(),
 		Batches:       m.batches.Load(),
 		BatchedJobs:   m.batchedJobs.Load(),
 		MaxBatch:      m.maxBatch.Load(),

@@ -60,6 +60,28 @@ type RouteResponse struct {
 	Hedged bool `json:"hedged,omitempty"`
 }
 
+// ReplicateRequest installs a finished route into a worker's cache tiers
+// (POST /v1/replicate). The coordinator sends it to the next distinct
+// ring replica after a fresh non-degraded answer, so a shard's warm set
+// survives the death of its owner. The receiving worker re-validates the
+// tree against the layout before installing; a response that does not
+// validate is rejected, never served.
+type ReplicateRequest struct {
+	// Layout is the routed layout, in the layout JSON format (the same
+	// bytes RouteRequest.Layout carried).
+	Layout json.RawMessage `json:"layout"`
+	// Response is the answer to install. It must carry Edges (the full
+	// routed tree) and must not be Degraded.
+	Response RouteResponse `json:"response"`
+}
+
+// ReplicateResponse acknowledges an install.
+type ReplicateResponse struct {
+	// Installed is false when the worker declined the entry (already
+	// cached); a validation failure is an error, not a decline.
+	Installed bool `json:"installed"`
+}
+
 // Stats is one worker's point-in-time counter snapshot (GET /v1/stats).
 type Stats struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
@@ -90,6 +112,11 @@ type Stats struct {
 	Inferences  int64 `json:"inferences"`
 	Degraded    int64 `json:"degraded"`
 	Retries     int64 `json:"retries"`
+
+	// Replicated / ReplicateRejected count /v1/replicate installs the
+	// worker accepted and declined-or-refused.
+	Replicated        int64 `json:"replicated,omitempty"`
+	ReplicateRejected int64 `json:"replicateRejected,omitempty"`
 
 	Batches      int64   `json:"batches"`
 	BatchedJobs  int64   `json:"batchedJobs"`
@@ -150,6 +177,13 @@ type WorkerInfo struct {
 	LeaseMillis int64 `json:"leaseMillis"`
 	Forwards    int64 `json:"forwards"`
 	Errors      int64 `json:"errors,omitempty"`
+	// Breaker is the worker's circuit-breaker state: "closed",
+	// "open", or "half-open" (empty when breakers are disabled).
+	Breaker string `json:"breaker,omitempty"`
+	// InFlight / Hedges are the worker's live request counts: forwards
+	// currently outstanding and hedged attempts currently outstanding.
+	InFlight int64 `json:"inFlight"`
+	Hedges   int64 `json:"hedges,omitempty"`
 }
 
 // ClusterStats is the coordinator's point-in-time snapshot (GET /v1/stats
@@ -166,6 +200,22 @@ type ClusterStats struct {
 	Retries   int64 `json:"retries"`
 	Expired   int64 `json:"expired"`
 	Drained   int64 `json:"drained"`
+
+	// InFlight is the number of forwards currently admitted; Shed counts
+	// requests rejected at the admission bound (HTTP 429).
+	InFlight int64 `json:"inFlight"`
+	Shed     int64 `json:"shed,omitempty"`
+	// BreakerOpens counts breaker trips (closed→open transitions).
+	BreakerOpens int64 `json:"breakerOpens,omitempty"`
+	// Replicated / ReplicationErrors / ReplicationDropped describe the
+	// replica fan-out: installs delivered, installs that failed, and
+	// installs dropped because the bounded queue was full.
+	Replicated         int64 `json:"replicated,omitempty"`
+	ReplicationErrors  int64 `json:"replicationErrors,omitempty"`
+	ReplicationDropped int64 `json:"replicationDropped,omitempty"`
+	// Restored is the number of workers rebuilt from the persisted
+	// coordinator state at the last restart.
+	Restored int64 `json:"restored,omitempty"`
 
 	P50Millis float64 `json:"p50Millis"`
 	P99Millis float64 `json:"p99Millis"`

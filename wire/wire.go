@@ -50,6 +50,10 @@ const (
 	PathStats   = "/v1/stats"
 	PathMetrics = "/v1/metrics"
 
+	// PathReplicate installs an already-routed answer into a worker's
+	// cache tiers (write-through replication from the coordinator).
+	PathReplicate = "/v1/replicate"
+
 	// Cluster-plane paths, served by the coordinator.
 	PathRegister = "/v1/cluster/register"
 	PathLease    = "/v1/cluster/lease"
